@@ -1,0 +1,155 @@
+// Experiment E9 — ablations of the design choices DESIGN.md calls out.
+//
+// (i)  single-nod bundle order: Algorithm 2 absorbs the *smallest* pending
+//      bundles at an overflowing node (that ordering is what the Theorem 4
+//      proof exploits). Flipping to largest-first stays feasible but
+//      measurably degrades the replica count — and on the Fig. 4 family the
+//      smallest-first rule is exactly what produces the 2K worst case, so
+//      the flip accidentally "fixes" that family while losing on random
+//      inputs; both effects are tabulated.
+// (ii) multiple-bin fill order: Algorithm 3 serves the *most* distance-
+//      constrained triples first. Serving least-constrained first remains
+//      feasible (extra-server mops up) but loses optimality under tight
+//      dmax; the table reports how often and by how much.
+#include <iostream>
+
+#include "exact/exact.hpp"
+#include "gen/paper_instances.hpp"
+#include "gen/random_tree.hpp"
+#include "model/validate.hpp"
+#include "multiple/multiple_bin.hpp"
+#include "single/single_nod.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rpt;
+  Cli cli("bench_ablations", "E9: ablations of the paper's ordering rules");
+  cli.AddInt("seeds", 50, "instances per configuration");
+  cli.AddString("csv", "", "optional CSV output path");
+  if (!cli.Parse(argc, argv)) return 0;
+  const auto seeds = static_cast<std::size_t>(cli.GetInt("seeds"));
+  ThreadPool pool;
+
+  // --- (i) single-nod bundle order ---------------------------------------
+  std::cout << "E9a: single-nod bundle order (paper: smallest-first)\n\n";
+  Table nod_table({"workload", "smallest-first", "largest-first", "exact opt",
+                   "smallest ratio", "largest ratio"});
+  {
+    // Fig. 4 family: the adversarial case for smallest-first.
+    const gen::TightnessFig4 fig = gen::BuildTightnessFig4(4);
+    const auto smallest = single::SolveSingleNod(fig.instance);
+    single::SingleNodOptions flipped;
+    flipped.order = single::SingleNodOptions::BundleOrder::kLargestFirst;
+    const auto largest = single::SolveSingleNod(fig.instance, flipped);
+    RPT_CHECK(IsFeasible(fig.instance, Policy::kSingle, largest.solution));
+    nod_table.NewRow()
+        .Add("Fig4 K=4")
+        .Add(std::uint64_t{smallest.solution.ReplicaCount()})
+        .Add(std::uint64_t{largest.solution.ReplicaCount()})
+        .Add(fig.optimal)
+        .Add(static_cast<double>(smallest.solution.ReplicaCount()) /
+                 static_cast<double>(fig.optimal),
+             2)
+        .Add(static_cast<double>(largest.solution.ReplicaCount()) /
+                 static_cast<double>(fig.optimal),
+             2);
+  }
+  {
+    // Random instances: smallest-first keeps the proven factor 2; the flip
+    // can exceed it.
+    std::vector<std::size_t> small_counts(seeds);
+    std::vector<std::size_t> large_counts(seeds);
+    std::vector<std::size_t> opt_counts(seeds);
+    ParallelFor(pool, seeds, [&](std::size_t seed) {
+      gen::RandomTreeConfig cfg;
+      cfg.internal_nodes = 3;
+      cfg.clients = 7;
+      cfg.max_children = 3;
+      cfg.min_requests = 1;
+      cfg.max_requests = 8;
+      const Instance inst(gen::GenerateRandomTree(cfg, 41000 + seed), /*capacity=*/8,
+                          kNoDistanceLimit);
+      small_counts[seed] = single::SolveSingleNod(inst).solution.ReplicaCount();
+      single::SingleNodOptions flipped;
+      flipped.order = single::SingleNodOptions::BundleOrder::kLargestFirst;
+      const auto largest = single::SolveSingleNod(inst, flipped);
+      RPT_CHECK(IsFeasible(inst, Policy::kSingle, largest.solution));
+      large_counts[seed] = largest.solution.ReplicaCount();
+      opt_counts[seed] = exact::SolveExactSingle(inst).solution.ReplicaCount();
+    });
+    StatAccumulator small_stat;
+    StatAccumulator large_stat;
+    StatAccumulator opt_stat;
+    StatAccumulator small_ratio;
+    StatAccumulator large_ratio;
+    for (std::size_t seed = 0; seed < seeds; ++seed) {
+      small_stat.Add(static_cast<double>(small_counts[seed]));
+      large_stat.Add(static_cast<double>(large_counts[seed]));
+      opt_stat.Add(static_cast<double>(opt_counts[seed]));
+      small_ratio.Add(static_cast<double>(small_counts[seed]) /
+                      static_cast<double>(opt_counts[seed]));
+      large_ratio.Add(static_cast<double>(large_counts[seed]) /
+                      static_cast<double>(opt_counts[seed]));
+    }
+    nod_table.NewRow()
+        .Add("random mean")
+        .Add(small_stat.Mean(), 2)
+        .Add(large_stat.Mean(), 2)
+        .Add(opt_stat.Mean(), 2)
+        .Add(small_ratio.Mean(), 3)
+        .Add(large_ratio.Mean(), 3);
+  }
+  nod_table.PrintAscii(std::cout);
+
+  // --- (ii) multiple-bin fill order ---------------------------------------
+  std::cout << "\nE9b: multiple-bin fill order (paper: most-constrained-first)\n\n";
+  Table fill_table({"dmax", "optimal (paper order)", "ablated order", "mean excess",
+                    "max excess", "still optimal"});
+  for (const Distance dmax : {Distance{12}, Distance{6}, Distance{3}}) {
+    std::vector<std::size_t> paper_counts(seeds);
+    std::vector<std::size_t> ablated_counts(seeds);
+    ParallelFor(pool, seeds, [&](std::size_t seed) {
+      gen::BinaryTreeConfig cfg;
+      cfg.clients = 60;
+      cfg.min_requests = 1;
+      cfg.max_requests = 10;
+      cfg.min_edge = 1;
+      cfg.max_edge = 3;
+      const Instance inst(gen::GenerateFullBinaryTree(cfg, 42000 + seed), /*capacity=*/10,
+                          dmax);
+      paper_counts[seed] = multiple::SolveMultipleBin(inst).solution.ReplicaCount();
+      multiple::MultipleBinOptions ablated;
+      ablated.fill = multiple::MultipleBinOptions::FillOrder::kLeastConstrainedFirst;
+      const auto result = multiple::SolveMultipleBin(inst, ablated);
+      RPT_CHECK(IsFeasible(inst, Policy::kMultiple, result.solution));  // stays feasible
+      ablated_counts[seed] = result.solution.ReplicaCount();
+    });
+    StatAccumulator paper_stat;
+    StatAccumulator ablated_stat;
+    StatAccumulator excess;
+    std::size_t ties = 0;
+    for (std::size_t seed = 0; seed < seeds; ++seed) {
+      RPT_CHECK(ablated_counts[seed] >= paper_counts[seed]);
+      paper_stat.Add(static_cast<double>(paper_counts[seed]));
+      ablated_stat.Add(static_cast<double>(ablated_counts[seed]));
+      excess.Add(static_cast<double>(ablated_counts[seed] - paper_counts[seed]));
+      ties += ablated_counts[seed] == paper_counts[seed];
+    }
+    fill_table.NewRow()
+        .Add(dmax)
+        .Add(paper_stat.Mean(), 2)
+        .Add(ablated_stat.Mean(), 2)
+        .Add(excess.Mean(), 2)
+        .Add(excess.Max(), 0)
+        .Add(std::uint64_t{ties});
+  }
+  fill_table.PrintAscii(std::cout);
+  if (const std::string csv = cli.GetString("csv"); !csv.empty()) fill_table.WriteCsvFile(csv);
+  std::cout << "\nBoth ordering rules earn their keep: smallest-first is what the factor-2\n"
+               "proof needs on general inputs, and most-constrained-first is what makes\n"
+               "Algorithm 3 optimal once distance constraints bind.\n";
+  return 0;
+}

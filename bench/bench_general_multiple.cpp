@@ -1,0 +1,139 @@
+// Experiment E11 — the paper's second future-work axis: "As for Multiple, we
+// plan to design approximation algorithms for the general NP-hard problem."
+//
+// The general problem is Multiple with distance constraints on arbitrary-
+// arity trees. This bench evaluates the heuristics this library offers for
+// it — the splitting greedy and the flow-backed local search — against the
+// exhaustive optimum on small instances and against the capacity lower
+// bound at scale, sweeping arity and dmax tightness.
+//
+// Expected shape: local search lands on the optimum almost always at small
+// sizes and stays within a few percent of the volume lower bound at scale
+// until dmax forces near-local service; the plain greedy trails it.
+#include <iostream>
+
+#include "exact/exact.hpp"
+#include "gen/random_tree.hpp"
+#include "model/validate.hpp"
+#include "multiple/greedy.hpp"
+#include "multiple/local_search.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rpt;
+  Cli cli("bench_general_multiple",
+          "E11: heuristics for general Multiple (any arity, with distances)");
+  cli.AddInt("seeds", 40, "instances per configuration");
+  cli.AddString("csv", "", "optional CSV output path");
+  if (!cli.Parse(argc, argv)) return 0;
+  const auto seeds = static_cast<std::size_t>(cli.GetInt("seeds"));
+  ThreadPool pool;
+
+  std::cout << "E11 (paper future work): general Multiple with distance constraints\n\n";
+
+  // (a) Small instances vs the exhaustive optimum.
+  Table small_table({"arity", "dmax", "greedy mean ratio", "greedy max", "search mean ratio",
+                     "search max", "search optimal rate"});
+  for (const std::uint32_t arity : {3u, 4u}) {
+    for (const Distance dmax : {kNoDistanceLimit, Distance{6}, Distance{3}}) {
+      std::vector<std::size_t> greedy_counts(seeds);
+      std::vector<std::size_t> search_counts(seeds);
+      std::vector<std::size_t> opt_counts(seeds);
+      ParallelFor(pool, seeds, [&](std::size_t seed) {
+        gen::RandomTreeConfig cfg;
+        cfg.internal_nodes = 3;
+        cfg.clients = 7;
+        cfg.max_children = arity;
+        cfg.min_requests = 1;
+        cfg.max_requests = 8;
+        cfg.min_edge = 1;
+        cfg.max_edge = 2;
+        const Instance inst(gen::GenerateRandomTree(cfg, 81000 + seed), /*capacity=*/8, dmax);
+        const Solution greedy = multiple::SolveMultipleGreedy(inst);
+        RPT_CHECK(IsFeasible(inst, Policy::kMultiple, greedy));
+        greedy_counts[seed] = greedy.ReplicaCount();
+        const auto search = multiple::SolveMultipleLocalSearch(inst);
+        RPT_CHECK(IsFeasible(inst, Policy::kMultiple, search.solution));
+        search_counts[seed] = search.solution.ReplicaCount();
+        const auto opt = exact::SolveExactMultiple(inst);
+        RPT_CHECK(opt.feasible);
+        opt_counts[seed] = opt.solution.ReplicaCount();
+        RPT_CHECK(search_counts[seed] >= opt_counts[seed]);
+      });
+      StatAccumulator greedy_ratio;
+      StatAccumulator search_ratio;
+      std::size_t search_hits = 0;
+      for (std::size_t seed = 0; seed < seeds; ++seed) {
+        const auto opt = static_cast<double>(opt_counts[seed]);
+        greedy_ratio.Add(static_cast<double>(greedy_counts[seed]) / opt);
+        search_ratio.Add(static_cast<double>(search_counts[seed]) / opt);
+        search_hits += search_counts[seed] == opt_counts[seed];
+      }
+      small_table.NewRow()
+          .Add(std::uint64_t{arity})
+          .Add(dmax == kNoDistanceLimit ? std::string("inf") : std::to_string(dmax))
+          .Add(greedy_ratio.Mean(), 3)
+          .Add(greedy_ratio.Max(), 3)
+          .Add(search_ratio.Mean(), 3)
+          .Add(search_ratio.Max(), 3)
+          .Add(static_cast<double>(search_hits) / static_cast<double>(seeds), 3);
+    }
+  }
+  std::cout << "(a) vs exhaustive optimum (7 clients, arity 3-4):\n";
+  small_table.PrintAscii(std::cout);
+
+  // (b) Larger instances vs the capacity lower bound.
+  Table large_table({"arity", "dmax", "mean LB", "greedy/LB", "search/LB", "search < greedy"});
+  for (const std::uint32_t arity : {4u, 8u}) {
+    for (const Distance dmax : {kNoDistanceLimit, Distance{10}, Distance{5}}) {
+      std::vector<std::size_t> greedy_counts(seeds);
+      std::vector<std::size_t> search_counts(seeds);
+      std::vector<std::uint64_t> bounds(seeds);
+      ParallelFor(pool, seeds, [&](std::size_t seed) {
+        gen::RandomTreeConfig cfg;
+        cfg.internal_nodes = 20;
+        cfg.clients = 60;
+        cfg.max_children = arity;
+        cfg.min_requests = 1;
+        cfg.max_requests = 10;
+        cfg.min_edge = 1;
+        cfg.max_edge = 3;
+        const Instance inst(gen::GenerateRandomTree(cfg, 82000 + seed), /*capacity=*/10, dmax);
+        greedy_counts[seed] = multiple::SolveMultipleGreedy(inst).ReplicaCount();
+        search_counts[seed] =
+            multiple::SolveMultipleLocalSearch(inst).solution.ReplicaCount();
+        bounds[seed] = inst.CapacityLowerBound();
+      });
+      StatAccumulator bound_stat;
+      StatAccumulator greedy_over;
+      StatAccumulator search_over;
+      std::size_t wins = 0;
+      for (std::size_t seed = 0; seed < seeds; ++seed) {
+        bound_stat.Add(static_cast<double>(bounds[seed]));
+        greedy_over.Add(static_cast<double>(greedy_counts[seed]) /
+                        static_cast<double>(bounds[seed]));
+        search_over.Add(static_cast<double>(search_counts[seed]) /
+                        static_cast<double>(bounds[seed]));
+        wins += search_counts[seed] < greedy_counts[seed];
+      }
+      large_table.NewRow()
+          .Add(std::uint64_t{arity})
+          .Add(dmax == kNoDistanceLimit ? std::string("inf") : std::to_string(dmax))
+          .Add(bound_stat.Mean(), 1)
+          .Add(greedy_over.Mean(), 3)
+          .Add(search_over.Mean(), 3)
+          .Add(std::uint64_t{wins});
+    }
+  }
+  std::cout << "\n(b) vs capacity lower bound (80-node trees):\n";
+  large_table.PrintAscii(std::cout);
+  if (const std::string csv = cli.GetString("csv"); !csv.empty()) large_table.WriteCsvFile(csv);
+  std::cout << "\nThe local search closes most of the greedy's gap on the general problem the\n"
+               "paper leaves open; at tight dmax both converge (placement is forced local).\n"
+               "Note the lower bound itself is loose under tight dmax, so ratios vs LB\n"
+               "overstate the true gap there.\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Experiment E7 — empirical complexity of every solver, matching the paper's
+// analytical bounds: single-gen O(∆·|T|) (Theorem 3), single-nod
+// O((∆log∆+|C|)·|T|) (Theorem 4), multiple-bin O(|T|^2) (Theorem 6).
+//
+// google-benchmark drives the timing; each benchmark sweeps the tree size
+// and asks the library for the fitted complexity curve. Tree generation and
+// instance setup are cached outside the timed region.
+//
+// Expected shape: single-gen and single-nod fit ~O(N) (their pending lists
+// stay capacity-bounded on these workloads); multiple-bin stays well under
+// its worst-case O(N^2) on random trees (capacity-bounded pending lists) and
+// realizes the quadratic bound only in the engineered caterpillar regime;
+// Dinic on the routing oracle is included as substrate context.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "flow/assignment.hpp"
+#include "gen/random_tree.hpp"
+#include "gen/shapes.hpp"
+#include "multiple/greedy.hpp"
+#include "multiple/multiple_bin.hpp"
+#include "single/baselines.hpp"
+#include "single/single_gen.hpp"
+#include "single/single_nod.hpp"
+
+namespace {
+
+using namespace rpt;
+
+// One cached instance per (clients, dmax) so generation cost stays out of
+// the timed loop. Requests are 1..10 with W=40, giving realistic pending
+// list sizes.
+const Instance& CachedInstance(std::int64_t clients, Distance dmax) {
+  static std::map<std::pair<std::int64_t, Distance>, std::unique_ptr<Instance>> cache;
+  auto& slot = cache[{clients, dmax}];
+  if (!slot) {
+    gen::BinaryTreeConfig cfg;
+    cfg.clients = static_cast<std::uint32_t>(clients);
+    cfg.min_requests = 1;
+    cfg.max_requests = 10;
+    cfg.min_edge = 1;
+    cfg.max_edge = 2;
+    slot = std::make_unique<Instance>(gen::GenerateFullBinaryTree(cfg, 77),
+                                      /*capacity=*/40, dmax);
+  }
+  return *slot;
+}
+
+void BM_SingleGen(benchmark::State& state) {
+  const Instance& inst = CachedInstance(state.range(0), kNoDistanceLimit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(single::SolveSingleGen(inst).solution.ReplicaCount());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(inst.GetTree().Size()));
+}
+BENCHMARK(BM_SingleGen)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Complexity();
+
+void BM_SingleGenTightDmax(benchmark::State& state) {
+  const Instance& inst = CachedInstance(state.range(0), /*dmax=*/8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(single::SolveSingleGen(inst).solution.ReplicaCount());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(inst.GetTree().Size()));
+}
+BENCHMARK(BM_SingleGenTightDmax)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Complexity();
+
+void BM_SingleNod(benchmark::State& state) {
+  const Instance& inst = CachedInstance(state.range(0), kNoDistanceLimit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(single::SolveSingleNod(inst).solution.ReplicaCount());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(inst.GetTree().Size()));
+}
+BENCHMARK(BM_SingleNod)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Complexity();
+
+void BM_GreedyBestFit(benchmark::State& state) {
+  const Instance& inst = CachedInstance(state.range(0), kNoDistanceLimit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(single::SolveGreedyBestFit(inst).ReplicaCount());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(inst.GetTree().Size()));
+}
+BENCHMARK(BM_GreedyBestFit)->RangeMultiplier(4)->Range(1 << 8, 1 << 14)->Complexity();
+
+void BM_MultipleBin(benchmark::State& state) {
+  const Instance& inst = CachedInstance(state.range(0), kNoDistanceLimit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiple::SolveMultipleBin(inst).solution.ReplicaCount());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(inst.GetTree().Size()));
+}
+BENCHMARK(BM_MultipleBin)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Complexity();
+
+void BM_MultipleBinTightDmax(benchmark::State& state) {
+  const Instance& inst = CachedInstance(state.range(0), /*dmax=*/8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiple::SolveMultipleBin(inst).solution.ReplicaCount());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(inst.GetTree().Size()));
+}
+BENCHMARK(BM_MultipleBinTightDmax)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Complexity();
+
+void BM_MultipleBinWorstCase(benchmark::State& state) {
+  // The regime that realizes the paper's O(N^2) bound: a caterpillar of
+  // depth ~N with W large enough that no capacity trigger fires, so every
+  // client's pending triple is merged and copied through all N levels.
+  // Expect a clean quadratic fit here, unlike BM_MultipleBin.
+  const std::int64_t clients = state.range(0);
+  static std::map<std::int64_t, std::unique_ptr<Instance>> cache;
+  auto& slot = cache[clients];
+  if (!slot) {
+    const std::vector<Requests> requests(static_cast<std::size_t>(clients), 1);
+    slot = std::make_unique<Instance>(gen::MakeCaterpillar(requests),
+                                      /*capacity=*/static_cast<Requests>(clients),
+                                      kNoDistanceLimit);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiple::SolveMultipleBin(*slot).solution.ReplicaCount());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(slot->GetTree().Size()));
+}
+BENCHMARK(BM_MultipleBinWorstCase)->RangeMultiplier(4)->Range(1 << 8, 1 << 12)->Complexity();
+
+void BM_MultipleGreedy(benchmark::State& state) {
+  const Instance& inst = CachedInstance(state.range(0), kNoDistanceLimit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiple::SolveMultipleGreedy(inst).ReplicaCount());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(inst.GetTree().Size()));
+}
+BENCHMARK(BM_MultipleGreedy)->RangeMultiplier(4)->Range(1 << 8, 1 << 14)->Complexity();
+
+void BM_FlowRoutingOracle(benchmark::State& state) {
+  // Substrate benchmark: the Dinic-based feasibility oracle on a placement
+  // consisting of every internal node.
+  const Instance& inst = CachedInstance(state.range(0), kNoDistanceLimit);
+  std::vector<NodeId> replicas;
+  for (NodeId id = 0; id < inst.GetTree().Size(); ++id) {
+    if (!inst.GetTree().IsClient(id)) replicas.push_back(id);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::MultipleFeasible(inst, replicas));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(inst.GetTree().Size()));
+}
+BENCHMARK(BM_FlowRoutingOracle)->RangeMultiplier(4)->Range(1 << 8, 1 << 12)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Video-on-Demand CDN capacity planning (the application class motivating
+// the paper's §1: electronic content / VoD service delivery).
+//
+// Scenario: a national VoD provider pushes a catalogue from an origin server
+// through a binary distribution tree of edge PoPs down to last-mile
+// aggregation points (the clients). Each streaming server sustains W
+// concurrent streams. The planner sweeps the server SKU (capacity) and asks:
+// how many servers must we buy, and what do we gain by letting a
+// neighbourhood's viewers be split across servers (Multiple) instead of
+// pinning each neighbourhood to one server (Single)?
+//
+//   ./examples/cdn_vod --clients=200 --seed=1
+#include <cstdio>
+#include <iostream>
+
+#include "core/solver.hpp"
+#include "gen/random_tree.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rpt;
+  Cli cli("cdn_vod", "VoD CDN capacity planning example");
+  cli.AddInt("clients", 200, "number of last-mile aggregation points");
+  cli.AddInt("seed", 1, "workload seed");
+  cli.AddInt("peak-streams", 120, "peak concurrent streams of the hottest client");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = static_cast<std::uint32_t>(cli.GetInt("clients"));
+  cfg.min_requests = 5;
+  cfg.max_requests = static_cast<Requests>(cli.GetInt("peak-streams"));
+  cfg.request_skew = 2.0;  // a few hot neighbourhoods, many cold ones
+  cfg.min_edge = 1;
+  cfg.max_edge = 3;
+  cfg.balanced = true;
+  const Tree tree = gen::GenerateFullBinaryTree(cfg, static_cast<std::uint64_t>(cli.GetInt("seed")));
+  std::printf("VoD distribution tree: %zu PoPs, %zu aggregation points, %llu peak streams\n\n",
+              tree.InternalCount(), tree.ClientCount(),
+              static_cast<unsigned long long>(tree.TotalRequests()));
+
+  Table table({"server SKU (streams)", "lower bound", "Single (single-gen)",
+               "Single (best-fit)", "Multiple (multiple-bin, OPT for NoD)", "Single/Multiple",
+               "OPT utilization"});
+  for (const Requests capacity : {Requests{150}, Requests{250}, Requests{400}, Requests{800},
+                                  Requests{1600}}) {
+    const Instance instance(tree, capacity, kNoDistanceLimit);
+    const auto single_gen = core::Run(core::Algorithm::kSingleGen, instance);
+    const auto best_fit = core::Run(core::Algorithm::kGreedyBestFit, instance);
+    const auto multiple = core::Run(core::Algorithm::kMultipleBin, instance);
+    const LoadSummary loads = SummarizeLoads(tree, capacity, multiple.solution);
+    table.NewRow()
+        .Add(capacity)
+        .Add(instance.CapacityLowerBound())
+        .Add(single_gen.solution.ReplicaCount())
+        .Add(best_fit.solution.ReplicaCount())
+        .Add(multiple.solution.ReplicaCount())
+        .Add(static_cast<double>(single_gen.solution.ReplicaCount()) /
+                 static_cast<double>(multiple.solution.ReplicaCount()),
+             2)
+        .Add(loads.utilization, 3);
+  }
+  table.PrintAscii(std::cout);
+  std::printf(
+      "\nReading the table: multiple-bin is provably optimal for the Multiple policy on\n"
+      "binary trees (Theorem 6), so the last ratio column is a lower bound on what the\n"
+      "Single policy costs this deployment at each SKU.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Surge replay: validate a replica placement dynamically, not just
+// statically.
+//
+// The optimization guarantees that planned load fits server capacity; this
+// example replays stochastic demand against the placements produced under
+// both access policies and reports what actually happens to queues and
+// waiting times as demand climbs past the plan. The Multiple placement runs
+// its servers hotter (fewer replicas, higher utilization), so it saturates
+// earlier under surge — the classic efficiency/headroom trade-off, made
+// visible with the simulator.
+//
+//   ./examples/surge_replay --clients=64 --capacity=60 --ticks=300
+#include <cstdio>
+#include <iostream>
+
+#include "core/solver.hpp"
+#include "gen/random_tree.hpp"
+#include "sim/replay.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rpt;
+  Cli cli("surge_replay", "replay stochastic demand against Single vs Multiple placements");
+  cli.AddInt("clients", 64, "aggregation points");
+  cli.AddInt("capacity", 60, "server capacity per tick");
+  cli.AddInt("ticks", 300, "simulated ticks");
+  cli.AddInt("seed", 11, "topology/demand seed");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = static_cast<std::uint32_t>(cli.GetInt("clients"));
+  cfg.min_requests = 2;
+  cfg.max_requests = 30;
+  cfg.request_skew = 1.5;
+  const auto seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
+  const Instance inst(gen::GenerateFullBinaryTree(cfg, seed),
+                      static_cast<Requests>(cli.GetInt("capacity")), /*dmax=*/12);
+  std::printf("Instance: %s\n\n", inst.Summary().c_str());
+
+  const Solution single_plan = core::Run(core::Algorithm::kSingleGen, inst).solution;
+  const Solution multiple_plan = core::Run(core::Algorithm::kMultipleBin, inst).solution;
+  std::printf("Placements: Single(single-gen) = %zu replicas, Multiple(multiple-bin) = %zu\n\n",
+              single_plan.ReplicaCount(), multiple_plan.ReplicaCount());
+
+  Table table({"demand x", "policy", "replicas", "served", "drained", "mean wait (ticks)",
+               "peak backlog", "mean distance"});
+  for (const double factor : {0.8, 1.0, 1.15, 1.4}) {
+    for (int which = 0; which < 2; ++which) {
+      const Solution& plan = which == 0 ? single_plan : multiple_plan;
+      sim::ReplayConfig config;
+      config.ticks = static_cast<std::uint64_t>(cli.GetInt("ticks"));
+      config.demand_factor = factor;
+      config.seed = seed + 17;
+      const sim::ReplayReport report = sim::Replay(inst, plan, config);
+      table.NewRow()
+          .Add(factor, 2)
+          .Add(which == 0 ? "Single" : "Multiple")
+          .Add(std::uint64_t{plan.ReplicaCount()})
+          .Add(report.served)
+          .Add(report.Drained() ? "yes" : "no")
+          .Add(report.mean_wait_ticks, 2)
+          .Add(report.peak_backlog_total)
+          .Add(report.mean_service_distance, 2);
+    }
+  }
+  table.PrintAscii(std::cout);
+  std::printf(
+      "\nBoth plans are lossless at the planned load (factor 1.0). Under surge, the\n"
+      "leaner Multiple placement queues first — fewer, hotter servers — while the\n"
+      "Single placement's packing slack doubles as surge headroom.\n");
+  return 0;
+}

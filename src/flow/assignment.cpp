@@ -1,0 +1,56 @@
+#include "flow/assignment.hpp"
+
+#include <unordered_map>
+
+#include "flow/dinic.hpp"
+
+namespace rpt::flow {
+
+std::optional<std::vector<ServiceEntry>> RouteMultiple(const Instance& instance,
+                                                       std::span<const NodeId> replicas) {
+  const Tree& tree = instance.GetTree();
+
+  // Compact ids: 0 = source, 1 = sink, then clients, then replicas.
+  const auto clients = tree.Clients();
+  std::unordered_map<NodeId, std::size_t> replica_index;
+  replica_index.reserve(replicas.size());
+  for (NodeId replica : replicas) {
+    RPT_REQUIRE(replica < tree.Size(), "RouteMultiple: replica id out of range");
+    replica_index.emplace(replica, 2 + clients.size() + replica_index.size());
+  }
+
+  MaxFlow net(2 + clients.size() + replica_index.size());
+  Requests total = 0;
+  std::vector<std::tuple<NodeId, NodeId, EdgeId>> routed_edges;  // (client, server, edge)
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    const NodeId client = clients[c];
+    const Requests demand = tree.RequestsOf(client);
+    if (demand == 0) continue;
+    total += demand;
+    net.AddEdge(0, 2 + c, demand);
+    for (const auto& [replica, node] : replica_index) {
+      if (instance.CanServe(client, replica)) {
+        routed_edges.emplace_back(client, replica, net.AddEdge(2 + c, node, demand));
+      }
+    }
+  }
+  for (const auto& [replica, node] : replica_index) {
+    net.AddEdge(node, 1, instance.Capacity());
+  }
+
+  if (net.Compute(0, 1) != total) return std::nullopt;
+
+  std::vector<ServiceEntry> assignment;
+  assignment.reserve(routed_edges.size());
+  for (const auto& [client, server, edge] : routed_edges) {
+    const FlowValue amount = net.FlowOn(edge);
+    if (amount > 0) assignment.push_back(ServiceEntry{client, server, amount});
+  }
+  return assignment;
+}
+
+bool MultipleFeasible(const Instance& instance, std::span<const NodeId> replicas) {
+  return RouteMultiple(instance, replicas).has_value();
+}
+
+}  // namespace rpt::flow

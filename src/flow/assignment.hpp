@@ -1,0 +1,26 @@
+// Flow-based assignment feasibility for a fixed replica placement under the
+// Multiple policy.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "model/solution.hpp"
+
+namespace rpt::flow {
+
+/// Checks whether the given replica set can serve all requests under the
+/// Multiple policy (splitting allowed) with capacity W and distance dmax.
+/// On success returns the full routing; otherwise std::nullopt.
+///
+/// Network: source -> client (cap r_i) -> each eligible replica (cap r_i)
+/// -> sink (cap W). Feasible iff max flow == total requests.
+[[nodiscard]] std::optional<std::vector<ServiceEntry>> RouteMultiple(
+    const Instance& instance, std::span<const NodeId> replicas);
+
+/// Convenience: true iff the placement is feasible under Multiple.
+[[nodiscard]] bool MultipleFeasible(const Instance& instance, std::span<const NodeId> replicas);
+
+}  // namespace rpt::flow

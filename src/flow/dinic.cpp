@@ -1,0 +1,83 @@
+#include "flow/dinic.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace rpt::flow {
+
+MaxFlow::MaxFlow(std::size_t node_count) : head_(node_count, kNil) {
+  RPT_REQUIRE(node_count >= 2, "MaxFlow: need at least source and sink");
+}
+
+EdgeId MaxFlow::AddEdge(std::size_t from, std::size_t to, FlowValue capacity) {
+  RPT_REQUIRE(from < head_.size() && to < head_.size(), "MaxFlow: node id out of range");
+  RPT_REQUIRE(from != to, "MaxFlow: self loops not supported");
+  const EdgeId id = edges_.size();
+  edges_.push_back(Edge{static_cast<std::uint32_t>(to), head_[from], capacity});
+  head_[from] = static_cast<std::uint32_t>(id);
+  edges_.push_back(Edge{static_cast<std::uint32_t>(from), head_[to], 0});
+  head_[to] = static_cast<std::uint32_t>(id + 1);
+  initial_capacity_.push_back(capacity);
+  return id;
+}
+
+bool MaxFlow::Bfs(std::size_t source, std::size_t sink) {
+  level_.assign(head_.size(), kNil);
+  std::deque<std::uint32_t> queue;
+  level_[source] = 0;
+  queue.push_back(static_cast<std::uint32_t>(source));
+  while (!queue.empty()) {
+    const std::uint32_t node = queue.front();
+    queue.pop_front();
+    for (std::uint32_t e = head_[node]; e != kNil; e = edges_[e].next) {
+      const Edge& edge = edges_[e];
+      if (edge.capacity > 0 && level_[edge.to] == kNil) {
+        level_[edge.to] = level_[node] + 1;
+        queue.push_back(edge.to);
+      }
+    }
+  }
+  return level_[sink] != kNil;
+}
+
+FlowValue MaxFlow::Dfs(std::size_t node, std::size_t sink, FlowValue limit) {
+  if (node == sink || limit == 0) return limit;
+  FlowValue pushed = 0;
+  for (std::uint32_t& e = iter_[node]; e != kNil; e = edges_[e].next) {
+    Edge& edge = edges_[e];
+    if (edge.capacity == 0 || level_[edge.to] != level_[node] + 1) continue;
+    const FlowValue sent = Dfs(edge.to, sink, std::min(limit - pushed, edge.capacity));
+    if (sent == 0) continue;
+    edge.capacity -= sent;
+    edges_[e ^ 1].capacity += sent;
+    pushed += sent;
+    if (pushed == limit) break;
+  }
+  if (pushed == 0) level_[node] = kNil;  // dead end; prune
+  return pushed;
+}
+
+FlowValue MaxFlow::Compute(std::size_t source, std::size_t sink) {
+  RPT_REQUIRE(source < head_.size() && sink < head_.size() && source != sink,
+              "MaxFlow: bad source/sink");
+  FlowValue total = 0;
+  while (Bfs(source, sink)) {
+    iter_ = head_;
+    while (true) {
+      const FlowValue sent = Dfs(source, sink, std::numeric_limits<FlowValue>::max());
+      if (sent == 0) break;
+      total += sent;
+    }
+  }
+  return total;
+}
+
+FlowValue MaxFlow::FlowOn(EdgeId edge) const {
+  RPT_REQUIRE(edge < initial_capacity_.size() * 2 && edge % 2 == 0,
+              "MaxFlow: FlowOn expects a forward edge handle");
+  // Flow = initial capacity - residual capacity.
+  return initial_capacity_[edge / 2] - edges_[edge].capacity;
+}
+
+}  // namespace rpt::flow

@@ -1,0 +1,51 @@
+#include "gen/paper_instances.hpp"
+
+namespace rpt::gen {
+
+TightnessIm BuildTightnessIm(std::uint64_t m, std::uint32_t arity) {
+  RPT_REQUIRE(m >= 1, "BuildTightnessIm: m must be >= 1");
+  RPT_REQUIRE(arity >= 2, "BuildTightnessIm: arity must be >= 2");
+  const std::uint64_t delta = arity;
+  const Distance dmax = 4 * m;
+  const Requests capacity = m * delta + delta - 1;
+
+  TreeBuilder builder;
+  const NodeId root = builder.AddRoot();  // n_0
+  NodeId attach = root;                   // where the next block hangs
+  for (std::uint64_t i = 1; i <= m; ++i) {
+    const NodeId n1 = builder.AddInternal(attach, 1);
+    // c_{i,∆}: the distance-critical client, reachable only by itself or n_1.
+    builder.AddClient(n1, dmax, delta - 1);
+    const NodeId n2 = builder.AddInternal(n1, 1);
+    // c_{i,1..∆-2}: unit-request clients.
+    for (std::uint64_t j = 1; j + 1 <= delta - 1; ++j) builder.AddClient(n2, 1, 1);
+    // c_{i,∆-1}: the heavy client with m∆ requests.
+    builder.AddClient(n2, 1, m * delta);
+    const NodeId n3 = builder.AddInternal(n2, 1);
+    // c_{i,∆+1}: two requests pending through n_3.
+    builder.AddClient(n3, 1, 2);
+    attach = n3;
+  }
+
+  TightnessIm out{Instance(builder.Build(), capacity, dmax), m, arity, m + 1, m * (delta + 1)};
+  RPT_CHECK(out.instance.GetTree().Arity() == arity);
+  // Total requests per the paper: m (m∆ + 2∆ - 1).
+  RPT_CHECK(out.instance.GetTree().TotalRequests() == m * (m * delta + 2 * delta - 1));
+  return out;
+}
+
+TightnessFig4 BuildTightnessFig4(std::uint64_t k) {
+  RPT_REQUIRE(k >= 2, "BuildTightnessFig4: k must be >= 2");
+  TreeBuilder builder;
+  const NodeId root = builder.AddRoot();
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const NodeId ni = builder.AddInternal(root, 1);
+    builder.AddClient(ni, 1, k);  // heavy client, exactly W requests
+    builder.AddClient(ni, 1, 1);  // light client, absorbed by the root in OPT
+  }
+  TightnessFig4 out{Instance(builder.Build(), /*capacity=*/k, kNoDistanceLimit), k, k + 1, 2 * k};
+  RPT_CHECK(out.instance.GetTree().TotalRequests() == k * (k + 1));
+  return out;
+}
+
+}  // namespace rpt::gen

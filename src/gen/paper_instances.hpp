@@ -1,0 +1,51 @@
+// Constructors for the paper's tightness families (Figures 3 and 4).
+//
+// These are the worst-case instances the paper uses to prove that the
+// approximation factors of Algorithms 1 and 2 cannot be improved. Each
+// builder also reports the closed-form values the paper derives (optimal
+// replica count and the count the respective algorithm reaches), which the
+// tests assert and the benches tabulate.
+#pragma once
+
+#include <cstdint>
+
+#include "model/instance.hpp"
+
+namespace rpt::gen {
+
+/// The instance Im of Fig. 3 plus its analytically known outcomes.
+struct TightnessIm {
+  Instance instance;          ///< tree with W = m∆+∆-1 and dmax = 4m
+  std::uint64_t m = 0;        ///< number of concatenated blocks A_i
+  std::uint32_t arity = 0;    ///< ∆
+  std::uint64_t optimal = 0;  ///< |R_opt| = m + 1 (paper §3.3)
+  std::uint64_t single_gen_expected = 0;  ///< |R_algo| = m(∆+1) (paper §3.3)
+};
+
+/// Builds Im (Fig. 3): m concatenated blocks A_1..A_m under root n_0.
+///
+/// Block A_i consists of internal nodes n_{i,1}, n_{i,2}, n_{i,3} and clients
+/// c_{i,1..∆+1} with requests:
+///   r(c_{i,j}) = 1 for j <= ∆-2,   r(c_{i,∆-1}) = m∆,
+///   r(c_{i,∆}) = ∆-1,              r(c_{i,∆+1}) = 2.
+/// All edges have length 1 except c_{i,∆} -> n_{i,1} which has length
+/// dmax = 4m. Capacity W = m∆ + ∆ - 1. single-gen places m(∆+1) replicas on
+/// this family while m+1 suffice, so its ratio tends to ∆+1.
+/// Requires m >= 1 and arity >= 2.
+[[nodiscard]] TightnessIm BuildTightnessIm(std::uint64_t m, std::uint32_t arity);
+
+/// The Fig. 4 instance plus its analytically known outcomes.
+struct TightnessFig4 {
+  Instance instance;          ///< tree with W = K, no distance constraint
+  std::uint64_t k = 0;        ///< number of gadget nodes n_1..n_K
+  std::uint64_t optimal = 0;  ///< |R_opt| = K + 1 (paper §3.4)
+  std::uint64_t single_nod_expected = 0;  ///< |R_algo| = 2K (paper §3.4)
+};
+
+/// Builds the Fig. 4 family: a root with K internal children n_1..n_K, each
+/// n_i holding one client with K requests and one client with 1 request;
+/// W = K, no distance constraint. single-nod places 2K replicas while K+1
+/// suffice, so its ratio tends to 2. Requires k >= 2.
+[[nodiscard]] TightnessFig4 BuildTightnessFig4(std::uint64_t k);
+
+}  // namespace rpt::gen

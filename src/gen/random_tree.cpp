@@ -1,0 +1,136 @@
+#include "gen/random_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace rpt::gen {
+
+Requests DrawRequests(Rng& rng, Requests min_requests, Requests max_requests, double skew) {
+  RPT_REQUIRE(min_requests <= max_requests, "DrawRequests: empty range");
+  RPT_REQUIRE(skew > 0.0, "DrawRequests: skew must be positive");
+  if (min_requests == max_requests) return min_requests;
+  const double u = std::pow(rng.NextUnit(), skew);
+  const auto span = static_cast<double>(max_requests - min_requests);
+  auto offset = static_cast<Requests>(u * (span + 1.0));
+  if (offset > max_requests - min_requests) offset = max_requests - min_requests;
+  return min_requests + offset;
+}
+
+namespace {
+
+Distance DrawEdge(Rng& rng, Distance min_edge, Distance max_edge) {
+  RPT_REQUIRE(min_edge <= max_edge, "edge length range empty");
+  return rng.NextInRange(min_edge, max_edge);
+}
+
+}  // namespace
+
+Tree GenerateRandomTree(const RandomTreeConfig& config, std::uint64_t seed) {
+  RPT_REQUIRE(config.internal_nodes >= 1, "GenerateRandomTree: need at least the root");
+  RPT_REQUIRE(config.max_children >= 2, "GenerateRandomTree: max_children must be >= 2");
+  Rng rng(seed);
+
+  TreeBuilder builder;
+  const NodeId root = builder.AddRoot();
+
+  // Internal skeleton: attach each new internal node to a uniformly random
+  // existing internal node that still has a free child slot.
+  std::vector<NodeId> internals{root};
+  std::vector<std::uint32_t> used_slots{0};
+  internals.reserve(config.internal_nodes);
+  auto pick_open_internal = [&]() -> std::size_t {
+    std::vector<std::size_t> open;
+    open.reserve(internals.size());
+    for (std::size_t i = 0; i < internals.size(); ++i) {
+      if (used_slots[i] < config.max_children) open.push_back(i);
+    }
+    RPT_REQUIRE(!open.empty(),
+                "GenerateRandomTree: no free child slots; raise max_children or lower node count");
+    return open[static_cast<std::size_t>(rng.NextBelow(open.size()))];
+  };
+  for (std::uint32_t i = 1; i < config.internal_nodes; ++i) {
+    const std::size_t parent_index = pick_open_internal();
+    const NodeId node = builder.AddInternal(internals[parent_index],
+                                            DrawEdge(rng, config.min_edge, config.max_edge));
+    ++used_slots[parent_index];
+    internals.push_back(node);
+    used_slots.push_back(0);
+  }
+
+  // Every childless internal node gets one client first (internal nodes must
+  // not be leaves), then the remaining clients go to random open slots.
+  std::uint32_t clients_left = config.clients;
+  for (std::size_t i = 0; i < internals.size(); ++i) {
+    if (used_slots[i] == 0) {
+      RPT_REQUIRE(clients_left > 0,
+                  "GenerateRandomTree: not enough clients to cover childless internal nodes");
+      builder.AddClient(internals[i], DrawEdge(rng, config.min_edge, config.max_edge),
+                        DrawRequests(rng, config.min_requests, config.max_requests,
+                                     config.request_skew));
+      ++used_slots[i];
+      --clients_left;
+    }
+  }
+  while (clients_left > 0) {
+    const std::size_t parent_index = pick_open_internal();
+    builder.AddClient(internals[parent_index], DrawEdge(rng, config.min_edge, config.max_edge),
+                      DrawRequests(rng, config.min_requests, config.max_requests,
+                                   config.request_skew));
+    ++used_slots[parent_index];
+    --clients_left;
+  }
+  return builder.Build();
+}
+
+namespace {
+
+// Recursively expands `node` into a subtree with `leaves` clients.
+void GrowBinary(TreeBuilder& builder, Rng& rng, const BinaryTreeConfig& config, NodeId node,
+                std::uint32_t leaves) {
+  RPT_CHECK(leaves >= 1);
+  if (leaves == 1) {
+    builder.AddClient(node, DrawEdge(rng, config.min_edge, config.max_edge),
+                      DrawRequests(rng, config.min_requests, config.max_requests,
+                                   config.request_skew));
+    return;
+  }
+  std::uint32_t left;
+  if (config.balanced) {
+    const std::uint32_t lo = std::max<std::uint32_t>(1, leaves / 4);
+    const std::uint32_t hi = std::max(lo, leaves - 1 - leaves / 4 + (leaves >= 4 ? 0U : 0U));
+    left = static_cast<std::uint32_t>(rng.NextInRange(lo, std::min(hi, leaves - 1)));
+  } else {
+    left = static_cast<std::uint32_t>(rng.NextInRange(1, leaves - 1));
+  }
+  const std::uint32_t right = leaves - left;
+  auto expand = [&](std::uint32_t count) {
+    if (count == 1) {
+      builder.AddClient(node, DrawEdge(rng, config.min_edge, config.max_edge),
+                        DrawRequests(rng, config.min_requests, config.max_requests,
+                                     config.request_skew));
+    } else {
+      const NodeId child =
+          builder.AddInternal(node, DrawEdge(rng, config.min_edge, config.max_edge));
+      GrowBinary(builder, rng, config, child, count);
+    }
+  };
+  expand(left);
+  expand(right);
+}
+
+}  // namespace
+
+Tree GenerateFullBinaryTree(const BinaryTreeConfig& config, std::uint64_t seed) {
+  RPT_REQUIRE(config.clients >= 1, "GenerateFullBinaryTree: need at least one client");
+  Rng rng(seed);
+  TreeBuilder builder;
+  const NodeId root = builder.AddRoot();
+  GrowBinary(builder, rng, config, root, config.clients);
+  Tree tree = builder.Build();
+  RPT_CHECK(tree.IsBinary());
+  RPT_CHECK(tree.ClientCount() == config.clients);
+  return tree;
+}
+
+}  // namespace rpt::gen

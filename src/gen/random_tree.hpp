@@ -1,0 +1,66 @@
+// Random tree / instance generators for tests and benchmark workloads.
+//
+// All generators are deterministic in the given seed. Two topology styles:
+//  * GenerateRandomTree — general trees with bounded arity, used for the
+//    Single-policy experiments and scaling benches;
+//  * GenerateFullBinaryTree — uniformly shaped full binary trees (every
+//    internal node has exactly two children), the input class of the
+//    Multiple-Bin optimal algorithm.
+#pragma once
+
+#include <cstdint>
+
+#include "model/instance.hpp"
+#include "support/rng.hpp"
+#include "tree/tree.hpp"
+
+namespace rpt::gen {
+
+/// Configuration for GenerateRandomTree.
+struct RandomTreeConfig {
+  /// Number of internal nodes (>= 1; node 0 is the root).
+  std::uint32_t internal_nodes = 8;
+  /// Number of client leaves (>= number of childless internal nodes).
+  std::uint32_t clients = 16;
+  /// Maximum children per internal node (>= 2).
+  std::uint32_t max_children = 4;
+  /// Edge length range [min_edge, max_edge], inclusive.
+  Distance min_edge = 1;
+  Distance max_edge = 4;
+  /// Client request range [min_requests, max_requests], inclusive.
+  Requests min_requests = 1;
+  Requests max_requests = 10;
+  /// Skew exponent for requests: u^skew maps uniform u in [0,1) onto the
+  /// request range; skew=1 is uniform, larger values bias towards
+  /// min_requests with a heavy tail to max_requests.
+  double request_skew = 1.0;
+};
+
+/// Generates a random tree per the config. Throws InvalidArgument when the
+/// config is unsatisfiable (e.g. not enough child slots for all nodes).
+[[nodiscard]] Tree GenerateRandomTree(const RandomTreeConfig& config, std::uint64_t seed);
+
+/// Configuration for GenerateFullBinaryTree.
+struct BinaryTreeConfig {
+  /// Number of client leaves (>= 1). The tree has clients-1 internal nodes
+  /// for clients >= 2, plus the root; a single client hangs off the root.
+  std::uint32_t clients = 16;
+  Distance min_edge = 1;
+  Distance max_edge = 4;
+  Requests min_requests = 1;
+  Requests max_requests = 10;
+  double request_skew = 1.0;
+  /// When true the split at each internal node is balanced-ish (within 25/75)
+  /// instead of uniform, producing shallower trees.
+  bool balanced = false;
+};
+
+/// Generates a random full binary tree (every internal node except possibly
+/// the root has exactly two children; the root has two for clients >= 2).
+[[nodiscard]] Tree GenerateFullBinaryTree(const BinaryTreeConfig& config, std::uint64_t seed);
+
+/// Draws a request count from [min,max] with the given skew exponent.
+[[nodiscard]] Requests DrawRequests(Rng& rng, Requests min_requests, Requests max_requests,
+                                    double skew);
+
+}  // namespace rpt::gen

@@ -1,0 +1,67 @@
+#include "gen/shapes.hpp"
+
+namespace rpt::gen {
+
+Tree MakeStar(std::uint32_t clients, std::span<const Requests> requests, Distance edge) {
+  RPT_REQUIRE(clients >= 1, "MakeStar: need at least one client");
+  RPT_REQUIRE(!requests.empty(), "MakeStar: need at least one request value");
+  TreeBuilder builder;
+  const NodeId root = builder.AddRoot();
+  for (std::uint32_t i = 0; i < clients; ++i) {
+    builder.AddClient(root, edge, requests[i % requests.size()]);
+  }
+  return builder.Build();
+}
+
+Tree MakeChain(std::uint32_t depth, Requests requests, Distance edge) {
+  RPT_REQUIRE(depth >= 1, "MakeChain: depth must be >= 1");
+  TreeBuilder builder;
+  NodeId node = builder.AddRoot();
+  for (std::uint32_t level = 1; level < depth; ++level) node = builder.AddInternal(node, edge);
+  builder.AddClient(node, edge, requests);
+  return builder.Build();
+}
+
+Tree MakeCaterpillar(std::span<const Requests> requests, Distance edge) {
+  RPT_REQUIRE(!requests.empty(), "MakeCaterpillar: need at least one client");
+  TreeBuilder builder;
+  NodeId spine = builder.AddRoot();
+  if (requests.size() == 1) {
+    builder.AddClient(spine, edge, requests[0]);
+    return builder.Build();
+  }
+  for (std::size_t i = 0; i + 2 < requests.size(); ++i) {
+    builder.AddClient(spine, edge, requests[i]);
+    spine = builder.AddInternal(spine, edge);
+  }
+  builder.AddClient(spine, edge, requests[requests.size() - 2]);
+  builder.AddClient(spine, edge, requests[requests.size() - 1]);
+  return builder.Build();
+}
+
+Tree MakeComb(std::span<const Requests> requests, std::uint32_t tooth_depth, Distance edge) {
+  RPT_REQUIRE(!requests.empty(), "MakeComb: need at least one client");
+  RPT_REQUIRE(tooth_depth >= 1, "MakeComb: tooth depth must be >= 1");
+  TreeBuilder builder;
+  NodeId spine = builder.AddRoot();
+  auto add_tooth = [&](NodeId attach, Requests r) {
+    NodeId node = attach;
+    for (std::uint32_t level = 1; level < tooth_depth; ++level) {
+      node = builder.AddInternal(node, edge);
+    }
+    builder.AddClient(node, edge, r);
+  };
+  if (requests.size() == 1) {
+    add_tooth(spine, requests[0]);
+    return builder.Build();
+  }
+  for (std::size_t i = 0; i + 2 < requests.size(); ++i) {
+    add_tooth(spine, requests[i]);
+    spine = builder.AddInternal(spine, edge);
+  }
+  add_tooth(spine, requests[requests.size() - 2]);
+  add_tooth(spine, requests[requests.size() - 1]);
+  return builder.Build();
+}
+
+}  // namespace rpt::gen

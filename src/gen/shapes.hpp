@@ -1,0 +1,35 @@
+// Canonical tree shapes used by tests, benches and the examples: stars,
+// chains, caterpillars and combs. These are the standard stress topologies
+// for tree placement problems — stars maximize arity, chains maximize depth,
+// caterpillars are the paper's own reduction scaffolding, combs mix both.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tree/tree.hpp"
+
+namespace rpt::gen {
+
+/// Star: a root with `clients` client children. Arity = clients, depth 1.
+/// All edges have length `edge`; client i gets requests[i % requests.size()].
+[[nodiscard]] Tree MakeStar(std::uint32_t clients, std::span<const Requests> requests,
+                            Distance edge = 1);
+
+/// Chain: root -> internal^(depth-1) -> single client with `requests`
+/// requests. Every edge has length `edge`. Useful for forcing splitting
+/// across a path (Multiple) or infeasibility (Single with r > W).
+[[nodiscard]] Tree MakeChain(std::uint32_t depth, Requests requests, Distance edge = 1);
+
+/// Caterpillar: a spine of internal nodes, one client hanging off each spine
+/// node (the last spine node carries the final two clients so internal nodes
+/// are never leaves). Binary. Client i gets requests[i]. Spine and hair
+/// edges all have length `edge`.
+[[nodiscard]] Tree MakeCaterpillar(std::span<const Requests> requests, Distance edge = 1);
+
+/// Comb: like a caterpillar but each tooth is a chain of `tooth_depth`
+/// internal nodes ending in one client. Depth grows along both dimensions.
+[[nodiscard]] Tree MakeComb(std::span<const Requests> requests, std::uint32_t tooth_depth,
+                            Distance edge = 1);
+
+}  // namespace rpt::gen

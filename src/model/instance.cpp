@@ -1,0 +1,46 @@
+#include "model/instance.hpp"
+
+#include <sstream>
+
+namespace rpt {
+
+const char* PolicyName(Policy policy) noexcept {
+  return policy == Policy::kSingle ? "Single" : "Multiple";
+}
+
+Instance::Instance(Tree tree, Requests capacity, Distance dmax)
+    : tree_(std::move(tree)), capacity_(capacity), dmax_(dmax) {
+  RPT_REQUIRE(capacity_ > 0, "Instance: capacity W must be positive");
+}
+
+bool Instance::CanServe(NodeId client, NodeId server) const {
+  if (!tree_.IsAncestorOrSelf(server, client)) return false;
+  if (!HasDistanceConstraint()) return true;
+  return tree_.DistToAncestor(client, server) <= dmax_;
+}
+
+bool Instance::AllRequestsFitLocally() const noexcept {
+  for (NodeId client : tree_.Clients()) {
+    if (tree_.RequestsOf(client) > capacity_) return false;
+  }
+  return true;
+}
+
+std::uint64_t Instance::CapacityLowerBound() const noexcept {
+  return CeilDiv(tree_.TotalRequests(), capacity_);
+}
+
+std::string Instance::Summary() const {
+  std::ostringstream os;
+  os << "|T|=" << tree_.Size() << " |C|=" << tree_.ClientCount() << " arity=" << tree_.Arity()
+     << " W=" << capacity_ << " dmax=";
+  if (HasDistanceConstraint()) {
+    os << dmax_;
+  } else {
+    os << "inf";
+  }
+  os << " totalReq=" << tree_.TotalRequests();
+  return os.str();
+}
+
+}  // namespace rpt

@@ -1,0 +1,55 @@
+// Problem instance and access-policy definitions (paper §2).
+#pragma once
+
+#include <string>
+
+#include "tree/tree.hpp"
+
+namespace rpt {
+
+/// Access policy: how many servers may process one client's requests.
+enum class Policy : std::uint8_t {
+  kSingle,    ///< all requests of a client go to a single server
+  kMultiple,  ///< a client's requests may be split across servers
+};
+
+/// Human-readable policy name ("Single" / "Multiple").
+[[nodiscard]] const char* PolicyName(Policy policy) noexcept;
+
+/// A replica placement problem instance: the distribution tree, the uniform
+/// server capacity W, and the distance bound dmax (kNoDistanceLimit = NoD).
+class Instance {
+ public:
+  /// Validates W > 0 and takes ownership of the tree.
+  Instance(Tree tree, Requests capacity, Distance dmax = kNoDistanceLimit);
+
+  [[nodiscard]] const Tree& GetTree() const noexcept { return tree_; }
+  [[nodiscard]] Requests Capacity() const noexcept { return capacity_; }
+  [[nodiscard]] Distance Dmax() const noexcept { return dmax_; }
+
+  /// True iff a finite distance constraint is active.
+  [[nodiscard]] bool HasDistanceConstraint() const noexcept { return dmax_ != kNoDistanceLimit; }
+
+  /// True iff `server` may legally process requests of `client`: the server
+  /// is on the client's root path and within dmax.
+  [[nodiscard]] bool CanServe(NodeId client, NodeId server) const;
+
+  /// True iff every client satisfies r_i <= W (each client can be served
+  /// locally). This is the precondition of the Multiple-Bin optimal
+  /// algorithm (Theorem 6) and guarantees a trivial feasible solution exists.
+  [[nodiscard]] bool AllRequestsFitLocally() const noexcept;
+
+  /// Lower bound ceil(total requests / W) on the number of replicas in any
+  /// feasible solution.
+  [[nodiscard]] std::uint64_t CapacityLowerBound() const noexcept;
+
+  /// Short description for logs: |T|, |C|, ∆, W, dmax.
+  [[nodiscard]] std::string Summary() const;
+
+ private:
+  Tree tree_;
+  Requests capacity_;
+  Distance dmax_;
+};
+
+}  // namespace rpt

@@ -1,0 +1,45 @@
+#include "model/solution.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/common.hpp"
+
+namespace rpt {
+
+void Solution::Canonicalize() {
+  std::sort(replicas.begin(), replicas.end());
+  replicas.erase(std::unique(replicas.begin(), replicas.end()), replicas.end());
+  // Merge duplicate (client, server) entries, then sort.
+  std::map<std::pair<NodeId, NodeId>, Requests> merged;
+  for (const ServiceEntry& entry : assignment) {
+    merged[{entry.client, entry.server}] += entry.amount;
+  }
+  assignment.clear();
+  assignment.reserve(merged.size());
+  for (const auto& [key, amount] : merged) {
+    if (amount > 0) assignment.push_back(ServiceEntry{key.first, key.second, amount});
+  }
+}
+
+LoadSummary SummarizeLoads(const Tree& tree, Requests capacity, const Solution& solution) {
+  (void)tree;
+  RPT_REQUIRE(capacity > 0, "SummarizeLoads: capacity must be positive");
+  std::map<NodeId, Requests> load;
+  for (NodeId replica : solution.replicas) load[replica] = 0;
+  for (const ServiceEntry& entry : solution.assignment) load[entry.server] += entry.amount;
+  LoadSummary summary;
+  for (const auto& [server, amount] : load) {
+    summary.max_load = std::max(summary.max_load, amount);
+    summary.total_load += amount;
+  }
+  if (!load.empty()) {
+    summary.mean_load =
+        static_cast<double>(summary.total_load) / static_cast<double>(load.size());
+    summary.utilization = static_cast<double>(summary.total_load) /
+                          (static_cast<double>(load.size()) * static_cast<double>(capacity));
+  }
+  return summary;
+}
+
+}  // namespace rpt

@@ -1,0 +1,55 @@
+// Solution representation: a replica set plus the explicit request routing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace rpt {
+
+/// One routed block of requests: `amount` requests of `client` are processed
+/// by the replica at `server`.
+struct ServiceEntry {
+  NodeId client = kInvalidNode;
+  NodeId server = kInvalidNode;
+  Requests amount = 0;
+
+  friend bool operator==(const ServiceEntry&, const ServiceEntry&) = default;
+};
+
+/// A candidate solution. Algorithms must fill both the replica set and the
+/// full assignment; the validator re-derives every constraint from these.
+struct Solution {
+  std::vector<NodeId> replicas;
+  std::vector<ServiceEntry> assignment;
+
+  /// |R| — the paper's objective value.
+  [[nodiscard]] std::size_t ReplicaCount() const noexcept { return replicas.size(); }
+
+  /// Total requests routed (sum of amounts).
+  [[nodiscard]] Requests RoutedRequests() const noexcept {
+    Requests total = 0;
+    for (const ServiceEntry& entry : assignment) total += entry.amount;
+    return total;
+  }
+
+  /// Sorts replicas and assignment into a canonical order (for comparisons
+  /// and golden tests).
+  void Canonicalize();
+};
+
+/// Per-server load summary derived from a solution.
+struct LoadSummary {
+  Requests max_load = 0;    ///< heaviest server load
+  Requests total_load = 0;  ///< total routed requests
+  double mean_load = 0.0;   ///< total / replica count
+  double utilization = 0.0; ///< total / (replica count * W)
+};
+
+/// Computes server load statistics for a (valid) solution.
+[[nodiscard]] LoadSummary SummarizeLoads(const Tree& tree, Requests capacity,
+                                         const Solution& solution);
+
+}  // namespace rpt

@@ -1,0 +1,93 @@
+#include "model/solution_io.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+
+#include "support/common.hpp"
+
+namespace rpt {
+
+void WriteSolution(std::ostream& os, const Solution& solution) {
+  os << "rpt-solution v1\n" << solution.replicas.size() << ' ' << solution.assignment.size()
+     << '\n';
+  for (const NodeId replica : solution.replicas) os << replica << '\n';
+  for (const ServiceEntry& entry : solution.assignment) {
+    os << entry.client << ' ' << entry.server << ' ' << entry.amount << '\n';
+  }
+}
+
+std::string SolutionToString(const Solution& solution) {
+  std::ostringstream os;
+  WriteSolution(os, solution);
+  return os.str();
+}
+
+namespace {
+
+bool NextLine(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t ParseU64(std::istringstream& row, const char* what) {
+  std::string token;
+  row >> token;
+  RPT_REQUIRE(!token.empty(), std::string("ReadSolution: missing ") + what);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  RPT_REQUIRE(ec == std::errc{} && ptr == token.data() + token.size(),
+              std::string("ReadSolution: malformed ") + what);
+  return value;
+}
+
+}  // namespace
+
+Solution ReadSolution(std::istream& is) {
+  std::string line;
+  RPT_REQUIRE(NextLine(is, line), "ReadSolution: empty input");
+  {
+    std::istringstream header(line);
+    std::string magic, version;
+    header >> magic >> version;
+    RPT_REQUIRE(magic == "rpt-solution" && version == "v1",
+                "ReadSolution: bad header: " + line);
+  }
+  RPT_REQUIRE(NextLine(is, line), "ReadSolution: missing counts");
+  std::uint64_t replica_count = 0;
+  std::uint64_t entry_count = 0;
+  {
+    std::istringstream counts(line);
+    replica_count = ParseU64(counts, "replica count");
+    entry_count = ParseU64(counts, "entry count");
+  }
+  Solution solution;
+  solution.replicas.reserve(replica_count);
+  for (std::uint64_t i = 0; i < replica_count; ++i) {
+    RPT_REQUIRE(NextLine(is, line), "ReadSolution: truncated replica list");
+    std::istringstream row(line);
+    solution.replicas.push_back(static_cast<NodeId>(ParseU64(row, "replica id")));
+  }
+  solution.assignment.reserve(entry_count);
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    RPT_REQUIRE(NextLine(is, line), "ReadSolution: truncated assignment list");
+    std::istringstream row(line);
+    ServiceEntry entry;
+    entry.client = static_cast<NodeId>(ParseU64(row, "client id"));
+    entry.server = static_cast<NodeId>(ParseU64(row, "server id"));
+    entry.amount = ParseU64(row, "amount");
+    solution.assignment.push_back(entry);
+  }
+  return solution;
+}
+
+Solution SolutionFromString(const std::string& text) {
+  std::istringstream is(text);
+  return ReadSolution(is);
+}
+
+}  // namespace rpt

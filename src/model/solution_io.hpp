@@ -1,0 +1,32 @@
+// Text serialization for solutions, mirroring the rpt-tree format so whole
+// (instance, placement) pairs can be stored, diffed and replayed by tooling.
+//
+// Format (line oriented, '#' comments allowed):
+//   rpt-solution v1
+//   <replica count R> <assignment entry count A>
+//   R lines:  <replica node id>
+//   A lines:  <client id> <server id> <amount>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/solution.hpp"
+
+namespace rpt {
+
+/// Writes the solution in the rpt-solution v1 text format.
+void WriteSolution(std::ostream& os, const Solution& solution);
+
+/// Serializes to a string.
+[[nodiscard]] std::string SolutionToString(const Solution& solution);
+
+/// Parses the rpt-solution v1 format; throws InvalidArgument on malformed
+/// input. Ids are not checked against any tree here — validate the result
+/// against its instance with ValidateSolution.
+[[nodiscard]] Solution ReadSolution(std::istream& is);
+
+/// Parses from a string.
+[[nodiscard]] Solution SolutionFromString(const std::string& text);
+
+}  // namespace rpt

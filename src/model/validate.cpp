@@ -1,0 +1,123 @@
+#include "model/validate.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rpt {
+
+namespace {
+constexpr std::size_t kMaxErrors = 32;
+}
+
+void ValidationReport::Fail(std::string message) {
+  ok = false;
+  if (errors.size() < kMaxErrors) errors.push_back(std::move(message));
+}
+
+std::string ValidationReport::Describe() const {
+  if (ok) return "ok";
+  std::ostringstream os;
+  for (const auto& error : errors) os << error << "; ";
+  return os.str();
+}
+
+ValidationReport ValidateSolution(const Instance& instance, Policy policy,
+                                  const Solution& solution, bool forbid_idle_replicas) {
+  ValidationReport report;
+  const Tree& tree = instance.GetTree();
+
+  // 1. Replica set sanity.
+  std::unordered_set<NodeId> replicas;
+  for (NodeId replica : solution.replicas) {
+    if (replica >= tree.Size()) {
+      report.Fail("replica id out of range: " + std::to_string(replica));
+      continue;
+    }
+    if (!replicas.insert(replica).second) {
+      report.Fail("duplicate replica: " + std::to_string(replica));
+    }
+  }
+
+  // 2. Per-entry checks; accumulate per-client and per-server totals.
+  std::unordered_map<NodeId, Requests> served_of_client;
+  std::unordered_map<NodeId, Requests> load_of_server;
+  std::unordered_map<NodeId, std::set<NodeId>> servers_of_client;
+  for (const ServiceEntry& entry : solution.assignment) {
+    if (entry.client >= tree.Size() || !tree.IsClient(entry.client)) {
+      report.Fail("assignment from non-client node " + std::to_string(entry.client));
+      continue;
+    }
+    if (entry.server >= tree.Size()) {
+      report.Fail("assignment to invalid server id " + std::to_string(entry.server));
+      continue;
+    }
+    if (entry.amount == 0) {
+      report.Fail("zero-amount assignment for client " + std::to_string(entry.client));
+      continue;
+    }
+    if (!replicas.contains(entry.server)) {
+      report.Fail("assignment to non-replica node " + std::to_string(entry.server));
+    }
+    if (!tree.IsAncestorOrSelf(entry.server, entry.client)) {
+      report.Fail("server " + std::to_string(entry.server) + " not on root path of client " +
+                  std::to_string(entry.client));
+    } else if (instance.HasDistanceConstraint() &&
+               tree.DistToAncestor(entry.client, entry.server) > instance.Dmax()) {
+      report.Fail("distance constraint violated: client " + std::to_string(entry.client) +
+                  " -> server " + std::to_string(entry.server));
+    }
+    served_of_client[entry.client] += entry.amount;
+    load_of_server[entry.server] += entry.amount;
+    servers_of_client[entry.client].insert(entry.server);
+  }
+
+  // 3. Completeness: every client fully served (clients with r_i = 0 are
+  // trivially complete and need no entries).
+  for (NodeId client : tree.Clients()) {
+    const Requests needed = tree.RequestsOf(client);
+    const auto it = served_of_client.find(client);
+    const Requests served = it == served_of_client.end() ? 0 : it->second;
+    if (served != needed) {
+      report.Fail("client " + std::to_string(client) + " served " + std::to_string(served) +
+                  " of " + std::to_string(needed) + " requests");
+    }
+  }
+
+  // 4. Single policy: one server per client.
+  if (policy == Policy::kSingle) {
+    for (const auto& [client, servers] : servers_of_client) {
+      if (servers.size() > 1) {
+        report.Fail("Single policy: client " + std::to_string(client) + " uses " +
+                    std::to_string(servers.size()) + " servers");
+      }
+    }
+  }
+
+  // 5. Capacity.
+  for (const auto& [server, load] : load_of_server) {
+    if (load > instance.Capacity()) {
+      report.Fail("server " + std::to_string(server) + " overloaded: " + std::to_string(load) +
+                  " > W=" + std::to_string(instance.Capacity()));
+    }
+  }
+
+  // 6. Optional: idle replicas.
+  if (forbid_idle_replicas) {
+    for (NodeId replica : replicas) {
+      if (!load_of_server.contains(replica)) {
+        report.Fail("idle replica: " + std::to_string(replica));
+      }
+    }
+  }
+
+  return report;
+}
+
+bool IsFeasible(const Instance& instance, Policy policy, const Solution& solution) {
+  return ValidateSolution(instance, policy, solution).ok;
+}
+
+}  // namespace rpt

@@ -1,0 +1,47 @@
+// Independent solution validator.
+//
+// Every solver output in this library is checked against this validator in
+// tests and at harness time. It shares no code with the solvers: constraints
+// are re-derived from the Instance and Solution alone, so a bug in a solver
+// cannot hide inside the checker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "model/solution.hpp"
+
+namespace rpt {
+
+/// Result of validating a solution. `ok` iff all constraints hold; otherwise
+/// `errors` lists (up to a cap) human-readable violations.
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  /// Adds an error (capped; the flag always flips).
+  void Fail(std::string message);
+
+  /// Joins errors for test output.
+  [[nodiscard]] std::string Describe() const;
+};
+
+/// Checks all constraints of the paper's framework (§2):
+///  1. replica ids are valid and unique;
+///  2. every assignment routes a positive amount from a real client to a
+///     placed replica on the client's root path, within dmax;
+///  3. every client's requests are fully routed (sum of amounts == r_i);
+///  4. Single policy: each client uses exactly one server;
+///  5. every server's load is at most W;
+///  6. no replica is useless (placed but serving nothing) — reported as a
+///     warning-level failure only when `forbid_idle_replicas` is set, since
+///     an idle replica is feasible but never helps the objective.
+[[nodiscard]] ValidationReport ValidateSolution(const Instance& instance, Policy policy,
+                                                const Solution& solution,
+                                                bool forbid_idle_replicas = false);
+
+/// Convenience: true iff the solution validates.
+[[nodiscard]] bool IsFeasible(const Instance& instance, Policy policy, const Solution& solution);
+
+}  // namespace rpt

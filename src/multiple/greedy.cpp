@@ -1,0 +1,70 @@
+#include "multiple/greedy.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace rpt::multiple {
+
+Solution SolveMultipleGreedy(const Instance& instance) {
+  RPT_REQUIRE(instance.AllRequestsFitLocally(),
+              "multiple-greedy: requires r_i <= W for a guaranteed feasible start");
+  const Tree& tree = instance.GetTree();
+  const Requests capacity = instance.Capacity();
+
+  // Eligible root-path prefix per client (self first, root-most last).
+  std::vector<NodeId> clients(tree.Clients().begin(), tree.Clients().end());
+  std::erase_if(clients, [&](NodeId c) { return tree.RequestsOf(c) == 0; });
+  std::unordered_map<NodeId, std::vector<NodeId>> eligible;
+  eligible.reserve(clients.size());
+  for (const NodeId client : clients) {
+    auto& path = eligible[client];
+    for (NodeId node = client;; node = tree.Parent(node)) {
+      if (!instance.CanServe(client, node)) break;
+      path.push_back(node);
+      if (node == tree.Root()) break;
+    }
+  }
+  // Most-constrained clients first: fewer eligible servers, then more
+  // requests, then id for determinism.
+  std::sort(clients.begin(), clients.end(), [&](NodeId a, NodeId b) {
+    const std::size_t ea = eligible[a].size();
+    const std::size_t eb = eligible[b].size();
+    if (ea != eb) return ea < eb;
+    if (tree.RequestsOf(a) != tree.RequestsOf(b)) return tree.RequestsOf(a) > tree.RequestsOf(b);
+    return a < b;
+  });
+
+  Solution solution;
+  std::unordered_map<NodeId, Requests> residual;  // open server -> remaining capacity
+  for (const NodeId client : clients) {
+    Requests remaining = tree.RequestsOf(client);
+    const auto& path = eligible[client];
+    // Pour into open servers, deepest (closest to the client) first.
+    for (const NodeId node : path) {
+      if (remaining == 0) break;
+      const auto it = residual.find(node);
+      if (it == residual.end() || it->second == 0) continue;
+      const Requests take = std::min(remaining, it->second);
+      it->second -= take;
+      remaining -= take;
+      solution.assignment.push_back(ServiceEntry{client, node, take});
+    }
+    // Open new replicas, highest eligible free node first (a high server can
+    // still absorb future clients from other subtrees).
+    for (auto it = path.rbegin(); it != path.rend() && remaining > 0; ++it) {
+      if (residual.contains(*it)) continue;
+      residual.emplace(*it, capacity);
+      solution.replicas.push_back(*it);
+      const Requests take = std::min(remaining, capacity);
+      residual[*it] -= take;
+      remaining -= take;
+      solution.assignment.push_back(ServiceEntry{client, *it, take});
+    }
+    RPT_CHECK(remaining == 0);  // the client's own node guarantees feasibility
+  }
+  solution.Canonicalize();
+  return solution;
+}
+
+}  // namespace rpt::multiple

@@ -1,0 +1,20 @@
+// Greedy heuristic for the Multiple policy on general trees with distance
+// constraints. No optimality guarantee — this is the benchmark baseline that
+// multiple-bin (optimal on binary trees) and the exact solvers are compared
+// against in the experiment harness.
+#pragma once
+
+#include "model/instance.hpp"
+#include "model/solution.hpp"
+
+namespace rpt::multiple {
+
+/// Client-by-client greedy with splitting: clients are processed most
+/// distance-constrained first (smallest eligible-ancestor count, then larger
+/// demand first); each client pours its requests into already-open servers on
+/// its root path (deepest first), and opens a new replica at the highest
+/// eligible replica-free node when demand remains. Requires r_i <= W so a
+/// feasible solution always exists (the client itself is always available).
+[[nodiscard]] Solution SolveMultipleGreedy(const Instance& instance);
+
+}  // namespace rpt::multiple

@@ -1,0 +1,117 @@
+#include "multiple/local_search.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "flow/assignment.hpp"
+#include "multiple/greedy.hpp"
+#include "multiple/multiple_bin.hpp"
+#include "multiple/prune.hpp"
+
+namespace rpt::multiple {
+
+namespace {
+
+// Candidate destinations for relocating the replica at `node`: its root
+// path (servers higher up can absorb siblings) and its children (servers
+// lower down can dodge a distance bound).
+std::vector<NodeId> RelocationCandidates(const Tree& tree, NodeId node,
+                                         const std::unordered_set<NodeId>& placed) {
+  std::vector<NodeId> candidates;
+  for (NodeId up = node; up != tree.Root(); ) {
+    up = tree.Parent(up);
+    if (!placed.contains(up)) candidates.push_back(up);
+  }
+  for (const NodeId child : tree.Children(node)) {
+    if (!placed.contains(child)) candidates.push_back(child);
+    for (const NodeId grandchild : tree.Children(child)) {
+      if (!placed.contains(grandchild)) candidates.push_back(grandchild);
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+LocalSearchResult SolveMultipleLocalSearch(const Instance& instance,
+                                           const LocalSearchOptions& options) {
+  RPT_REQUIRE(instance.AllRequestsFitLocally(),
+              "multiple-local-search: requires r_i <= W for a feasible start");
+  const Tree& tree = instance.GetTree();
+
+  // Construction: the strongest applicable start.
+  Solution start = tree.IsBinary() ? SolveMultipleBin(instance).solution
+                                   : SolveMultipleGreedy(instance);
+  LocalSearchResult result;
+  {
+    const PruneResult pruned = PruneReplicas(instance, start);
+    result.stats.pruned_initial = pruned.removed;
+    result.solution = pruned.solution;
+  }
+
+  for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
+    ++result.stats.rounds;
+    bool improved = false;
+    std::vector<NodeId> replicas = result.solution.replicas;
+    std::unordered_set<NodeId> placed(replicas.begin(), replicas.end());
+    for (const NodeId node : replicas) {
+      if (!placed.contains(node)) continue;  // may have been moved already
+      for (const NodeId target : RelocationCandidates(tree, node, placed)) {
+        std::vector<NodeId> candidate;
+        candidate.reserve(placed.size());
+        for (const NodeId r : placed) candidate.push_back(r == node ? target : r);
+        if (!flow::MultipleFeasible(instance, candidate)) continue;
+        // Relocation alone keeps the count; accept only if pruning now
+        // removes at least one replica.
+        Solution moved;
+        moved.replicas = candidate;
+        const auto routing = flow::RouteMultiple(instance, candidate);
+        RPT_CHECK(routing.has_value());
+        moved.assignment = *routing;
+        const PruneResult pruned = PruneReplicas(instance, moved);
+        if (pruned.solution.ReplicaCount() < placed.size()) {
+          ++result.stats.relocations;
+          result.stats.pruned_during += pruned.removed;
+          result.solution = pruned.solution;
+          placed = std::unordered_set<NodeId>(result.solution.replicas.begin(),
+                                              result.solution.replicas.end());
+          improved = true;
+          break;
+        }
+      }
+      if (improved) break;  // restart the scan on the smaller placement
+    }
+    if (!improved) {
+      // Add-then-prune move: drop in one extra replica at a free internal
+      // node; accept when pruning then removes at least two (a net win).
+      // This escapes local optima where no single relocation helps but a
+      // fresh high-capacity node lets two stragglers retire.
+      const bool allow_client_adds = tree.Size() <= options.client_add_limit;
+      for (NodeId node = 0; node < tree.Size() && !improved; ++node) {
+        if (placed.contains(node)) continue;
+        if (tree.IsClient(node) && !allow_client_adds) continue;
+        Solution grown;
+        grown.replicas.assign(placed.begin(), placed.end());
+        grown.replicas.push_back(node);
+        const auto routing = flow::RouteMultiple(instance, grown.replicas);
+        RPT_CHECK(routing.has_value());  // superset of a feasible placement
+        grown.assignment = *routing;
+        const PruneResult pruned = PruneReplicas(instance, grown);
+        if (pruned.solution.ReplicaCount() < placed.size()) {
+          ++result.stats.additions;
+          result.stats.pruned_during += pruned.removed;
+          result.solution = pruned.solution;
+          placed = std::unordered_set<NodeId>(result.solution.replicas.begin(),
+                                              result.solution.replicas.end());
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  result.solution.Canonicalize();
+  return result;
+}
+
+}  // namespace rpt::multiple

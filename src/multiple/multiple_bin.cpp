@@ -1,0 +1,224 @@
+#include "multiple/multiple_bin.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace rpt::multiple {
+
+namespace {
+
+// Pending/processed triple (d, w, i) of the paper: w requests of client
+// `client`, currently at distance `d` from the node holding the list.
+struct Triple {
+  Distance d;
+  Requests w;
+  NodeId client;
+};
+
+using TripleList = std::vector<Triple>;  // sorted by non-increasing d
+
+Requests TotalOf(const TripleList& list) noexcept {
+  Requests total = 0;
+  for (const Triple& t : list) total += t.w;
+  return total;
+}
+
+// add-dist of the paper: shifts every distance by `dist`.
+TripleList AddDist(const TripleList& list, Distance dist) {
+  TripleList out;
+  out.reserve(list.size());
+  for (const Triple& t : list) out.push_back(Triple{SaturatingAdd(t.d, dist), t.w, t.client});
+  return out;
+}
+
+// merge of the paper: merges two lists sorted by non-increasing d.
+TripleList Merge(TripleList a, TripleList b) {
+  TripleList out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].d >= b[j].d) {
+      out.push_back(a[i++]);
+    } else {
+      out.push_back(b[j++]);
+    }
+  }
+  while (i < a.size()) out.push_back(a[i++]);
+  while (j < b.size()) out.push_back(b[j++]);
+  return out;
+}
+
+// Full algorithm state.
+struct State {
+  const Instance& instance;
+  const Tree& tree;
+  MultipleBinOptions options;
+  std::vector<TripleList> req;   // pending lists
+  std::vector<TripleList> proc;  // per-replica assigned triples
+  std::vector<bool> is_replica;
+  MultipleBinStats stats;
+
+  State(const Instance& inst, const MultipleBinOptions& opts)
+      : instance(inst),
+        tree(inst.GetTree()),
+        options(opts),
+        req(tree.Size()),
+        proc(tree.Size()),
+        is_replica(tree.Size(), false) {}
+
+  // True iff a triple at distance d from `node` may be served at the parent
+  // of `node` (δ_r = +∞ at the root: never).
+  [[nodiscard]] bool CanGoUp(NodeId node, Distance d) const {
+    if (node == tree.Root()) return false;
+    if (!instance.HasDistanceConstraint()) return true;
+    return SaturatingAdd(d, tree.DistToParent(node)) <= instance.Dmax();
+  }
+
+  void PlaceReplica(NodeId node) {
+    RPT_CHECK(!is_replica[node]);
+    is_replica[node] = true;
+  }
+
+  // The extra-server procedure (paper, proof of Theorem 6): `node` is a full
+  // replica whose subtree must additionally absorb req(node). Re-assigns
+  // proc(node) := req(lchild)+δ and pushes the right child's pending load
+  // down the rightmost path until a replica-free node takes it. Implemented
+  // iteratively (the right spine can be long).
+  void ExtraServer(NodeId node) {
+    while (true) {
+      ++stats.extra_server_calls;
+      RPT_CHECK(is_replica[node]);
+      const auto kids = tree.Children(node);
+      RPT_CHECK(kids.size() == 2);
+      const NodeId lchild = kids[0];
+      const NodeId rchild = kids[1];
+      // j now serves everything pending from its left child; every such
+      // triple satisfies d + δ_l <= dmax by the pending-list invariant.
+      proc[node] = AddDist(req[lchild], tree.DistToParent(lchild));
+      RPT_CHECK(TotalOf(proc[node]) <= instance.Capacity());
+      if (!is_replica[rchild]) {
+        PlaceReplica(rchild);
+        ++stats.extra_replicas;
+        proc[rchild] = req[rchild];
+        RPT_CHECK(TotalOf(proc[rchild]) <= instance.Capacity());
+        return;
+      }
+      node = rchild;
+    }
+  }
+
+  void ProcessLeaf(NodeId node) {
+    const Requests requests = tree.RequestsOf(node);
+    if (requests == 0) return;
+    if (!CanGoUp(node, 0)) {
+      // δ_j > dmax (or the degenerate root-is-parentless case cannot occur
+      // for clients): the client must serve itself.
+      PlaceReplica(node);
+      ++stats.leaf_forced_replicas;
+      proc[node] = {Triple{0, requests, node}};
+    } else {
+      req[node] = {Triple{0, requests, node}};
+    }
+  }
+
+  void ProcessInternal(NodeId node) {
+    const auto kids = tree.Children(node);
+    TripleList temp;
+    if (kids.size() == 1) {
+      temp = AddDist(req[kids[0]], tree.DistToParent(kids[0]));
+    } else if (kids.size() == 2) {
+      temp = Merge(AddDist(req[kids[0]], tree.DistToParent(kids[0])),
+                   AddDist(req[kids[1]], tree.DistToParent(kids[1])));
+    }
+    if (temp.empty()) return;
+
+    const Requests capacity = instance.Capacity();
+    const Requests wtot = TotalOf(temp);
+    const bool distance_trigger = !CanGoUp(node, temp.front().d);
+    if (distance_trigger || wtot > capacity) {
+      // This node becomes a server and absorbs exactly min(wtot, W)
+      // requests, most distance-constrained first, splitting at the
+      // capacity boundary (Multiple policy).
+      PlaceReplica(node);
+      ++stats.trigger_replicas;
+      if (options.fill == MultipleBinOptions::FillOrder::kLeastConstrainedFirst) {
+        // Ablation: absorb from the tail (smallest d) instead. Stays
+        // feasible — stranded leftovers are mopped up by extra-server — but
+        // loses the optimality proof.
+        std::reverse(temp.begin(), temp.end());
+      }
+      Requests used = 0;
+      std::size_t index = 0;
+      while (index < temp.size() && used < capacity) {
+        Triple& head = temp[index];
+        const Requests take = std::min(head.w, capacity - used);
+        proc[node].push_back(Triple{head.d, take, head.client});
+        used += take;
+        if (take < head.w) {
+          head.w -= take;
+          ++stats.split_triples;
+          break;  // head stays as the first leftover entry
+        }
+        ++index;
+      }
+      temp.erase(temp.begin(), temp.begin() + static_cast<std::ptrdiff_t>(index));
+      if (options.fill == MultipleBinOptions::FillOrder::kLeastConstrainedFirst) {
+        std::reverse(temp.begin(), temp.end());  // restore non-increasing d
+      }
+      req[node] = std::move(temp);
+      RPT_CHECK(TotalOf(req[node]) <= capacity);  // binary tree: <= 2W - W
+    } else {
+      req[node] = std::move(temp);
+    }
+
+    if (!req[node].empty() && !CanGoUp(node, req[node].front().d)) {
+      // Leftover requests that cannot travel upward: re-assign within the
+      // subtree via extra-server.
+      ExtraServer(node);
+      req[node].clear();
+    }
+
+    // Children's pending lists are only ever revisited by extra-server, and
+    // extra-server walks exclusively through replica nodes. Releasing the
+    // lists below non-replica nodes keeps resident memory O(|T|) instead of
+    // O(|T|^2) on deep trees (the Theorem 6 worst-case regime).
+    if (!is_replica[node]) {
+      for (const NodeId child : kids) TripleList().swap(req[child]);
+    }
+  }
+};
+
+}  // namespace
+
+MultipleBinResult SolveMultipleBin(const Instance& instance, const MultipleBinOptions& options) {
+  const Tree& tree = instance.GetTree();
+  RPT_REQUIRE(tree.IsBinary(), "multiple-bin: tree must be binary (arity <= 2)");
+  RPT_REQUIRE(instance.AllRequestsFitLocally(),
+              "multiple-bin: requires r_i <= W for all clients (Theorem 6 precondition; "
+              "the problem is NP-hard otherwise)");
+
+  State state(instance, options);
+  for (const NodeId node : tree.PostOrder()) {
+    if (tree.IsClient(node)) {
+      state.ProcessLeaf(node);
+    } else {
+      state.ProcessInternal(node);
+    }
+  }
+  RPT_CHECK(state.req[tree.Root()].empty());
+
+  MultipleBinResult result;
+  result.stats = state.stats;
+  for (NodeId node = 0; node < tree.Size(); ++node) {
+    if (!state.is_replica[node]) continue;
+    result.solution.replicas.push_back(node);
+    for (const Triple& t : state.proc[node]) {
+      if (t.w > 0) result.solution.assignment.push_back(ServiceEntry{t.client, node, t.w});
+    }
+  }
+  result.solution.Canonicalize();
+  return result;
+}
+
+}  // namespace rpt::multiple

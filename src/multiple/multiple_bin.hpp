@@ -1,0 +1,61 @@
+// Algorithm 3 of the paper: `multiple-bin`, the polynomial-time *optimal*
+// algorithm for Multiple-Bin — Multiple policy, binary tree, distance
+// constraints — under the Theorem 6 precondition that every client satisfies
+// r_i <= W (each client could be served locally). Time O(|T|^2).
+//
+// Mechanics (paper §4.2): each node carries a list req(j) of pending triples
+// (d, w, i) — w requests of client i, at distance d from j — sorted by
+// non-increasing d, and a list proc(j) of triples assigned to the replica at
+// j. An internal node merges its children's pending lists (distances bumped
+// by the edge lengths); it becomes a server when the most-constrained triple
+// could not travel one more edge, or when more than W requests are pending.
+// A server absorbs exactly W requests, most-constrained first, splitting a
+// triple at the boundary (this is where the Multiple policy is essential).
+// If leftover requests still cannot travel upward, the `extra-server`
+// procedure re-assigns: j keeps everything pending from its left child, and
+// the right child's pending load is pushed down the rightmost path until a
+// replica-free node absorbs it.
+//
+// The root uses δ_r = +∞ (nothing can be served above it), so all requests
+// are served when the traversal finishes.
+#pragma once
+
+#include "model/instance.hpp"
+#include "model/solution.hpp"
+
+namespace rpt::multiple {
+
+/// Counters describing how multiple-bin placed its replicas.
+struct MultipleBinStats {
+  std::uint64_t leaf_forced_replicas = 0;  ///< clients with δ_j > dmax (must self-serve)
+  std::uint64_t trigger_replicas = 0;      ///< servers placed by the distance/capacity trigger
+  std::uint64_t extra_replicas = 0;        ///< servers added by extra-server re-assignment
+  std::uint64_t split_triples = 0;         ///< triples split at a capacity boundary
+  std::uint64_t extra_server_calls = 0;    ///< invocations of extra-server (incl. recursion)
+};
+
+/// Result of running multiple-bin.
+struct MultipleBinResult {
+  Solution solution;
+  MultipleBinStats stats;
+};
+
+/// Ablation knobs (benchmark E9). Defaults reproduce the paper's algorithm.
+struct MultipleBinOptions {
+  /// Which end of the pending list a new server absorbs. The paper serves
+  /// the most distance-constrained triples first (largest d); the ablation
+  /// serves the least constrained first, which stays feasible (extra-server
+  /// mops up stranded requests) but loses optimality.
+  enum class FillOrder : std::uint8_t { kMostConstrainedFirst, kLeastConstrainedFirst };
+  FillOrder fill = FillOrder::kMostConstrainedFirst;
+};
+
+/// Runs Algorithm 3. Preconditions (throws InvalidArgument if violated):
+///  * the tree is binary (arity <= 2);
+///  * every client has r_i <= W (Theorem 6's hypothesis — without it the
+///    problem is NP-hard, Theorem 5).
+/// Returns a feasible Multiple solution, optimal under the default options.
+[[nodiscard]] MultipleBinResult SolveMultipleBin(const Instance& instance,
+                                                 const MultipleBinOptions& options = {});
+
+}  // namespace rpt::multiple

@@ -1,0 +1,208 @@
+#include "multiple/multiple_nod_dp.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace rpt::multiple {
+
+namespace {
+
+using Cost = std::uint32_t;
+constexpr Cost kInf = std::numeric_limits<Cost>::max() / 2;
+
+// F table: F[u] = min replicas in the subtree such that at most u requests
+// are forwarded above it. Always non-increasing in u.
+using CostTable = std::vector<Cost>;
+
+void MakeMonotone(CostTable& table) {
+  for (std::size_t u = 1; u < table.size(); ++u) table[u] = std::min(table[u], table[u - 1]);
+}
+
+// Min-plus convolution of two monotone tables (domains are subtree totals).
+CostTable Convolve(const CostTable& a, const CostTable& b) {
+  CostTable out(a.size() + b.size() - 1, kInf);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] >= kInf) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (b[j] >= kInf) continue;
+      out[i + j] = std::min(out[i + j], a[i] + b[j]);
+    }
+  }
+  MakeMonotone(out);
+  return out;
+}
+
+struct Dp {
+  const Instance& instance;
+  const Tree& tree;
+  std::vector<CostTable> f;                      // per node
+  std::vector<std::vector<CostTable>> prefixes;  // per node: G_0..G_k for backtracking
+  Solution solution;
+
+  explicit Dp(const Instance& inst)
+      : instance(inst), tree(inst.GetTree()), f(tree.Size()), prefixes(tree.Size()) {}
+
+  void Forward() {
+    const Requests capacity = instance.Capacity();
+    for (const NodeId node : tree.PostOrder()) {
+      if (tree.IsClient(node)) {
+        const Requests r = tree.RequestsOf(node);
+        CostTable table(static_cast<std::size_t>(r) + 1, kInf);
+        table[static_cast<std::size_t>(r)] = 0;  // no replica: forward everything
+        const Requests min_forward = r > capacity ? r - capacity : 0;
+        for (std::size_t u = static_cast<std::size_t>(min_forward); u <= r; ++u) {
+          table[u] = std::min<Cost>(table[u], 1);  // replica: serve min(r, W) locally
+        }
+        MakeMonotone(table);
+        f[node] = std::move(table);
+        continue;
+      }
+      // Children convolution with stored prefixes.
+      auto& prefix = prefixes[node];
+      prefix.clear();
+      prefix.push_back(CostTable{0});  // empty product: forward 0 at cost 0
+      for (const NodeId child : tree.Children(node)) {
+        prefix.push_back(Convolve(prefix.back(), f[child]));
+      }
+      const CostTable& g = prefix.back();
+      const std::size_t total = g.size() - 1;  // subtree request total below node
+      CostTable table(total + 1, kInf);
+      for (std::size_t u = 0; u <= total; ++u) {
+        table[u] = g[u];  // no replica
+        const std::size_t relaxed = std::min<std::size_t>(
+            total, u + static_cast<std::size_t>(std::min<Requests>(capacity, total)));
+        if (g[relaxed] < kInf) {
+          table[u] = std::min<Cost>(table[u], 1 + g[relaxed]);  // replica absorbs up to W
+        }
+      }
+      MakeMonotone(table);
+      f[node] = std::move(table);
+    }
+  }
+
+  // Pending requests travelling upward during reconstruction.
+  using PendingList = std::vector<std::pair<NodeId, Requests>>;  // (client, amount)
+
+  static Requests TotalOf(const PendingList& list) noexcept {
+    Requests total = 0;
+    for (const auto& [client, amount] : list) total += amount;
+    return total;
+  }
+
+  // Reconstructs the subtree decision for `node` with forwarded budget u;
+  // returns the list actually forwarded upward (total <= u).
+  PendingList Backtrack(NodeId node, std::size_t u) {
+    const Requests capacity = instance.Capacity();
+    const CostTable& table = f[node];
+    RPT_CHECK(u < table.size() || !table.empty());
+    u = std::min(u, table.size() - 1);
+    const Cost cost = table[u];
+    RPT_CHECK(cost < kInf);
+
+    if (tree.IsClient(node)) {
+      const Requests r = tree.RequestsOf(node);
+      if (r == 0) return {};
+      if (cost == 0) return {{node, r}};  // no replica, forward all
+      // Replica: serve as much as possible locally, forward the remainder.
+      const Requests local = std::min(r, capacity);
+      solution.replicas.push_back(node);
+      solution.assignment.push_back(ServiceEntry{node, node, local});
+      if (r > local) return {{node, r - local}};
+      return {};
+    }
+
+    const auto& prefix = prefixes[node];
+    const CostTable& g = prefix.back();
+    const std::size_t total = g.size() - 1;
+    const bool use_replica = [&] {
+      if (g[u] == cost) return false;  // prefer the replica-free branch
+      return true;
+    }();
+    std::size_t budget = u;
+    Cost remaining_cost = cost;
+    if (use_replica) {
+      budget = std::min<std::size_t>(
+          total, u + static_cast<std::size_t>(std::min<Requests>(capacity, total)));
+      RPT_CHECK(cost >= 1 && g[budget] == cost - 1);
+      remaining_cost = cost - 1;
+    } else {
+      RPT_CHECK(g[budget] == cost);
+    }
+
+    // Split `budget` among children by walking the prefix tables backwards.
+    const auto kids = tree.Children(node);
+    std::vector<std::size_t> child_budget(kids.size(), 0);
+    std::size_t v = budget;
+    Cost target = remaining_cost;
+    for (std::size_t k = kids.size(); k-- > 0;) {
+      const CostTable& before = prefix[k];
+      const CostTable& child_table = f[kids[k]];
+      bool found = false;
+      // Smallest child budget achieving the target keeps ancestors safest.
+      for (std::size_t b = 0; b < child_table.size() && b <= v; ++b) {
+        if (child_table[b] >= kInf) continue;
+        const std::size_t rest = v - b;
+        const std::size_t rest_clamped = std::min(rest, before.size() - 1);
+        if (before[rest_clamped] < kInf &&
+            before[rest_clamped] + child_table[b] == target) {
+          child_budget[k] = b;
+          target -= child_table[b];
+          v = rest_clamped;
+          found = true;
+          break;
+        }
+      }
+      RPT_CHECK(found);
+    }
+
+    PendingList incoming;
+    for (std::size_t k = 0; k < kids.size(); ++k) {
+      PendingList from_child = Backtrack(kids[k], child_budget[k]);
+      incoming.insert(incoming.end(), from_child.begin(), from_child.end());
+    }
+
+    if (!use_replica) return incoming;
+
+    // Replica at node: serve min(T, W) of the incoming requests, forward the
+    // rest (guaranteed <= u by the DP transition).
+    solution.replicas.push_back(node);
+    Requests to_serve = std::min(TotalOf(incoming), capacity);
+    PendingList forwarded;
+    for (auto& [client, amount] : incoming) {
+      const Requests take = std::min(amount, to_serve);
+      if (take > 0) {
+        solution.assignment.push_back(ServiceEntry{client, node, take});
+        to_serve -= take;
+      }
+      if (amount > take) forwarded.emplace_back(client, amount - take);
+    }
+    RPT_CHECK(TotalOf(forwarded) <= u);
+    return forwarded;
+  }
+};
+
+}  // namespace
+
+MultipleNodDpResult SolveMultipleNodDp(const Instance& instance) {
+  RPT_REQUIRE(!instance.HasDistanceConstraint(),
+              "multiple-nod-dp: only valid without distance constraints");
+  Dp dp(instance);
+  dp.Forward();
+  MultipleNodDpResult result;
+  const CostTable& root = dp.f[instance.GetTree().Root()];
+  if (root.empty() || root[0] >= kInf) {
+    result.feasible = false;
+    return result;
+  }
+  const auto leftover = dp.Backtrack(instance.GetTree().Root(), 0);
+  RPT_CHECK(leftover.empty());
+  result.feasible = true;
+  result.solution = std::move(dp.solution);
+  result.solution.Canonicalize();
+  return result;
+}
+
+}  // namespace rpt::multiple

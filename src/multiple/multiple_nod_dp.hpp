@@ -1,0 +1,39 @@
+// Exact solver for Multiple-NoD (Multiple policy, no distance constraints)
+// on arbitrary trees, via a tree knapsack DP.
+//
+// The paper cites [3] (Benoit, Rehn-Sonigo, Robert, TPDS 2008) for a
+// polynomial-time optimal Multiple-NoD algorithm. We substitute an
+// equivalent-result pseudo-polynomial DP (documented in DESIGN.md): for each
+// node j and each forwarded amount u, F_j(u) = minimum number of replicas in
+// subtree(j) such that at most u requests are forwarded above j. Since
+// requests are integers and the DP domain is bounded by the subtree request
+// totals, the classic tree-knapsack bound makes the whole run O(|T| + U^2)
+// with U the total number of requests. The optimum is F_root(0).
+//
+// Unlike multiple-bin, this solver allows r_i > W (a client may split its
+// own requests between itself and ancestors), works for any arity, and is
+// exact — we use it both as a baseline for the policy-gap experiments and to
+// cross-check multiple-bin on NoD binary instances at sizes the brute-force
+// solver cannot reach.
+#pragma once
+
+#include "model/instance.hpp"
+#include "model/solution.hpp"
+
+namespace rpt::multiple {
+
+/// Result of the Multiple-NoD DP.
+struct MultipleNodDpResult {
+  /// True iff a feasible Multiple-NoD solution exists (it may not, e.g. a
+  /// chain too short to absorb a giant client demand).
+  bool feasible = false;
+  /// The optimal solution (empty when infeasible).
+  Solution solution;
+};
+
+/// Runs the DP and reconstructs an optimal placement plus routing.
+/// Requires no distance constraint; throws InvalidArgument otherwise.
+/// Runtime grows with (total requests)^2 — intended for totals up to ~10^4.
+[[nodiscard]] MultipleNodDpResult SolveMultipleNodDp(const Instance& instance);
+
+}  // namespace rpt::multiple

@@ -1,0 +1,324 @@
+#include "npc/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/common.hpp"
+
+namespace rpt::npc {
+
+bool ThreePartitionInstance::IsWellFormed() const noexcept {
+  if (values.size() % 3 != 0 || values.empty() || bound == 0) return false;
+  const std::uint64_t m = GroupCount();
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : values) {
+    if (4 * v <= bound || 2 * v >= bound) return false;  // need B/4 < v < B/2
+    sum += v;
+  }
+  return sum == m * bound;
+}
+
+namespace {
+
+struct ThreePartitionSearch {
+  const std::vector<std::uint64_t>& values;
+  std::uint64_t bound;
+  std::vector<std::size_t> order;                // indices sorted by value desc
+  std::vector<std::uint64_t> group_sum;
+  std::vector<std::uint32_t> group_count;
+  std::vector<std::size_t> assignment;           // item -> group
+
+  bool Assign(std::size_t pos) {
+    if (pos == order.size()) return true;
+    const std::size_t item = order[pos];
+    const std::uint64_t value = values[item];
+    bool tried_empty = false;
+    for (std::size_t g = 0; g < group_sum.size(); ++g) {
+      if (group_count[g] == 3) continue;
+      if (group_sum[g] + value > bound) continue;
+      if (group_count[g] == 0) {
+        if (tried_empty) continue;  // symmetry: all empty groups equivalent
+        tried_empty = true;
+      }
+      group_sum[g] += value;
+      ++group_count[g];
+      assignment[item] = g;
+      if (Assign(pos + 1)) return true;
+      group_sum[g] -= value;
+      --group_count[g];
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<std::array<std::size_t, 3>>> SolveThreePartition(
+    const ThreePartitionInstance& instance) {
+  RPT_REQUIRE(instance.values.size() % 3 == 0 && !instance.values.empty(),
+              "SolveThreePartition: value count must be a positive multiple of 3");
+  const std::uint64_t m = instance.GroupCount();
+  const std::uint64_t sum = std::accumulate(instance.values.begin(), instance.values.end(),
+                                            std::uint64_t{0});
+  if (sum != m * instance.bound) return std::nullopt;
+
+  ThreePartitionSearch search{instance.values, instance.bound, {}, {}, {}, {}};
+  search.order.resize(instance.values.size());
+  std::iota(search.order.begin(), search.order.end(), std::size_t{0});
+  std::sort(search.order.begin(), search.order.end(), [&](std::size_t a, std::size_t b) {
+    return instance.values[a] > instance.values[b];
+  });
+  search.group_sum.assign(m, 0);
+  search.group_count.assign(m, 0);
+  search.assignment.assign(instance.values.size(), 0);
+  if (!search.Assign(0)) return std::nullopt;
+
+  std::vector<std::array<std::size_t, 3>> triples(m, {0, 0, 0});
+  std::vector<std::uint32_t> filled(m, 0);
+  for (std::size_t item = 0; item < instance.values.size(); ++item) {
+    const std::size_t g = search.assignment[item];
+    triples[g][filled[g]++] = item;
+  }
+  return triples;
+}
+
+ThreePartitionInstance MakeThreePartitionYes(std::uint64_t m, std::uint64_t scale, Rng& rng) {
+  RPT_REQUIRE(m >= 1, "MakeThreePartitionYes: m must be >= 1");
+  RPT_REQUIRE(scale >= 4, "MakeThreePartitionYes: scale must be >= 4");
+  const std::uint64_t bound = 4 * scale;  // so the window is (scale, 2*scale)
+  ThreePartitionInstance instance;
+  instance.bound = bound;
+  for (std::uint64_t k = 0; k < m; ++k) {
+    // a in [scale+1, 2*scale-2] keeps a feasible window for b.
+    const std::uint64_t a = rng.NextInRange(scale + 1, 2 * scale - 2);
+    const std::uint64_t b_lo = std::max(scale + 1, 2 * scale - a + 1);
+    const std::uint64_t b_hi = std::min(2 * scale - 1, 3 * scale - a - 1);
+    RPT_CHECK(b_lo <= b_hi);
+    const std::uint64_t b = rng.NextInRange(b_lo, b_hi);
+    const std::uint64_t c = bound - a - b;
+    instance.values.push_back(a);
+    instance.values.push_back(b);
+    instance.values.push_back(c);
+  }
+  rng.Shuffle(instance.values);
+  RPT_CHECK(instance.IsWellFormed());
+  return instance;
+}
+
+ThreePartitionInstance MakeThreePartitionNo(std::uint64_t m, std::uint64_t scale, Rng& rng) {
+  RPT_REQUIRE(m >= 3 && m % 3 == 0, "MakeThreePartitionNo: m must be a positive multiple of 3");
+  RPT_REQUIRE(scale >= 6, "MakeThreePartitionNo: scale must be >= 6");
+  // B ≡ 1 (mod 3) while all values ≡ 1 (mod 3): every triple sums to
+  // ≡ 0 (mod 3) != B (mod 3), so no partition can exist.
+  const std::uint64_t bound = 12 * scale + 1;
+  ThreePartitionInstance instance;
+  instance.bound = bound;
+  instance.values.assign(3 * m, 4 * scale + 1);  // ≡ 1 (mod 3), inside the window
+  // Current sum is m*B + 2m; remove 2m in steps of 3 (preserving residues).
+  std::uint64_t deficit = 2 * m;
+  RPT_CHECK(deficit % 3 == 0 || true);  // 2m with m ≡ 0 (mod 3) is divisible by 3
+  const std::uint64_t low = 3 * scale + 1;  // smallest value still > B/4
+  while (deficit > 0) {
+    const std::size_t i = static_cast<std::size_t>(rng.NextBelow(instance.values.size()));
+    if (instance.values[i] < low + 3) continue;
+    instance.values[i] -= 3;
+    deficit -= 3;
+  }
+  RPT_CHECK(instance.IsWellFormed());
+  return instance;
+}
+
+namespace {
+
+// Subset-sum DP with first-setter reconstruction. Returns indices of a
+// subset summing exactly to `target`, or nullopt.
+std::optional<std::vector<std::size_t>> SubsetWithSum(const std::vector<std::uint64_t>& values,
+                                                      std::uint64_t target) {
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> setter(static_cast<std::size_t>(target) + 1, kUnset);
+  std::vector<char> reachable(static_cast<std::size_t>(target) + 1, 0);
+  reachable[0] = 1;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::uint64_t v = values[i];
+    if (v > target) continue;
+    for (std::uint64_t s = target; s >= v; --s) {
+      if (!reachable[s] && reachable[s - v]) {
+        reachable[s] = 1;
+        setter[s] = i;
+      }
+      if (s == v) break;
+    }
+  }
+  if (!reachable[target]) return std::nullopt;
+  std::vector<std::size_t> subset;
+  std::uint64_t s = target;
+  while (s > 0) {
+    const std::size_t i = setter[s];
+    RPT_CHECK(i != kUnset);
+    subset.push_back(i);
+    s -= values[i];
+  }
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::size_t>> SolveTwoPartition(
+    const std::vector<std::uint64_t>& values) {
+  const std::uint64_t sum = std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  if (sum % 2 != 0) return std::nullopt;
+  return SubsetWithSum(values, sum / 2);
+}
+
+std::optional<std::vector<std::size_t>> SolveTwoPartitionEqual(
+    const std::vector<std::uint64_t>& values) {
+  if (values.size() % 2 != 0 || values.empty()) return std::nullopt;
+  const std::uint64_t sum = std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  if (sum % 2 != 0) return std::nullopt;
+  const std::uint64_t m = values.size() / 2;
+  const std::uint64_t half = sum / 2;
+
+  // dp[count][s]: reachable; setter for reconstruction, first-set wins.
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+  std::vector<std::vector<std::size_t>> setter(
+      m + 1, std::vector<std::size_t>(static_cast<std::size_t>(half) + 1, kUnset));
+  std::vector<std::vector<char>> reachable(
+      m + 1, std::vector<char>(static_cast<std::size_t>(half) + 1, 0));
+  reachable[0][0] = 1;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::uint64_t v = values[i];
+    if (v > half) continue;
+    for (std::uint64_t count = std::min<std::uint64_t>(m, i + 1); count >= 1; --count) {
+      for (std::uint64_t s = half; s >= v; --s) {
+        if (!reachable[count][s] && reachable[count - 1][s - v]) {
+          reachable[count][s] = 1;
+          setter[count][s] = i;
+        }
+        if (s == v) break;
+      }
+    }
+  }
+  if (!reachable[m][half]) return std::nullopt;
+  std::vector<std::size_t> subset;
+  std::uint64_t count = m;
+  std::uint64_t s = half;
+  while (count > 0) {
+    const std::size_t i = setter[count][s];
+    RPT_CHECK(i != kUnset);
+    subset.push_back(i);
+    s -= values[i];
+    --count;
+  }
+  RPT_CHECK(s == 0);
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+std::vector<std::uint64_t> MakeTwoPartitionYes(std::size_t count, std::uint64_t max_value,
+                                               Rng& rng) {
+  RPT_REQUIRE(count >= 2, "MakeTwoPartitionYes: need at least two values");
+  RPT_REQUIRE(max_value >= 2, "MakeTwoPartitionYes: max_value too small");
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<std::uint64_t> values;
+    for (std::size_t i = 0; i + 1 < count; ++i) values.push_back(rng.NextInRange(1, max_value));
+    std::uint64_t side_a = 0;
+    std::uint64_t side_b = 0;
+    for (const std::uint64_t v : values) {
+      (rng.NextBool(0.5) ? side_a : side_b) += v;
+    }
+    const std::uint64_t diff = side_a > side_b ? side_a - side_b : side_b - side_a;
+    if (diff == 0 || diff > max_value) continue;
+    values.push_back(diff);
+    rng.Shuffle(values);
+    RPT_CHECK(SolveTwoPartition(values).has_value());
+    return values;
+  }
+  detail::ThrowInvalid("MakeTwoPartitionYes: generation failed; widen max_value");
+}
+
+std::vector<std::uint64_t> MakeTwoPartitionNo(std::size_t count, std::uint64_t max_value,
+                                              Rng& rng) {
+  RPT_REQUIRE(count >= 2, "MakeTwoPartitionNo: need at least two values");
+  RPT_REQUIRE(max_value >= 4, "MakeTwoPartitionNo: max_value too small");
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    std::vector<std::uint64_t> values;
+    for (std::size_t i = 0; i < count; ++i) values.push_back(rng.NextInRange(1, max_value));
+    std::uint64_t sum = std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+    if (sum % 2 != 0) {
+      // Nudge one value to make the sum even while staying in range.
+      for (auto& v : values) {
+        if (v < max_value) {
+          ++v;
+          ++sum;
+          break;
+        }
+      }
+      if (sum % 2 != 0) continue;
+    }
+    if (!SolveTwoPartition(values).has_value()) return values;
+  }
+  detail::ThrowInvalid("MakeTwoPartitionNo: generation failed; use fewer/larger values");
+}
+
+std::vector<std::uint64_t> MakeTwoPartitionEqualYes(std::uint64_t m, std::uint64_t max_value,
+                                                    Rng& rng) {
+  RPT_REQUIRE(m >= 1, "MakeTwoPartitionEqualYes: m must be >= 1");
+  RPT_REQUIRE(max_value >= 2, "MakeTwoPartitionEqualYes: max_value too small");
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<std::uint64_t> side_a;
+    for (std::uint64_t i = 0; i < m; ++i) side_a.push_back(rng.NextInRange(1, max_value));
+    const std::uint64_t target =
+        std::accumulate(side_a.begin(), side_a.end(), std::uint64_t{0});
+    // Build the second side with the same sum and cardinality.
+    std::vector<std::uint64_t> side_b;
+    std::uint64_t remaining = target;
+    bool ok = true;
+    for (std::uint64_t i = 0; i + 1 < m; ++i) {
+      const std::uint64_t slots_left = m - i - 1;  // values still to draw after this one
+      const std::uint64_t lo = remaining > slots_left * max_value
+                                   ? remaining - slots_left * max_value
+                                   : 1;
+      const std::uint64_t hi = std::min<std::uint64_t>(max_value, remaining - slots_left);
+      if (lo > hi) {
+        ok = false;
+        break;
+      }
+      const std::uint64_t v = rng.NextInRange(lo, hi);
+      side_b.push_back(v);
+      remaining -= v;
+    }
+    if (!ok || remaining == 0 || remaining > max_value) continue;
+    side_b.push_back(remaining);
+    std::vector<std::uint64_t> values(side_a);
+    values.insert(values.end(), side_b.begin(), side_b.end());
+    rng.Shuffle(values);
+    if (SolveTwoPartitionEqual(values).has_value()) return values;
+  }
+  detail::ThrowInvalid("MakeTwoPartitionEqualYes: generation failed; widen max_value");
+}
+
+std::vector<std::uint64_t> MakeTwoPartitionEqualNo(std::uint64_t m, std::uint64_t max_value,
+                                                   Rng& rng) {
+  RPT_REQUIRE(m >= 1, "MakeTwoPartitionEqualNo: m must be >= 1");
+  RPT_REQUIRE(max_value >= 4, "MakeTwoPartitionEqualNo: max_value too small");
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t i = 0; i < 2 * m; ++i) values.push_back(rng.NextInRange(1, max_value));
+    std::uint64_t sum = std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+    if (sum % 2 != 0) {
+      for (auto& v : values) {
+        if (v < max_value) {
+          ++v;
+          ++sum;
+          break;
+        }
+      }
+      if (sum % 2 != 0) continue;
+    }
+    if (!SolveTwoPartitionEqual(values).has_value()) return values;
+  }
+  detail::ThrowInvalid("MakeTwoPartitionEqualNo: generation failed; use fewer/larger values");
+}
+
+}  // namespace rpt::npc

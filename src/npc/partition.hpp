@@ -1,0 +1,77 @@
+// Exact solvers and instance generators for the partition problems the
+// paper reduces from: 3-Partition (Theorem 1), 2-Partition (Theorem 2) and
+// 2-Partition-Equal (Theorem 5).
+//
+// The solvers are used to verify both directions of each reduction in tests
+// and experiments; the generators produce certified yes/no instances.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rpt::npc {
+
+/// A 3-Partition instance: 3m integers a_i and bound B with sum(a) = m*B and
+/// B/4 < a_i < B/2 (the strict window forces groups of exactly 3).
+struct ThreePartitionInstance {
+  std::vector<std::uint64_t> values;  // size 3m
+  std::uint64_t bound = 0;            // B
+
+  [[nodiscard]] std::uint64_t GroupCount() const noexcept { return values.size() / 3; }
+
+  /// Checks the structural side conditions (sum, strict window).
+  [[nodiscard]] bool IsWellFormed() const noexcept;
+};
+
+/// Decides 3-Partition by backtracking (exponential; fine for m <= ~6).
+/// Returns the triples (indices into values) when a partition exists.
+[[nodiscard]] std::optional<std::vector<std::array<std::size_t, 3>>> SolveThreePartition(
+    const ThreePartitionInstance& instance);
+
+/// Generates a certified yes-instance with m triples, each summing to a
+/// bound of roughly `scale` (scale >= 16 recommended for slack).
+[[nodiscard]] ThreePartitionInstance MakeThreePartitionYes(std::uint64_t m, std::uint64_t scale,
+                                                           Rng& rng);
+
+/// Generates a certified no-instance with m triples (m must be a positive
+/// multiple of 3): all values are ≡ 1 (mod 3) while B ≡ 1 (mod 3), so every
+/// triple sums to ≡ 0 (mod 3) != B (mod 3). Well-formed (sum = m*B, strict
+/// window) but unsolvable.
+[[nodiscard]] ThreePartitionInstance MakeThreePartitionNo(std::uint64_t m, std::uint64_t scale,
+                                                          Rng& rng);
+
+/// Decides 2-Partition (split into two subsets of equal sum) via subset-sum
+/// DP; pseudo-polynomial in sum(values). Returns one side when it exists.
+[[nodiscard]] std::optional<std::vector<std::size_t>> SolveTwoPartition(
+    const std::vector<std::uint64_t>& values);
+
+/// Decides 2-Partition-Equal: a subset of *exactly half the elements* with
+/// half the total sum. Returns the subset indices when it exists.
+[[nodiscard]] std::optional<std::vector<std::size_t>> SolveTwoPartitionEqual(
+    const std::vector<std::uint64_t>& values);
+
+/// Generates a certified yes 2-Partition instance of `count` values.
+[[nodiscard]] std::vector<std::uint64_t> MakeTwoPartitionYes(std::size_t count,
+                                                             std::uint64_t max_value, Rng& rng);
+
+/// Generates a certified no 2-Partition instance of `count` values with an
+/// even total (rejection sampling against the DP solver).
+[[nodiscard]] std::vector<std::uint64_t> MakeTwoPartitionNo(std::size_t count,
+                                                            std::uint64_t max_value, Rng& rng);
+
+/// Generates a certified yes 2-Partition-Equal instance of 2m values.
+[[nodiscard]] std::vector<std::uint64_t> MakeTwoPartitionEqualYes(std::uint64_t m,
+                                                                  std::uint64_t max_value,
+                                                                  Rng& rng);
+
+/// Generates a certified no 2-Partition-Equal instance of 2m values with an
+/// even total (rejection sampling against the DP solver).
+[[nodiscard]] std::vector<std::uint64_t> MakeTwoPartitionEqualNo(std::uint64_t m,
+                                                                 std::uint64_t max_value,
+                                                                 Rng& rng);
+
+}  // namespace rpt::npc

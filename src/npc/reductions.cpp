@@ -1,0 +1,183 @@
+#include "npc/reductions.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "flow/assignment.hpp"
+
+namespace rpt::npc {
+
+namespace {
+
+// Hangs a binary caterpillar of clients below `parent`: internal nodes
+// u_1 -> u_2 -> ... with one client each, the last one carrying two. Every
+// spine node above `parent` is an ancestor of all these clients. All edges
+// have length 1.
+void AttachClientCaterpillar(TreeBuilder& builder, NodeId parent,
+                             const std::vector<std::uint64_t>& requests) {
+  RPT_CHECK(!requests.empty());
+  if (requests.size() == 1) {
+    builder.AddClient(parent, 1, requests[0]);
+    return;
+  }
+  NodeId spine = parent;
+  for (std::size_t i = 0; i + 1 < requests.size(); ++i) {
+    spine = builder.AddInternal(spine, 1);
+    builder.AddClient(spine, 1, requests[i]);
+  }
+  builder.AddClient(spine, 1, requests.back());
+}
+
+}  // namespace
+
+Reduction BuildI2(const ThreePartitionInstance& source) {
+  RPT_REQUIRE(source.IsWellFormed(),
+              "BuildI2: source must be a well-formed 3-Partition instance "
+              "(sum = m*B, B/4 < a_i < B/2)");
+  const std::uint64_t m = source.GroupCount();
+
+  TreeBuilder builder;
+  // Spine n_1..n_m: every spine node can serve every client (NoD).
+  NodeId spine = builder.AddRoot();
+  for (std::uint64_t k = 1; k < m; ++k) spine = builder.AddInternal(spine, 1);
+  AttachClientCaterpillar(builder, spine, source.values);
+
+  Tree tree = builder.Build();
+  RPT_CHECK(tree.IsBinary());
+  return Reduction{Instance(std::move(tree), /*capacity=*/source.bound, kNoDistanceLimit),
+                   /*threshold=*/m, Policy::kSingle};
+}
+
+Reduction BuildI4(const std::vector<std::uint64_t>& values) {
+  RPT_REQUIRE(values.size() >= 2, "BuildI4: need at least two values");
+  const std::uint64_t sum = std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  RPT_REQUIRE(sum % 2 == 0, "BuildI4: sum must be even (W = S/2)");
+  const std::uint64_t half = sum / 2;
+  RPT_REQUIRE(*std::max_element(values.begin(), values.end()) <= half,
+              "BuildI4: max value exceeds W = S/2; no Single solution would exist");
+
+  TreeBuilder builder;
+  const NodeId root = builder.AddRoot();        // r
+  const NodeId n1 = builder.AddInternal(root, 1);  // n_1
+  AttachClientCaterpillar(builder, n1, values);
+
+  Tree tree = builder.Build();
+  RPT_CHECK(tree.IsBinary());
+  return Reduction{Instance(std::move(tree), /*capacity=*/half, kNoDistanceLimit),
+                   /*threshold=*/2, Policy::kSingle};
+}
+
+Reduction BuildI6(const std::vector<std::uint64_t>& values) {
+  RPT_REQUIRE(values.size() >= 2 && values.size() % 2 == 0,
+              "BuildI6: need 2m values");
+  const std::uint64_t m = values.size() / 2;
+  const std::uint64_t sum = std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  RPT_REQUIRE(sum % 2 == 0, "BuildI6: sum must be even");
+  const std::uint64_t half = sum / 2;
+  for (const std::uint64_t a : values) {
+    RPT_REQUIRE(2 * a <= half, "BuildI6: need a_j <= S/4 so b_j >= 0; see NormalizeForI6");
+  }
+  const Requests capacity = half + 1;  // W = S/2 + 1
+  const Distance dmax = 3 * m;
+
+  // Build the chain n_{5m-1} (root) down to n_{2m+1}, attaching the gadget
+  // nodes n_j (j <= 2m) and the special clients along the way, exactly as in
+  // the paper's Fig. 5 description.
+  TreeBuilder builder;
+  std::vector<NodeId> chain(3 * m - 1);  // chain[idx] = n_{2m+1+idx}
+  for (std::uint64_t k = 5 * m - 1; k >= 2 * m + 1; --k) {
+    const std::size_t idx = k - (2 * m + 1);
+    if (k == 5 * m - 1) {
+      chain[idx] = builder.AddRoot();
+    } else {
+      chain[idx] = builder.AddInternal(chain[idx + 1], 1);
+    }
+    if (k >= 4 * m + 1) {
+      // One client with a single request at distance dmax: only the parent
+      // node itself can serve it.
+      builder.AddClient(chain[idx], dmax, 1);
+    }
+    if (k >= 2 * m + 1 && k <= 4 * m) {
+      // Gadget node n_j, j = k - 2m, with its two clients.
+      const std::uint64_t j = k - 2 * m;
+      const NodeId nj = builder.AddInternal(chain[idx], 1);
+      builder.AddClient(nj, j + m - 2, values[j - 1]);        // a_j at distance j+m-2
+      builder.AddClient(nj, 1, half - 2 * values[j - 1]);     // b_j = S/2 - 2 a_j
+    }
+    if (k == 2 * m + 1) {
+      // The oversized client: (2m+1)*W requests at distance m+1. This client
+      // violates r_i <= W, which is exactly why Multiple-Bin is NP-hard here.
+      builder.AddClient(chain[idx], m + 1, (2 * m + 1) * capacity);
+    }
+  }
+
+  Tree tree = builder.Build();
+  RPT_CHECK(tree.IsBinary());
+  RPT_CHECK(tree.ClientCount() == 5 * m);
+  RPT_CHECK(tree.InternalCount() == 5 * m - 1);
+  return Reduction{Instance(std::move(tree), capacity, dmax), /*threshold=*/4 * m,
+                   Policy::kMultiple};
+}
+
+bool RestrictedI6Decision(const Reduction& reduction) {
+  const Tree& t = reduction.instance.GetTree();
+  RPT_REQUIRE(reduction.policy == Policy::kMultiple && reduction.threshold % 4 == 0,
+              "RestrictedI6Decision: expects a BuildI6 reduction");
+  const std::uint64_t m = reduction.threshold / 4;
+  // Forced replicas: the chain nodes and the oversized client. Gadget nodes
+  // are recognised by having two client children.
+  std::vector<NodeId> forced;
+  std::vector<NodeId> gadgets;
+  for (NodeId id = 0; id < t.Size(); ++id) {
+    if (t.IsClient(id)) {
+      if (t.RequestsOf(id) > reduction.instance.Capacity()) forced.push_back(id);
+      continue;
+    }
+    std::size_t client_children = 0;
+    for (const NodeId child : t.Children(id)) client_children += t.IsClient(child);
+    if (client_children == 2) {
+      gadgets.push_back(id);
+    } else {
+      forced.push_back(id);
+    }
+  }
+  RPT_CHECK(gadgets.size() == 2 * m);
+  RPT_CHECK(forced.size() == 3 * m);
+
+  std::vector<NodeId> replicas;
+  const std::function<bool(std::size_t, std::uint64_t)> combos = [&](std::size_t start,
+                                                                     std::uint64_t need) -> bool {
+    if (need == 0) {
+      std::vector<NodeId> placement(forced);
+      placement.insert(placement.end(), replicas.begin(), replicas.end());
+      return flow::MultipleFeasible(reduction.instance, placement);
+    }
+    for (std::size_t i = start; i + need <= gadgets.size(); ++i) {
+      replicas.push_back(gadgets[i]);
+      if (combos(i + 1, need - 1)) return true;
+      replicas.pop_back();
+    }
+    return false;
+  };
+  return combos(0, m);
+}
+
+std::vector<std::uint64_t> NormalizeForI6(std::vector<std::uint64_t> values) {
+  RPT_REQUIRE(values.size() >= 6 && values.size() % 2 == 0,
+              "NormalizeForI6: need 2m values with m >= 3");
+  const std::uint64_t m = values.size() / 2;
+  const std::uint64_t sum = std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  RPT_REQUIRE(sum % 2 == 0, "NormalizeForI6: sum must be even");
+  const std::uint64_t max_value = *std::max_element(values.begin(), values.end());
+  // Need (a_j + M) <= (S + 2mM)/4, i.e. (2m-4) M >= 4 max_a - S.
+  if (4 * max_value <= sum) return values;  // already fine
+  const std::uint64_t numerator = 4 * max_value - sum;
+  const std::uint64_t denominator = 2 * m - 4;
+  std::uint64_t shift = CeilDiv(numerator, denominator);
+  if (shift % 2 != 0) ++shift;  // keep the sum even
+  for (auto& v : values) v += shift;
+  return values;
+}
+
+}  // namespace rpt::npc

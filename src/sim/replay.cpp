@@ -1,0 +1,142 @@
+#include "sim/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "model/validate.hpp"
+
+namespace rpt::sim {
+
+std::uint64_t DrawPoisson(Rng& rng, double mean) {
+  RPT_REQUIRE(mean >= 0.0 && std::isfinite(mean), "DrawPoisson: mean must be finite and >= 0");
+  if (mean == 0.0) return 0;
+  if (mean <= 64.0) {
+    // Knuth: multiply uniforms until below e^-mean.
+    const double threshold = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = rng.NextUnit();
+    while (product > threshold) {
+      ++count;
+      product *= rng.NextUnit();
+    }
+    return count;
+  }
+  // Normal approximation N(mean, mean) via Box-Muller, clamped at zero.
+  const double u1 = std::max(rng.NextUnit(), 1e-12);
+  const double u2 = rng.NextUnit();
+  const double gauss = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double value = mean + std::sqrt(mean) * gauss;
+  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(value));
+}
+
+ReplayReport Replay(const Instance& instance, const Solution& solution,
+                    const ReplayConfig& config) {
+  RPT_REQUIRE(config.ticks > 0, "Replay: need at least one tick");
+  RPT_REQUIRE(config.demand_factor >= 0.0 && std::isfinite(config.demand_factor),
+              "Replay: demand_factor must be finite and >= 0");
+  const auto validation = ValidateSolution(instance, Policy::kMultiple, solution);
+  RPT_REQUIRE(validation.ok, "Replay: solution is not feasible: " + validation.Describe());
+
+  const Tree& tree = instance.GetTree();
+  const Requests capacity = instance.Capacity();
+  Rng rng(config.seed);
+
+  // Compact server states and per-client routing shares.
+  std::unordered_map<NodeId, std::size_t> server_index;
+  std::vector<ServerReport> servers;
+  for (const NodeId replica : solution.replicas) {
+    server_index.emplace(replica, servers.size());
+    ServerReport report;
+    report.server = replica;
+    servers.push_back(report);
+  }
+  struct Share {
+    std::size_t server;
+    Requests amount;
+    Distance distance;
+  };
+  std::unordered_map<NodeId, std::vector<Share>> shares;
+  double distance_weighted = 0.0;
+  Requests planned_total = 0;
+  ReplayReport report;
+  for (const ServiceEntry& entry : solution.assignment) {
+    const std::size_t index = server_index.at(entry.server);
+    const Distance distance = tree.DistToAncestor(entry.client, entry.server);
+    shares[entry.client].push_back(Share{index, entry.amount, distance});
+    servers[index].planned_load += entry.amount;
+    distance_weighted += static_cast<double>(distance) * static_cast<double>(entry.amount);
+    planned_total += entry.amount;
+    report.max_service_distance = std::max(report.max_service_distance, distance);
+  }
+  report.mean_service_distance =
+      planned_total == 0 ? 0.0 : distance_weighted / static_cast<double>(planned_total);
+
+  // FIFO backlog per server: batches of (arrival tick, count).
+  std::vector<std::deque<std::pair<std::uint64_t, std::uint64_t>>> queues(servers.size());
+  std::vector<std::uint64_t> backlog(servers.size(), 0);
+  double wait_weighted = 0.0;
+
+  report.ticks = config.ticks;
+  for (std::uint64_t tick = 0; tick < config.ticks; ++tick) {
+    // Arrivals: each client draws its demand and splits it proportionally
+    // to the planned routing (largest-remainder rounding keeps the total).
+    for (const auto& [client, client_shares] : shares) {
+      Requests planned = 0;
+      for (const Share& share : client_shares) planned += share.amount;
+      const double mean =
+          static_cast<double>(planned) * config.demand_factor;
+      const std::uint64_t demand = DrawPoisson(rng, mean);
+      if (demand == 0) continue;
+      std::uint64_t assigned = 0;
+      for (std::size_t s = 0; s < client_shares.size(); ++s) {
+        const Share& share = client_shares[s];
+        std::uint64_t part;
+        if (s + 1 == client_shares.size()) {
+          part = demand - assigned;  // remainder to the last share
+        } else {
+          part = demand * share.amount / planned;
+        }
+        assigned += part;
+        if (part == 0) continue;
+        queues[share.server].emplace_back(tick, part);
+        backlog[share.server] += part;
+        servers[share.server].arrived += part;
+        report.arrived += part;
+      }
+    }
+    // Service: each server drains up to W requests, oldest first.
+    std::uint64_t total_backlog = 0;
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      Requests budget = capacity;
+      while (budget > 0 && !queues[s].empty()) {
+        auto& [arrival, count] = queues[s].front();
+        const std::uint64_t take = std::min<std::uint64_t>(budget, count);
+        wait_weighted += static_cast<double>(tick - arrival) * static_cast<double>(take);
+        servers[s].served += take;
+        report.served += take;
+        backlog[s] -= take;
+        budget -= take;
+        count -= take;
+        if (count == 0) queues[s].pop_front();
+      }
+      servers[s].peak_backlog = std::max(servers[s].peak_backlog, backlog[s]);
+      total_backlog += backlog[s];
+    }
+    report.peak_backlog_total = std::max(report.peak_backlog_total, total_backlog);
+  }
+
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    servers[s].final_backlog = backlog[s];
+    servers[s].utilization =
+        static_cast<double>(servers[s].served) /
+        (static_cast<double>(config.ticks) * static_cast<double>(capacity));
+  }
+  report.mean_wait_ticks =
+      report.served == 0 ? 0.0 : wait_weighted / static_cast<double>(report.served);
+  report.servers = std::move(servers);
+  return report;
+}
+
+}  // namespace rpt::sim

@@ -1,0 +1,70 @@
+// Discrete-time replay of a placement under stochastic demand.
+//
+// The paper's model is static: r_i requests per time unit, servers of
+// capacity W per time unit, distance = QoS bound. This module closes the
+// loop to the motivating applications (VoD/ISP delivery, paper §1): given an
+// Instance and a Solution, it simulates T ticks. Each tick every client
+// draws a Poisson demand with mean r_i * demand_factor, splits it over its
+// assigned servers proportionally to the planned routing, and each server
+// drains up to W requests per tick from a FIFO backlog. The report captures
+// utilization, backlog dynamics and queueing delay, and the request-weighted
+// service distance (the QoS the dmax constraint was buying).
+//
+// With demand_factor <= 1 a valid placement never builds sustained backlog
+// (the plan respects W); factors > 1 model surges and expose how much
+// headroom a placement has and where it saturates first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "model/solution.hpp"
+#include "support/rng.hpp"
+
+namespace rpt::sim {
+
+/// Simulation parameters.
+struct ReplayConfig {
+  std::uint64_t ticks = 100;    ///< simulated time units
+  double demand_factor = 1.0;   ///< mean demand multiplier (1.0 = planned load)
+  std::uint64_t seed = 1;       ///< RNG seed (deterministic replay)
+};
+
+/// Per-server outcome.
+struct ServerReport {
+  NodeId server = kInvalidNode;
+  Requests planned_load = 0;      ///< load the placement assigns per tick
+  std::uint64_t arrived = 0;      ///< requests that arrived over the run
+  std::uint64_t served = 0;       ///< requests drained over the run
+  std::uint64_t peak_backlog = 0; ///< worst queue length observed
+  std::uint64_t final_backlog = 0;
+  double utilization = 0.0;       ///< served / (ticks * W)
+};
+
+/// Whole-run outcome.
+struct ReplayReport {
+  std::uint64_t ticks = 0;
+  std::uint64_t arrived = 0;
+  std::uint64_t served = 0;
+  std::uint64_t peak_backlog_total = 0;  ///< max over ticks of summed backlogs
+  double mean_wait_ticks = 0.0;          ///< queueing delay per served request
+  double mean_service_distance = 0.0;    ///< request-weighted client->server distance
+  Distance max_service_distance = 0;     ///< worst distance in the plan (<= dmax)
+  std::vector<ServerReport> servers;
+
+  /// True iff the run ended with empty queues everywhere.
+  [[nodiscard]] bool Drained() const noexcept { return arrived == served; }
+};
+
+/// Replays `solution` on `instance`. The solution must be feasible for the
+/// Multiple policy (Single solutions are a special case); throws
+/// InvalidArgument otherwise — the replay trusts the plan it is given.
+[[nodiscard]] ReplayReport Replay(const Instance& instance, const Solution& solution,
+                                  const ReplayConfig& config);
+
+/// Draws a Poisson-distributed integer with the given mean (Knuth's method
+/// for small means, normal approximation above 64). Deterministic in `rng`.
+[[nodiscard]] std::uint64_t DrawPoisson(Rng& rng, double mean);
+
+}  // namespace rpt::sim

@@ -1,0 +1,77 @@
+#include "single/baselines.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace rpt::single {
+
+Solution SolveClientLocal(const Instance& instance) {
+  RPT_REQUIRE(instance.AllRequestsFitLocally(),
+              "client-local: some client has r_i > W; no Single solution exists");
+  const Tree& tree = instance.GetTree();
+  Solution solution;
+  for (const NodeId client : tree.Clients()) {
+    const Requests requests = tree.RequestsOf(client);
+    if (requests == 0) continue;
+    solution.replicas.push_back(client);
+    solution.assignment.push_back(ServiceEntry{client, client, requests});
+  }
+  return solution;
+}
+
+Solution SolveGreedyBestFit(const Instance& instance) {
+  RPT_REQUIRE(instance.AllRequestsFitLocally(),
+              "greedy-best-fit: some client has r_i > W; no Single solution exists");
+  const Tree& tree = instance.GetTree();
+  const Requests capacity = instance.Capacity();
+
+  std::vector<NodeId> clients(tree.Clients().begin(), tree.Clients().end());
+  std::erase_if(clients, [&](NodeId c) { return tree.RequestsOf(c) == 0; });
+  std::sort(clients.begin(), clients.end(), [&](NodeId a, NodeId b) {
+    if (tree.RequestsOf(a) != tree.RequestsOf(b)) return tree.RequestsOf(a) > tree.RequestsOf(b);
+    return a < b;
+  });
+
+  Solution solution;
+  std::unordered_map<NodeId, Requests> residual;  // open server -> remaining capacity
+
+  for (const NodeId client : clients) {
+    const Requests requests = tree.RequestsOf(client);
+    // Walk the root path collecting eligible nodes (within dmax).
+    std::vector<NodeId> eligible;
+    for (NodeId node = client;; node = tree.Parent(node)) {
+      if (!instance.CanServe(client, node)) break;
+      eligible.push_back(node);
+      if (node == tree.Root()) break;
+    }
+    // Best fit among open servers.
+    NodeId best = kInvalidNode;
+    Requests best_residual = capacity + 1;
+    for (const NodeId node : eligible) {
+      const auto it = residual.find(node);
+      if (it == residual.end()) continue;
+      if (it->second >= requests && it->second < best_residual) {
+        best = node;
+        best_residual = it->second;
+      }
+    }
+    if (best == kInvalidNode) {
+      // Open a new replica at the highest eligible replica-free node.
+      for (auto it = eligible.rbegin(); it != eligible.rend(); ++it) {
+        if (!residual.contains(*it)) {
+          best = *it;
+          break;
+        }
+      }
+      RPT_CHECK(best != kInvalidNode);  // the client itself is always free
+      residual.emplace(best, capacity);
+      solution.replicas.push_back(best);
+    }
+    residual[best] -= requests;
+    solution.assignment.push_back(ServiceEntry{client, best, requests});
+  }
+  return solution;
+}
+
+}  // namespace rpt::single

@@ -1,0 +1,24 @@
+// Simple baseline placement heuristics used as comparison points in the
+// benchmark harness. Neither has an approximation guarantee; they bracket the
+// paper's algorithms from below (quality-wise).
+#pragma once
+
+#include "model/instance.hpp"
+#include "model/solution.hpp"
+
+namespace rpt::single {
+
+/// The trivial always-feasible solution from paper §3: a replica at every
+/// client with r_i > 0, each serving itself. Valid under both policies and
+/// any dmax. Requires r_i <= W.
+[[nodiscard]] Solution SolveClientLocal(const Instance& instance);
+
+/// Greedy best-fit: clients in non-increasing request order; each client is
+/// assigned to the already-open eligible server with the least remaining
+/// capacity that still fits (best fit); if none fits, a new replica is opened
+/// at the highest eligible node (closest to the root within dmax) that has no
+/// replica yet. Requires r_i <= W. Feasible for the Single policy (and hence
+/// Multiple too).
+[[nodiscard]] Solution SolveGreedyBestFit(const Instance& instance);
+
+}  // namespace rpt::single

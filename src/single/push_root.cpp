@@ -1,0 +1,190 @@
+#include "single/push_root.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace rpt::single {
+
+namespace {
+
+// Mutable server state during the improvement loop.
+struct Server {
+  NodeId node = kInvalidNode;
+  Requests load = 0;
+  std::vector<std::pair<NodeId, Requests>> clients;  // (client, whole demand)
+  bool alive = true;
+};
+
+class PushRoot {
+ public:
+  explicit PushRoot(const Instance& instance) : instance_(instance), tree_(instance.GetTree()) {}
+
+  PushRootResult Run() {
+    // Trivial start: every requesting client serves itself.
+    for (const NodeId client : tree_.Clients()) {
+      const Requests demand = tree_.RequestsOf(client);
+      if (demand == 0) continue;
+      Server server;
+      server.node = client;
+      server.load = demand;
+      server.clients = {{client, demand}};
+      occupied_[client] = servers_.size();
+      servers_.push_back(std::move(server));
+    }
+
+    bool changed = true;
+    while (changed) {
+      ++stats_.rounds;
+      changed = false;
+      changed |= PushUpPass();
+      changed |= RepackPass();
+    }
+
+    PushRootResult result;
+    result.stats = stats_;
+    for (const Server& server : servers_) {
+      if (!server.alive) continue;
+      result.solution.replicas.push_back(server.node);
+      for (const auto& [client, demand] : server.clients) {
+        result.solution.assignment.push_back(ServiceEntry{client, server.node, demand});
+      }
+    }
+    result.solution.Canonicalize();
+    return result;
+  }
+
+ private:
+  // True iff every client of `server` may be served at `target`.
+  bool AllEligible(const Server& server, NodeId target) const {
+    for (const auto& [client, demand] : server.clients) {
+      (void)demand;
+      if (!instance_.CanServe(client, target)) return false;
+    }
+    return true;
+  }
+
+  // Climb order: lightest servers first. Small bundles are the ones that can
+  // still merge, so they must claim the shared ancestors before a heavy
+  // server parks on them and blocks everyone (on the Fig. 4 family this
+  // ordering is exactly what recovers the optimum K+1: the unit clients pool
+  // at the root while each W-sized client settles one level up). Depth
+  // breaks ties so children move before parents.
+  std::vector<std::size_t> AliveClimbOrder() const {
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (servers_[i].alive) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+      if (servers_[a].load != servers_[b].load) return servers_[a].load < servers_[b].load;
+      const std::uint32_t da = tree_.Depth(servers_[a].node);
+      const std::uint32_t db = tree_.Depth(servers_[b].node);
+      if (da != db) return da > db;
+      return servers_[a].node < servers_[b].node;
+    });
+    return order;
+  }
+
+  // Move 1+2: climb each server toward the root; merge into an occupied
+  // ancestor with spare capacity, else relocate onto a free ancestor.
+  bool PushUpPass() {
+    bool changed = false;
+    for (const std::size_t index : AliveClimbOrder()) {
+      Server& server = servers_[index];
+      if (!server.alive) continue;
+      while (server.node != tree_.Root()) {
+        const NodeId parent = tree_.Parent(server.node);
+        if (!AllEligible(server, parent)) break;
+        const auto occupant = occupied_.find(parent);
+        if (occupant != occupied_.end()) {
+          Server& target = servers_[occupant->second];
+          if (target.load + server.load > instance_.Capacity()) break;
+          // Merge: the ancestor absorbs all of this server's clients.
+          target.load += server.load;
+          target.clients.insert(target.clients.end(), server.clients.begin(),
+                                server.clients.end());
+          occupied_.erase(server.node);
+          server.alive = false;
+          ++stats_.merges;
+          changed = true;
+          break;
+        }
+        // Relocate one level up (free slot).
+        occupied_.erase(server.node);
+        server.node = parent;
+        occupied_[parent] = index;
+        ++stats_.push_ups;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  // Move 3: try to empty light servers by first-fit moving their clients
+  // (whole, Single policy) into other servers' residual capacity.
+  bool RepackPass() {
+    bool changed = false;
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (servers_[i].alive) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+      if (servers_[a].load != servers_[b].load) return servers_[a].load < servers_[b].load;
+      return servers_[a].node < servers_[b].node;
+    });
+    for (const std::size_t index : order) {
+      Server& server = servers_[index];
+      if (!server.alive) continue;
+      // Tentatively place each client elsewhere; commit only if all fit.
+      std::vector<std::pair<std::size_t, std::pair<NodeId, Requests>>> moves;
+      std::map<std::size_t, Requests> extra_load;
+      bool all_placed = true;
+      for (const auto& entry : server.clients) {
+        const auto& [client, demand] = entry;
+        bool placed = false;
+        for (const std::size_t other_index : order) {
+          if (other_index == index) continue;
+          const Server& other = servers_[other_index];
+          if (!other.alive) continue;
+          if (!instance_.CanServe(client, other.node)) continue;
+          if (other.load + extra_load[other_index] + demand > instance_.Capacity()) continue;
+          moves.emplace_back(other_index, entry);
+          extra_load[other_index] += demand;
+          placed = true;
+          break;
+        }
+        if (!placed) {
+          all_placed = false;
+          break;
+        }
+      }
+      if (!all_placed) continue;
+      for (const auto& [target_index, entry] : moves) {
+        servers_[target_index].clients.push_back(entry);
+        servers_[target_index].load += entry.second;
+      }
+      occupied_.erase(server.node);
+      server.alive = false;
+      ++stats_.repacks;
+      changed = true;
+    }
+    return changed;
+  }
+
+  const Instance& instance_;
+  const Tree& tree_;
+  std::vector<Server> servers_;
+  std::map<NodeId, std::size_t> occupied_;  // node -> alive server index
+  PushRootStats stats_;
+};
+
+}  // namespace
+
+PushRootResult SolveSinglePushRoot(const Instance& instance) {
+  RPT_REQUIRE(instance.AllRequestsFitLocally(),
+              "single-push: some client has r_i > W; no Single solution exists");
+  PushRoot engine(instance);
+  return engine.Run();
+}
+
+}  // namespace rpt::single

@@ -1,0 +1,47 @@
+// `single-push`: the placement strategy sketched in the paper's conclusion.
+//
+// The paper conjectures a 3/2-approximation for Single-NoD-Bin and writes:
+// "A greedy algorithm is unlikely to be good enough, and we rather envision
+// to push servers towards the root of the tree, whenever possible." This
+// module implements that idea so the conjecture can be tested empirically
+// (bench_push_conjecture): start from the trivial client-local placement and
+// iterate three improvement moves until a fixpoint —
+//   1. push-up: relocate a server (with all its clients) to its parent when
+//      every served client stays eligible, concentrating servers rootward;
+//   2. merge: fold a server into an already-placed ancestor with spare
+//      capacity;
+//   3. repack: empty a server by first-fit moving each of its clients
+//      (whole, Single policy) into other servers' residual capacity.
+// Every move preserves feasibility; count and total server depth strictly
+// decrease, so termination is immediate.
+//
+// No approximation guarantee is proven here — the bench measures the
+// empirical ratio against the exhaustive optimum (it stayed <= 3/2 on every
+// Single-NoD-Bin instance we generated, consistent with the conjecture).
+// Works with distance constraints too (moves are eligibility-checked).
+#pragma once
+
+#include "model/instance.hpp"
+#include "model/solution.hpp"
+
+namespace rpt::single {
+
+/// Counters for the improvement moves.
+struct PushRootStats {
+  std::uint64_t push_ups = 0;  ///< server relocations toward the root
+  std::uint64_t merges = 0;    ///< servers folded into an ancestor server
+  std::uint64_t repacks = 0;   ///< servers emptied by redistributing clients
+  std::uint64_t rounds = 0;    ///< full passes until the fixpoint
+};
+
+/// Result of running single-push.
+struct PushRootResult {
+  Solution solution;
+  PushRootStats stats;
+};
+
+/// Runs the push-toward-root strategy. Requires r_i <= W for every client
+/// (throws InvalidArgument otherwise). Returns a feasible Single solution.
+[[nodiscard]] PushRootResult SolveSinglePushRoot(const Instance& instance);
+
+}  // namespace rpt::single

@@ -1,0 +1,162 @@
+#include "single/single_gen.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace rpt::single {
+
+namespace {
+
+// Subtracts d from a slack, treating kNoDistanceLimit as +inf.
+Distance SlackMinus(Distance slack, Distance d) noexcept {
+  if (slack == kNoDistanceLimit) return slack;
+  RPT_CHECK(slack >= d);
+  return slack - d;
+}
+
+// One client whose requests are still travelling up the tree. `slack` is the
+// remaining distance budget at the node currently holding the aggregate:
+// dmax - dist(client, current node).
+struct PendingEntry {
+  NodeId client;
+  Requests amount;
+  Distance slack;
+};
+
+// Aggregate of pending requests at a node — the (req, dist) pair of the
+// paper, plus the explicit client items. Slack subtraction is lazy (a
+// per-set offset) so deep chains stay linear-time.
+struct PendingSet {
+  std::vector<PendingEntry> entries;
+  Requests total = 0;
+  Distance min_slack = kNoDistanceLimit;  // effective min over entries
+  Distance offset = 0;                    // pending subtraction per entry
+
+  [[nodiscard]] bool Empty() const noexcept { return total == 0; }
+
+  void Clear() noexcept {
+    entries.clear();
+    total = 0;
+    min_slack = kNoDistanceLimit;
+    offset = 0;
+  }
+
+  // Moves the requests one edge (length d) up the tree. Caller must have
+  // verified d <= min_slack.
+  void Ascend(Distance d) noexcept {
+    min_slack = SlackMinus(min_slack, d);
+    offset = SaturatingAdd(offset, d);
+  }
+
+  // Applies the lazy offset to all entries.
+  void Flush() {
+    if (offset == 0) return;
+    for (PendingEntry& entry : entries) entry.slack = SlackMinus(entry.slack, offset);
+    offset = 0;
+  }
+
+  // Appends another set (its offset is flushed first).
+  void Absorb(PendingSet&& other) {
+    other.Flush();
+    if (entries.empty()) {
+      entries = std::move(other.entries);
+      RPT_CHECK(offset == 0);
+    } else {
+      Flush();
+      entries.insert(entries.end(), other.entries.begin(), other.entries.end());
+    }
+    total += other.total;
+    min_slack = std::min(min_slack, other.min_slack);
+    other.Clear();
+  }
+};
+
+// Places a replica at `server` handling every entry of `pending`.
+void PlaceServer(Solution& solution, NodeId server, PendingSet& pending) {
+  solution.replicas.push_back(server);
+  for (const PendingEntry& entry : pending.entries) {
+    solution.assignment.push_back(ServiceEntry{entry.client, server, entry.amount});
+  }
+  pending.Clear();
+}
+
+}  // namespace
+
+SingleGenResult SolveSingleGen(const Instance& instance) {
+  const Tree& tree = instance.GetTree();
+  const Requests capacity = instance.Capacity();
+  RPT_REQUIRE(instance.AllRequestsFitLocally(),
+              "single-gen: some client has r_i > W; no Single solution exists");
+
+  SingleGenResult result;
+  std::vector<PendingSet> pending(tree.Size());
+
+  for (const NodeId node : tree.PostOrder()) {
+    PendingSet& mine = pending[node];
+    if (tree.IsClient(node)) {
+      // Leaf: return (r_j, dmax).
+      const Requests requests = tree.RequestsOf(node);
+      if (requests > 0) {
+        mine.entries.push_back(PendingEntry{node, requests, instance.Dmax()});
+        mine.total = requests;
+        mine.min_slack = instance.Dmax();
+      }
+      continue;
+    }
+
+    // Step 1: per child, either the pending requests survive the edge to us,
+    // or a replica is forced at the child by the distance constraint.
+    Requests child_total = 0;
+    for (const NodeId child : tree.Children(node)) {
+      PendingSet& theirs = pending[child];
+      if (theirs.Empty()) continue;
+      const Distance delta = tree.DistToParent(child);
+      if (delta > theirs.min_slack) {
+        theirs.Flush();
+        PlaceServer(result.solution, child, theirs);
+        ++result.stats.distance_replicas;
+      } else {
+        theirs.Ascend(delta);
+        child_total += theirs.total;
+      }
+    }
+
+    if (child_total > capacity) {
+      // Step 2: too many requests to pass through this node — every child
+      // with pending requests becomes a server.
+      for (const NodeId child : tree.Children(node)) {
+        PendingSet& theirs = pending[child];
+        if (theirs.Empty()) continue;
+        theirs.Flush();
+        PlaceServer(result.solution, child, theirs);
+        ++result.stats.capacity_replicas;
+      }
+      continue;  // (0, dmax) goes up
+    }
+
+    // Step 3: requests fit through this node.
+    if (node == tree.Root()) {
+      PendingSet merged;
+      for (const NodeId child : tree.Children(node)) {
+        if (!pending[child].Empty()) merged.Absorb(std::move(pending[child]));
+      }
+      if (!merged.Empty()) {
+        merged.Flush();
+        PlaceServer(result.solution, tree.Root(), merged);
+        ++result.stats.distance_replicas;  // R1 in the proof of Theorem 3
+      }
+    } else {
+      for (const NodeId child : tree.Children(node)) {
+        if (!pending[child].Empty()) mine.Absorb(std::move(pending[child]));
+      }
+      RPT_CHECK(mine.total <= capacity);
+    }
+  }
+
+  // Single-node tree (root only, no clients) or all-zero requests: nothing
+  // to do; result stays empty and valid.
+  return result;
+}
+
+}  // namespace rpt::single

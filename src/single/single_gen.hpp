@@ -1,0 +1,40 @@
+// Algorithm 1 of the paper: `single-gen`, a (∆+1)-approximation for the
+// Single policy with distance constraints (Theorem 3), and a ∆-approximation
+// without them (Corollary 1). Time O(∆·|T|) up to list bookkeeping.
+//
+// The paper's procedure only counts replicas; this implementation
+// additionally tracks, for every pending aggregate, the multiset of
+// (client, amount, slack) items it contains, so the returned Solution carries
+// the explicit request routing implied by the algorithm. The routing is
+// re-checked by the independent validator in tests.
+#pragma once
+
+#include "model/instance.hpp"
+#include "model/solution.hpp"
+#include "model/validate.hpp"
+
+namespace rpt::single {
+
+/// Breakdown of where single-gen placed replicas, matching the R1/R2 split
+/// used in the proof of Theorem 3.
+struct SingleGenStats {
+  /// Replicas forced by the distance constraint (line 9) or placed at the
+  /// root (line 19) — the set R1 of the proof, |R1| <= |R_opt|.
+  std::uint64_t distance_replicas = 0;
+  /// Replicas placed when a node's children exceed W (line 14) — the set R2,
+  /// |R2| <= ∆·|R_opt|.
+  std::uint64_t capacity_replicas = 0;
+};
+
+/// Result of running single-gen.
+struct SingleGenResult {
+  Solution solution;
+  SingleGenStats stats;
+};
+
+/// Runs Algorithm 1 on the instance. Requires r_i <= W for every client
+/// (otherwise no Single solution exists at all); throws InvalidArgument if
+/// violated. Always succeeds and returns a feasible Single solution.
+[[nodiscard]] SingleGenResult SolveSingleGen(const Instance& instance);
+
+}  // namespace rpt::single

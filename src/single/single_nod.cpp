@@ -1,0 +1,125 @@
+#include "single/single_nod.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace rpt::single {
+
+namespace {
+
+// A pending bundle: requests of `clients` (all inside subtree(root_node))
+// that can be served together by a replica at root_node or any ancestor.
+struct Bundle {
+  NodeId root_node = kInvalidNode;
+  Requests total = 0;
+  std::vector<std::pair<NodeId, Requests>> clients;
+};
+
+// Serves every client of the bundle at `server`.
+void ServeBundle(Solution& solution, NodeId server, const Bundle& bundle) {
+  for (const auto& [client, amount] : bundle.clients) {
+    solution.assignment.push_back(ServiceEntry{client, server, amount});
+  }
+}
+
+}  // namespace
+
+SingleNodResult SolveSingleNod(const Instance& instance, const SingleNodOptions& options) {
+  RPT_REQUIRE(!instance.HasDistanceConstraint(),
+              "single-nod: only valid without distance constraints (Single-NoD)");
+  RPT_REQUIRE(instance.AllRequestsFitLocally(),
+              "single-nod: some client has r_i > W; no Single solution exists");
+  const Tree& tree = instance.GetTree();
+  const Requests capacity = instance.Capacity();
+
+  SingleNodResult result;
+  Solution& solution = result.solution;
+
+  // L_j of the paper; bundles arrive from direct children and from
+  // re-parenting at deeper overflow nodes.
+  std::vector<std::vector<Bundle>> lists(tree.Size());
+
+  for (const NodeId node : tree.PostOrder()) {
+    if (tree.IsClient(node)) {
+      const Requests requests = tree.RequestsOf(node);
+      if (requests > 0 && node != tree.Root()) {
+        lists[tree.Parent(node)].push_back(
+            Bundle{node, requests, {{node, requests}}});
+      }
+      continue;
+    }
+
+    std::vector<Bundle>& mine = lists[node];
+    Requests total = 0;
+    for (const Bundle& bundle : mine) total += bundle.total;
+
+    if (total > capacity) {
+      // Overflow: this node becomes a server and greedily absorbs the
+      // smallest bundles; the first bundle that would overflow gets its own
+      // server at its root node (jmin of the paper).
+      const bool ascending = options.order == SingleNodOptions::BundleOrder::kSmallestFirst;
+      std::sort(mine.begin(), mine.end(), [ascending](const Bundle& a, const Bundle& b) {
+        if (a.total != b.total) return ascending ? a.total < b.total : a.total > b.total;
+        return a.root_node < b.root_node;  // deterministic tie-break
+      });
+      solution.replicas.push_back(node);
+      ++result.stats.overflow_servers;
+      Requests used = 0;
+      std::size_t index = 0;
+      for (; index < mine.size(); ++index) {
+        const Bundle& bundle = mine[index];
+        if (used + bundle.total <= capacity) {
+          used += bundle.total;
+          ServeBundle(solution, node, bundle);
+          continue;
+        }
+        // First overflow: companion server at the bundle's own root.
+        solution.replicas.push_back(bundle.root_node);
+        ++result.stats.extra_servers;
+        ServeBundle(solution, bundle.root_node, bundle);
+        ++index;
+        break;
+      }
+      // Remaining bundles: re-parent (or, at the root, each gets a server).
+      if (node != tree.Root()) {
+        auto& parent_list = lists[tree.Parent(node)];
+        for (; index < mine.size(); ++index) parent_list.push_back(std::move(mine[index]));
+      } else {
+        for (; index < mine.size(); ++index) {
+          const Bundle& bundle = mine[index];
+          solution.replicas.push_back(bundle.root_node);
+          ++result.stats.root_spill_servers;
+          ServeBundle(solution, bundle.root_node, bundle);
+        }
+      }
+      mine.clear();
+      continue;
+    }
+
+    // No overflow: everything fits through this node.
+    if (node == tree.Root()) {
+      if (total > 0) {
+        solution.replicas.push_back(tree.Root());
+        result.stats.root_server = true;
+        for (const Bundle& bundle : mine) ServeBundle(solution, tree.Root(), bundle);
+      }
+      mine.clear();
+      continue;
+    }
+    if (total > 0) {
+      Bundle merged;
+      merged.root_node = node;
+      merged.total = total;
+      for (Bundle& bundle : mine) {
+        merged.clients.insert(merged.clients.end(), bundle.clients.begin(), bundle.clients.end());
+      }
+      lists[tree.Parent(node)].push_back(std::move(merged));
+    }
+    mine.clear();
+  }
+
+  return result;
+}
+
+}  // namespace rpt::single

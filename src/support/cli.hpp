@@ -1,0 +1,55 @@
+// Tiny command-line flag parser for example/bench binaries.
+//
+// Supports --name=value and --name value forms plus boolean switches.
+// Unknown flags raise InvalidArgument so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rpt {
+
+/// Parsed command line. Declare flags up front with defaults, then Parse().
+class Cli {
+ public:
+  /// binary_name is used in the --help text.
+  Cli(std::string binary_name, std::string description);
+
+  /// Declares an integer flag with a default value.
+  void AddInt(const std::string& name, std::int64_t default_value, const std::string& help);
+
+  /// Declares a string flag with a default value.
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+
+  /// Declares a boolean switch (false unless present or given =true/=false).
+  void AddBool(const std::string& name, bool default_value, const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help printed).
+  /// Throws InvalidArgument on unknown flags or malformed values.
+  [[nodiscard]] bool Parse(int argc, const char* const* argv);
+
+  /// Typed accessors; flag must have been declared with the matching type.
+  [[nodiscard]] std::int64_t GetInt(const std::string& name) const;
+  [[nodiscard]] std::string GetString(const std::string& name) const;
+  [[nodiscard]] bool GetBool(const std::string& name) const;
+
+ private:
+  enum class Kind { kInt, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string value;
+    std::string help;
+  };
+  const Flag& Find(const std::string& name, Kind kind) const;
+  void PrintHelp() const;
+
+  std::string binary_name_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace rpt

@@ -1,0 +1,16 @@
+#include "support/common.hpp"
+
+#include <sstream>
+
+namespace rpt::detail {
+
+void ThrowInternal(const char* expr, std::source_location loc) {
+  std::ostringstream os;
+  os << "rpt internal invariant violated: (" << expr << ") at " << loc.file_name() << ":"
+     << loc.line() << " in " << loc.function_name();
+  throw InternalError(os.str());
+}
+
+void ThrowInvalid(std::string message) { throw InvalidArgument(std::move(message)); }
+
+}  // namespace rpt::detail

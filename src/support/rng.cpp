@@ -1,0 +1,77 @@
+#include "support/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace rpt {
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 mixer(seed);
+  for (auto& word : state_) word = mixer.Next();
+}
+
+std::uint64_t Rng::Next() noexcept {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) noexcept {
+  // Lemire's multiply-shift method with rejection to remove modulo bias.
+  RPT_CHECK(bound > 0);
+  // Classic rejection sampling: draw until the value falls inside the
+  // largest multiple of `bound` (unbiased, expected < 2 draws).
+  const std::uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    const std::uint64_t x = Next();
+    if (x >= threshold) return x % bound;
+  }
+}
+
+std::uint64_t Rng::NextInRange(std::uint64_t lo, std::uint64_t hi) noexcept {
+  RPT_CHECK(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == ~std::uint64_t{0}) return Next();
+  return lo + NextBelow(span + 1);
+}
+
+double Rng::NextUnit() noexcept {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextUnit() < p;
+}
+
+Rng Rng::Fork() noexcept {
+  Rng child(0);
+  // Fill the child state from this stream; keeps parent and child decorrelated.
+  child.state_ = {Next(), Next(), Next(), Next()};
+  return child;
+}
+
+std::size_t WeightedPick(Rng& rng, const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    RPT_REQUIRE(w >= 0.0 && std::isfinite(w), "WeightedPick: weights must be finite and >= 0");
+    total += w;
+  }
+  RPT_REQUIRE(total > 0.0, "WeightedPick: total weight must be positive");
+  double draw = rng.NextUnit() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point tail: return the last index.
+}
+
+}  // namespace rpt

@@ -1,0 +1,34 @@
+#include "support/stats.hpp"
+
+#include "support/common.hpp"
+
+namespace rpt {
+
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys) {
+  RPT_REQUIRE(xs.size() == ys.size(), "FitLine: size mismatch");
+  RPT_REQUIRE(xs.size() >= 2, "FitLine: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  RPT_REQUIRE(sxx > 0.0, "FitLine: x values are all identical");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+}  // namespace rpt

@@ -1,0 +1,57 @@
+// Streaming statistics accumulators used by benchmark reporting.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rpt {
+
+/// Welford streaming accumulator: mean/variance/min/max without storing
+/// samples.
+class StatAccumulator {
+ public:
+  /// Adds one sample.
+  void Add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t Count() const noexcept { return count_; }
+  [[nodiscard]] double Mean() const noexcept { return mean_; }
+  [[nodiscard]] double Min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double Max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double Variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  /// Sample standard deviation.
+  [[nodiscard]] double Stddev() const noexcept { return std::sqrt(Variance()); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Ordinary least-squares fit y = a + b*x. Used to estimate complexity
+/// exponents from log-log runtime data in the scaling bench.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Fits a line to (x, y) pairs. Requires at least two points with distinct x.
+[[nodiscard]] LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace rpt

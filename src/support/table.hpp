@@ -1,0 +1,58 @@
+// Small table formatter used by the benchmark harness to print paper-style
+// result tables to stdout and to write machine-readable CSV next to them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpt {
+
+/// A column-oriented results table. Cells are stored as strings; numeric
+/// convenience overloads format with stable precision so CSV output is
+/// reproducible.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Must be followed by exactly one Add*() per column.
+  Table& NewRow();
+
+  /// Appends a string cell to the current row.
+  Table& Add(std::string_view value);
+
+  /// Appends an unsigned integer cell.
+  Table& Add(std::uint64_t value);
+
+  /// Appends a signed integer cell.
+  Table& Add(std::int64_t value);
+
+  /// Appends an int cell (disambiguates literals).
+  Table& Add(int value) { return Add(static_cast<std::int64_t>(value)); }
+
+  /// Appends a floating cell formatted with the given number of decimals.
+  Table& Add(double value, int decimals = 3);
+
+  /// Number of data rows so far.
+  [[nodiscard]] std::size_t RowCount() const noexcept { return rows_.size(); }
+
+  /// Renders an aligned ASCII table.
+  void PrintAscii(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (fields with commas/quotes are quoted).
+  void PrintCsv(std::ostream& os) const;
+
+  /// Writes CSV to a file path; throws on I/O failure.
+  void WriteCsvFile(const std::string& path) const;
+
+ private:
+  void CheckRowWidth() const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rpt

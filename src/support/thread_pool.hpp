@@ -1,0 +1,60 @@
+// Minimal work-stealing-free thread pool with a ParallelFor helper.
+//
+// Used by the benchmark harness and property-test sweeps to run independent
+// instance evaluations concurrently. Follows the Core Guidelines concurrency
+// rules: RAII-joined threads (CP.23/CP.25), no detached threads, data shared
+// between tasks is owned by the caller and partitioned by index so tasks never
+// write to the same element (CP.2/CP.3).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rpt {
+
+/// Fixed-size thread pool. Tasks are std::function<void()>; exceptions thrown
+/// by tasks are captured and rethrown from Wait() (first one wins).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers. Pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished; rethrows the first task
+  /// exception if any task failed.
+  void Wait();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t ThreadCount() const noexcept { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::jthread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs body(i) for i in [0, count) across the pool, chunked to limit
+/// scheduling overhead. Blocks until all iterations complete.
+void ParallelFor(ThreadPool& pool, std::size_t count, const std::function<void(std::size_t)>& body);
+
+}  // namespace rpt

@@ -1,0 +1,36 @@
+// Wall-clock timing helper used by the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rpt {
+
+/// Monotonic stopwatch. Started on construction; Restart() resets the origin.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Resets the origin to now.
+  void Restart() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in nanoseconds.
+  [[nodiscard]] std::uint64_t ElapsedNs() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+  }
+
+  /// Elapsed time in seconds as a double (for reporting only).
+  [[nodiscard]] double ElapsedSeconds() const noexcept {
+    return static_cast<double>(ElapsedNs()) * 1e-9;
+  }
+
+  /// Elapsed time in milliseconds as a double (for reporting only).
+  [[nodiscard]] double ElapsedMs() const noexcept { return static_cast<double>(ElapsedNs()) * 1e-6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rpt

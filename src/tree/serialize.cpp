@@ -1,0 +1,117 @@
+#include "tree/serialize.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace rpt {
+
+void WriteTree(std::ostream& os, const Tree& tree) {
+  os << "rpt-tree v1\n" << tree.Size() << "\n";
+  for (NodeId id = 0; id < tree.Size(); ++id) {
+    os << id << ' ';
+    if (tree.Parent(id) == kInvalidNode) {
+      os << "- inf";
+    } else {
+      os << tree.Parent(id) << ' ' << tree.DistToParent(id);
+    }
+    os << ' ' << (tree.IsClient(id) ? 'C' : 'I') << ' ' << tree.RequestsOf(id) << '\n';
+  }
+}
+
+std::string TreeToString(const Tree& tree) {
+  std::ostringstream os;
+  WriteTree(os, tree);
+  return os.str();
+}
+
+namespace {
+
+// Reads the next non-comment, non-blank line.
+bool NextLine(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t ParseU64(std::string_view token, const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  RPT_REQUIRE(ec == std::errc{} && ptr == token.data() + token.size(),
+              std::string("ReadTree: malformed ") + what);
+  return value;
+}
+
+}  // namespace
+
+Tree ReadTree(std::istream& is) {
+  std::string line;
+  RPT_REQUIRE(NextLine(is, line), "ReadTree: empty input");
+  {
+    std::istringstream header(line);
+    std::string magic, version;
+    header >> magic >> version;
+    RPT_REQUIRE(magic == "rpt-tree" && version == "v1", "ReadTree: bad header: " + line);
+  }
+  RPT_REQUIRE(NextLine(is, line), "ReadTree: missing node count");
+  const std::uint64_t n = ParseU64(line, "node count");
+  RPT_REQUIRE(n >= 1, "ReadTree: node count must be >= 1");
+
+  TreeBuilder builder;
+  for (std::uint64_t expected = 0; expected < n; ++expected) {
+    RPT_REQUIRE(NextLine(is, line), "ReadTree: truncated node list");
+    std::istringstream row(line);
+    std::string id_tok, parent_tok, delta_tok, kind_tok, req_tok;
+    row >> id_tok >> parent_tok >> delta_tok >> kind_tok >> req_tok;
+    RPT_REQUIRE(!req_tok.empty(), "ReadTree: malformed node line: " + line);
+    RPT_REQUIRE(ParseU64(id_tok, "node id") == expected, "ReadTree: ids must be dense in order");
+    const Requests requests = ParseU64(req_tok, "requests");
+    if (parent_tok == "-") {
+      RPT_REQUIRE(expected == 0, "ReadTree: only node 0 may be the root");
+      RPT_REQUIRE(delta_tok == "inf", "ReadTree: root delta must be inf");
+      RPT_REQUIRE(kind_tok == "I", "ReadTree: root must be internal");
+      builder.AddRoot();
+      continue;
+    }
+    const auto parent = static_cast<NodeId>(ParseU64(parent_tok, "parent id"));
+    RPT_REQUIRE(delta_tok != "inf", "ReadTree: non-root delta must be finite");
+    const Distance delta = ParseU64(delta_tok, "delta");
+    if (kind_tok == "I") {
+      RPT_REQUIRE(requests == 0, "ReadTree: internal nodes carry no requests");
+      builder.AddInternal(parent, delta);
+    } else if (kind_tok == "C") {
+      builder.AddClient(parent, delta, requests);
+    } else {
+      detail::ThrowInvalid("ReadTree: node kind must be I or C: " + line);
+    }
+  }
+  return builder.Build();
+}
+
+Tree TreeFromString(const std::string& text) {
+  std::istringstream is(text);
+  return ReadTree(is);
+}
+
+void WriteDot(std::ostream& os, const Tree& tree, const std::string& graph_name) {
+  os << "digraph " << graph_name << " {\n  rankdir=TB;\n";
+  for (NodeId id = 0; id < tree.Size(); ++id) {
+    if (tree.IsClient(id)) {
+      os << "  n" << id << " [shape=box,label=\"c" << id << "\\nr=" << tree.RequestsOf(id)
+         << "\"];\n";
+    } else {
+      os << "  n" << id << " [shape=circle,label=\"n" << id << "\"];\n";
+    }
+  }
+  for (NodeId id = 1; id < tree.Size(); ++id) {
+    os << "  n" << tree.Parent(id) << " -> n" << id << " [label=\"" << tree.DistToParent(id)
+       << "\"];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace rpt

@@ -1,0 +1,35 @@
+// Text serialization and Graphviz export for trees.
+//
+// Text format (line oriented, '#' comments allowed):
+//   rpt-tree v1
+//   <node count n>
+//   then n lines, one per node in id order:
+//   <id> <parent|-> <delta|inf> <I|C> <requests>
+// The root must be node 0 with parent '-' and delta 'inf'.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tree/tree.hpp"
+
+namespace rpt {
+
+/// Writes the tree in the rpt-tree v1 text format.
+void WriteTree(std::ostream& os, const Tree& tree);
+
+/// Serializes to a string (convenience wrapper over WriteTree).
+[[nodiscard]] std::string TreeToString(const Tree& tree);
+
+/// Parses the rpt-tree v1 text format; throws InvalidArgument on malformed
+/// input.
+[[nodiscard]] Tree ReadTree(std::istream& is);
+
+/// Parses from a string (convenience wrapper over ReadTree).
+[[nodiscard]] Tree TreeFromString(const std::string& text);
+
+/// Emits a Graphviz DOT rendering: internal nodes as circles, clients as
+/// boxes labelled with their request counts, edges labelled with δ.
+void WriteDot(std::ostream& os, const Tree& tree, const std::string& graph_name = "rpt");
+
+}  // namespace rpt

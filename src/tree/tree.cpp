@@ -1,0 +1,130 @@
+#include "tree/tree.hpp"
+
+#include <algorithm>
+
+namespace rpt {
+
+NodeId TreeBuilder::AddRoot() {
+  RPT_REQUIRE(kind_.empty(), "TreeBuilder: root must be the first node");
+  return AddNode(kInvalidNode, kNoDistanceLimit, NodeKind::kInternal, 0);
+}
+
+NodeId TreeBuilder::AddInternal(NodeId parent, Distance delta) {
+  return AddNode(parent, delta, NodeKind::kInternal, 0);
+}
+
+NodeId TreeBuilder::AddClient(NodeId parent, Distance delta, Requests requests) {
+  return AddNode(parent, delta, NodeKind::kClient, requests);
+}
+
+NodeId TreeBuilder::AddNode(NodeId parent, Distance delta, NodeKind kind, Requests requests) {
+  if (parent != kInvalidNode) {
+    RPT_REQUIRE(parent < kind_.size(), "TreeBuilder: unknown parent id");
+    RPT_REQUIRE(kind_[parent] == NodeKind::kInternal, "TreeBuilder: parent must be internal");
+    RPT_REQUIRE(delta <= kDistanceCap || delta == kNoDistanceLimit,
+                "TreeBuilder: edge length exceeds kDistanceCap");
+  } else {
+    RPT_REQUIRE(kind_.empty(), "TreeBuilder: only the root has no parent");
+  }
+  const auto id = static_cast<NodeId>(kind_.size());
+  RPT_REQUIRE(kind_.size() < kInvalidNode, "TreeBuilder: too many nodes");
+  kind_.push_back(kind);
+  parent_.push_back(parent);
+  delta_.push_back(delta);
+  requests_.push_back(requests);
+  children_.emplace_back();
+  if (parent != kInvalidNode) children_[parent].push_back(id);
+  return id;
+}
+
+Tree TreeBuilder::Build() {
+  RPT_REQUIRE(!kind_.empty(), "TreeBuilder: empty tree");
+  const std::size_t n = kind_.size();
+  for (std::size_t id = 0; id < n; ++id) {
+    if (kind_[id] == NodeKind::kClient) {
+      RPT_REQUIRE(children_[id].empty(), "TreeBuilder: clients must be leaves");
+    } else if (id != 0) {
+      RPT_REQUIRE(!children_[id].empty(), "TreeBuilder: non-root internal node without children");
+    }
+  }
+
+  Tree tree;
+  tree.kind_ = std::move(kind_);
+  tree.parent_ = std::move(parent_);
+  tree.delta_ = std::move(delta_);
+  tree.requests_ = std::move(requests_);
+
+  // CSR children layout.
+  tree.children_begin_.assign(n + 1, 0);
+  for (std::size_t id = 0; id < n; ++id) {
+    tree.children_begin_[id + 1] =
+        tree.children_begin_[id] + static_cast<std::uint32_t>(children_[id].size());
+  }
+  tree.children_flat_.reserve(n - 1);
+  for (std::size_t id = 0; id < n; ++id) {
+    tree.children_flat_.insert(tree.children_flat_.end(), children_[id].begin(),
+                               children_[id].end());
+  }
+
+  // Derived per-node data via one iterative DFS from the root.
+  tree.depth_.assign(n, 0);
+  tree.dist_root_.assign(n, 0);
+  tree.tin_.assign(n, 0);
+  tree.tout_.assign(n, 0);
+  tree.post_order_.clear();
+  tree.post_order_.reserve(n);
+  tree.clients_.clear();
+  tree.arity_ = 0;
+  tree.total_requests_ = 0;
+
+  std::uint32_t clock = 0;
+  std::size_t visited = 0;
+  // Stack frames: (node, next child index).
+  std::vector<std::pair<NodeId, std::uint32_t>> stack;
+  stack.reserve(64);
+  stack.emplace_back(0, 0);
+  tree.tin_[0] = clock++;
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    const auto kids = tree.Children(node);
+    if (next_child == 0) {
+      ++visited;
+      tree.arity_ = std::max(tree.arity_, static_cast<std::uint32_t>(kids.size()));
+      if (tree.kind_[node] == NodeKind::kClient) {
+        tree.clients_.push_back(node);
+        tree.total_requests_ += tree.requests_[node];
+      }
+    }
+    if (next_child < kids.size()) {
+      const NodeId child = kids[next_child++];
+      tree.depth_[child] = tree.depth_[node] + 1;
+      tree.dist_root_[child] = tree.dist_root_[node] + tree.delta_[child];
+      RPT_REQUIRE(tree.dist_root_[child] < kNoDistanceLimit / 2,
+                  "TreeBuilder: root distance overflow");
+      tree.tin_[child] = clock++;
+      stack.emplace_back(child, 0);
+    } else {
+      tree.tout_[node] = clock++;
+      tree.post_order_.push_back(node);
+      stack.pop_back();
+    }
+  }
+  RPT_REQUIRE(visited == n, "TreeBuilder: disconnected nodes present");
+
+  // Subtree aggregates in post-order.
+  tree.subtree_requests_.assign(n, 0);
+  tree.subtree_size_.assign(n, 1);
+  for (NodeId node : tree.post_order_) {
+    if (tree.kind_[node] == NodeKind::kClient) tree.subtree_requests_[node] = tree.requests_[node];
+    for (NodeId child : tree.Children(node)) {
+      tree.subtree_requests_[node] += tree.subtree_requests_[child];
+      tree.subtree_size_[node] += tree.subtree_size_[child];
+    }
+  }
+
+  // Leave the builder reusable-but-empty.
+  children_.clear();
+  return tree;
+}
+
+}  // namespace rpt

@@ -1,0 +1,118 @@
+// Tests for the baseline heuristics (client-local and greedy best-fit) and
+// the greedy Multiple heuristic.
+#include <gtest/gtest.h>
+
+#include "gen/random_tree.hpp"
+#include "model/validate.hpp"
+#include "multiple/greedy.hpp"
+#include "single/baselines.hpp"
+
+namespace rpt {
+namespace {
+
+Instance SmallInstance(Requests w, Distance dmax) {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  const NodeId n1 = b.AddInternal(root, 1);
+  const NodeId n2 = b.AddInternal(root, 2);
+  b.AddClient(n1, 1, 4);
+  b.AddClient(n1, 2, 3);
+  b.AddClient(n2, 1, 5);
+  b.AddClient(n2, 3, 2);
+  return Instance(b.Build(), w, dmax);
+}
+
+TEST(ClientLocal, OneReplicaPerRequestingClient) {
+  const Instance inst = SmallInstance(5, kNoDistanceLimit);
+  const Solution s = single::SolveClientLocal(inst);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kSingle, s));
+  EXPECT_EQ(s.ReplicaCount(), 4u);
+  for (const ServiceEntry& entry : s.assignment) EXPECT_EQ(entry.client, entry.server);
+}
+
+TEST(ClientLocal, SkipsZeroRequestClients) {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  b.AddClient(root, 1, 0);
+  b.AddClient(root, 1, 2);
+  const Instance inst(b.Build(), 5, kNoDistanceLimit);
+  EXPECT_EQ(single::SolveClientLocal(inst).ReplicaCount(), 1u);
+}
+
+TEST(ClientLocal, ValidUnderTightestDistance) {
+  const Instance inst = SmallInstance(5, 0);
+  const Solution s = single::SolveClientLocal(inst);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kSingle, s));
+}
+
+TEST(GreedyBestFit, PacksSharedAncestor) {
+  const Instance inst = SmallInstance(14, kNoDistanceLimit);
+  const Solution s = single::SolveGreedyBestFit(inst);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kSingle, s));
+  EXPECT_EQ(s.ReplicaCount(), 1u);  // everything fits at the root
+  EXPECT_EQ(s.replicas[0], 0u);
+}
+
+TEST(GreedyBestFit, OpensMoreServersUnderTightCapacity) {
+  const Instance inst = SmallInstance(5, kNoDistanceLimit);
+  const Solution s = single::SolveGreedyBestFit(inst);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kSingle, s));
+  EXPECT_GE(s.ReplicaCount(), 3u);  // 14 requests / W=5
+}
+
+TEST(GreedyBestFit, HonoursDistance) {
+  const Instance inst = SmallInstance(14, 1);
+  const Solution s = single::SolveGreedyBestFit(inst);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kSingle, s));
+}
+
+TEST(MultipleGreedy, SplitsToFillServers) {
+  const Instance inst = SmallInstance(7, kNoDistanceLimit);
+  const Solution s = multiple::SolveMultipleGreedy(inst);
+  const auto report = ValidateSolution(inst, Policy::kMultiple, s);
+  EXPECT_TRUE(report.ok) << report.Describe();
+  // 14 requests with W=7: the greedy opens root, n1 and n2 (it cannot move
+  // requests across subtrees), one above the capacity lower bound of 2.
+  EXPECT_EQ(s.ReplicaCount(), 3u);
+  EXPECT_GE(s.ReplicaCount(), inst.CapacityLowerBound());
+}
+
+TEST(MultipleGreedy, FeasibleUnderTightDistance) {
+  const Instance inst = SmallInstance(7, 1);
+  const Solution s = multiple::SolveMultipleGreedy(inst);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kMultiple, s));
+}
+
+class BaselineProperty : public ::testing::TestWithParam<Distance> {};
+
+TEST_P(BaselineProperty, AllBaselinesFeasibleOnRandomInstances) {
+  const Distance dmax = GetParam();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    gen::RandomTreeConfig cfg;
+    cfg.internal_nodes = 6;
+    cfg.clients = 15;
+    cfg.max_children = 4;
+    cfg.min_requests = 1;
+    cfg.max_requests = 9;
+    const Instance inst(gen::GenerateRandomTree(cfg, 3000 + seed), /*capacity=*/9, dmax);
+
+    const Solution local = single::SolveClientLocal(inst);
+    EXPECT_TRUE(IsFeasible(inst, Policy::kSingle, local)) << seed;
+
+    const Solution best_fit = single::SolveGreedyBestFit(inst);
+    EXPECT_TRUE(IsFeasible(inst, Policy::kSingle, best_fit)) << seed;
+    EXPECT_LE(best_fit.ReplicaCount(), local.ReplicaCount()) << seed;
+
+    const Solution multi = multiple::SolveMultipleGreedy(inst);
+    EXPECT_TRUE(IsFeasible(inst, Policy::kMultiple, multi)) << seed;
+    EXPECT_LE(multi.ReplicaCount(), local.ReplicaCount()) << seed;
+    EXPECT_GE(multi.ReplicaCount(), inst.CapacityLowerBound()) << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DmaxSweep, BaselineProperty,
+                         ::testing::Values(kNoDistanceLimit, Distance{3}, Distance{6},
+                                           Distance{12}));
+
+}  // namespace
+}  // namespace rpt

@@ -1,0 +1,200 @@
+// Tests for the exhaustive optimal solvers: known small optima, forced
+// self-hosting clients, infeasibility detection, search limits, and the
+// Single routing oracle.
+#include <gtest/gtest.h>
+
+#include "exact/exact.hpp"
+#include "gen/random_tree.hpp"
+#include "model/validate.hpp"
+
+namespace rpt::exact {
+namespace {
+
+Instance TwoLevel(Requests w, Distance dmax) {
+  // root(0) - n1(1) - {c2: 4, c3: 5}; root - c4: 3. All edges length 1.
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  const NodeId n1 = b.AddInternal(root, 1);
+  b.AddClient(n1, 1, 4);
+  b.AddClient(n1, 1, 5);
+  b.AddClient(root, 1, 3);
+  return Instance(b.Build(), w, dmax);
+}
+
+TEST(ExactSingle, OneServerSufficesWhenCapacityIsAmple) {
+  const Instance inst = TwoLevel(12, kNoDistanceLimit);
+  const auto result = SolveExactSingle(inst);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kSingle, result.solution));
+  EXPECT_EQ(result.solution.ReplicaCount(), 1u);
+  EXPECT_EQ(result.solution.replicas[0], 0u);
+}
+
+TEST(ExactSingle, WholeClientPackingExceedsLowerBound) {
+  // 12 requests with W = 6 give a lower bound of 2, but no two servers can
+  // pack the whole clients {4, 5, 3}: n1 carries at most one of {4, 5} and
+  // the root then exceeds W. The optimum is 3 — Single packing is strictly
+  // harder than the volume bound.
+  const Instance inst = TwoLevel(6, kNoDistanceLimit);
+  const auto result = SolveExactSingle(inst);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.solution.ReplicaCount(), 3u);
+  EXPECT_GT(result.solution.ReplicaCount(), inst.CapacityLowerBound());
+}
+
+TEST(ExactSingle, DistanceForcesExtraServers) {
+  const Instance ample = TwoLevel(12, 2);
+  const auto two_hop = SolveExactSingle(ample);
+  ASSERT_TRUE(two_hop.feasible);
+  EXPECT_EQ(two_hop.solution.ReplicaCount(), 1u);  // root reaches everyone at distance <= 2
+
+  const Instance tight = TwoLevel(12, 1);  // c2/c3 can only reach n1
+  const auto result = SolveExactSingle(tight);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.solution.ReplicaCount(), 2u);  // n1 + (root or c4)
+}
+
+TEST(ExactSingle, InfeasibleWhenClientExceedsW) {
+  const Instance inst = TwoLevel(4, kNoDistanceLimit);  // c3 has 5 > 4
+  const auto result = SolveExactSingle(inst);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(ExactSingle, ForcedSelfHostingClients) {
+  // A client at distance > dmax from its parent must host a replica itself.
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  const NodeId far = b.AddClient(root, 9, 2);
+  b.AddClient(root, 1, 2);
+  const Instance inst(b.Build(), 10, /*dmax=*/3);
+  const auto result = SolveExactSingle(inst);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NE(std::find(result.solution.replicas.begin(), result.solution.replicas.end(), far),
+            result.solution.replicas.end());
+  EXPECT_EQ(result.solution.ReplicaCount(), 2u);
+}
+
+TEST(ExactSingle, ZeroRequestInstance) {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  b.AddClient(root, 1, 0);
+  const Instance inst(b.Build(), 5, kNoDistanceLimit);
+  const auto result = SolveExactSingle(inst);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.solution.ReplicaCount(), 0u);
+}
+
+TEST(ExactMultiple, SplittingBeatsSingle) {
+  // Three clients of 2/3 W under one node: Single needs 3 servers, Multiple
+  // squeezes into 2 by splitting one client across n1 and the root.
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  const NodeId n1 = b.AddInternal(root, 1);
+  b.AddClient(n1, 1, 6);
+  b.AddClient(n1, 1, 6);
+  b.AddClient(n1, 1, 6);
+  const Instance inst(b.Build(), 9, kNoDistanceLimit);
+  const auto single = SolveExactSingle(inst);
+  const auto multiple = SolveExactMultiple(inst);
+  ASSERT_TRUE(single.feasible);
+  ASSERT_TRUE(multiple.feasible);
+  EXPECT_EQ(single.solution.ReplicaCount(), 3u);
+  EXPECT_EQ(multiple.solution.ReplicaCount(), 2u);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kMultiple, multiple.solution));
+}
+
+TEST(ExactMultiple, HandlesClientsBeyondW) {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  const NodeId n1 = b.AddInternal(root, 1);
+  b.AddClient(n1, 1, 14);  // 14 > W = 8, must split over the path
+  const Instance inst(b.Build(), 8, kNoDistanceLimit);
+  const auto result = SolveExactMultiple(inst);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.solution.ReplicaCount(), 2u);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kMultiple, result.solution));
+}
+
+TEST(ExactMultiple, InfeasibleWhenPathTooShort) {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  b.AddClient(root, 1, 20);  // 20 > 2 * W
+  const Instance inst(b.Build(), 8, kNoDistanceLimit);
+  EXPECT_FALSE(SolveExactMultiple(inst).feasible);
+}
+
+TEST(ExactConfigTest, CandidateLimitEnforced) {
+  gen::RandomTreeConfig cfg;
+  cfg.internal_nodes = 10;
+  cfg.clients = 30;
+  const Instance inst(gen::GenerateRandomTree(cfg, 1), 10, kNoDistanceLimit);
+  ExactConfig limits;
+  limits.max_candidates = 8;
+  EXPECT_THROW((void)SolveExactSingle(inst, limits), InvalidArgument);
+}
+
+TEST(ExactConfigTest, CheckBudgetAborts) {
+  const Instance inst = TwoLevel(6, kNoDistanceLimit);
+  ExactConfig limits;
+  limits.max_checks = 1;
+  const auto result = SolveExactSingle(inst, limits);
+  // With a one-check budget the search may abort before proving optimality.
+  EXPECT_TRUE(result.aborted || result.feasible);
+  EXPECT_LE(result.checked_placements, 1u);
+}
+
+TEST(RouteSingleTest, FindsWholeClientPacking) {
+  const Instance inst = TwoLevel(7, kNoDistanceLimit);
+  // {root, n1}: n1 takes {5}, the root takes {4, 3} = 7 = W.
+  const auto routing = RouteSingle(inst, std::vector<NodeId>{0, 1});
+  ASSERT_TRUE(routing.has_value());
+  Solution s;
+  s.replicas = {0, 1};
+  s.assignment = *routing;
+  EXPECT_TRUE(IsFeasible(inst, Policy::kSingle, s));
+}
+
+TEST(RouteSingleTest, RejectsImpossiblePacking) {
+  const Instance inst = TwoLevel(7, kNoDistanceLimit);
+  // A single W=7 server cannot carry 12 requests of whole clients.
+  EXPECT_FALSE(RouteSingle(inst, std::vector<NodeId>{0}).has_value());
+}
+
+TEST(RouteSingleTest, WholeClientConstraintBites) {
+  // Two clients of 4 with W=6 and servers {n1, root}: each server can take
+  // only one whole client (4+4=8 > 6), so the packing exists with two but
+  // not with one server.
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  const NodeId n1 = b.AddInternal(root, 1);
+  b.AddClient(n1, 1, 4);
+  b.AddClient(n1, 1, 4);
+  const Instance inst(b.Build(), 6, kNoDistanceLimit);
+  EXPECT_FALSE(RouteSingle(inst, std::vector<NodeId>{1}).has_value());
+  EXPECT_TRUE(RouteSingle(inst, std::vector<NodeId>{0, 1}).has_value());
+}
+
+// Consistency property: exact-single >= exact-multiple (Single is a
+// restriction of Multiple), both within [lower bound, client count].
+TEST(ExactConsistency, PolicyDominanceOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    gen::RandomTreeConfig cfg;
+    cfg.internal_nodes = 3;
+    cfg.clients = 6;
+    cfg.max_children = 3;
+    cfg.min_requests = 1;
+    cfg.max_requests = 7;
+    const Instance inst(gen::GenerateRandomTree(cfg, 9000 + seed), /*capacity=*/7,
+                        /*dmax=*/5);
+    const auto single = SolveExactSingle(inst);
+    const auto multiple = SolveExactMultiple(inst);
+    ASSERT_TRUE(single.feasible) << seed;   // r_i <= W and self-serving allowed
+    ASSERT_TRUE(multiple.feasible) << seed;
+    EXPECT_GE(single.solution.ReplicaCount(), multiple.solution.ReplicaCount()) << seed;
+    EXPECT_GE(multiple.solution.ReplicaCount(), inst.CapacityLowerBound()) << seed;
+    EXPECT_LE(single.solution.ReplicaCount(), inst.GetTree().ClientCount()) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rpt::exact

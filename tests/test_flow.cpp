@@ -1,0 +1,139 @@
+// Tests for the Dinic max-flow substrate and the Multiple-policy routing
+// oracle built on top of it.
+#include <gtest/gtest.h>
+
+#include "flow/assignment.hpp"
+#include "flow/dinic.hpp"
+#include "model/validate.hpp"
+
+namespace rpt::flow {
+namespace {
+
+TEST(Dinic, SingleEdge) {
+  MaxFlow net(2);
+  net.AddEdge(0, 1, 7);
+  EXPECT_EQ(net.Compute(0, 1), 7u);
+}
+
+TEST(Dinic, SeriesBottleneck) {
+  MaxFlow net(3);
+  net.AddEdge(0, 2, 10);
+  net.AddEdge(2, 1, 4);
+  EXPECT_EQ(net.Compute(0, 1), 4u);
+}
+
+TEST(Dinic, ParallelPathsAdd) {
+  MaxFlow net(4);
+  net.AddEdge(0, 2, 3);
+  net.AddEdge(2, 1, 3);
+  net.AddEdge(0, 3, 5);
+  net.AddEdge(3, 1, 5);
+  EXPECT_EQ(net.Compute(0, 1), 8u);
+}
+
+TEST(Dinic, ClassicResidualRerouting) {
+  // Diamond with a cross edge: requires augmenting through the residual
+  // graph to reach max flow 2 when capacities are 1.
+  MaxFlow net(4);
+  net.AddEdge(0, 2, 1);
+  net.AddEdge(0, 3, 1);
+  net.AddEdge(2, 3, 1);
+  net.AddEdge(2, 1, 1);
+  net.AddEdge(3, 1, 1);
+  EXPECT_EQ(net.Compute(0, 1), 2u);
+}
+
+TEST(Dinic, DisconnectedSinkGivesZero) {
+  MaxFlow net(4);
+  net.AddEdge(0, 2, 5);
+  EXPECT_EQ(net.Compute(0, 1), 0u);
+}
+
+TEST(Dinic, FlowOnReportsPerEdgeFlow) {
+  MaxFlow net(4);
+  const EdgeId a = net.AddEdge(0, 2, 3);
+  const EdgeId b = net.AddEdge(2, 1, 2);
+  EXPECT_EQ(net.Compute(0, 1), 2u);
+  EXPECT_EQ(net.FlowOn(a), 2u);
+  EXPECT_EQ(net.FlowOn(b), 2u);
+  EXPECT_THROW((void)net.FlowOn(a + 1), InvalidArgument);  // backward edge handle
+}
+
+TEST(Dinic, LargeLayeredGraph) {
+  // 200 parallel middle nodes, capacity 1 each: max flow 200.
+  constexpr std::size_t kMiddle = 200;
+  MaxFlow net(2 + kMiddle);
+  for (std::size_t i = 0; i < kMiddle; ++i) {
+    net.AddEdge(0, 2 + i, 1);
+    net.AddEdge(2 + i, 1, 1);
+  }
+  EXPECT_EQ(net.Compute(0, 1), kMiddle);
+}
+
+TEST(Dinic, RejectsBadConstruction) {
+  EXPECT_THROW(MaxFlow{1}, InvalidArgument);
+  MaxFlow net(3);
+  EXPECT_THROW(net.AddEdge(0, 0, 1), InvalidArgument);
+  EXPECT_THROW(net.AddEdge(0, 9, 1), InvalidArgument);
+  EXPECT_THROW((void)net.Compute(0, 0), InvalidArgument);
+}
+
+// --- RouteMultiple -------------------------------------------------------
+
+// root(0) - n1(1) - {c2: 8 req, c3: 8 req}, edges all length 1.
+Instance ChainInstance(Requests w, Distance dmax) {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  const NodeId n1 = b.AddInternal(root, 1);
+  b.AddClient(n1, 1, 8);
+  b.AddClient(n1, 1, 8);
+  return Instance(b.Build(), w, dmax);
+}
+
+TEST(RouteMultiple, SplitsAcrossServers) {
+  const Instance inst = ChainInstance(10, kNoDistanceLimit);
+  const std::vector<NodeId> replicas{0, 1};
+  const auto routing = RouteMultiple(inst, replicas);
+  ASSERT_TRUE(routing.has_value());
+  Solution s;
+  s.replicas = replicas;
+  s.assignment = *routing;
+  const auto report = ValidateSolution(inst, Policy::kMultiple, s);
+  EXPECT_TRUE(report.ok) << report.Describe();
+}
+
+TEST(RouteMultiple, InfeasibleWhenCapacityShort) {
+  const Instance inst = ChainInstance(10, kNoDistanceLimit);
+  EXPECT_FALSE(MultipleFeasible(inst, std::vector<NodeId>{1}));   // 16 > 10
+  EXPECT_TRUE(MultipleFeasible(inst, std::vector<NodeId>{0, 1}));
+}
+
+TEST(RouteMultiple, DistanceConstraintsExcludeFarServers) {
+  // dmax = 1: the root (distance 2 from clients) cannot help.
+  const Instance inst = ChainInstance(10, 1);
+  EXPECT_FALSE(MultipleFeasible(inst, std::vector<NodeId>{0, 1}));
+  EXPECT_TRUE(MultipleFeasible(inst, std::vector<NodeId>{1, 2}));  // n1 + one client
+}
+
+TEST(RouteMultiple, ClientBiggerThanWNeedsSplitting) {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  const NodeId n1 = b.AddInternal(root, 1);
+  b.AddClient(n1, 1, 25);  // r_i = 25 > W = 10
+  const Instance inst(b.Build(), 10, kNoDistanceLimit);
+  EXPECT_FALSE(MultipleFeasible(inst, std::vector<NodeId>{0, 1}));      // 20 < 25
+  EXPECT_TRUE(MultipleFeasible(inst, std::vector<NodeId>{0, 1, 2}));    // 30 >= 25
+}
+
+TEST(RouteMultiple, EmptyReplicaSetOnlyWorksWithoutRequests) {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  b.AddClient(root, 1, 0);
+  const Instance no_requests(b.Build(), 5, kNoDistanceLimit);
+  EXPECT_TRUE(MultipleFeasible(no_requests, std::vector<NodeId>{}));
+  const Instance with_requests = ChainInstance(10, kNoDistanceLimit);
+  EXPECT_FALSE(MultipleFeasible(with_requests, std::vector<NodeId>{}));
+}
+
+}  // namespace
+}  // namespace rpt::flow

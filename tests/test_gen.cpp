@@ -1,0 +1,263 @@
+// Tests for the instance generators: random topologies and the paper's
+// tightness families (Fig. 3 and Fig. 4), whose closed-form properties are
+// asserted exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/paper_instances.hpp"
+#include "gen/random_tree.hpp"
+#include "model/validate.hpp"
+
+namespace rpt::gen {
+namespace {
+
+TEST(RandomTree, RespectsConfigCounts) {
+  RandomTreeConfig cfg;
+  cfg.internal_nodes = 10;
+  cfg.clients = 25;
+  cfg.max_children = 4;
+  const Tree t = GenerateRandomTree(cfg, 1);
+  EXPECT_EQ(t.InternalCount(), 10u);
+  EXPECT_EQ(t.ClientCount(), 25u);
+  EXPECT_LE(t.Arity(), 4u);
+}
+
+TEST(RandomTree, DeterministicInSeed) {
+  RandomTreeConfig cfg;
+  cfg.internal_nodes = 6;
+  cfg.clients = 12;
+  const Tree a = GenerateRandomTree(cfg, 99);
+  const Tree b = GenerateRandomTree(cfg, 99);
+  ASSERT_EQ(a.Size(), b.Size());
+  for (NodeId id = 0; id < a.Size(); ++id) {
+    EXPECT_EQ(a.Parent(id), b.Parent(id));
+    EXPECT_EQ(a.DistToParent(id), b.DistToParent(id));
+    EXPECT_EQ(a.RequestsOf(id), b.RequestsOf(id));
+  }
+}
+
+TEST(RandomTree, DifferentSeedsDiffer) {
+  RandomTreeConfig cfg;
+  cfg.internal_nodes = 8;
+  cfg.clients = 20;
+  const Tree a = GenerateRandomTree(cfg, 1);
+  const Tree b = GenerateRandomTree(cfg, 2);
+  bool differs = a.Size() != b.Size();
+  for (NodeId id = 0; !differs && id < std::min(a.Size(), b.Size()); ++id) {
+    differs = a.Parent(id) != b.Parent(id) || a.RequestsOf(id) != b.RequestsOf(id);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomTree, EdgeAndRequestRangesHonoured) {
+  RandomTreeConfig cfg;
+  cfg.internal_nodes = 5;
+  cfg.clients = 30;
+  cfg.max_children = 8;  // 40 slots >= 4 internal children + 30 clients
+  cfg.min_edge = 3;
+  cfg.max_edge = 7;
+  cfg.min_requests = 2;
+  cfg.max_requests = 9;
+  const Tree t = GenerateRandomTree(cfg, 5);
+  for (NodeId id = 1; id < t.Size(); ++id) {
+    EXPECT_GE(t.DistToParent(id), 3u);
+    EXPECT_LE(t.DistToParent(id), 7u);
+    if (t.IsClient(id)) {
+      EXPECT_GE(t.RequestsOf(id), 2u);
+      EXPECT_LE(t.RequestsOf(id), 9u);
+    }
+  }
+}
+
+TEST(RandomTree, ImpossibleConfigThrows) {
+  RandomTreeConfig cfg;
+  cfg.internal_nodes = 5;
+  cfg.clients = 0;  // childless internal nodes cannot be covered
+  EXPECT_THROW((void)GenerateRandomTree(cfg, 1), InvalidArgument);
+  RandomTreeConfig crowded;
+  crowded.internal_nodes = 2;
+  crowded.max_children = 2;
+  crowded.clients = 10;  // only 3 free slots exist
+  EXPECT_THROW((void)GenerateRandomTree(crowded, 1), InvalidArgument);
+}
+
+TEST(BinaryTree, ProducesFullBinaryShape) {
+  BinaryTreeConfig cfg;
+  cfg.clients = 33;
+  const Tree t = GenerateFullBinaryTree(cfg, 3);
+  EXPECT_TRUE(t.IsBinary());
+  EXPECT_EQ(t.ClientCount(), 33u);
+  // Full binary: every internal node has exactly two children.
+  for (NodeId id = 0; id < t.Size(); ++id) {
+    if (!t.IsClient(id)) {
+      EXPECT_EQ(t.Children(id).size(), 2u) << "node " << id;
+    }
+  }
+  EXPECT_EQ(t.InternalCount(), 32u);  // clients - 1 internal nodes incl. root
+}
+
+TEST(BinaryTree, SingleClientHangsOffRoot) {
+  BinaryTreeConfig cfg;
+  cfg.clients = 1;
+  const Tree t = GenerateFullBinaryTree(cfg, 3);
+  EXPECT_EQ(t.Size(), 2u);
+  EXPECT_TRUE(t.IsClient(1));
+}
+
+TEST(BinaryTree, BalancedSplitsAreShallower) {
+  BinaryTreeConfig cfg;
+  cfg.clients = 256;
+  cfg.balanced = true;
+  const Tree balanced = GenerateFullBinaryTree(cfg, 7);
+  cfg.balanced = false;
+  const Tree skewed = GenerateFullBinaryTree(cfg, 7);
+  auto max_depth = [](const Tree& t) {
+    std::uint32_t best = 0;
+    for (NodeId id = 0; id < t.Size(); ++id) best = std::max(best, t.Depth(id));
+    return best;
+  };
+  EXPECT_LT(max_depth(balanced), max_depth(skewed));
+}
+
+TEST(DrawRequestsTest, UniformCoversRange) {
+  Rng rng(1);
+  bool saw_min = false;
+  bool saw_max = false;
+  for (int i = 0; i < 2000; ++i) {
+    const Requests r = DrawRequests(rng, 1, 5, 1.0);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 5u);
+    saw_min |= (r == 1);
+    saw_max |= (r == 5);
+  }
+  EXPECT_TRUE(saw_min);
+  EXPECT_TRUE(saw_max);
+}
+
+TEST(DrawRequestsTest, SkewBiasesLow) {
+  Rng rng(2);
+  double uniform_sum = 0;
+  double skewed_sum = 0;
+  for (int i = 0; i < 5000; ++i) uniform_sum += static_cast<double>(DrawRequests(rng, 1, 100, 1.0));
+  for (int i = 0; i < 5000; ++i) skewed_sum += static_cast<double>(DrawRequests(rng, 1, 100, 3.0));
+  EXPECT_LT(skewed_sum, uniform_sum * 0.6);
+}
+
+TEST(DrawRequestsTest, DegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(DrawRequests(rng, 7, 7, 1.0), 7u);
+  EXPECT_THROW((void)DrawRequests(rng, 8, 7, 1.0), InvalidArgument);
+  EXPECT_THROW((void)DrawRequests(rng, 1, 2, 0.0), InvalidArgument);
+}
+
+// --- Fig. 3 family (Im) structural checks -------------------------------
+
+TEST(TightnessIm, MatchesPaperParameters) {
+  const TightnessIm im = BuildTightnessIm(3, 4);
+  EXPECT_EQ(im.m, 3u);
+  EXPECT_EQ(im.arity, 4u);
+  EXPECT_EQ(im.instance.Capacity(), 3u * 4u + 4u - 1u);  // W = m∆+∆-1
+  EXPECT_EQ(im.instance.Dmax(), 12u);                    // dmax = 4m
+  EXPECT_EQ(im.optimal, 4u);                             // m+1
+  EXPECT_EQ(im.single_gen_expected, 15u);                // m(∆+1)
+  // Total requests: m (m∆ + 2∆ - 1) per the paper.
+  EXPECT_EQ(im.instance.GetTree().TotalRequests(), 3u * (12u + 8u - 1u));
+  EXPECT_EQ(im.instance.GetTree().Arity(), 4u);
+}
+
+TEST(TightnessIm, BlockStructure) {
+  const TightnessIm im = BuildTightnessIm(2, 3);
+  const Tree& t = im.instance.GetTree();
+  // Nodes per block: 3 internal + (∆+1) clients; plus root.
+  EXPECT_EQ(t.Size(), 1u + 2u * (3u + 4u));
+  // Exactly one client per block sits at distance dmax from its parent.
+  std::size_t critical = 0;
+  for (const NodeId c : t.Clients()) {
+    if (t.DistToParent(c) == im.instance.Dmax()) ++critical;
+  }
+  EXPECT_EQ(critical, 2u);
+}
+
+TEST(TightnessIm, OptimalSolutionIsRealizable) {
+  // The paper's optimal placement: root plus each block's n_{i,1}. Verify it
+  // is feasible by explicit construction: n_{i,1} serves c_{i,∆} and
+  // c_{i,∆-1} (W requests); the root serves everything else.
+  const TightnessIm im = BuildTightnessIm(2, 3);
+  const Tree& t = im.instance.GetTree();
+  Solution s;
+  s.replicas.push_back(t.Root());
+  for (const NodeId c : t.Clients()) {
+    const NodeId parent = t.Parent(c);
+    if (t.DistToParent(c) == im.instance.Dmax()) {
+      // c_{i,∆} -> its parent n_{i,1}.
+      if (std::find(s.replicas.begin(), s.replicas.end(), parent) == s.replicas.end()) {
+        s.replicas.push_back(parent);
+      }
+      s.assignment.push_back({c, parent, t.RequestsOf(c)});
+    }
+  }
+  // Heavy clients c_{i,∆-1} (m∆ requests) go to their block's n_{i,1},
+  // which is the grandparent; light clients go to the root.
+  for (const NodeId c : t.Clients()) {
+    if (t.DistToParent(c) == im.instance.Dmax()) continue;
+    if (t.RequestsOf(c) == im.m * im.arity) {
+      const NodeId n1 = t.Parent(t.Parent(c));
+      s.assignment.push_back({c, n1, t.RequestsOf(c)});
+    } else {
+      s.assignment.push_back({c, t.Root(), t.RequestsOf(c)});
+    }
+  }
+  const auto report = ValidateSolution(im.instance, Policy::kSingle, s);
+  EXPECT_TRUE(report.ok) << report.Describe();
+  EXPECT_EQ(s.replicas.size(), im.optimal);
+}
+
+TEST(TightnessIm, RejectsBadParameters) {
+  EXPECT_THROW((void)BuildTightnessIm(0, 3), InvalidArgument);
+  EXPECT_THROW((void)BuildTightnessIm(2, 1), InvalidArgument);
+}
+
+TEST(TightnessIm, WorksAtMinimumArity) {
+  const TightnessIm im = BuildTightnessIm(4, 2);
+  EXPECT_EQ(im.single_gen_expected, 12u);
+  EXPECT_TRUE(im.instance.GetTree().IsBinary());
+}
+
+// --- Fig. 4 family structural checks -------------------------------------
+
+TEST(TightnessFig4, MatchesPaperParameters) {
+  const TightnessFig4 fig = BuildTightnessFig4(5);
+  EXPECT_EQ(fig.instance.Capacity(), 5u);
+  EXPECT_FALSE(fig.instance.HasDistanceConstraint());
+  EXPECT_EQ(fig.optimal, 6u);
+  EXPECT_EQ(fig.single_nod_expected, 10u);
+  EXPECT_EQ(fig.instance.GetTree().TotalRequests(), 5u * 6u);
+  EXPECT_EQ(fig.instance.GetTree().ClientCount(), 10u);
+}
+
+TEST(TightnessFig4, OptimalSolutionIsRealizable) {
+  const TightnessFig4 fig = BuildTightnessFig4(4);
+  const Tree& t = fig.instance.GetTree();
+  Solution s;
+  s.replicas.push_back(t.Root());
+  for (const NodeId c : t.Clients()) {
+    if (t.RequestsOf(c) == fig.k) {
+      const NodeId parent = t.Parent(c);
+      s.replicas.push_back(parent);
+      s.assignment.push_back({c, parent, t.RequestsOf(c)});
+    } else {
+      s.assignment.push_back({c, t.Root(), t.RequestsOf(c)});
+    }
+  }
+  const auto report = ValidateSolution(fig.instance, Policy::kSingle, s);
+  EXPECT_TRUE(report.ok) << report.Describe();
+  EXPECT_EQ(s.replicas.size(), fig.optimal);
+}
+
+TEST(TightnessFig4, RejectsTooSmallK) {
+  EXPECT_THROW((void)BuildTightnessFig4(1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rpt::gen

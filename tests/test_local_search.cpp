@@ -1,0 +1,115 @@
+// Tests for the Multiple-policy local search (construction + flow pruning +
+// relocation), this library's extension for distance-constrained instances.
+#include <gtest/gtest.h>
+
+#include "exact/exact.hpp"
+#include "gen/random_tree.hpp"
+#include "model/validate.hpp"
+#include "multiple/local_search.hpp"
+#include "multiple/multiple_bin.hpp"
+
+namespace rpt::multiple {
+namespace {
+
+TEST(LocalSearch, RepairsTheTheorem6Counterexample) {
+  // Same 13-node instance as Theorem6CounterexampleRegression: Algorithm 3
+  // places 6 replicas, optimum is 5; the local search must reach 5.
+  TreeBuilder b;
+  const NodeId n0 = b.AddRoot();
+  const NodeId n1 = b.AddInternal(n0, 1);
+  const NodeId n2 = b.AddInternal(n1, 1);
+  b.AddClient(n2, 1, 7);
+  b.AddClient(n2, 1, 3);
+  const NodeId n5 = b.AddInternal(n1, 2);
+  const NodeId n6 = b.AddInternal(n5, 1);
+  const NodeId n7 = b.AddInternal(n6, 1);
+  b.AddClient(n7, 1, 7);
+  b.AddClient(n7, 2, 8);
+  b.AddClient(n6, 2, 6);
+  b.AddClient(n5, 2, 6);
+  b.AddClient(n0, 2, 1);
+  const Instance inst(b.Build(), /*capacity=*/8, /*dmax=*/4);
+
+  const auto search = SolveMultipleLocalSearch(inst);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kMultiple, search.solution));
+  EXPECT_EQ(search.solution.ReplicaCount(), 5u);
+  EXPECT_GE(search.stats.pruned_initial, 1u);
+}
+
+TEST(LocalSearch, NeverWorseThanMultipleBin) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    gen::BinaryTreeConfig cfg;
+    cfg.clients = 20;
+    cfg.min_requests = 1;
+    cfg.max_requests = 8;
+    cfg.min_edge = 1;
+    cfg.max_edge = 3;
+    const Instance inst(gen::GenerateFullBinaryTree(cfg, 61000 + seed), /*capacity=*/8,
+                        /*dmax=*/6);
+    const auto base = SolveMultipleBin(inst);
+    const auto search = SolveMultipleLocalSearch(inst);
+    const auto report = ValidateSolution(inst, Policy::kMultiple, search.solution);
+    ASSERT_TRUE(report.ok) << "seed=" << seed << ": " << report.Describe();
+    EXPECT_LE(search.solution.ReplicaCount(), base.solution.ReplicaCount()) << seed;
+    EXPECT_GE(search.solution.ReplicaCount(), inst.CapacityLowerBound()) << seed;
+  }
+}
+
+TEST(LocalSearch, MatchesExactOnSmallDistanceConstrainedInstances) {
+  std::uint64_t off_by = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    gen::BinaryTreeConfig cfg;
+    cfg.clients = 7;
+    cfg.min_requests = 1;
+    cfg.max_requests = 8;
+    cfg.min_edge = 1;
+    cfg.max_edge = 2;
+    const Instance inst(gen::GenerateFullBinaryTree(cfg, 62000 + seed), /*capacity=*/8,
+                        /*dmax=*/4);
+    const auto search = SolveMultipleLocalSearch(inst);
+    const auto opt = exact::SolveExactMultiple(inst);
+    ASSERT_TRUE(opt.feasible);
+    ASSERT_GE(search.solution.ReplicaCount(), opt.solution.ReplicaCount()) << seed;
+    off_by += search.solution.ReplicaCount() - opt.solution.ReplicaCount();
+  }
+  // Heuristic, not exact — but it should land on the optimum almost always.
+  EXPECT_LE(off_by, 2u);
+}
+
+TEST(LocalSearch, WorksOnNonBinaryTrees) {
+  gen::RandomTreeConfig cfg;
+  cfg.internal_nodes = 6;
+  cfg.clients = 16;
+  cfg.max_children = 4;
+  cfg.min_requests = 1;
+  cfg.max_requests = 9;
+  const Instance inst(gen::GenerateRandomTree(cfg, 63001), /*capacity=*/9, /*dmax=*/8);
+  const auto search = SolveMultipleLocalSearch(inst);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kMultiple, search.solution));
+  EXPECT_GE(search.solution.ReplicaCount(), inst.CapacityLowerBound());
+}
+
+TEST(LocalSearch, RejectsOversizedClients) {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  b.AddClient(root, 1, 50);
+  const Instance inst(b.Build(), 10, kNoDistanceLimit);
+  EXPECT_THROW((void)SolveMultipleLocalSearch(inst), InvalidArgument);
+}
+
+TEST(LocalSearch, ZeroRoundsStillPrunes) {
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = 10;
+  cfg.min_requests = 1;
+  cfg.max_requests = 5;
+  const Instance inst(gen::GenerateFullBinaryTree(cfg, 64001), /*capacity=*/10,
+                      kNoDistanceLimit);
+  LocalSearchOptions options;
+  options.max_rounds = 0;
+  const auto search = SolveMultipleLocalSearch(inst, options);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kMultiple, search.solution));
+  EXPECT_EQ(search.stats.rounds, 0u);
+}
+
+}  // namespace
+}  // namespace rpt::multiple

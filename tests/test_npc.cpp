@@ -1,0 +1,364 @@
+// Tests for the partition solvers/generators and the paper's three
+// NP-hardness reductions (Theorems 1, 2 and 5), verified against the exact
+// solvers or against the paper's explicit constructive solutions.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <numeric>
+
+#include "exact/exact.hpp"
+#include "flow/assignment.hpp"
+#include "model/validate.hpp"
+#include "npc/partition.hpp"
+#include "npc/reductions.hpp"
+
+namespace rpt::npc {
+namespace {
+
+// --- Partition solvers ----------------------------------------------------
+
+TEST(ThreePartition, SolvesHandInstance) {
+  // Triples: (5,6,9), (5,7,8) with B = 20... values must sit in (5, 10).
+  const ThreePartitionInstance inst{{6, 6, 8, 7, 6, 7}, 20};
+  ASSERT_TRUE(inst.IsWellFormed());
+  const auto triples = SolveThreePartition(inst);
+  ASSERT_TRUE(triples.has_value());
+  for (const auto& triple : *triples) {
+    EXPECT_EQ(inst.values[triple[0]] + inst.values[triple[1]] + inst.values[triple[2]],
+              inst.bound);
+  }
+}
+
+TEST(ThreePartition, DetectsNoInstance) {
+  // Sum matches 3*B and the window holds, but every value is ≡ 1 (mod 3)
+  // while B = 40 ≡ 1 (mod 3): triples sum to ≡ 0 (mod 3), never B.
+  const ThreePartitionInstance inst{{13, 13, 13, 13, 13, 13, 16, 13, 13}, 40};
+  ASSERT_TRUE(inst.IsWellFormed());
+  EXPECT_FALSE(SolveThreePartition(inst).has_value());
+}
+
+TEST(ThreePartition, RejectsWrongSum) {
+  const ThreePartitionInstance inst{{6, 6, 8, 7, 6, 8}, 20};  // sum 41 != 40
+  EXPECT_FALSE(SolveThreePartition(inst).has_value());
+}
+
+TEST(ThreePartition, GeneratorsAreCertified) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const auto yes = MakeThreePartitionYes(3, 8, rng);
+    EXPECT_TRUE(yes.IsWellFormed());
+    EXPECT_TRUE(SolveThreePartition(yes).has_value());
+    const auto no = MakeThreePartitionNo(3, 8, rng);
+    EXPECT_TRUE(no.IsWellFormed());
+    EXPECT_FALSE(SolveThreePartition(no).has_value());
+  }
+}
+
+TEST(TwoPartition, SolvesAndReconstructs) {
+  const std::vector<std::uint64_t> values{3, 1, 1, 2, 2, 1};  // sum 10
+  const auto subset = SolveTwoPartition(values);
+  ASSERT_TRUE(subset.has_value());
+  std::uint64_t sum = 0;
+  for (const std::size_t i : *subset) sum += values[i];
+  EXPECT_EQ(sum, 5u);
+}
+
+TEST(TwoPartition, OddSumIsNo) {
+  EXPECT_FALSE(SolveTwoPartition({3, 3, 3}).has_value());
+}
+
+TEST(TwoPartition, EvenSumCanStillBeNo) {
+  EXPECT_FALSE(SolveTwoPartition({3, 3, 3, 5}).has_value());  // sum 14, no 7
+}
+
+TEST(TwoPartition, GeneratorsAreCertified) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const auto yes = MakeTwoPartitionYes(6, 30, rng);
+    EXPECT_TRUE(SolveTwoPartition(yes).has_value());
+    const auto no = MakeTwoPartitionNo(5, 40, rng);
+    EXPECT_FALSE(SolveTwoPartition(no).has_value());
+    EXPECT_EQ(std::accumulate(no.begin(), no.end(), std::uint64_t{0}) % 2, 0u);
+  }
+}
+
+TEST(TwoPartitionEqual, RequiresEqualCardinality) {
+  // {1, 1, 1, 3}: equal-sum split {3} vs {1,1,1} exists but has cardinality
+  // 1 vs 3, so 2-Partition-Equal must say no.
+  EXPECT_TRUE(SolveTwoPartition({1, 1, 1, 3}).has_value());
+  EXPECT_FALSE(SolveTwoPartitionEqual({1, 1, 1, 3}).has_value());
+}
+
+TEST(TwoPartitionEqual, SolvesAndReconstructs) {
+  const std::vector<std::uint64_t> values{1, 4, 2, 3, 5, 1};  // sum 16, half 8
+  const auto subset = SolveTwoPartitionEqual(values);
+  ASSERT_TRUE(subset.has_value());
+  EXPECT_EQ(subset->size(), 3u);
+  std::uint64_t sum = 0;
+  for (const std::size_t i : *subset) sum += values[i];
+  EXPECT_EQ(sum, 8u);
+}
+
+TEST(TwoPartitionEqual, GeneratorsAreCertified) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto yes = MakeTwoPartitionEqualYes(4, 25, rng);
+    EXPECT_EQ(yes.size(), 8u);
+    EXPECT_TRUE(SolveTwoPartitionEqual(yes).has_value());
+    const auto no = MakeTwoPartitionEqualNo(3, 30, rng);
+    EXPECT_FALSE(SolveTwoPartitionEqual(no).has_value());
+  }
+}
+
+// --- Theorem 1: 3-Partition -> Single-NoD-Bin (instance I2) --------------
+
+TEST(ReductionI2, YesInstanceHasOptExactlyM) {
+  Rng rng(4);
+  const auto source = MakeThreePartitionYes(2, 6, rng);
+  const Reduction red = BuildI2(source);
+  EXPECT_TRUE(red.instance.GetTree().IsBinary());
+  EXPECT_FALSE(red.instance.HasDistanceConstraint());
+  EXPECT_EQ(red.threshold, 2u);
+  const auto opt = exact::SolveExactSingle(red.instance);
+  ASSERT_TRUE(opt.feasible);
+  EXPECT_EQ(opt.solution.ReplicaCount(), red.threshold);
+}
+
+TEST(ReductionI2, NoInstanceNeedsMoreThanM) {
+  Rng rng(5);
+  const auto source = MakeThreePartitionNo(3, 6, rng);
+  const Reduction red = BuildI2(source);
+  const auto opt = exact::SolveExactSingle(red.instance);
+  ASSERT_TRUE(opt.feasible);
+  EXPECT_GT(opt.solution.ReplicaCount(), red.threshold);
+}
+
+TEST(ReductionI2, SolutionRecoversPartition) {
+  // From an optimal m-server solution, the server loads must all equal B —
+  // that is exactly how the proof of Theorem 1 extracts the 3-partition.
+  Rng rng(6);
+  const auto source = MakeThreePartitionYes(2, 6, rng);
+  const Reduction red = BuildI2(source);
+  const auto opt = exact::SolveExactSingle(red.instance);
+  ASSERT_TRUE(opt.feasible);
+  ASSERT_EQ(opt.solution.ReplicaCount(), 2u);
+  std::map<NodeId, std::uint64_t> load;
+  std::map<NodeId, int> clients_per_server;
+  for (const auto& entry : opt.solution.assignment) {
+    load[entry.server] += entry.amount;
+    ++clients_per_server[entry.server];
+  }
+  for (const auto& [server, total] : load) {
+    EXPECT_EQ(total, source.bound);
+    EXPECT_EQ(clients_per_server[server], 3);  // B/4 < a_i < B/2 forces triples
+  }
+}
+
+TEST(ReductionI2, RejectsMalformedSource) {
+  const ThreePartitionInstance bad{{1, 2, 3}, 6};  // violates the window
+  EXPECT_THROW((void)BuildI2(bad), InvalidArgument);
+}
+
+// --- Theorem 2: 2-Partition -> Single-NoD-Bin (instance I4) --------------
+
+TEST(ReductionI4, YesInstanceSolvableWithTwoServers) {
+  Rng rng(7);
+  const auto values = MakeTwoPartitionYes(6, 20, rng);
+  const Reduction red = BuildI4(values);
+  EXPECT_TRUE(red.instance.GetTree().IsBinary());
+  EXPECT_EQ(red.threshold, 2u);
+  const auto opt = exact::SolveExactSingle(red.instance);
+  ASSERT_TRUE(opt.feasible);
+  EXPECT_EQ(opt.solution.ReplicaCount(), 2u);
+}
+
+TEST(ReductionI4, NoInstanceNeedsAtLeastThree) {
+  Rng rng(8);
+  const auto values = MakeTwoPartitionNo(5, 30, rng);
+  const Reduction red = BuildI4(values);
+  const auto opt = exact::SolveExactSingle(red.instance);
+  ASSERT_TRUE(opt.feasible);
+  EXPECT_GE(opt.solution.ReplicaCount(), 3u);
+}
+
+TEST(ReductionI4, RejectsOddSumAndGiantValues) {
+  EXPECT_THROW((void)BuildI4({1, 2}), InvalidArgument);        // odd sum
+  EXPECT_THROW((void)BuildI4({9, 1, 2}), InvalidArgument);     // 9 > S/2 = 6
+}
+
+// --- Theorem 5: 2-Partition-Equal -> Multiple-Bin (instance I6) ----------
+
+// Builds the paper's explicit 4m-server solution from a yes-partition and
+// validates it (the "if" direction of Theorem 5).
+Solution BuildPaperI6Solution(const Reduction& red,
+                              const std::vector<std::uint64_t>& values,
+                              const std::vector<std::size_t>& chosen) {
+  const Tree& t = red.instance.GetTree();
+  const std::uint64_t m = values.size() / 2;
+  const Requests w = red.instance.Capacity();
+  // Recover the paper's node numbering from the construction in BuildI6:
+  // the chain n_{5m-1}..n_{2m+1} was added root-first; gadget nodes n_j
+  // follow their chain parent. We re-identify nodes structurally.
+  // chain[k] = node n_{2m+1+k}; gadget[j] = node n_{j+1-1}.
+  std::vector<NodeId> chain(3 * m - 1, kInvalidNode);
+  std::vector<NodeId> gadget(2 * m, kInvalidNode);
+  std::vector<NodeId> one_req_client(3 * m - 1, kInvalidNode);
+  std::vector<NodeId> a_client(2 * m, kInvalidNode);
+  std::vector<NodeId> b_client(2 * m, kInvalidNode);
+  NodeId big_client = kInvalidNode;
+  chain[3 * m - 2] = t.Root();
+  for (std::uint64_t k = 5 * m - 2; k >= 2 * m + 1; --k) {
+    const std::size_t idx = k - (2 * m + 1);
+    for (const NodeId child : t.Children(chain[idx + 1])) {
+      if (!t.IsClient(child) && t.SubtreeSize(child) > 3) chain[idx] = child;
+    }
+    RPT_CHECK(chain[idx] != kInvalidNode);
+  }
+  for (std::uint64_t j = 1; j <= 2 * m; ++j) {
+    // n_j hangs under n_{2m+j} = chain[j-1]; it is the internal child whose
+    // subtree is exactly {n_j, a-client, b-client}.
+    for (const NodeId child : t.Children(chain[j - 1])) {
+      if (!t.IsClient(child) && t.SubtreeSize(child) == 3) gadget[j - 1] = child;
+    }
+    RPT_CHECK(gadget[j - 1] != kInvalidNode);
+  }
+  for (std::uint64_t k = 2 * m + 1; k <= 5 * m - 1; ++k) {
+    const std::size_t idx = k - (2 * m + 1);
+    for (const NodeId child : t.Children(chain[idx])) {
+      if (!t.IsClient(child)) continue;
+      if (t.RequestsOf(child) == 1 && k >= 4 * m + 1) one_req_client[idx] = child;
+      if (k == 2 * m + 1 && t.RequestsOf(child) > w) big_client = child;
+    }
+  }
+  for (std::uint64_t j = 1; j <= 2 * m; ++j) {
+    for (const NodeId child : t.Children(gadget[j - 1])) {
+      if (t.RequestsOf(child) == values[j - 1] &&
+          t.DistToParent(child) == Distance{j + m - 2}) {
+        a_client[j - 1] = child;
+      } else {
+        b_client[j - 1] = child;
+      }
+    }
+  }
+  RPT_CHECK(big_client != kInvalidNode);
+
+  Solution s;
+  std::vector<char> in_chosen(2 * m, 0);
+  for (const std::size_t j : chosen) in_chosen[j] = 1;
+  // Replicas: chain nodes, big client, chosen gadgets.
+  for (const NodeId node : chain) s.replicas.push_back(node);
+  s.replicas.push_back(big_client);
+  for (std::uint64_t j = 0; j < 2 * m; ++j) {
+    if (in_chosen[j]) s.replicas.push_back(gadget[j]);
+  }
+  // Big client: W at itself and W at each of n_{2m+1}..n_{4m}.
+  s.assignment.push_back({big_client, big_client, w});
+  for (std::uint64_t k = 2 * m + 1; k <= 4 * m; ++k) {
+    s.assignment.push_back({big_client, chain[k - (2 * m + 1)], w});
+  }
+  // One-request clients: served by their parents.
+  for (std::uint64_t k = 4 * m + 1; k <= 5 * m - 1; ++k) {
+    const std::size_t idx = k - (2 * m + 1);
+    s.assignment.push_back({one_req_client[idx], chain[idx], 1});
+  }
+  // Chosen gadgets serve both their clients; the others route a_j to
+  // n_{4m+1} and b_j to the remaining top-chain capacity.
+  std::vector<std::pair<NodeId, Requests>> top_capacity;  // n_{4m+1}..n_{5m-1}
+  for (std::uint64_t k = 4 * m + 1; k <= 5 * m - 1; ++k) {
+    top_capacity.emplace_back(chain[k - (2 * m + 1)], w - 1);
+  }
+  for (std::uint64_t j = 0; j < 2 * m; ++j) {
+    const Requests a = values[j];
+    const Requests b = t.RequestsOf(b_client[j]);
+    if (in_chosen[j]) {
+      s.assignment.push_back({a_client[j], gadget[j], a});
+      if (b > 0) s.assignment.push_back({b_client[j], gadget[j], b});
+      continue;
+    }
+    // a_j must go to n_{4m+1} exactly (distance constraint is tight).
+    s.assignment.push_back({a_client[j], top_capacity.front().first, a});
+    top_capacity.front().second -= a;
+    // b_j spreads over n_{4m+2}.. (they can reach all of them).
+    Requests remaining = b;
+    for (std::size_t slot = 1; slot < top_capacity.size() && remaining > 0; ++slot) {
+      const Requests take = std::min(remaining, top_capacity[slot].second);
+      if (take == 0) continue;
+      s.assignment.push_back({b_client[j], top_capacity[slot].first, take});
+      top_capacity[slot].second -= take;
+      remaining -= take;
+    }
+    RPT_CHECK(remaining == 0);
+  }
+  s.Canonicalize();
+  return s;
+}
+
+TEST(ReductionI6, StructureMatchesPaper) {
+  const std::vector<std::uint64_t> values{3, 3, 3, 3};  // m=2, all = S/4
+  const Reduction red = BuildI6(values);
+  const Tree& t = red.instance.GetTree();
+  EXPECT_TRUE(t.IsBinary());
+  EXPECT_EQ(t.ClientCount(), 10u);     // 5m
+  EXPECT_EQ(t.InternalCount(), 9u);    // 5m-1
+  EXPECT_EQ(red.instance.Capacity(), 7u);  // S/2 + 1
+  EXPECT_EQ(red.instance.Dmax(), 6u);      // 3m
+  EXPECT_EQ(red.threshold, 8u);            // 4m
+  // Exactly one client exceeds W (the hardness driver).
+  std::size_t oversized = 0;
+  for (const NodeId c : t.Clients()) oversized += t.RequestsOf(c) > red.instance.Capacity();
+  EXPECT_EQ(oversized, 1u);
+  EXPECT_FALSE(red.instance.AllRequestsFitLocally());
+}
+
+TEST(ReductionI6, YesDirectionConstructiveSolution) {
+  Rng rng(9);
+  for (int round = 0; round < 5; ++round) {
+    const std::uint64_t m = 3;
+    auto values = NormalizeForI6(MakeTwoPartitionEqualYes(m, 12, rng));
+    const auto partition = SolveTwoPartitionEqual(values);
+    ASSERT_TRUE(partition.has_value());
+    const Reduction red = BuildI6(values);
+    const Solution s = BuildPaperI6Solution(red, values, *partition);
+    EXPECT_EQ(s.ReplicaCount(), red.threshold);
+    const auto report = ValidateSolution(red.instance, Policy::kMultiple, s);
+    EXPECT_TRUE(report.ok) << report.Describe();
+  }
+}
+
+// The "only if" core of Theorem 5, via the library's restricted decision:
+// with the forced 3m+1 replicas placed, a feasible completion using m gadget
+// nodes exists iff the partition does.
+TEST(ReductionI6, RestrictedDecisionMatchesPartition) {
+  Rng rng(10);
+  const std::uint64_t m = 3;
+  const auto yes = NormalizeForI6(MakeTwoPartitionEqualYes(m, 12, rng));
+  EXPECT_TRUE(RestrictedI6Decision(BuildI6(yes)));
+  // The certified no-instance {1,1,1,3,3,3} satisfies a_j <= S/4.
+  const std::vector<std::uint64_t> no{1, 1, 1, 3, 3, 3};
+  ASSERT_FALSE(SolveTwoPartitionEqual(no).has_value());
+  EXPECT_FALSE(RestrictedI6Decision(BuildI6(no)));
+}
+
+TEST(ReductionI6, RejectsBadInput) {
+  EXPECT_THROW((void)BuildI6({1, 2, 3}), InvalidArgument);      // odd count
+  EXPECT_THROW((void)BuildI6({1, 1, 1, 5}), InvalidArgument);   // a_j > S/4
+  EXPECT_THROW((void)BuildI6({1, 1, 1, 2}), InvalidArgument);   // odd sum
+}
+
+TEST(NormalizeForI6Test, ShiftPreservesPartitionAnswer) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    const auto yes = MakeTwoPartitionEqualYes(4, 50, rng);
+    const auto shifted = NormalizeForI6(yes);
+    EXPECT_TRUE(SolveTwoPartitionEqual(shifted).has_value());
+    const std::uint64_t sum =
+        std::accumulate(shifted.begin(), shifted.end(), std::uint64_t{0});
+    for (const auto v : shifted) EXPECT_LE(4 * v, sum);
+    const auto no = MakeTwoPartitionEqualNo(4, 50, rng);
+    EXPECT_FALSE(SolveTwoPartitionEqual(NormalizeForI6(no)).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace rpt::npc

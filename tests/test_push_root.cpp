@@ -1,0 +1,121 @@
+// Tests for single-push, the push-toward-root strategy from the paper's
+// conclusion — including an empirical probe of the conjectured 3/2 bound on
+// Single-NoD-Bin instances.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "exact/exact.hpp"
+#include "gen/paper_instances.hpp"
+#include "gen/random_tree.hpp"
+#include "gen/shapes.hpp"
+#include "model/validate.hpp"
+#include "single/push_root.hpp"
+#include "single/single_nod.hpp"
+
+namespace rpt::single {
+namespace {
+
+TEST(PushRoot, MergesEverythingAtTheRootWhenItFits) {
+  const std::array<Requests, 4> reqs{2, 3, 1, 2};
+  const Instance inst(gen::MakeStar(4, reqs), /*capacity=*/10, kNoDistanceLimit);
+  const auto result = SolveSinglePushRoot(inst);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kSingle, result.solution));
+  EXPECT_EQ(result.solution.ReplicaCount(), 1u);
+  EXPECT_EQ(result.solution.replicas[0], inst.GetTree().Root());
+  EXPECT_GE(result.stats.merges + result.stats.repacks, 3u);
+}
+
+TEST(PushRoot, RespectsCapacityOnStars) {
+  const std::array<Requests, 1> reqs{6};
+  const Instance inst(gen::MakeStar(3, reqs), /*capacity=*/10, kNoDistanceLimit);
+  // Three clients of 6 with W=10: only one pair... no pair fits (12 > 10),
+  // so the best Single count is 3 (root + self-hosting cannot merge).
+  const auto result = SolveSinglePushRoot(inst);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kSingle, result.solution));
+  EXPECT_EQ(result.solution.ReplicaCount(), 3u);
+}
+
+TEST(PushRoot, HonoursDistanceConstraints) {
+  // Clients sit 3 away from the root; with dmax=2 the root is unreachable
+  // and servers stay below it.
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  const NodeId mid = b.AddInternal(root, 2);
+  b.AddClient(mid, 1, 4);
+  b.AddClient(mid, 1, 5);
+  const Instance inst(b.Build(), /*capacity=*/10, /*dmax=*/2);
+  const auto result = SolveSinglePushRoot(inst);
+  EXPECT_TRUE(IsFeasible(inst, Policy::kSingle, result.solution));
+  EXPECT_EQ(result.solution.ReplicaCount(), 1u);
+  EXPECT_EQ(result.solution.replicas[0], mid);
+}
+
+TEST(PushRoot, ZeroRequestsZeroReplicas) {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  b.AddClient(root, 1, 0);
+  const Instance inst(b.Build(), 5, kNoDistanceLimit);
+  EXPECT_EQ(SolveSinglePushRoot(inst).solution.ReplicaCount(), 0u);
+}
+
+TEST(PushRoot, RejectsOversizedClients) {
+  const std::array<Requests, 1> reqs{9};
+  const Instance inst(gen::MakeStar(2, reqs), /*capacity=*/5, kNoDistanceLimit);
+  EXPECT_THROW((void)SolveSinglePushRoot(inst), InvalidArgument);
+}
+
+TEST(PushRoot, BeatsTheFig4WorstCase) {
+  // On the Fig. 4 family single-nod is stuck at 2K; pushing toward the root
+  // reaches the optimum K+1: the unit clients merge at the root while each
+  // heavy client's server climbs to its gadget node.
+  for (const std::uint64_t k : {3u, 6u, 10u}) {
+    const gen::TightnessFig4 fig = gen::BuildTightnessFig4(k);
+    const auto push = SolveSinglePushRoot(fig.instance);
+    EXPECT_TRUE(IsFeasible(fig.instance, Policy::kSingle, push.solution));
+    EXPECT_EQ(push.solution.ReplicaCount(), fig.optimal) << "k=" << k;
+    const auto nod = SolveSingleNod(fig.instance);
+    EXPECT_LT(push.solution.ReplicaCount(), nod.solution.ReplicaCount()) << "k=" << k;
+  }
+}
+
+// Empirical probe of the paper's conjecture: on Single-NoD-Bin instances,
+// the measured ratio of single-push to the exhaustive optimum stays <= 3/2.
+// This is an observation, not a proof — instances that break it would be
+// exactly the counterexamples the paper's future-work section looks for.
+TEST(PushRoot, ConjectureProbeOnBinaryNodInstances) {
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    gen::BinaryTreeConfig cfg;
+    cfg.clients = 7;
+    cfg.min_requests = 1;
+    cfg.max_requests = 9;
+    const Instance inst(gen::GenerateFullBinaryTree(cfg, 52000 + seed), /*capacity=*/9,
+                        kNoDistanceLimit);
+    const auto push = SolveSinglePushRoot(inst);
+    ASSERT_TRUE(IsFeasible(inst, Policy::kSingle, push.solution)) << seed;
+    const auto opt = exact::SolveExactSingle(inst);
+    ASSERT_TRUE(opt.feasible) << seed;
+    EXPECT_LE(2 * push.solution.ReplicaCount(), 3 * opt.solution.ReplicaCount())
+        << "conjecture probe failed at seed " << seed << ": push="
+        << push.solution.ReplicaCount() << " opt=" << opt.solution.ReplicaCount();
+  }
+}
+
+TEST(PushRoot, FeasibleAcrossShapesAndDmax) {
+  const std::array<Requests, 12> reqs{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8};
+  for (const Distance dmax : {kNoDistanceLimit, Distance{6}, Distance{2}}) {
+    for (int shape = 0; shape < 3; ++shape) {
+      Tree tree = shape == 0   ? gen::MakeCaterpillar(reqs)
+                  : shape == 1 ? gen::MakeComb(reqs, 2)
+                               : gen::MakeStar(12, reqs);
+      const Instance inst(std::move(tree), /*capacity=*/12, dmax);
+      const auto result = SolveSinglePushRoot(inst);
+      const auto report = ValidateSolution(inst, Policy::kSingle, result.solution);
+      EXPECT_TRUE(report.ok) << "shape=" << shape << " dmax=" << dmax << ": "
+                             << report.Describe();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpt::single

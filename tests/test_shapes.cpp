@@ -1,0 +1,94 @@
+// Tests for the canonical tree shapes (star, chain, caterpillar, comb).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "gen/shapes.hpp"
+
+namespace rpt::gen {
+namespace {
+
+TEST(Shapes, StarLayout) {
+  const std::array<Requests, 3> reqs{5, 7, 9};
+  const Tree t = MakeStar(5, reqs, 2);
+  EXPECT_EQ(t.Size(), 6u);
+  EXPECT_EQ(t.ClientCount(), 5u);
+  EXPECT_EQ(t.Arity(), 5u);
+  // Requests cycle through the provided values.
+  EXPECT_EQ(t.RequestsOf(1), 5u);
+  EXPECT_EQ(t.RequestsOf(2), 7u);
+  EXPECT_EQ(t.RequestsOf(3), 9u);
+  EXPECT_EQ(t.RequestsOf(4), 5u);
+  for (const NodeId c : t.Clients()) {
+    EXPECT_EQ(t.Parent(c), t.Root());
+    EXPECT_EQ(t.DistToParent(c), 2u);
+  }
+}
+
+TEST(Shapes, StarRejectsEmpty) {
+  EXPECT_THROW((void)MakeStar(0, std::array<Requests, 1>{1}), InvalidArgument);
+  EXPECT_THROW((void)MakeStar(3, std::span<const Requests>{}), InvalidArgument);
+}
+
+TEST(Shapes, ChainLayout) {
+  const Tree t = MakeChain(4, 11, 3);
+  EXPECT_EQ(t.Size(), 5u);  // 4 internal + 1 client
+  EXPECT_EQ(t.ClientCount(), 1u);
+  EXPECT_EQ(t.Arity(), 1u);
+  const NodeId client = t.Clients()[0];
+  EXPECT_EQ(t.Depth(client), 4u);
+  EXPECT_EQ(t.DistFromRoot(client), 12u);
+  EXPECT_EQ(t.RequestsOf(client), 11u);
+}
+
+TEST(Shapes, ChainDepthOne) {
+  const Tree t = MakeChain(1, 4);
+  EXPECT_EQ(t.Size(), 2u);
+  EXPECT_EQ(t.Depth(t.Clients()[0]), 1u);
+}
+
+TEST(Shapes, CaterpillarIsBinaryWithOrderedRequests) {
+  const std::array<Requests, 5> reqs{1, 2, 3, 4, 5};
+  const Tree t = MakeCaterpillar(reqs);
+  EXPECT_TRUE(t.IsBinary());
+  EXPECT_EQ(t.ClientCount(), 5u);
+  EXPECT_EQ(t.InternalCount(), 4u);  // spine of |C|-1 nodes
+  // Every spine node is an ancestor of all remaining clients: the deepest
+  // spine node carries the last two clients.
+  std::vector<Requests> seen;
+  for (const NodeId c : t.Clients()) seen.push_back(t.RequestsOf(c));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<Requests>{1, 2, 3, 4, 5}));
+  // Root is an ancestor of every client.
+  for (const NodeId c : t.Clients()) EXPECT_TRUE(t.IsAncestorOrSelf(t.Root(), c));
+}
+
+TEST(Shapes, CaterpillarSingleClient) {
+  const std::array<Requests, 1> reqs{8};
+  const Tree t = MakeCaterpillar(reqs);
+  EXPECT_EQ(t.Size(), 2u);
+}
+
+TEST(Shapes, CombAddsToothDepth) {
+  const std::array<Requests, 4> reqs{2, 2, 2, 2};
+  const Tree shallow = MakeCaterpillar(reqs);
+  const Tree deep = MakeComb(reqs, 3);
+  EXPECT_EQ(deep.ClientCount(), 4u);
+  // Each tooth adds tooth_depth-1 internal nodes relative to the caterpillar.
+  EXPECT_EQ(deep.InternalCount(), shallow.InternalCount() + 4u * 2u);
+  std::uint32_t max_depth = 0;
+  for (const NodeId c : deep.Clients()) max_depth = std::max(max_depth, deep.Depth(c));
+  EXPECT_GE(max_depth, 5u);
+  EXPECT_TRUE(deep.IsBinary());
+}
+
+TEST(Shapes, CombToothDepthOneIsCaterpillar) {
+  const std::array<Requests, 4> reqs{1, 2, 3, 4};
+  const Tree a = MakeCaterpillar(reqs);
+  const Tree b = MakeComb(reqs, 1);
+  EXPECT_EQ(a.Size(), b.Size());
+  EXPECT_EQ(a.InternalCount(), b.InternalCount());
+}
+
+}  // namespace
+}  // namespace rpt::gen

@@ -1,0 +1,141 @@
+// Tests for the replay simulator: conservation, determinism, stability at
+// planned load, saturation under surges, and the Poisson sampler.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "gen/random_tree.hpp"
+#include "sim/replay.hpp"
+
+namespace rpt::sim {
+namespace {
+
+Instance MakeInstance(std::uint64_t seed = 5) {
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = 16;
+  cfg.min_requests = 2;
+  cfg.max_requests = 12;
+  return Instance(gen::GenerateFullBinaryTree(cfg, seed), /*capacity=*/20, /*dmax=*/10);
+}
+
+Solution Solve(const Instance& inst) {
+  return core::Run(core::Algorithm::kMultipleBin, inst).solution;
+}
+
+TEST(Poisson, ZeroMeanIsZero) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(DrawPoisson(rng, 0.0), 0u);
+}
+
+TEST(Poisson, MeanIsApproximatelyRight) {
+  Rng rng(2);
+  for (const double mean : {0.5, 3.0, 20.0, 200.0}) {
+    double total = 0;
+    constexpr int kSamples = 4000;
+    for (int i = 0; i < kSamples; ++i) total += static_cast<double>(DrawPoisson(rng, mean));
+    const double empirical = total / kSamples;
+    EXPECT_NEAR(empirical, mean, 0.15 * mean + 0.1) << "mean=" << mean;
+  }
+}
+
+TEST(Poisson, RejectsBadMean) {
+  Rng rng(3);
+  EXPECT_THROW((void)DrawPoisson(rng, -1.0), InvalidArgument);
+}
+
+TEST(Replay, ConservesRequests) {
+  const Instance inst = MakeInstance();
+  const Solution solution = Solve(inst);
+  ReplayConfig config;
+  config.ticks = 50;
+  const ReplayReport report = Replay(inst, solution, config);
+  std::uint64_t arrived = 0;
+  std::uint64_t served = 0;
+  for (const ServerReport& server : report.servers) {
+    arrived += server.arrived;
+    served += server.served + 0;
+    EXPECT_EQ(server.arrived, server.served + server.final_backlog);
+  }
+  EXPECT_EQ(report.arrived, arrived);
+  EXPECT_EQ(report.served, served);
+}
+
+TEST(Replay, DeterministicInSeed) {
+  const Instance inst = MakeInstance();
+  const Solution solution = Solve(inst);
+  ReplayConfig config;
+  config.ticks = 40;
+  config.seed = 99;
+  const ReplayReport a = Replay(inst, solution, config);
+  const ReplayReport b = Replay(inst, solution, config);
+  EXPECT_EQ(a.arrived, b.arrived);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_DOUBLE_EQ(a.mean_wait_ticks, b.mean_wait_ticks);
+}
+
+TEST(Replay, StableAtPlannedLoad) {
+  // demand_factor well below 1: queues stay near-empty and waits near zero.
+  const Instance inst = MakeInstance();
+  const Solution solution = Solve(inst);
+  ReplayConfig config;
+  config.ticks = 200;
+  config.demand_factor = 0.6;
+  const ReplayReport report = Replay(inst, solution, config);
+  EXPECT_LT(report.mean_wait_ticks, 0.5);
+  for (const ServerReport& server : report.servers) {
+    EXPECT_LT(server.final_backlog, 3u * inst.Capacity());
+  }
+}
+
+TEST(Replay, SurgeBuildsBacklogOnSaturatedServers) {
+  const Instance inst = MakeInstance();
+  const Solution solution = Solve(inst);
+  ReplayConfig config;
+  config.ticks = 200;
+  config.demand_factor = 1.6;  // 60% over capacity on fully-loaded servers
+  const ReplayReport report = Replay(inst, solution, config);
+  EXPECT_FALSE(report.Drained());
+  EXPECT_GT(report.mean_wait_ticks, 1.0);
+  // At least one server near full utilization.
+  double max_util = 0;
+  for (const ServerReport& server : report.servers) {
+    max_util = std::max(max_util, server.utilization);
+  }
+  EXPECT_GT(max_util, 0.95);
+}
+
+TEST(Replay, ServiceDistanceWithinDmax) {
+  const Instance inst = MakeInstance();
+  const Solution solution = Solve(inst);
+  ReplayConfig config;
+  const ReplayReport report = Replay(inst, solution, config);
+  EXPECT_LE(report.max_service_distance, inst.Dmax());
+  EXPECT_GE(report.mean_service_distance, 0.0);
+  EXPECT_LE(report.mean_service_distance, static_cast<double>(inst.Dmax()));
+}
+
+TEST(Replay, ZeroDemandFactor) {
+  const Instance inst = MakeInstance();
+  const Solution solution = Solve(inst);
+  ReplayConfig config;
+  config.demand_factor = 0.0;
+  const ReplayReport report = Replay(inst, solution, config);
+  EXPECT_EQ(report.arrived, 0u);
+  EXPECT_TRUE(report.Drained());
+  EXPECT_EQ(report.mean_wait_ticks, 0.0);
+}
+
+TEST(Replay, RejectsInfeasibleSolutions) {
+  const Instance inst = MakeInstance();
+  Solution bogus;  // serves nothing
+  EXPECT_THROW((void)Replay(inst, bogus, ReplayConfig{}), InvalidArgument);
+}
+
+TEST(Replay, SingleSolutionsReplayToo) {
+  const Instance inst = MakeInstance();
+  const Solution single = core::Run(core::Algorithm::kSingleGen, inst).solution;
+  const ReplayReport report = Replay(inst, single, ReplayConfig{});
+  EXPECT_GT(report.arrived, 0u);
+}
+
+}  // namespace
+}  // namespace rpt::sim

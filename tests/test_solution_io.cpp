@@ -1,0 +1,73 @@
+// Round-trip and error-path tests for the rpt-solution v1 text format, and
+// end-to-end persistence: solve -> save -> load -> re-validate.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "gen/random_tree.hpp"
+#include "model/solution_io.hpp"
+#include "model/validate.hpp"
+
+namespace rpt {
+namespace {
+
+Solution Sample() {
+  Solution s;
+  s.replicas = {1, 4, 9};
+  s.assignment = {{2, 1, 6}, {3, 1, 4}, {5, 4, 12}, {5, 9, 3}};
+  return s;
+}
+
+TEST(SolutionIo, RoundTripPreservesEverything) {
+  const Solution original = Sample();
+  const Solution back = SolutionFromString(SolutionToString(original));
+  EXPECT_EQ(back.replicas, original.replicas);
+  ASSERT_EQ(back.assignment.size(), original.assignment.size());
+  for (std::size_t i = 0; i < back.assignment.size(); ++i) {
+    EXPECT_EQ(back.assignment[i], original.assignment[i]);
+  }
+}
+
+TEST(SolutionIo, EmptySolutionRoundTrips) {
+  const Solution back = SolutionFromString(SolutionToString(Solution{}));
+  EXPECT_TRUE(back.replicas.empty());
+  EXPECT_TRUE(back.assignment.empty());
+}
+
+TEST(SolutionIo, AcceptsCommentsAndBlankLines) {
+  const std::string text =
+      "# saved by a tool\n"
+      "rpt-solution v1\n"
+      "\n"
+      "1 1\n"
+      "# the replica\n"
+      "7\n"
+      "3 7 42\n";
+  const Solution s = SolutionFromString(text);
+  EXPECT_EQ(s.replicas, (std::vector<NodeId>{7}));
+  EXPECT_EQ(s.assignment[0], (ServiceEntry{3, 7, 42}));
+}
+
+TEST(SolutionIo, RejectsMalformedInput) {
+  EXPECT_THROW((void)SolutionFromString(""), InvalidArgument);
+  EXPECT_THROW((void)SolutionFromString("bogus v1\n0 0\n"), InvalidArgument);
+  EXPECT_THROW((void)SolutionFromString("rpt-solution v2\n0 0\n"), InvalidArgument);
+  EXPECT_THROW((void)SolutionFromString("rpt-solution v1\n2 0\n1\n"), InvalidArgument);  // short
+  EXPECT_THROW((void)SolutionFromString("rpt-solution v1\n0 1\n3 7\n"), InvalidArgument);
+  EXPECT_THROW((void)SolutionFromString("rpt-solution v1\n0 1\n3 x 4\n"), InvalidArgument);
+}
+
+TEST(SolutionIo, SolveSaveLoadRevalidate) {
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = 14;
+  cfg.min_requests = 1;
+  cfg.max_requests = 9;
+  const Instance inst(gen::GenerateFullBinaryTree(cfg, 81), /*capacity=*/12, /*dmax=*/9);
+  const Solution solved = core::Run(core::Algorithm::kMultipleBin, inst).solution;
+  const Solution reloaded = SolutionFromString(SolutionToString(solved));
+  const auto report = ValidateSolution(inst, Policy::kMultiple, reloaded);
+  EXPECT_TRUE(report.ok) << report.Describe();
+  EXPECT_EQ(reloaded.ReplicaCount(), solved.ReplicaCount());
+}
+
+}  // namespace
+}  // namespace rpt

@@ -1,0 +1,219 @@
+// Unit tests for the tree substrate: builder validation, derived queries,
+// traversal, and serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tree/serialize.hpp"
+#include "tree/tree.hpp"
+
+namespace rpt {
+namespace {
+
+// Small fixture tree:
+//        0 (root)
+//       1   2     (children of 0)
+//      3 4   5    (3,4 under 1; 5 under 2)
+// 3,4,5 are clients; edges: 1->0:2, 2->0:3, 3->1:1, 4->1:4, 5->2:5.
+Tree MakeFixture() {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  const NodeId n1 = b.AddInternal(root, 2);
+  const NodeId n2 = b.AddInternal(root, 3);
+  b.AddClient(n1, 1, 10);
+  b.AddClient(n1, 4, 20);
+  b.AddClient(n2, 5, 30);
+  return b.Build();
+}
+
+TEST(TreeBuilder, RootMustBeFirst) {
+  TreeBuilder b;
+  EXPECT_THROW(b.AddInternal(0, 1), InvalidArgument);
+  b.AddRoot();
+  EXPECT_THROW(b.AddRoot(), InvalidArgument);
+}
+
+TEST(TreeBuilder, ClientsMustBeLeaves) {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  const NodeId client = b.AddClient(root, 1, 5);
+  EXPECT_THROW(b.AddInternal(client, 1), InvalidArgument);
+  EXPECT_THROW(b.AddClient(client, 1, 5), InvalidArgument);
+}
+
+TEST(TreeBuilder, NonRootInternalNeedsChildren) {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  b.AddInternal(root, 1);  // left childless
+  EXPECT_THROW((void)b.Build(), InvalidArgument);
+}
+
+TEST(TreeBuilder, RejectsUnknownParent) {
+  TreeBuilder b;
+  b.AddRoot();
+  EXPECT_THROW(b.AddClient(99, 1, 5), InvalidArgument);
+}
+
+TEST(TreeBuilder, RejectsOversizedEdge) {
+  TreeBuilder b;
+  const NodeId root = b.AddRoot();
+  EXPECT_THROW(b.AddClient(root, kDistanceCap + 1, 5), InvalidArgument);
+}
+
+TEST(TreeBuilder, SingleNodeTreeIsValid) {
+  TreeBuilder b;
+  b.AddRoot();
+  const Tree t = b.Build();
+  EXPECT_EQ(t.Size(), 1u);
+  EXPECT_EQ(t.ClientCount(), 0u);
+  EXPECT_EQ(t.TotalRequests(), 0u);
+  EXPECT_EQ(t.Arity(), 0u);
+}
+
+TEST(Tree, BasicQueries) {
+  const Tree t = MakeFixture();
+  EXPECT_EQ(t.Size(), 6u);
+  EXPECT_EQ(t.ClientCount(), 3u);
+  EXPECT_EQ(t.InternalCount(), 3u);
+  EXPECT_EQ(t.Root(), 0u);
+  EXPECT_EQ(t.Parent(0), kInvalidNode);
+  EXPECT_EQ(t.Parent(3), 1u);
+  EXPECT_EQ(t.DistToParent(0), kNoDistanceLimit);
+  EXPECT_EQ(t.DistToParent(4), 4u);
+  EXPECT_TRUE(t.IsClient(5));
+  EXPECT_FALSE(t.IsClient(1));
+  EXPECT_EQ(t.RequestsOf(4), 20u);
+  EXPECT_EQ(t.RequestsOf(1), 0u);
+  EXPECT_EQ(t.Arity(), 2u);
+  EXPECT_TRUE(t.IsBinary());
+}
+
+TEST(Tree, ChildrenSpans) {
+  const Tree t = MakeFixture();
+  const auto root_kids = t.Children(0);
+  ASSERT_EQ(root_kids.size(), 2u);
+  EXPECT_EQ(root_kids[0], 1u);
+  EXPECT_EQ(root_kids[1], 2u);
+  EXPECT_TRUE(t.Children(3).empty());
+}
+
+TEST(Tree, ClientListSorted) {
+  const Tree t = MakeFixture();
+  const auto clients = t.Clients();
+  ASSERT_EQ(clients.size(), 3u);
+  EXPECT_EQ(clients[0], 3u);
+  EXPECT_EQ(clients[1], 4u);
+  EXPECT_EQ(clients[2], 5u);
+}
+
+TEST(Tree, PostOrderChildrenBeforeParents) {
+  const Tree t = MakeFixture();
+  const auto order = t.PostOrder();
+  ASSERT_EQ(order.size(), t.Size());
+  std::vector<int> position(t.Size());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = static_cast<int>(i);
+  for (NodeId id = 1; id < t.Size(); ++id) {
+    EXPECT_LT(position[id], position[t.Parent(id)]) << "node " << id;
+  }
+  EXPECT_EQ(order.back(), t.Root());
+}
+
+TEST(Tree, DepthAndRootDistance) {
+  const Tree t = MakeFixture();
+  EXPECT_EQ(t.Depth(0), 0u);
+  EXPECT_EQ(t.Depth(1), 1u);
+  EXPECT_EQ(t.Depth(4), 2u);
+  EXPECT_EQ(t.DistFromRoot(0), 0u);
+  EXPECT_EQ(t.DistFromRoot(1), 2u);
+  EXPECT_EQ(t.DistFromRoot(4), 6u);
+  EXPECT_EQ(t.DistFromRoot(5), 8u);
+}
+
+TEST(Tree, AncestorQueries) {
+  const Tree t = MakeFixture();
+  EXPECT_TRUE(t.IsAncestorOrSelf(0, 4));
+  EXPECT_TRUE(t.IsAncestorOrSelf(1, 4));
+  EXPECT_TRUE(t.IsAncestorOrSelf(4, 4));
+  EXPECT_FALSE(t.IsAncestorOrSelf(2, 4));
+  EXPECT_FALSE(t.IsAncestorOrSelf(4, 1));  // descendant, not ancestor
+  EXPECT_FALSE(t.IsAncestorOrSelf(3, 4));  // siblings
+}
+
+TEST(Tree, DistToAncestor) {
+  const Tree t = MakeFixture();
+  EXPECT_EQ(t.DistToAncestor(4, 1), 4u);
+  EXPECT_EQ(t.DistToAncestor(4, 0), 6u);
+  EXPECT_EQ(t.DistToAncestor(4, 4), 0u);
+  EXPECT_THROW((void)t.DistToAncestor(4, 2), InvalidArgument);
+}
+
+TEST(Tree, SubtreeAggregates) {
+  const Tree t = MakeFixture();
+  EXPECT_EQ(t.TotalRequests(), 60u);
+  EXPECT_EQ(t.SubtreeRequests(0), 60u);
+  EXPECT_EQ(t.SubtreeRequests(1), 30u);
+  EXPECT_EQ(t.SubtreeRequests(2), 30u);
+  EXPECT_EQ(t.SubtreeRequests(4), 20u);
+  EXPECT_EQ(t.SubtreeSize(0), 6u);
+  EXPECT_EQ(t.SubtreeSize(1), 3u);
+  EXPECT_EQ(t.SubtreeSize(5), 1u);
+}
+
+TEST(Tree, OutOfRangeIdThrows) {
+  const Tree t = MakeFixture();
+  EXPECT_THROW((void)t.Kind(99), InvalidArgument);
+  EXPECT_THROW((void)t.Children(99), InvalidArgument);
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const Tree t = MakeFixture();
+  const std::string text = TreeToString(t);
+  const Tree back = TreeFromString(text);
+  ASSERT_EQ(back.Size(), t.Size());
+  for (NodeId id = 0; id < t.Size(); ++id) {
+    EXPECT_EQ(back.Kind(id), t.Kind(id));
+    EXPECT_EQ(back.Parent(id), t.Parent(id));
+    EXPECT_EQ(back.DistToParent(id), t.DistToParent(id));
+    EXPECT_EQ(back.RequestsOf(id), t.RequestsOf(id));
+  }
+}
+
+TEST(Serialize, AcceptsCommentsAndBlankLines) {
+  const std::string text =
+      "# a comment\n"
+      "rpt-tree v1\n"
+      "\n"
+      "2\n"
+      "# root\n"
+      "0 - inf I 0\n"
+      "1 0 7 C 42\n";
+  const Tree t = TreeFromString(text);
+  EXPECT_EQ(t.Size(), 2u);
+  EXPECT_EQ(t.RequestsOf(1), 42u);
+  EXPECT_EQ(t.DistToParent(1), 7u);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW((void)TreeFromString(""), InvalidArgument);
+  EXPECT_THROW((void)TreeFromString("bogus v1\n1\n0 - inf I 0\n"), InvalidArgument);
+  EXPECT_THROW((void)TreeFromString("rpt-tree v1\n2\n0 - inf I 0\n"), InvalidArgument);  // truncated
+  EXPECT_THROW((void)TreeFromString("rpt-tree v1\n1\n0 - inf C 5\n"), InvalidArgument);  // client root
+  EXPECT_THROW((void)TreeFromString("rpt-tree v1\n2\n0 - inf I 0\n1 0 3 I 9\n"),
+               InvalidArgument);  // internal with requests
+  EXPECT_THROW((void)TreeFromString("rpt-tree v1\n2\n0 - inf I 0\n5 0 3 C 9\n"),
+               InvalidArgument);  // non-dense ids
+}
+
+TEST(Serialize, DotContainsNodesAndEdges) {
+  const Tree t = MakeFixture();
+  std::ostringstream os;
+  WriteDot(os, t, "fixture");
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph fixture"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("r=30"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"5\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpt
