@@ -11,27 +11,70 @@
 //      constrained triples first. Serving least-constrained first remains
 //      feasible (extra-server mops up) but loses optimality under tight
 //      dmax; the table reports how often and by how much.
+//
+// The random sweeps run on runner::BatchRunner (work-stealing across
+// --threads workers, deterministic per-cell seeds), replacing the earlier
+// raw ThreadPool/ParallelFor loops. Paired per-seed statistics (ratios,
+// excess) are recovered from the per-cell results, which BatchRunner keeps
+// in submission order regardless of thread count.
 #include <iostream>
+#include <span>
 
 #include "exact/exact.hpp"
 #include "gen/paper_instances.hpp"
 #include "gen/random_tree.hpp"
 #include "model/validate.hpp"
 #include "multiple/multiple_bin.hpp"
+#include "runner/batch_runner.hpp"
 #include "single/single_nod.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
-#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace rpt;
+
+// Wraps an options-carrying solver call into a core::RunResult the way
+// core::Run does, including the independent validation pass.
+template <typename Solve>
+std::function<core::RunResult(const Instance&)> CustomSolve(Policy policy, Solve solve) {
+  return [policy, solve](const Instance& instance) {
+    core::RunResult result;
+    Timer timer;
+    result.solution = solve(instance);
+    result.elapsed_ms = timer.ElapsedMs();
+    result.feasible = true;
+    result.validation = ValidateSolution(instance, policy, result.solution);
+    RPT_CHECK(result.validation.ok);
+    return result;
+  };
+}
+
+// Per-seed costs of one group, in seed order (cells are contiguous and in
+// submission order within a sweep).
+std::vector<std::uint64_t> GroupCosts(std::span<const runner::CellResult> results,
+                                      std::string_view group) {
+  std::vector<std::uint64_t> costs;
+  for (const runner::CellResult& cell : results) {
+    if (cell.group != group) continue;
+    RPT_CHECK(cell.ok);  // ablation cells must not throw
+    costs.push_back(cell.cost);
+  }
+  return costs;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rpt;
   Cli cli("bench_ablations", "E9: ablations of the paper's ordering rules");
-  cli.AddInt("seeds", 50, "instances per configuration");
+  AddBatchFlags(cli, /*default_seeds=*/50);
   cli.AddString("csv", "", "optional CSV output path");
   if (!cli.Parse(argc, argv)) return 0;
-  const auto seeds = static_cast<std::size_t>(cli.GetInt("seeds"));
-  ThreadPool pool;
+  const BatchFlags flags = GetBatchFlags(cli);
+  const std::size_t seeds = flags.seeds;
 
   // --- (i) single-nod bundle order ---------------------------------------
   std::cout << "E9a: single-nod bundle order (paper: smallest-first)\n\n";
@@ -60,45 +103,46 @@ int main(int argc, char** argv) {
   {
     // Random instances: smallest-first keeps the proven factor 2; the flip
     // can exceed it.
-    std::vector<std::size_t> small_counts(seeds);
-    std::vector<std::size_t> large_counts(seeds);
-    std::vector<std::size_t> opt_counts(seeds);
-    ParallelFor(pool, seeds, [&](std::size_t seed) {
+    const auto make_instance = [](std::uint64_t seed) {
       gen::RandomTreeConfig cfg;
       cfg.internal_nodes = 3;
       cfg.clients = 7;
       cfg.max_children = 3;
       cfg.min_requests = 1;
       cfg.max_requests = 8;
-      const Instance inst(gen::GenerateRandomTree(cfg, 41000 + seed), /*capacity=*/8,
-                          kNoDistanceLimit);
-      small_counts[seed] = single::SolveSingleNod(inst).solution.ReplicaCount();
-      single::SingleNodOptions flipped;
-      flipped.order = single::SingleNodOptions::BundleOrder::kLargestFirst;
-      const auto largest = single::SolveSingleNod(inst, flipped);
-      RPT_CHECK(IsFeasible(inst, Policy::kSingle, largest.solution));
-      large_counts[seed] = largest.solution.ReplicaCount();
-      opt_counts[seed] = exact::SolveExactSingle(inst).solution.ReplicaCount();
-    });
-    StatAccumulator small_stat;
-    StatAccumulator large_stat;
-    StatAccumulator opt_stat;
+      return Instance(gen::GenerateRandomTree(cfg, seed), /*capacity=*/8, kNoDistanceLimit);
+    };
+    const std::uint64_t base_seed = 41000;
+    runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+    batch.AddSweep("nod/smallest", make_instance,
+                   runner::SolveWith(core::Algorithm::kSingleNod), base_seed, seeds);
+    batch.AddSweep("nod/largest", make_instance,
+                   CustomSolve(Policy::kSingle,
+                               [](const Instance& inst) {
+                                 single::SingleNodOptions flipped;
+                                 flipped.order =
+                                     single::SingleNodOptions::BundleOrder::kLargestFirst;
+                                 return single::SolveSingleNod(inst, flipped).solution;
+                               }),
+                   base_seed, seeds);
+    batch.AddSweep("nod/exact", make_instance,
+                   runner::SolveWith(core::Algorithm::kExactSingle), base_seed, seeds);
+    const runner::BatchReport report = batch.Run();
+    RPT_CHECK(report.AllOk());
+    const auto small_costs = GroupCosts(batch.Results(), "nod/smallest");
+    const auto large_costs = GroupCosts(batch.Results(), "nod/largest");
+    const auto opt_costs = GroupCosts(batch.Results(), "nod/exact");
     StatAccumulator small_ratio;
     StatAccumulator large_ratio;
-    for (std::size_t seed = 0; seed < seeds; ++seed) {
-      small_stat.Add(static_cast<double>(small_counts[seed]));
-      large_stat.Add(static_cast<double>(large_counts[seed]));
-      opt_stat.Add(static_cast<double>(opt_counts[seed]));
-      small_ratio.Add(static_cast<double>(small_counts[seed]) /
-                      static_cast<double>(opt_counts[seed]));
-      large_ratio.Add(static_cast<double>(large_counts[seed]) /
-                      static_cast<double>(opt_counts[seed]));
+    for (std::size_t i = 0; i < seeds; ++i) {
+      small_ratio.Add(static_cast<double>(small_costs[i]) / static_cast<double>(opt_costs[i]));
+      large_ratio.Add(static_cast<double>(large_costs[i]) / static_cast<double>(opt_costs[i]));
     }
     nod_table.NewRow()
         .Add("random mean")
-        .Add(small_stat.Mean(), 2)
-        .Add(large_stat.Mean(), 2)
-        .Add(opt_stat.Mean(), 2)
+        .Add(report.FindGroup("nod/smallest")->cost.Mean(), 2)
+        .Add(report.FindGroup("nod/largest")->cost.Mean(), 2)
+        .Add(report.FindGroup("nod/exact")->cost.Mean(), 2)
         .Add(small_ratio.Mean(), 3)
         .Add(large_ratio.Mean(), 3);
   }
@@ -108,40 +152,49 @@ int main(int argc, char** argv) {
   std::cout << "\nE9b: multiple-bin fill order (paper: most-constrained-first)\n\n";
   Table fill_table({"dmax", "optimal (paper order)", "ablated order", "mean excess",
                     "max excess", "still optimal"});
-  for (const Distance dmax : {Distance{12}, Distance{6}, Distance{3}}) {
-    std::vector<std::size_t> paper_counts(seeds);
-    std::vector<std::size_t> ablated_counts(seeds);
-    ParallelFor(pool, seeds, [&](std::size_t seed) {
+  const std::vector<Distance> dmax_values{Distance{12}, Distance{6}, Distance{3}};
+  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+  const std::uint64_t base_seed = 42000;
+  for (const Distance dmax : dmax_values) {
+    const auto make_instance = [dmax](std::uint64_t seed) {
       gen::BinaryTreeConfig cfg;
       cfg.clients = 60;
       cfg.min_requests = 1;
       cfg.max_requests = 10;
       cfg.min_edge = 1;
       cfg.max_edge = 3;
-      const Instance inst(gen::GenerateFullBinaryTree(cfg, 42000 + seed), /*capacity=*/10,
-                          dmax);
-      paper_counts[seed] = multiple::SolveMultipleBin(inst).solution.ReplicaCount();
-      multiple::MultipleBinOptions ablated;
-      ablated.fill = multiple::MultipleBinOptions::FillOrder::kLeastConstrainedFirst;
-      const auto result = multiple::SolveMultipleBin(inst, ablated);
-      RPT_CHECK(IsFeasible(inst, Policy::kMultiple, result.solution));  // stays feasible
-      ablated_counts[seed] = result.solution.ReplicaCount();
-    });
-    StatAccumulator paper_stat;
-    StatAccumulator ablated_stat;
+      return Instance(gen::GenerateFullBinaryTree(cfg, seed), /*capacity=*/10, dmax);
+    };
+    const std::string tag = "fill/dmax=" + std::to_string(dmax);
+    batch.AddSweep(tag + "/paper", make_instance,
+                   runner::SolveWith(core::Algorithm::kMultipleBin), base_seed, seeds);
+    batch.AddSweep(tag + "/ablated", make_instance,
+                   CustomSolve(Policy::kMultiple,
+                               [](const Instance& inst) {
+                                 multiple::MultipleBinOptions ablated;
+                                 ablated.fill =
+                                     multiple::MultipleBinOptions::FillOrder::kLeastConstrainedFirst;
+                                 return multiple::SolveMultipleBin(inst, ablated).solution;
+                               }),
+                   base_seed, seeds);
+  }
+  const runner::BatchReport report = batch.Run();
+  RPT_CHECK(report.AllOk());
+  for (const Distance dmax : dmax_values) {
+    const std::string tag = "fill/dmax=" + std::to_string(dmax);
+    const auto paper_costs = GroupCosts(batch.Results(), tag + "/paper");
+    const auto ablated_costs = GroupCosts(batch.Results(), tag + "/ablated");
     StatAccumulator excess;
     std::size_t ties = 0;
-    for (std::size_t seed = 0; seed < seeds; ++seed) {
-      RPT_CHECK(ablated_counts[seed] >= paper_counts[seed]);
-      paper_stat.Add(static_cast<double>(paper_counts[seed]));
-      ablated_stat.Add(static_cast<double>(ablated_counts[seed]));
-      excess.Add(static_cast<double>(ablated_counts[seed] - paper_counts[seed]));
-      ties += ablated_counts[seed] == paper_counts[seed];
+    for (std::size_t i = 0; i < seeds; ++i) {
+      RPT_CHECK(ablated_costs[i] >= paper_costs[i]);
+      excess.Add(static_cast<double>(ablated_costs[i] - paper_costs[i]));
+      ties += ablated_costs[i] == paper_costs[i];
     }
     fill_table.NewRow()
         .Add(dmax)
-        .Add(paper_stat.Mean(), 2)
-        .Add(ablated_stat.Mean(), 2)
+        .Add(report.FindGroup(tag + "/paper")->cost.Mean(), 2)
+        .Add(report.FindGroup(tag + "/ablated")->cost.Mean(), 2)
         .Add(excess.Mean(), 2)
         .Add(excess.Max(), 0)
         .Add(std::uint64_t{ties});

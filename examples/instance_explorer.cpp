@@ -7,12 +7,20 @@
 //
 //   ./examples/instance_explorer --algo=multiple-bin --clients=20 --capacity=30 --dmax=12
 //   ./examples/instance_explorer --in=tree.rpt --algo=exact-single --capacity=10
+//
+// With --seeds=N (N > 1) it switches to a multi-seed sweep: N instances are
+// generated with deterministically derived seeds and solved on the
+// BatchRunner engine across --threads workers, printing the aggregate
+// cost/feasibility/timing report instead of one placement:
+//
+//   ./examples/instance_explorer --algo=single-gen --clients=500 --seeds=100 --threads=0
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
 #include "core/solver.hpp"
 #include "model/solution_io.hpp"
+#include "runner/batch_runner.hpp"
 #include "sim/replay.hpp"
 #include "gen/random_tree.hpp"
 #include "support/cli.hpp"
@@ -26,7 +34,7 @@ int main(int argc, char** argv) {
   cli.AddInt("clients", 20, "clients in the generated binary tree");
   cli.AddInt("capacity", 30, "server capacity W");
   cli.AddInt("dmax", -1, "distance bound; -1 means unconstrained");
-  cli.AddInt("seed", 1, "generator seed");
+  cli.AddInt("seed", 1, "generator seed (base seed for --seeds sweeps)");
   cli.AddInt("max-requests", 20, "max requests per generated client");
   cli.AddString("out", "", "write the tree to this rpt-tree v1 file");
   cli.AddString("dot", "", "write the tree to this DOT file");
@@ -34,7 +42,47 @@ int main(int argc, char** argv) {
   cli.AddString("save-solution", "", "write the solution as rpt-solution v1");
   cli.AddInt("replay-ticks", 0, "if > 0, replay the solution for this many ticks");
   cli.AddInt("replay-percent", 100, "demand percentage for the replay (100 = planned load)");
+  AddBatchFlags(cli, /*default_seeds=*/1);
+  cli.AddString("sweep-json", "", "with --seeds > 1: write the aggregate report here");
   if (!cli.Parse(argc, argv)) return 0;
+
+  if (const BatchFlags batch_flags = GetBatchFlags(cli); batch_flags.seeds > 1) {
+    // Multi-seed sweep mode: aggregate the algorithm over many generated
+    // instances instead of exploring a single one.
+    RPT_REQUIRE(cli.GetString("in").empty(), "--seeds > 1 requires generated instances (no --in)");
+    RPT_REQUIRE(cli.GetString("out").empty() && cli.GetString("dot").empty() &&
+                    cli.GetString("save-solution").empty() && cli.GetInt("replay-ticks") == 0,
+                "--out/--dot/--save-solution/--replay-ticks apply to single runs, not --seeds sweeps");
+    const std::int64_t dmax_flag = cli.GetInt("dmax");
+    const Distance dmax = dmax_flag < 0 ? kNoDistanceLimit : static_cast<Distance>(dmax_flag);
+    gen::BinaryTreeConfig cfg;
+    cfg.clients = static_cast<std::uint32_t>(cli.GetInt("clients"));
+    cfg.min_requests = 1;
+    cfg.max_requests = static_cast<Requests>(cli.GetInt("max-requests"));
+    const auto capacity = static_cast<Requests>(cli.GetInt("capacity"));
+    const core::Algorithm algorithm = core::ParseAlgorithm(cli.GetString("algo"));
+
+    runner::BatchRunner batch(runner::BatchOptions{batch_flags.threads});
+    batch.AddSweep(cli.GetString("algo") + "/clients=" + std::to_string(cfg.clients),
+                   [cfg, capacity, dmax](std::uint64_t seed) {
+                     return Instance(gen::GenerateFullBinaryTree(cfg, seed), capacity, dmax);
+                   },
+                   runner::SolveWith(algorithm), static_cast<std::uint64_t>(cli.GetInt("seed")),
+                   batch_flags.seeds);
+    const runner::BatchReport report = batch.Run();
+    report.PrintAscii(std::cout);
+    for (const runner::CellResult& cell : batch.Results()) {
+      if (!cell.ok) std::printf("  seed %llu failed: %s\n",
+                                static_cast<unsigned long long>(cell.seed), cell.error.c_str());
+    }
+    if (const std::string path = cli.GetString("sweep-json"); !path.empty()) {
+      std::ofstream os(path);
+      RPT_REQUIRE(os.good(), "cannot open sweep-json output: " + path);
+      report.WriteJson(os);
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return report.AllOk() ? 0 : 1;
+  }
 
   Tree tree = [&] {
     const std::string path = cli.GetString("in");

@@ -7,7 +7,7 @@
 namespace rpt::flow {
 
 MaxFlow::MaxFlow(std::size_t node_count) : head_(node_count, kNil) {
-  RPT_REQUIRE(node_count >= 2, "MaxFlow: need at least source and sink");
+  RPT_REQUIRE(node_count >= 1, "MaxFlow: need at least one node");
 }
 
 EdgeId MaxFlow::AddEdge(std::size_t from, std::size_t to, FlowValue capacity) {
@@ -59,8 +59,9 @@ FlowValue MaxFlow::Dfs(std::size_t node, std::size_t sink, FlowValue limit) {
 }
 
 FlowValue MaxFlow::Compute(std::size_t source, std::size_t sink) {
-  RPT_REQUIRE(source < head_.size() && sink < head_.size() && source != sink,
-              "MaxFlow: bad source/sink");
+  RPT_REQUIRE(source < head_.size() && sink < head_.size(), "MaxFlow: bad source/sink");
+  // Degenerate networks (single node, source == sink) carry zero flow.
+  if (source == sink) return 0;
   FlowValue total = 0;
   while (Bfs(source, sink)) {
     iter_ = head_;

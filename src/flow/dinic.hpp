@@ -34,6 +34,8 @@ class MaxFlow {
   EdgeId AddEdge(std::size_t from, std::size_t to, FlowValue capacity);
 
   /// Runs Dinic from `source` to `sink`; returns the max flow value.
+  /// Degenerate queries (source == sink, e.g. on a single-node network)
+  /// report zero flow.
   FlowValue Compute(std::size_t source, std::size_t sink);
 
   /// Flow routed on an edge (only meaningful after Compute).

@@ -1,0 +1,296 @@
+#include "runner/batch_runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "support/common.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace rpt::runner {
+
+namespace {
+
+// Deterministic double formatting for JSON/CSV: enough digits to round-trip
+// the aggregate means, same string on every run with the same inputs.
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteStatJson(std::ostream& os, const StatAccumulator& stat) {
+  os << "{\"count\":" << stat.Count() << ",\"mean\":" << FormatDouble(stat.Mean())
+     << ",\"min\":" << FormatDouble(stat.Min()) << ",\"max\":" << FormatDouble(stat.Max())
+     << ",\"stddev\":" << FormatDouble(stat.Stddev()) << "}";
+}
+
+}  // namespace
+
+std::uint64_t DeriveSeed(std::uint64_t base_seed, std::uint64_t index) noexcept {
+  // Mix the index into the base with one splitmix64 round; the +1 keeps
+  // index 0 from collapsing onto the base seed itself.
+  SplitMix64 mix(base_seed + (index + 1) * 0x9e3779b97f4a7c15ULL);
+  return mix.Next();
+}
+
+std::function<core::RunResult(const Instance&)> SolveWith(core::Algorithm algorithm) {
+  return [algorithm](const Instance& instance) { return core::Run(algorithm, instance); };
+}
+
+const GroupReport* BatchReport::FindGroup(std::string_view group) const noexcept {
+  for (const GroupReport& g : groups_) {
+    if (g.group == group) return &g;
+  }
+  return nullptr;
+}
+
+std::uint64_t BatchReport::TotalCells() const noexcept {
+  std::uint64_t total = 0;
+  for (const GroupReport& g : groups_) total += g.cells;
+  return total;
+}
+
+std::uint64_t BatchReport::TotalErrors() const noexcept {
+  std::uint64_t total = 0;
+  for (const GroupReport& g : groups_) total += g.errors;
+  return total;
+}
+
+std::uint64_t BatchReport::TotalValidationFailures() const noexcept {
+  std::uint64_t total = 0;
+  for (const GroupReport& g : groups_) total += g.validation_failures;
+  return total;
+}
+
+void BatchReport::WriteJson(std::ostream& os, bool include_timing) const {
+  os << "{\"cells\":" << TotalCells() << ",\"errors\":" << TotalErrors() << ",\"groups\":[";
+  bool first = true;
+  for (const GroupReport& g : groups_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"group\":\"" << EscapeJson(g.group) << "\",\"cells\":" << g.cells
+       << ",\"errors\":" << g.errors << ",\"feasible\":" << g.feasible
+       << ",\"validation_failures\":" << g.validation_failures << ",\"cost\":";
+    WriteStatJson(os, g.cost);
+    if (include_timing) {
+      os << ",\"elapsed_ms\":";
+      WriteStatJson(os, g.elapsed_ms);
+    }
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+std::string BatchReport::ToJson(bool include_timing) const {
+  std::ostringstream os;
+  WriteJson(os, include_timing);
+  return os.str();
+}
+
+void BatchReport::WriteCsv(std::ostream& os, bool include_timing) const {
+  std::vector<std::string> headers{"group",     "cells",    "errors",   "feasible",
+                                   "val_fails", "cost_mean", "cost_min", "cost_max",
+                                   "cost_stddev"};
+  if (include_timing) {
+    headers.insert(headers.end(), {"ms_mean", "ms_min", "ms_max"});
+  }
+  Table table(std::move(headers));
+  for (const GroupReport& g : groups_) {
+    Table& row = table.NewRow()
+                     .Add(g.group)
+                     .Add(g.cells)
+                     .Add(g.errors)
+                     .Add(g.feasible)
+                     .Add(g.validation_failures)
+                     .Add(g.cost.Mean(), 4)
+                     .Add(g.cost.Min(), 0)
+                     .Add(g.cost.Max(), 0)
+                     .Add(g.cost.Stddev(), 4);
+    if (include_timing) {
+      row.Add(g.elapsed_ms.Mean(), 4).Add(g.elapsed_ms.Min(), 4).Add(g.elapsed_ms.Max(), 4);
+    }
+  }
+  table.PrintCsv(os);
+}
+
+void BatchReport::PrintAscii(std::ostream& os) const {
+  Table table({"group", "cells", "err", "feasible", "cost mean", "cost min", "cost max",
+               "ms mean", "ms max"});
+  for (const GroupReport& g : groups_) {
+    table.NewRow()
+        .Add(g.group)
+        .Add(g.cells)
+        .Add(g.errors)
+        .Add(g.feasible)
+        .Add(g.cost.Mean(), 2)
+        .Add(g.cost.Min(), 0)
+        .Add(g.cost.Max(), 0)
+        .Add(g.elapsed_ms.Mean(), 3)
+        .Add(g.elapsed_ms.Max(), 3);
+  }
+  table.PrintAscii(os);
+}
+
+BatchRunner::BatchRunner(BatchOptions options) : options_(options) {}
+
+void BatchRunner::Add(Cell cell) {
+  RPT_REQUIRE(static_cast<bool>(cell.make_instance), "BatchRunner: cell needs make_instance");
+  RPT_REQUIRE(static_cast<bool>(cell.solve), "BatchRunner: cell needs solve");
+  RPT_REQUIRE(!ran_, "BatchRunner: cannot add cells after Run()");
+  cells_.push_back(std::move(cell));
+}
+
+void BatchRunner::AddSweep(std::string group,
+                           std::function<Instance(std::uint64_t)> make_instance,
+                           std::function<core::RunResult(const Instance&)> solve,
+                           std::uint64_t base_seed, std::size_t seed_count) {
+  for (std::size_t i = 0; i < seed_count; ++i) {
+    Add(Cell{group, make_instance, solve, DeriveSeed(base_seed, i)});
+  }
+}
+
+void BatchRunner::ExecuteCell(std::size_t index) {
+  const Cell& cell = cells_[index];
+  CellResult result;
+  result.group = cell.group;
+  result.seed = cell.seed;
+  try {
+    const Instance instance = cell.make_instance(cell.seed);
+    const core::RunResult run = cell.solve(instance);
+    result.ok = true;
+    result.feasible = run.feasible;
+    result.validation_ok = run.validation.ok;
+    result.cost = run.feasible ? run.solution.ReplicaCount() : 0;
+    result.elapsed_ms = run.elapsed_ms;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown exception";
+  }
+  results_[index] = std::move(result);
+}
+
+BatchReport BatchRunner::Run() {
+  RPT_REQUIRE(!ran_, "BatchRunner: Run() may be called once");
+  ran_ = true;
+  const std::size_t cell_count = cells_.size();
+  results_.assign(cell_count, CellResult{});
+
+  if (cell_count > 0) {
+    std::size_t threads =
+        options_.threads != 0
+            ? options_.threads
+            : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    threads = std::min(threads, cell_count);
+
+    // Work-stealing scheduler: each worker owns a deque of cell indices
+    // (round-robin distributed), pops from its own front, and when dry
+    // steals from the back of the first non-empty victim found by a
+    // round-robin scan. All work exists before the
+    // workers start and cells never spawn cells, so a worker may exit once
+    // its own deque and one full scan of the victims come up empty.
+    struct WorkerQueue {
+      std::mutex mutex;
+      std::deque<std::size_t> items;
+    };
+    std::vector<WorkerQueue> queues(threads);
+    for (std::size_t i = 0; i < cell_count; ++i) {
+      queues[i % threads].items.push_back(i);
+    }
+
+    auto worker_body = [&](std::size_t self) {
+      for (;;) {
+        std::size_t index = 0;
+        bool found = false;
+        {
+          std::scoped_lock lock(queues[self].mutex);
+          if (!queues[self].items.empty()) {
+            index = queues[self].items.front();
+            queues[self].items.pop_front();
+            found = true;
+          }
+        }
+        if (!found) {
+          for (std::size_t offset = 1; offset < threads && !found; ++offset) {
+            WorkerQueue& victim = queues[(self + offset) % threads];
+            std::scoped_lock lock(victim.mutex);
+            if (!victim.items.empty()) {
+              index = victim.items.back();
+              victim.items.pop_back();
+              found = true;
+            }
+          }
+        }
+        if (!found) return;
+        ExecuteCell(index);
+      }
+    };
+
+    if (threads == 1) {
+      worker_body(0);
+    } else {
+      std::vector<std::jthread> workers;
+      workers.reserve(threads);
+      for (std::size_t w = 0; w < threads; ++w) {
+        workers.emplace_back(worker_body, w);
+      }
+    }
+  }
+
+  // Sequential aggregation in submission order keeps the report independent
+  // of which worker ran which cell.
+  BatchReport report;
+  std::unordered_map<std::string, std::size_t> group_index;
+  for (const CellResult& result : results_) {
+    auto [it, inserted] = group_index.try_emplace(result.group, report.groups_.size());
+    if (inserted) {
+      GroupReport group;
+      group.group = result.group;
+      report.groups_.push_back(std::move(group));
+    }
+    GroupReport& group = report.groups_[it->second];
+    ++group.cells;
+    if (!result.ok) {
+      ++group.errors;
+      continue;
+    }
+    group.elapsed_ms.Add(result.elapsed_ms);
+    if (result.feasible) {
+      ++group.feasible;
+      group.cost.Add(static_cast<double>(result.cost));
+      if (!result.validation_ok) ++group.validation_failures;
+    }
+  }
+  return report;
+}
+
+}  // namespace rpt::runner

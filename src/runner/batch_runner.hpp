@@ -1,0 +1,140 @@
+// Batch experiment engine: runs a set of (instance-generator × solver × seed)
+// cells across all hardware threads and aggregates the outcomes.
+//
+// Every sweep-style experiment in bench/ and examples/ is a grid of
+// independent solver invocations; BatchRunner is the shared engine that
+// executes such a grid with work stealing and produces a deterministic
+// report. Determinism contract: the aggregate report (costs, feasibility,
+// error counts — everything except wall-clock timing) is bit-identical
+// regardless of thread count, because per-cell seeds are derived from the
+// cell itself (never from execution order) and aggregation runs over the
+// cell list in submission order after all workers finish.
+//
+// Exception isolation: a cell whose generator or solver throws is recorded
+// as an error in its CellResult; the remaining cells still run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "model/instance.hpp"
+#include "support/stats.hpp"
+
+namespace rpt::runner {
+
+/// Deterministically mixes a base seed and a cell index into an independent
+/// per-cell seed (splitmix64-style). Thread-count independent by design.
+[[nodiscard]] std::uint64_t DeriveSeed(std::uint64_t base_seed, std::uint64_t index) noexcept;
+
+/// One experiment cell: build an instance from a seed, solve it.
+struct Cell {
+  /// Aggregation key; cells sharing a group are summarized together.
+  std::string group;
+  /// Deterministic instance factory: same seed must yield the same instance.
+  std::function<Instance(std::uint64_t seed)> make_instance;
+  /// Solver under test; use SolveWith() for registry algorithms.
+  std::function<core::RunResult(const Instance&)> solve;
+  /// Seed passed to make_instance (see DeriveSeed for sweeps).
+  std::uint64_t seed = 0;
+};
+
+/// Adapts a registry algorithm to a Cell solve function (runs core::Run).
+[[nodiscard]] std::function<core::RunResult(const Instance&)> SolveWith(core::Algorithm algorithm);
+
+/// Outcome of one cell, in submission order.
+struct CellResult {
+  std::string group;
+  std::uint64_t seed = 0;
+  bool ok = false;            ///< generator and solver completed without throwing
+  std::string error;          ///< exception message when !ok
+  bool feasible = false;      ///< solver produced a solution
+  bool validation_ok = false; ///< independent validation passed
+  std::uint64_t cost = 0;     ///< replica count (0 when infeasible)
+  double elapsed_ms = 0.0;    ///< solve wall time (nondeterministic)
+};
+
+/// Aggregate over all cells of one group.
+struct GroupReport {
+  std::string group;
+  std::uint64_t cells = 0;
+  std::uint64_t errors = 0;               ///< cells that threw
+  std::uint64_t feasible = 0;             ///< cells with a solution
+  std::uint64_t validation_failures = 0;  ///< feasible cells failing validation
+  StatAccumulator cost;        ///< over feasible cells
+  StatAccumulator elapsed_ms;  ///< over non-error cells (nondeterministic)
+};
+
+/// Aggregated batch outcome. Groups appear in first-submission order.
+class BatchReport {
+ public:
+  [[nodiscard]] const std::vector<GroupReport>& Groups() const noexcept { return groups_; }
+  [[nodiscard]] const GroupReport* FindGroup(std::string_view group) const noexcept;
+  [[nodiscard]] std::uint64_t TotalCells() const noexcept;
+  [[nodiscard]] std::uint64_t TotalErrors() const noexcept;
+  [[nodiscard]] std::uint64_t TotalValidationFailures() const noexcept;
+
+  /// True iff no cell threw and no produced solution failed validation —
+  /// the condition batch-backed binaries should gate their exit code on.
+  [[nodiscard]] bool AllOk() const noexcept {
+    return TotalErrors() == 0 && TotalValidationFailures() == 0;
+  }
+
+  /// Writes the report as JSON. Timing stats are excluded by default so the
+  /// output is bit-identical across runs and thread counts.
+  void WriteJson(std::ostream& os, bool include_timing = false) const;
+  [[nodiscard]] std::string ToJson(bool include_timing = false) const;
+
+  /// Writes one CSV row per group (timing columns included when asked).
+  void WriteCsv(std::ostream& os, bool include_timing = true) const;
+
+  /// Prints an aligned ASCII summary table (with timing) for stdout.
+  void PrintAscii(std::ostream& os) const;
+
+ private:
+  friend class BatchRunner;
+  std::vector<GroupReport> groups_;
+};
+
+/// Execution options.
+struct BatchOptions {
+  /// Worker threads; 0 means hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// Collects cells, runs them on a work-stealing thread pool, aggregates.
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  /// Adds one cell.
+  void Add(Cell cell);
+
+  /// Adds `seed_count` cells for the same group/generator/solver, with
+  /// per-cell seeds DeriveSeed(base_seed, 0..seed_count-1).
+  void AddSweep(std::string group, std::function<Instance(std::uint64_t)> make_instance,
+                std::function<core::RunResult(const Instance&)> solve, std::uint64_t base_seed,
+                std::size_t seed_count);
+
+  [[nodiscard]] std::size_t CellCount() const noexcept { return cells_.size(); }
+
+  /// Executes all cells (work-stealing across the configured threads) and
+  /// returns the aggregate report. May be called once per runner.
+  [[nodiscard]] BatchReport Run();
+
+  /// Per-cell outcomes in submission order; valid after Run().
+  [[nodiscard]] const std::vector<CellResult>& Results() const noexcept { return results_; }
+
+ private:
+  void ExecuteCell(std::size_t index);
+
+  BatchOptions options_;
+  std::vector<Cell> cells_;
+  std::vector<CellResult> results_;
+  bool ran_ = false;
+};
+
+}  // namespace rpt::runner

@@ -84,6 +84,19 @@ std::string Cli::GetString(const std::string& name) const {
 
 bool Cli::GetBool(const std::string& name) const { return Find(name, Kind::kBool).value == "true"; }
 
+void AddBatchFlags(Cli& cli, std::int64_t default_seeds) {
+  cli.AddInt("threads", 0, "worker threads for the batch engine; 0 = hardware concurrency");
+  cli.AddInt("seeds", default_seeds, "seeds (instances) per sweep configuration");
+}
+
+BatchFlags GetBatchFlags(const Cli& cli) {
+  const std::int64_t threads = cli.GetInt("threads");
+  const std::int64_t seeds = cli.GetInt("seeds");
+  RPT_REQUIRE(threads >= 0, "Cli: --threads must be >= 0");
+  RPT_REQUIRE(seeds > 0, "Cli: --seeds must be > 0");
+  return BatchFlags{static_cast<std::size_t>(threads), static_cast<std::size_t>(seeds)};
+}
+
 void Cli::PrintHelp() const {
   std::printf("%s — %s\n\nFlags:\n", binary_name_.c_str(), description_.c_str());
   for (const auto& [name, flag] : flags_) {

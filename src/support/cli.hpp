@@ -52,4 +52,17 @@ class Cli {
   std::map<std::string, Flag> flags_;
 };
 
+/// Shared flags of every BatchRunner-backed binary.
+struct BatchFlags {
+  std::size_t threads = 0;  ///< worker threads; 0 = hardware concurrency
+  std::size_t seeds = 0;    ///< seeds (cells) per sweep configuration
+};
+
+/// Declares the standard --threads / --seeds flags on a Cli.
+void AddBatchFlags(Cli& cli, std::int64_t default_seeds = 50);
+
+/// Reads the flags declared by AddBatchFlags; throws InvalidArgument when
+/// --threads is negative or --seeds is not positive.
+[[nodiscard]] BatchFlags GetBatchFlags(const Cli& cli);
+
 }  // namespace rpt

@@ -1,0 +1,166 @@
+// Tests for the runner::BatchRunner batch experiment engine: deterministic
+// seeding and aggregation (thread-count independent), empty batches, and
+// exception isolation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "core/solver.hpp"
+#include "gen/random_tree.hpp"
+#include "runner/batch_runner.hpp"
+#include "support/common.hpp"
+
+namespace rpt::runner {
+namespace {
+
+std::function<Instance(std::uint64_t)> SmallBinaryWorkload(std::uint32_t clients) {
+  return [clients](std::uint64_t seed) {
+    gen::BinaryTreeConfig cfg;
+    cfg.clients = clients;
+    cfg.min_requests = 1;
+    cfg.max_requests = 10;
+    return Instance(gen::GenerateFullBinaryTree(cfg, seed), /*capacity=*/15, kNoDistanceLimit);
+  };
+}
+
+BatchRunner MakeGridRunner(std::size_t threads) {
+  BatchRunner runner(BatchOptions{threads});
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::kSingleGen, core::Algorithm::kMultipleBin,
+        core::Algorithm::kMultipleGreedy}) {
+    for (const std::uint32_t clients : {8u, 24u, 48u}) {
+      runner.AddSweep(std::string(core::AlgorithmName(algorithm)) + "/N=" +
+                          std::to_string(clients),
+                      SmallBinaryWorkload(clients), SolveWith(algorithm),
+                      /*base_seed=*/99, /*seed_count=*/4);
+    }
+  }
+  return runner;
+}
+
+TEST(DeriveSeed, DeterministicAndWellSpread) {
+  EXPECT_EQ(DeriveSeed(7, 0), DeriveSeed(7, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base : {0ull, 1ull, 77ull}) {
+    for (std::uint64_t index = 0; index < 100; ++index) {
+      seeds.insert(DeriveSeed(base, index));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 300u);  // no collisions across bases or indices
+}
+
+TEST(BatchRunner, SameSeedsSameReportRegardlessOfThreadCount) {
+  BatchRunner baseline = MakeGridRunner(1);
+  const BatchReport baseline_report = baseline.Run();
+  ASSERT_GT(baseline_report.TotalCells(), 0u);
+  EXPECT_EQ(baseline_report.TotalErrors(), 0u);
+
+  for (const std::size_t threads : {2u, 5u, 16u}) {
+    BatchRunner runner = MakeGridRunner(threads);
+    const BatchReport report = runner.Run();
+    // The deterministic JSON (costs, feasibility, errors — no timing) must
+    // be bit-identical to the single-threaded run.
+    EXPECT_EQ(report.ToJson(), baseline_report.ToJson()) << "threads=" << threads;
+    // Per-cell outcomes line up in submission order too.
+    ASSERT_EQ(runner.Results().size(), baseline.Results().size());
+    for (std::size_t i = 0; i < runner.Results().size(); ++i) {
+      EXPECT_EQ(runner.Results()[i].cost, baseline.Results()[i].cost);
+      EXPECT_EQ(runner.Results()[i].seed, baseline.Results()[i].seed);
+      EXPECT_EQ(runner.Results()[i].feasible, baseline.Results()[i].feasible);
+    }
+  }
+}
+
+TEST(BatchRunner, HardwareConcurrencyDefaultMatchesSingleThread) {
+  BatchRunner baseline = MakeGridRunner(1);
+  BatchRunner hw = MakeGridRunner(0);  // 0 = hardware concurrency
+  EXPECT_EQ(hw.Run().ToJson(), baseline.Run().ToJson());
+}
+
+TEST(BatchRunner, EmptyCellSetYieldsEmptyReport) {
+  BatchRunner runner(BatchOptions{4});
+  const BatchReport report = runner.Run();
+  EXPECT_EQ(report.TotalCells(), 0u);
+  EXPECT_EQ(report.TotalErrors(), 0u);
+  EXPECT_TRUE(report.Groups().empty());
+  EXPECT_TRUE(runner.Results().empty());
+  EXPECT_EQ(report.ToJson(), "{\"cells\":0,\"errors\":0,\"groups\":[]}\n");
+}
+
+TEST(BatchRunner, ThrowingCellDoesNotPoisonTheBatch) {
+  for (const std::size_t threads : {1u, 4u}) {
+    BatchRunner runner(BatchOptions{threads});
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      runner.Add(Cell{
+          "mixed", SmallBinaryWorkload(8),
+          [i](const Instance& instance) {
+            if (i % 2 == 1) throw std::runtime_error("cell blew up");
+            return core::Run(core::Algorithm::kSingleGen, instance);
+          },
+          DeriveSeed(5, i)});
+    }
+    // A generator failure is isolated the same way as a solver failure.
+    runner.Add(Cell{"mixed",
+                    [](std::uint64_t) -> Instance { throw std::runtime_error("bad gen"); },
+                    SolveWith(core::Algorithm::kSingleGen), 0});
+    const BatchReport report = runner.Run();
+    ASSERT_EQ(report.Groups().size(), 1u);
+    const GroupReport& group = report.Groups().front();
+    EXPECT_EQ(group.cells, 9u);
+    EXPECT_EQ(group.errors, 5u);    // 4 odd cells + the generator failure
+    EXPECT_EQ(group.feasible, 4u);  // even cells all completed
+    EXPECT_EQ(group.cost.Count(), 4u);
+    EXPECT_EQ(runner.Results()[1].error, "cell blew up");
+    EXPECT_FALSE(runner.Results()[1].ok);
+    EXPECT_EQ(runner.Results()[8].error, "bad gen");
+    EXPECT_TRUE(runner.Results()[0].ok);
+    EXPECT_TRUE(runner.Results()[0].validation_ok);
+  }
+}
+
+TEST(BatchRunner, NotApplicableAlgorithmIsIsolatedAsError) {
+  BatchRunner runner(BatchOptions{2});
+  // single-nod rejects distance-constrained instances; the batch records
+  // the InvalidArgument instead of dying.
+  runner.Add(Cell{"nod",
+                  [](std::uint64_t seed) {
+                    gen::BinaryTreeConfig cfg;
+                    cfg.clients = 8;
+                    return Instance(gen::GenerateFullBinaryTree(cfg, seed), 15, Distance{3});
+                  },
+                  SolveWith(core::Algorithm::kSingleNod), 1});
+  runner.AddSweep("gen", SmallBinaryWorkload(8), SolveWith(core::Algorithm::kSingleGen), 1, 2);
+  const BatchReport report = runner.Run();
+  EXPECT_EQ(report.TotalErrors(), 1u);
+  ASSERT_NE(report.FindGroup("nod"), nullptr);
+  EXPECT_EQ(report.FindGroup("nod")->errors, 1u);
+  EXPECT_NE(runner.Results()[0].error.find("not applicable"), std::string::npos);
+  EXPECT_EQ(report.FindGroup("gen")->feasible, 2u);
+}
+
+TEST(BatchRunner, GroupsKeepSubmissionOrder) {
+  BatchRunner runner(BatchOptions{3});
+  runner.AddSweep("zeta", SmallBinaryWorkload(8), SolveWith(core::Algorithm::kSingleGen), 1, 2);
+  runner.AddSweep("alpha", SmallBinaryWorkload(8), SolveWith(core::Algorithm::kSingleGen), 1, 2);
+  const BatchReport report = runner.Run();
+  ASSERT_EQ(report.Groups().size(), 2u);
+  EXPECT_EQ(report.Groups()[0].group, "zeta");
+  EXPECT_EQ(report.Groups()[1].group, "alpha");
+}
+
+TEST(BatchRunner, RejectsMisuse) {
+  BatchRunner runner(BatchOptions{1});
+  EXPECT_THROW(runner.Add(Cell{"g", nullptr, SolveWith(core::Algorithm::kSingleGen), 0}),
+               InvalidArgument);
+  EXPECT_THROW(runner.Add(Cell{"g", SmallBinaryWorkload(8), nullptr, 0}), InvalidArgument);
+  (void)runner.Run();
+  EXPECT_THROW((void)runner.Run(), InvalidArgument);  // Run() is once
+  EXPECT_THROW(
+      runner.Add(Cell{"g", SmallBinaryWorkload(8), SolveWith(core::Algorithm::kSingleGen), 0}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rpt::runner

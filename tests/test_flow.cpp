@@ -71,11 +71,51 @@ TEST(Dinic, LargeLayeredGraph) {
 }
 
 TEST(Dinic, RejectsBadConstruction) {
-  EXPECT_THROW(MaxFlow{1}, InvalidArgument);
+  EXPECT_THROW(MaxFlow{0}, InvalidArgument);
   MaxFlow net(3);
   EXPECT_THROW(net.AddEdge(0, 0, 1), InvalidArgument);
   EXPECT_THROW(net.AddEdge(0, 9, 1), InvalidArgument);
-  EXPECT_THROW((void)net.Compute(0, 0), InvalidArgument);
+  EXPECT_THROW((void)net.Compute(0, 9), InvalidArgument);
+}
+
+TEST(Dinic, ZeroCapacityEdgeCarriesNoFlow) {
+  MaxFlow net(2);
+  const EdgeId e = net.AddEdge(0, 1, 0);
+  EXPECT_EQ(net.Compute(0, 1), 0u);
+  EXPECT_EQ(net.FlowOn(e), 0u);
+}
+
+TEST(Dinic, ZeroCapacityEdgeDoesNotOpenAPath) {
+  // A saturated route next to a zero-capacity shortcut: only the real
+  // capacity counts.
+  MaxFlow net(3);
+  net.AddEdge(0, 2, 4);
+  net.AddEdge(2, 1, 4);
+  net.AddEdge(0, 1, 0);
+  EXPECT_EQ(net.Compute(0, 1), 4u);
+}
+
+TEST(Dinic, SingleNodeGraphReportsZeroFlow) {
+  MaxFlow net(1);
+  EXPECT_EQ(net.NodeCount(), 1u);
+  EXPECT_EQ(net.Compute(0, 0), 0u);  // degenerate source == sink, no crash
+}
+
+TEST(Dinic, SourceEqualsSinkReportsZeroFlow) {
+  MaxFlow net(2);
+  net.AddEdge(0, 1, 5);
+  EXPECT_EQ(net.Compute(1, 1), 0u);
+}
+
+TEST(Dinic, DisconnectedSourceAndSinkComponents) {
+  // Edges exist on both sides, but the source component {0,2} never reaches
+  // the sink component {1,3}: zero flow, no crash.
+  MaxFlow net(4);
+  const EdgeId a = net.AddEdge(0, 2, 5);
+  const EdgeId b = net.AddEdge(3, 1, 7);
+  EXPECT_EQ(net.Compute(0, 1), 0u);
+  EXPECT_EQ(net.FlowOn(a), 0u);
+  EXPECT_EQ(net.FlowOn(b), 0u);
 }
 
 // --- RouteMultiple -------------------------------------------------------

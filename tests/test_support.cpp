@@ -296,5 +296,48 @@ TEST(Cli, HelpShortCircuits) {
   EXPECT_FALSE(cli.Parse(2, argv));
 }
 
+TEST(Cli, BatchFlagsDefaults) {
+  Cli cli("demo", "test");
+  AddBatchFlags(cli, /*default_seeds=*/12);
+  const char* argv[] = {"demo"};
+  ASSERT_TRUE(cli.Parse(1, argv));
+  const BatchFlags flags = GetBatchFlags(cli);
+  EXPECT_EQ(flags.threads, 0u);  // 0 = hardware concurrency
+  EXPECT_EQ(flags.seeds, 12u);
+}
+
+TEST(Cli, BatchFlagsParseBothForms) {
+  Cli cli("demo", "test");
+  AddBatchFlags(cli);
+  const char* argv[] = {"demo", "--threads=4", "--seeds", "100"};
+  ASSERT_TRUE(cli.Parse(4, argv));
+  const BatchFlags flags = GetBatchFlags(cli);
+  EXPECT_EQ(flags.threads, 4u);
+  EXPECT_EQ(flags.seeds, 100u);
+}
+
+TEST(Cli, BatchFlagsRejectBadValues) {
+  {
+    Cli cli("demo", "test");
+    AddBatchFlags(cli);
+    const char* argv[] = {"demo", "--threads=-1"};
+    ASSERT_TRUE(cli.Parse(2, argv));
+    EXPECT_THROW((void)GetBatchFlags(cli), InvalidArgument);
+  }
+  {
+    Cli cli("demo", "test");
+    AddBatchFlags(cli);
+    const char* argv[] = {"demo", "--seeds=0"};
+    ASSERT_TRUE(cli.Parse(2, argv));
+    EXPECT_THROW((void)GetBatchFlags(cli), InvalidArgument);
+  }
+  {
+    Cli cli("demo", "test");
+    AddBatchFlags(cli);
+    const char* argv[] = {"demo", "--threads=two"};
+    EXPECT_THROW((void)cli.Parse(2, argv), InvalidArgument);
+  }
+}
+
 }  // namespace
 }  // namespace rpt
