@@ -12,15 +12,11 @@
 //      feasible (extra-server mops up) but loses optimality under tight
 //      dmax; the table reports how often and by how much.
 //
-// The random sweeps run on runner::BatchRunner (work-stealing across
-// --threads workers, deterministic per-cell seeds), replacing the earlier
-// raw ThreadPool/ParallelFor loops. Paired per-seed statistics (ratios,
-// excess) are recovered from the per-cell results, which BatchRunner keeps
-// in submission order regardless of thread count.
+// The random sweeps are paired comparison sweeps on runner::BatchRunner:
+// every variant runs on the identical instance per seed and the per-seed
+// ratio/excess statistics come straight from the comparison's RatioStats.
 #include <iostream>
-#include <span>
 
-#include "exact/exact.hpp"
 #include "gen/paper_instances.hpp"
 #include "gen/random_tree.hpp"
 #include "model/validate.hpp"
@@ -28,7 +24,6 @@
 #include "runner/batch_runner.hpp"
 #include "single/single_nod.hpp"
 #include "support/cli.hpp"
-#include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
@@ -52,36 +47,77 @@ std::function<core::RunResult(const Instance&)> CustomSolve(Policy policy, Solve
   };
 }
 
-// Per-seed costs of one group, in seed order (cells are contiguous and in
-// submission order within a sweep).
-std::vector<std::uint64_t> GroupCosts(std::span<const runner::CellResult> results,
-                                      std::string_view group) {
-  std::vector<std::uint64_t> costs;
-  for (const runner::CellResult& cell : results) {
-    if (cell.group != group) continue;
-    RPT_CHECK(cell.ok);  // ablation cells must not throw
-    costs.push_back(cell.cost);
-  }
-  return costs;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace rpt;
   Cli cli("bench_ablations", "E9: ablations of the paper's ordering rules");
   AddBatchFlags(cli, /*default_seeds=*/50);
+  runner::AddJsonFlag(cli);
   cli.AddString("csv", "", "optional CSV output path");
   if (!cli.Parse(argc, argv)) return 0;
   const BatchFlags flags = GetBatchFlags(cli);
-  const std::size_t seeds = flags.seeds;
 
-  // --- (i) single-nod bundle order ---------------------------------------
+  const auto largest_first = CustomSolve(Policy::kSingle, [](const Instance& inst) {
+    single::SingleNodOptions flipped;
+    flipped.order = single::SingleNodOptions::BundleOrder::kLargestFirst;
+    return single::SolveSingleNod(inst, flipped).solution;
+  });
+
+  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+
+  // --- (i) single-nod bundle order: random instances ----------------------
+  // Smallest-first keeps the proven factor 2; the flip can exceed it.
+  batch.AddComparisonSweep(
+      "nod-order",
+      [](std::uint64_t seed) {
+        gen::RandomTreeConfig cfg;
+        cfg.internal_nodes = 3;
+        cfg.clients = 7;
+        cfg.max_children = 3;
+        cfg.min_requests = 1;
+        cfg.max_requests = 8;
+        return Instance(gen::GenerateRandomTree(cfg, seed), /*capacity=*/8, kNoDistanceLimit);
+      },
+      {{"exact", runner::SolveWith(core::Algorithm::kExactSingle)},
+       {"smallest", runner::SolveWith(core::Algorithm::kSingleNod)},
+       {"largest", largest_first}},
+      /*base_seed=*/41000, flags.seeds);
+
+  // --- (ii) multiple-bin fill order ---------------------------------------
+  const std::vector<Distance> dmax_values{Distance{12}, Distance{6}, Distance{3}};
+  for (const Distance dmax : dmax_values) {
+    batch.AddComparisonSweep(
+        "fill/dmax=" + std::to_string(dmax),
+        [dmax](std::uint64_t seed) {
+          gen::BinaryTreeConfig cfg;
+          cfg.clients = 60;
+          cfg.min_requests = 1;
+          cfg.max_requests = 10;
+          cfg.min_edge = 1;
+          cfg.max_edge = 3;
+          return Instance(gen::GenerateFullBinaryTree(cfg, seed), /*capacity=*/10, dmax);
+        },
+        {{"paper", runner::SolveWith(core::Algorithm::kMultipleBin)},
+         {"ablated", CustomSolve(Policy::kMultiple,
+                                 [](const Instance& inst) {
+                                   multiple::MultipleBinOptions ablated;
+                                   ablated.fill = multiple::MultipleBinOptions::FillOrder::
+                                       kLeastConstrainedFirst;
+                                   return multiple::SolveMultipleBin(inst, ablated).solution;
+                                 })}},
+        /*base_seed=*/42000, flags.seeds);
+  }
+
+  const runner::BatchReport report = batch.Run();
+
+  // --- (i) report ---------------------------------------------------------
   std::cout << "E9a: single-nod bundle order (paper: smallest-first)\n\n";
   Table nod_table({"workload", "smallest-first", "largest-first", "exact opt",
                    "smallest ratio", "largest ratio"});
   {
-    // Fig. 4 family: the adversarial case for smallest-first.
+    // Fig. 4 family: the adversarial case for smallest-first (deterministic,
+    // so computed directly rather than swept).
     const gen::TightnessFig4 fig = gen::BuildTightnessFig4(4);
     const auto smallest = single::SolveSingleNod(fig.instance);
     single::SingleNodOptions flipped;
@@ -101,108 +137,52 @@ int main(int argc, char** argv) {
              2);
   }
   {
-    // Random instances: smallest-first keeps the proven factor 2; the flip
-    // can exceed it.
-    const auto make_instance = [](std::uint64_t seed) {
-      gen::RandomTreeConfig cfg;
-      cfg.internal_nodes = 3;
-      cfg.clients = 7;
-      cfg.max_children = 3;
-      cfg.min_requests = 1;
-      cfg.max_requests = 8;
-      return Instance(gen::GenerateRandomTree(cfg, seed), /*capacity=*/8, kNoDistanceLimit);
-    };
-    const std::uint64_t base_seed = 41000;
-    runner::BatchRunner batch(runner::BatchOptions{flags.threads});
-    batch.AddSweep("nod/smallest", make_instance,
-                   runner::SolveWith(core::Algorithm::kSingleNod), base_seed, seeds);
-    batch.AddSweep("nod/largest", make_instance,
-                   CustomSolve(Policy::kSingle,
-                               [](const Instance& inst) {
-                                 single::SingleNodOptions flipped;
-                                 flipped.order =
-                                     single::SingleNodOptions::BundleOrder::kLargestFirst;
-                                 return single::SolveSingleNod(inst, flipped).solution;
-                               }),
-                   base_seed, seeds);
-    batch.AddSweep("nod/exact", make_instance,
-                   runner::SolveWith(core::Algorithm::kExactSingle), base_seed, seeds);
-    const runner::BatchReport report = batch.Run();
-    RPT_CHECK(report.AllOk());
-    const auto small_costs = GroupCosts(batch.Results(), "nod/smallest");
-    const auto large_costs = GroupCosts(batch.Results(), "nod/largest");
-    const auto opt_costs = GroupCosts(batch.Results(), "nod/exact");
-    StatAccumulator small_ratio;
-    StatAccumulator large_ratio;
-    for (std::size_t i = 0; i < seeds; ++i) {
-      small_ratio.Add(static_cast<double>(small_costs[i]) / static_cast<double>(opt_costs[i]));
-      large_ratio.Add(static_cast<double>(large_costs[i]) / static_cast<double>(opt_costs[i]));
-    }
+    const runner::ComparisonReport* comparison = report.FindComparison("nod-order");
+    const runner::GroupReport* exact = report.FindGroup("nod-order/exact");
+    const runner::GroupReport* smallest = report.FindGroup("nod-order/smallest");
+    const runner::GroupReport* largest = report.FindGroup("nod-order/largest");
+    RPT_CHECK(comparison != nullptr && exact != nullptr && smallest != nullptr &&
+              largest != nullptr);
+    const runner::RatioStat* smallest_ratio = comparison->FindRatio("smallest");
+    const runner::RatioStat* largest_ratio = comparison->FindRatio("largest");
+    RPT_CHECK(smallest_ratio != nullptr && largest_ratio != nullptr);
     nod_table.NewRow()
         .Add("random mean")
-        .Add(report.FindGroup("nod/smallest")->cost.Mean(), 2)
-        .Add(report.FindGroup("nod/largest")->cost.Mean(), 2)
-        .Add(report.FindGroup("nod/exact")->cost.Mean(), 2)
-        .Add(small_ratio.Mean(), 3)
-        .Add(large_ratio.Mean(), 3);
+        .Add(smallest->cost.Mean(), 2)
+        .Add(largest->cost.Mean(), 2)
+        .Add(exact->cost.Mean(), 2)
+        .Add(smallest_ratio->ratio.Mean(), 3)
+        .Add(largest_ratio->ratio.Mean(), 3);
   }
   nod_table.PrintAscii(std::cout);
 
-  // --- (ii) multiple-bin fill order ---------------------------------------
+  // --- (ii) report --------------------------------------------------------
   std::cout << "\nE9b: multiple-bin fill order (paper: most-constrained-first)\n\n";
   Table fill_table({"dmax", "optimal (paper order)", "ablated order", "mean excess",
                     "max excess", "still optimal"});
-  const std::vector<Distance> dmax_values{Distance{12}, Distance{6}, Distance{3}};
-  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
-  const std::uint64_t base_seed = 42000;
   for (const Distance dmax : dmax_values) {
-    const auto make_instance = [dmax](std::uint64_t seed) {
-      gen::BinaryTreeConfig cfg;
-      cfg.clients = 60;
-      cfg.min_requests = 1;
-      cfg.max_requests = 10;
-      cfg.min_edge = 1;
-      cfg.max_edge = 3;
-      return Instance(gen::GenerateFullBinaryTree(cfg, seed), /*capacity=*/10, dmax);
-    };
-    const std::string tag = "fill/dmax=" + std::to_string(dmax);
-    batch.AddSweep(tag + "/paper", make_instance,
-                   runner::SolveWith(core::Algorithm::kMultipleBin), base_seed, seeds);
-    batch.AddSweep(tag + "/ablated", make_instance,
-                   CustomSolve(Policy::kMultiple,
-                               [](const Instance& inst) {
-                                 multiple::MultipleBinOptions ablated;
-                                 ablated.fill =
-                                     multiple::MultipleBinOptions::FillOrder::kLeastConstrainedFirst;
-                                 return multiple::SolveMultipleBin(inst, ablated).solution;
-                               }),
-                   base_seed, seeds);
-  }
-  const runner::BatchReport report = batch.Run();
-  RPT_CHECK(report.AllOk());
-  for (const Distance dmax : dmax_values) {
-    const std::string tag = "fill/dmax=" + std::to_string(dmax);
-    const auto paper_costs = GroupCosts(batch.Results(), tag + "/paper");
-    const auto ablated_costs = GroupCosts(batch.Results(), tag + "/ablated");
-    StatAccumulator excess;
-    std::size_t ties = 0;
-    for (std::size_t i = 0; i < seeds; ++i) {
-      RPT_CHECK(ablated_costs[i] >= paper_costs[i]);
-      excess.Add(static_cast<double>(ablated_costs[i] - paper_costs[i]));
-      ties += ablated_costs[i] == paper_costs[i];
-    }
+    const std::string group = "fill/dmax=" + std::to_string(dmax);
+    const runner::ComparisonReport* comparison = report.FindComparison(group);
+    const runner::GroupReport* paper = report.FindGroup(group + "/paper");
+    const runner::GroupReport* ablated = report.FindGroup(group + "/ablated");
+    RPT_CHECK(comparison != nullptr && paper != nullptr && ablated != nullptr);
+    const runner::RatioStat* excess = comparison->FindRatio("ablated");
+    RPT_CHECK(excess != nullptr);
+    RPT_CHECK(excess->wins == 0);  // the ablation never beats the paper order
     fill_table.NewRow()
         .Add(dmax)
-        .Add(report.FindGroup(tag + "/paper")->cost.Mean(), 2)
-        .Add(report.FindGroup(tag + "/ablated")->cost.Mean(), 2)
-        .Add(excess.Mean(), 2)
-        .Add(excess.Max(), 0)
-        .Add(std::uint64_t{ties});
+        .Add(paper->cost.Mean(), 2)
+        .Add(ablated->cost.Mean(), 2)
+        .Add(excess->diff.Mean(), 2)
+        .Add(excess->diff.Max(), 0)
+        .Add(excess->ties);
   }
   fill_table.PrintAscii(std::cout);
+
+  runner::WriteJsonIfRequested(cli, report, std::cout);
   if (const std::string csv = cli.GetString("csv"); !csv.empty()) fill_table.WriteCsvFile(csv);
   std::cout << "\nBoth ordering rules earn their keep: smallest-first is what the factor-2\n"
                "proof needs on general inputs, and most-constrained-first is what makes\n"
                "Algorithm 3 optimal once distance constraints bind.\n";
-  return 0;
+  return report.AllOk() ? 0 : 1;
 }

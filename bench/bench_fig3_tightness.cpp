@@ -3,65 +3,100 @@
 // The family Im (m concatenated blocks, arity ∆, W = m∆+∆-1, dmax = 4m) is
 // the paper's worst case for Algorithm 1: single-gen places m(∆+1) replicas
 // while m+1 suffice, so its approximation ratio tends to ∆+1 as m grows.
-// This bench regenerates the family for several arities, runs single-gen,
-// and tabulates algorithm count / optimal count / ratio. For the smallest
-// instances the closed-form optimum is cross-checked against the exhaustive
-// solver.
+// This bench regenerates the family for several arities, runs single-gen on
+// the batch engine (one cell per (arity, m) point, a "ratio_vs_opt" metric
+// against the closed-form optimum), and tabulates algorithm count / optimal
+// count / ratio. For the smallest instances the closed-form optimum is
+// cross-checked against the exhaustive solver; a mismatch anywhere turns the
+// cell into an error and fails the run.
 //
 // Expected shape: the ratio column climbs towards ∆+1 within each arity
-// group; the "gen=m(∆+1)" column always matches the paper's closed form.
+// group; the single-gen count always matches the paper's closed form m(∆+1).
 #include <iostream>
 
-#include "core/solver.hpp"
 #include "exact/exact.hpp"
 #include "gen/paper_instances.hpp"
-#include "single/single_gen.hpp"
+#include "runner/batch_runner.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
-#include "support/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace rpt;
   Cli cli("bench_fig3_tightness", "E1: single-gen worst-case family Im (Fig. 3)");
+  AddBatchFlags(cli, /*default_seeds=*/1);  // the Im family is deterministic
   cli.AddInt("max-m", 64, "largest m in the sweep");
+  runner::AddJsonFlag(cli);
   cli.AddString("csv", "", "optional CSV output path");
   if (!cli.Parse(argc, argv)) return 0;
-  const auto max_m = static_cast<std::uint64_t>(cli.GetInt("max-m"));
+  const BatchFlags flags = GetBatchFlags(cli);
+  const std::uint64_t max_m = cli.GetUint("max-m", std::uint64_t{1} << 20);
 
   std::cout << "E1 (Fig. 3 / Theorem 3): single-gen ratio approaches Delta+1 on Im\n\n";
-  Table table({"arity", "m", "|T|", "W", "dmax", "single-gen", "paper m(D+1)", "opt m+1",
-               "ratio", "limit D+1", "ms"});
-  for (const std::uint32_t arity : {2u, 3u, 4u, 6u}) {
+
+  const std::vector<std::uint32_t> arities{2u, 3u, 4u, 6u};
+  auto point_group = [](std::uint32_t arity, std::uint64_t m) {
+    return "Im/D=" + std::to_string(arity) + "/m=" + std::to_string(m);
+  };
+
+  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+  for (const std::uint32_t arity : arities) {
     for (std::uint64_t m = 1; m <= max_m; m *= 2) {
       const gen::TightnessIm im = gen::BuildTightnessIm(m, arity);
-      Timer timer;
-      const auto result = single::SolveSingleGen(im.instance);
-      const double ms = timer.ElapsedMs();
-      RPT_CHECK(result.solution.ReplicaCount() == im.single_gen_expected);
-      if (m <= 2 && arity <= 3) {
-        // Cross-check the closed-form optimum on the smallest instances.
-        const auto opt = exact::SolveExactSingle(im.instance);
-        RPT_CHECK(opt.feasible && opt.solution.ReplicaCount() == im.optimal);
-      }
+      const std::uint64_t expected = im.single_gen_expected;
+      const std::uint64_t optimal = im.optimal;
+      const bool cross_check = m <= 2 && arity <= 3;
+      batch.AddSweep(
+          point_group(arity, m),
+          [m, arity](std::uint64_t) { return gen::BuildTightnessIm(m, arity).instance; },
+          [expected, optimal, cross_check](const Instance& instance) {
+            core::RunResult result = core::Run(core::Algorithm::kSingleGen, instance);
+            // Theorem 3's closed form; a deviation is a solver bug.
+            RPT_CHECK(result.solution.ReplicaCount() == expected);
+            if (cross_check) {
+              const auto opt = exact::SolveExactSingle(instance);
+              RPT_CHECK(opt.feasible && opt.solution.ReplicaCount() == optimal);
+            }
+            return result;
+          },
+          /*base_seed=*/0, flags.seeds,
+          {{"ratio_vs_opt", [optimal](const Instance&, const core::RunResult& run) {
+              return static_cast<double>(run.solution.ReplicaCount()) /
+                     static_cast<double>(optimal);
+            }}});
+    }
+  }
+
+  const runner::BatchReport report = batch.Run();
+
+  Table table({"arity", "m", "|T|", "W", "dmax", "single-gen", "paper m(D+1)", "opt m+1",
+               "ratio", "limit D+1", "ms"});
+  for (const std::uint32_t arity : arities) {
+    for (std::uint64_t m = 1; m <= max_m; m *= 2) {
+      const gen::TightnessIm im = gen::BuildTightnessIm(m, arity);
+      const runner::GroupReport* group = report.FindGroup(point_group(arity, m));
+      RPT_CHECK(group != nullptr);
+      if (group->errors > 0 || group->feasible == 0) continue;  // reported via AllOk()
+      const StatAccumulator* ratio = group->FindMetric("ratio_vs_opt");
+      RPT_CHECK(ratio != nullptr);
       table.NewRow()
           .Add(std::uint64_t{arity})
           .Add(m)
           .Add(std::uint64_t{im.instance.GetTree().Size()})
           .Add(im.instance.Capacity())
           .Add(im.instance.Dmax())
-          .Add(std::uint64_t{result.solution.ReplicaCount()})
+          .Add(static_cast<std::uint64_t>(group->cost.Mean()))
           .Add(im.single_gen_expected)
           .Add(im.optimal)
-          .Add(static_cast<double>(result.solution.ReplicaCount()) /
-                   static_cast<double>(im.optimal),
-               3)
+          .Add(ratio->Mean(), 3)
           .Add(static_cast<double>(arity + 1), 1)
-          .Add(ms, 3);
+          .Add(group->elapsed_ms.Mean(), 3);
     }
   }
   table.PrintAscii(std::cout);
+
+  runner::WriteJsonIfRequested(cli, report, std::cout);
   if (const std::string csv = cli.GetString("csv"); !csv.empty()) table.WriteCsvFile(csv);
   std::cout << "\nAll single-gen counts equal the paper's closed form m(Delta+1); the ratio\n"
                "converges to Delta+1 from below as m grows (Theorem 3 is tight).\n";
-  return 0;
+  return report.AllOk() ? 0 : 1;
 }

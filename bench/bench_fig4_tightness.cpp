@@ -3,61 +3,92 @@
 // The Fig. 4 family (K gadget nodes, each with a W-sized and a unit client,
 // W = K, no distance bound) is the paper's worst case for Algorithm 2:
 // single-nod places 2K replicas while K+1 suffice, so its ratio tends to 2.
-// The bench also runs single-gen and the greedy best-fit baseline on the
-// same family for context, and cross-checks the optimum exactly for small K.
+// The bench runs single-nod and the greedy best-fit baseline on the same
+// family via a paired comparison sweep (one comparison per K), with a
+// "ratio_vs_opt" metric against the closed-form optimum, and cross-checks
+// the optimum exactly for small K.
 //
-// Expected shape: single-nod's ratio climbs towards 2; single-gen behaves
-// identically here (each gadget overflows in the same way); the optimum
-// stays K+1.
+// Expected shape: single-nod's ratio climbs towards 2; the optimum stays
+// K+1 and the greedy misses the root pooling the optimum exploits.
 #include <iostream>
 
-#include "core/solver.hpp"
 #include "exact/exact.hpp"
 #include "gen/paper_instances.hpp"
-#include "single/baselines.hpp"
-#include "single/single_nod.hpp"
+#include "runner/batch_runner.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
-#include "support/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace rpt;
   Cli cli("bench_fig4_tightness", "E2: single-nod worst-case family (Fig. 4)");
+  AddBatchFlags(cli, /*default_seeds=*/1);  // the Fig. 4 family is deterministic
   cli.AddInt("max-k", 512, "largest K in the sweep");
+  runner::AddJsonFlag(cli);
   cli.AddString("csv", "", "optional CSV output path");
   if (!cli.Parse(argc, argv)) return 0;
-  const auto max_k = static_cast<std::uint64_t>(cli.GetInt("max-k"));
+  const BatchFlags flags = GetBatchFlags(cli);
+  const std::uint64_t max_k = cli.GetUint("max-k", std::uint64_t{1} << 20);
 
   std::cout << "E2 (Fig. 4 / Theorem 4): single-nod ratio approaches 2\n\n";
+
+  auto point_group = [](std::uint64_t k) { return "Fig4/K=" + std::to_string(k); };
+
+  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+  for (std::uint64_t k = 2; k <= max_k; k *= 2) {
+    const gen::TightnessFig4 fig = gen::BuildTightnessFig4(k);
+    const std::uint64_t expected = fig.single_nod_expected;
+    const std::uint64_t optimal = fig.optimal;
+    const bool cross_check = k <= 4;
+    batch.AddComparisonSweep(
+        point_group(k),
+        [k](std::uint64_t) { return gen::BuildTightnessFig4(k).instance; },
+        {{"single-nod",
+          [expected, optimal, cross_check](const Instance& instance) {
+            core::RunResult result = core::Run(core::Algorithm::kSingleNod, instance);
+            // Theorem 4's closed form; a deviation is a solver bug.
+            RPT_CHECK(result.solution.ReplicaCount() == expected);
+            if (cross_check) {
+              const auto opt = exact::SolveExactSingle(instance);
+              RPT_CHECK(opt.feasible && opt.solution.ReplicaCount() == optimal);
+            }
+            return result;
+          }},
+         {"best-fit", runner::SolveWith(core::Algorithm::kGreedyBestFit)}},
+        /*base_seed=*/0, flags.seeds,
+        {{"ratio_vs_opt", [optimal](const Instance&, const core::RunResult& run) {
+            return static_cast<double>(run.solution.ReplicaCount()) /
+                   static_cast<double>(optimal);
+          }}});
+  }
+
+  const runner::BatchReport report = batch.Run();
+
   Table table({"K", "|T|", "W", "single-nod", "paper 2K", "best-fit", "opt K+1", "ratio",
                "ms"});
   for (std::uint64_t k = 2; k <= max_k; k *= 2) {
     const gen::TightnessFig4 fig = gen::BuildTightnessFig4(k);
-    Timer timer;
-    const auto result = single::SolveSingleNod(fig.instance);
-    const double ms = timer.ElapsedMs();
-    RPT_CHECK(result.solution.ReplicaCount() == fig.single_nod_expected);
-    const Solution best_fit = single::SolveGreedyBestFit(fig.instance);
-    if (k <= 4) {
-      const auto opt = exact::SolveExactSingle(fig.instance);
-      RPT_CHECK(opt.feasible && opt.solution.ReplicaCount() == fig.optimal);
-    }
+    const runner::GroupReport* nod = report.FindGroup(point_group(k) + "/single-nod");
+    const runner::GroupReport* fit = report.FindGroup(point_group(k) + "/best-fit");
+    RPT_CHECK(nod != nullptr && fit != nullptr);
+    if (nod->errors > 0 || nod->feasible == 0 || fit->feasible == 0) continue;
+    const StatAccumulator* ratio = nod->FindMetric("ratio_vs_opt");
+    RPT_CHECK(ratio != nullptr);
     table.NewRow()
         .Add(k)
         .Add(std::uint64_t{fig.instance.GetTree().Size()})
         .Add(fig.instance.Capacity())
-        .Add(std::uint64_t{result.solution.ReplicaCount()})
+        .Add(static_cast<std::uint64_t>(nod->cost.Mean()))
         .Add(fig.single_nod_expected)
-        .Add(std::uint64_t{best_fit.ReplicaCount()})
+        .Add(static_cast<std::uint64_t>(fit->cost.Mean()))
         .Add(fig.optimal)
-        .Add(static_cast<double>(result.solution.ReplicaCount()) /
-                 static_cast<double>(fig.optimal),
-             3)
-        .Add(ms, 3);
+        .Add(ratio->Mean(), 3)
+        .Add(nod->elapsed_ms.Mean(), 3);
   }
   table.PrintAscii(std::cout);
+
+  runner::WriteJsonIfRequested(cli, report, std::cout);
   if (const std::string csv = cli.GetString("csv"); !csv.empty()) table.WriteCsvFile(csv);
   std::cout << "\nsingle-nod hits exactly 2K on every row (Theorem 4 is tight); the optimum\n"
                "K+1 pools the unit clients at the root, which the greedy misses.\n";
-  return 0;
+  return report.AllOk() ? 0 : 1;
 }

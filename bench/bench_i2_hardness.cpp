@@ -2,64 +2,132 @@
 //
 // The reduction 3-Partition -> Single-NoD-Bin: the constructed instance I2
 // has a solution with K = m servers iff the source 3-Partition instance is a
-// yes-instance. This bench generates certified yes/no 3-Partition instances,
-// builds I2, solves exactly, and checks the equivalence. It also runs the
-// approximation algorithms to show the gap an efficient algorithm leaves on
-// these adversarial instances.
+// yes-instance. This bench generates certified yes/no 3-Partition instances
+// (deterministically from derived per-cell seeds), builds I2, solves exactly
+// on the batch engine, and checks the equivalence inside the cell — a wrong
+// decision in either direction turns the cell into an error and fails the
+// run. single-nod rides along in the same comparison to show the gap an
+// efficient algorithm leaves on these adversarial instances.
 //
-// Expected shape: column "opt == m" is true exactly on yes rows; no rows
-// need at least m+1 servers.
+// Expected shape: exact opt == K on every yes group and > K on every no
+// group (the "decided_yes" metric is 1.0 resp. 0.0 throughout).
 #include <iostream>
+#include <limits>
 
-#include "exact/exact.hpp"
 #include "npc/partition.hpp"
 #include "npc/reductions.hpp"
-#include "single/single_nod.hpp"
+#include "runner/batch_runner.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
-#include "support/timer.hpp"
+
+namespace {
+
+using namespace rpt;
+
+// One experiment class: m triples, certified yes or no.
+struct HardnessClass {
+  const char* name;
+  std::uint64_t m;
+  bool expect_yes;
+};
+
+// Builds the I2 instance of a class deterministically from the cell seed:
+// the seed drives both the partition values and the 3-Partition bound scale.
+std::function<Instance(std::uint64_t)> MakeI2(const HardnessClass& klass) {
+  const std::uint64_t m = klass.m;
+  const bool expect_yes = klass.expect_yes;
+  return [m, expect_yes](std::uint64_t seed) {
+    Rng rng(seed);
+    const std::uint64_t scale = 6 + seed % 4;
+    const npc::ThreePartitionInstance source =
+        expect_yes ? npc::MakeThreePartitionYes(m, scale, rng)
+                   : npc::MakeThreePartitionNo(m, scale, rng);
+    return npc::BuildI2(source).instance;
+  };
+}
+
+// Exact solve plus the Theorem 1 equivalence check (threshold K = m).
+std::function<core::RunResult(const Instance&)> DecideExactly(const HardnessClass& klass) {
+  const std::uint64_t threshold = klass.m;
+  const bool expect_yes = klass.expect_yes;
+  return [threshold, expect_yes](const Instance& instance) {
+    core::RunResult result = core::Run(core::Algorithm::kExactSingle, instance);
+    RPT_CHECK(result.feasible);
+    const bool decided_yes = result.solution.ReplicaCount() == threshold;
+    RPT_CHECK(decided_yes == expect_yes);  // both directions of Theorem 1
+    return result;
+  };
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rpt;
   Cli cli("bench_i2_hardness", "E3: 3-Partition -> Single-NoD-Bin reduction (Fig. 1)");
-  cli.AddInt("seeds", 4, "instances per class");
+  AddBatchFlags(cli, /*default_seeds=*/4);
+  cli.AddInt("base-seed", 2012, "base seed; per-cell seeds derive deterministically");
+  runner::AddJsonFlag(cli);
   cli.AddString("csv", "", "optional CSV output path");
   if (!cli.Parse(argc, argv)) return 0;
-  const auto seeds = static_cast<std::uint64_t>(cli.GetInt("seeds"));
+  const BatchFlags flags = GetBatchFlags(cli);
+  const auto base_seed = cli.GetUint("base-seed");
 
   std::cout << "E3 (Fig. 1 / Theorem 1): Single-NoD-Bin decides 3-Partition\n\n";
-  Table table({"class", "m", "B", "|T|", "threshold K", "exact opt", "opt == K", "single-nod",
-               "exact ms"});
-  Rng rng(2012);
-  auto run_case = [&](const char* klass, const npc::ThreePartitionInstance& source,
-                      bool expect_yes) {
-    const npc::Reduction red = npc::BuildI2(source);
-    Timer timer;
-    const auto opt = exact::SolveExactSingle(red.instance);
-    const double ms = timer.ElapsedMs();
-    RPT_CHECK(opt.feasible);
-    const bool decided_yes = opt.solution.ReplicaCount() == red.threshold;
-    RPT_CHECK(decided_yes == expect_yes);  // both directions of Theorem 1
-    const auto nod = single::SolveSingleNod(red.instance);
-    table.NewRow()
-        .Add(klass)
-        .Add(source.GroupCount())
-        .Add(source.bound)
-        .Add(std::uint64_t{red.instance.GetTree().Size()})
-        .Add(red.threshold)
-        .Add(std::uint64_t{opt.solution.ReplicaCount()})
-        .Add(decided_yes ? "yes" : "no")
-        .Add(std::uint64_t{nod.solution.ReplicaCount()})
-        .Add(ms, 2);
+
+  const std::vector<HardnessClass> classes{
+      {"yes", 2, true}, {"yes", 3, true}, {"no", 3, false}};
+  auto class_group = [](const HardnessClass& klass) {
+    return "I2/" + std::string(klass.name) + "/m=" + std::to_string(klass.m);
   };
-  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
-    run_case("yes", npc::MakeThreePartitionYes(2, 6 + seed, rng), true);
-    run_case("yes", npc::MakeThreePartitionYes(3, 6 + seed, rng), true);
-    run_case("no", npc::MakeThreePartitionNo(3, 6 + seed, rng), false);
+
+  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+  for (const HardnessClass& klass : classes) {
+    batch.AddComparisonSweep(
+        class_group(klass), MakeI2(klass),
+        {{"exact", DecideExactly(klass)},
+         {"single-nod", runner::SolveWith(core::Algorithm::kSingleNod)}},
+        base_seed + klass.m + (klass.expect_yes ? 0 : 100), flags.seeds,
+        {{"decided_yes",
+          [threshold = klass.m](const Instance&, const core::RunResult& run) {
+            if (!run.feasible) return std::numeric_limits<double>::quiet_NaN();
+            return run.solution.ReplicaCount() == threshold ? 1.0 : 0.0;
+          }},
+         {"tree_size", [](const Instance& instance, const core::RunResult&) {
+            return static_cast<double>(instance.GetTree().Size());
+          }}});
+  }
+
+  const runner::BatchReport report = batch.Run();
+
+  Table table({"class", "m", "threshold K", "mean |T|", "exact opt mean", "decided yes rate",
+               "single-nod mean", "nod/exact ratio", "exact ms"});
+  for (const HardnessClass& klass : classes) {
+    const std::string group = class_group(klass);
+    const runner::GroupReport* exact = report.FindGroup(group + "/exact");
+    const runner::GroupReport* nod = report.FindGroup(group + "/single-nod");
+    const runner::ComparisonReport* comparison = report.FindComparison(group);
+    RPT_CHECK(exact != nullptr && nod != nullptr && comparison != nullptr);
+    if (exact->feasible == 0) continue;
+    const StatAccumulator* decided = exact->FindMetric("decided_yes");
+    const StatAccumulator* size = exact->FindMetric("tree_size");
+    const runner::RatioStat* nod_ratio = comparison->FindRatio("single-nod");
+    RPT_CHECK(decided != nullptr && size != nullptr && nod_ratio != nullptr);
+    table.NewRow()
+        .Add(klass.name)
+        .Add(klass.m)
+        .Add(klass.m)
+        .Add(size->Mean(), 1)
+        .Add(exact->cost.Mean(), 2)
+        .Add(decided->Mean(), 2)
+        .Add(nod->cost.Mean(), 2)
+        .Add(nod_ratio->ratio.Mean(), 3)
+        .Add(exact->elapsed_ms.Mean(), 2);
   }
   table.PrintAscii(std::cout);
+
+  runner::WriteJsonIfRequested(cli, report, std::cout);
   if (const std::string csv = cli.GetString("csv"); !csv.empty()) table.WriteCsvFile(csv);
   std::cout << "\nEvery yes row is solvable with exactly K = m servers and every no row needs\n"
                "more — deciding the replica count decides 3-Partition (strong NP-hardness).\n";
-  return 0;
+  return report.AllOk() ? 0 : 1;
 }

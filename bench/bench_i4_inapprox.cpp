@@ -4,81 +4,135 @@
 // bound: instance I4 has optimum 2 iff the 2-Partition instance is a
 // yes-instance, and at least 3 otherwise. Any polynomial (3/2-ε)-approximation
 // would therefore separate the classes and decide 2-Partition. The bench
-// generates certified yes/no instances, verifies the 2-vs-3 gap exactly, and
-// records what the (legitimately weaker) approximation algorithms return.
+// generates certified yes/no instances deterministically from derived
+// per-cell seeds, verifies the 2-vs-3 gap exactly inside each cell (a
+// violation turns the cell into an error and fails the run), and records
+// what the (legitimately weaker) approximation algorithms return on the
+// identical instance via a paired comparison sweep.
 //
 // Expected shape: "exact opt" is 2 on yes rows and >= 3 on no rows — an
 // irreducible multiplicative gap of 3/2 at opt = 2.
 #include <algorithm>
 #include <iostream>
 
-#include "exact/exact.hpp"
 #include "npc/partition.hpp"
 #include "npc/reductions.hpp"
-#include "single/single_gen.hpp"
-#include "single/single_nod.hpp"
+#include "runner/batch_runner.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
+
+namespace {
+
+using namespace rpt;
+
+// Builds I4 deterministically from the cell seed. BuildI4 additionally needs
+// max a_i <= S/2 (otherwise no Single solution exists at all); the rare
+// no-instances violating it are redrawn — they are trivially "no" and carry
+// no information about the reduction.
+std::function<Instance(std::uint64_t)> MakeI4(std::size_t count, bool expect_yes) {
+  return [count, expect_yes](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint64_t> values;
+    if (expect_yes) {
+      values = npc::MakeTwoPartitionYes(count, 24, rng);
+    } else {
+      while (true) {
+        values = npc::MakeTwoPartitionNo(count, 24, rng);
+        std::uint64_t sum = 0;
+        for (const auto v : values) sum += v;
+        if (*std::max_element(values.begin(), values.end()) * 2 <= sum) break;
+      }
+    }
+    return npc::BuildI4(values).instance;
+  };
+}
+
+// Exact solve plus the Theorem 2 separation check: opt == 2 on yes
+// instances, opt >= 3 on no instances.
+std::function<core::RunResult(const Instance&)> DecideExactly(bool expect_yes) {
+  return [expect_yes](const Instance& instance) {
+    core::RunResult result = core::Run(core::Algorithm::kExactSingle, instance);
+    RPT_CHECK(result.feasible);
+    if (expect_yes) {
+      RPT_CHECK(result.solution.ReplicaCount() == 2);
+    } else {
+      RPT_CHECK(result.solution.ReplicaCount() >= 3);
+    }
+    return result;
+  };
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rpt;
   Cli cli("bench_i4_inapprox", "E4: 2-Partition -> Single-NoD-Bin inapproximability (Fig. 2)");
-  cli.AddInt("seeds", 5, "instances per class and size");
+  AddBatchFlags(cli, /*default_seeds=*/5);
+  cli.AddInt("base-seed", 7750, "base seed; per-cell seeds derive deterministically");
+  runner::AddJsonFlag(cli);
   cli.AddString("csv", "", "optional CSV output path");
   if (!cli.Parse(argc, argv)) return 0;
-  const auto seeds = static_cast<std::uint64_t>(cli.GetInt("seeds"));
+  const BatchFlags flags = GetBatchFlags(cli);
+  const auto base_seed = cli.GetUint("base-seed");
 
   std::cout << "E4 (Fig. 2 / Theorem 2): no (3/2-eps)-approximation unless P=NP\n\n";
-  Table table({"values", "class", "S", "W=S/2", "exact opt", "single-nod", "single-gen",
-               "nod ratio"});
-  Rng rng(7750);
-  auto run_case = [&](const char* klass, const std::vector<std::uint64_t>& values,
-                      bool expect_yes) {
-    const npc::Reduction red = npc::BuildI4(values);
-    const auto opt = exact::SolveExactSingle(red.instance);
-    RPT_CHECK(opt.feasible);
-    if (expect_yes) {
-      RPT_CHECK(opt.solution.ReplicaCount() == 2);
-    } else {
-      RPT_CHECK(opt.solution.ReplicaCount() >= 3);
-    }
-    const auto nod = single::SolveSingleNod(red.instance);
-    const auto gen_result = single::SolveSingleGen(red.instance);
-    std::uint64_t sum = 0;
-    for (const auto v : values) sum += v;
-    table.NewRow()
-        .Add(std::uint64_t{values.size()})
-        .Add(klass)
-        .Add(sum)
-        .Add(red.instance.Capacity())
-        .Add(std::uint64_t{opt.solution.ReplicaCount()})
-        .Add(std::uint64_t{nod.solution.ReplicaCount()})
-        .Add(std::uint64_t{gen_result.solution.ReplicaCount()})
-        .Add(static_cast<double>(nod.solution.ReplicaCount()) /
-                 static_cast<double>(opt.solution.ReplicaCount()),
-             2);
+
+  const std::vector<std::size_t> counts{4u, 6u, 8u};
+  const std::vector<bool> class_yes{true, false};
+  auto class_group = [](std::size_t count, bool expect_yes) {
+    return "I4/" + std::string(expect_yes ? "yes" : "no") + "/values=" + std::to_string(count);
   };
-  // BuildI4 additionally needs max a_i <= S/2 (otherwise no Single solution
-  // exists at all); redraw the rare no-instances that violate it — they are
-  // trivially "no" and carry no information about the reduction.
-  auto draw_compatible_no = [&rng](std::size_t count) {
-    while (true) {
-      auto values = npc::MakeTwoPartitionNo(count, 24, rng);
-      std::uint64_t sum = 0;
-      for (const auto v : values) sum += v;
-      if (*std::max_element(values.begin(), values.end()) * 2 <= sum) return values;
+
+  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+  for (const std::size_t count : counts) {
+    for (const bool expect_yes : class_yes) {
+      batch.AddComparisonSweep(
+          class_group(count, expect_yes), MakeI4(count, expect_yes),
+          {{"exact", DecideExactly(expect_yes)},
+           {"single-nod", runner::SolveWith(core::Algorithm::kSingleNod)},
+           {"single-gen", runner::SolveWith(core::Algorithm::kSingleGen)}},
+          base_seed + count * 2 + (expect_yes ? 0 : 1), flags.seeds,
+          {{"capacity", [](const Instance& instance, const core::RunResult&) {
+              return static_cast<double>(instance.Capacity());
+            }}});
     }
-  };
-  for (const std::size_t count : {4u, 6u, 8u}) {
-    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
-      (void)seed;
-      run_case("yes", npc::MakeTwoPartitionYes(count, 24, rng), true);
-      run_case("no", draw_compatible_no(count), false);
+  }
+
+  const runner::BatchReport report = batch.Run();
+
+  Table table({"values", "class", "mean W=S/2", "exact opt mean", "single-nod mean",
+               "single-gen mean", "nod ratio mean", "nod ratio max"});
+  for (const std::size_t count : counts) {
+    for (const bool expect_yes : class_yes) {
+      const std::string group = class_group(count, expect_yes);
+      const runner::GroupReport* exact = report.FindGroup(group + "/exact");
+      const runner::GroupReport* nod = report.FindGroup(group + "/single-nod");
+      const runner::GroupReport* gen_group = report.FindGroup(group + "/single-gen");
+      const runner::ComparisonReport* comparison = report.FindComparison(group);
+      RPT_CHECK(exact != nullptr && nod != nullptr && gen_group != nullptr &&
+                comparison != nullptr);
+      if (exact->feasible == 0) continue;
+      const StatAccumulator* capacity = exact->FindMetric("capacity");
+      const runner::RatioStat* nod_ratio = comparison->FindRatio("single-nod");
+      RPT_CHECK(capacity != nullptr && nod_ratio != nullptr);
+      // The approximations can never beat the exhaustive optimum.
+      RPT_CHECK(nod_ratio->wins == 0);
+      table.NewRow()
+          .Add(std::uint64_t{count})
+          .Add(expect_yes ? "yes" : "no")
+          .Add(capacity->Mean(), 1)
+          .Add(exact->cost.Mean(), 2)
+          .Add(nod->cost.Mean(), 2)
+          .Add(gen_group->cost.Mean(), 2)
+          .Add(nod_ratio->ratio.Mean(), 2)
+          .Add(nod_ratio->ratio.Max(), 2);
     }
   }
   table.PrintAscii(std::cout);
+
+  runner::WriteJsonIfRequested(cli, report, std::cout);
   if (const std::string csv = cli.GetString("csv"); !csv.empty()) table.WriteCsvFile(csv);
   std::cout << "\nThe optimum separates the classes exactly at 2 vs >=3: any polynomial\n"
                "algorithm guaranteed below 3/2 of optimal would answer 2-Partition.\n";
-  return 0;
+  return report.AllOk() ? 0 : 1;
 }

@@ -8,8 +8,9 @@
 // observed a deviation, and the flow-based pruning pass this library adds
 // (multiple-bin-pruned) repairs almost every deviating instance.
 //
-// Three comparisons, each across randomized sweeps (parallelized over seeds
-// with the thread pool):
+// Three comparisons, each a paired comparison sweep on the batch engine
+// (every solver sees the identical instance per seed; match rates and
+// excess statistics come from the per-seed RatioStats):
 //   (a) vs the exhaustive optimum on small trees (NoD rows: 100%;
 //       distance rows: slightly below, pruning closes most of the gap);
 //   (b) vs the exact Multiple-NoD DP on larger NoD trees (expects 100%);
@@ -17,27 +18,21 @@
 //       everywhere; reports the baseline's mean/max excess).
 #include <iostream>
 
-#include "exact/exact.hpp"
 #include "gen/random_tree.hpp"
-#include "model/validate.hpp"
-#include "multiple/greedy.hpp"
-#include "multiple/multiple_bin.hpp"
-#include "multiple/multiple_nod_dp.hpp"
-#include "multiple/prune.hpp"
+#include "runner/batch_runner.hpp"
 #include "support/cli.hpp"
-#include "support/stats.hpp"
 #include "support/table.hpp"
-#include "support/thread_pool.hpp"
-#include "support/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace rpt;
   Cli cli("bench_multbin_optimality", "E6: multiple-bin optimality certification (Thm 6)");
-  cli.AddInt("seeds", 60, "instances per configuration");
+  AddBatchFlags(cli, /*default_seeds=*/60);
+  cli.AddInt("base-seed", 9100, "base seed; per-cell seeds derive deterministically");
+  runner::AddJsonFlag(cli);
   cli.AddString("csv", "", "optional CSV output path");
   if (!cli.Parse(argc, argv)) return 0;
-  const auto seeds = static_cast<std::size_t>(cli.GetInt("seeds"));
-  ThreadPool pool;
+  const BatchFlags flags = GetBatchFlags(cli);
+  const auto base_seed = cli.GetUint("base-seed");
 
   std::cout << "E6 (Theorem 6): multiple-bin vs exhaustive optimum / NoD DP / greedy\n\n";
 
@@ -53,134 +48,143 @@ int main(int argc, char** argv) {
       {"dmax=2 tight", 7, 8, 2, 2},              {"W=4 scarce", 8, 4, 3, 1},
       {"long edges", 6, 10, 8, 4},
   };
+  const std::vector<std::uint32_t> dp_clients{30u, 60u, 120u};
+  const std::vector<Distance> greedy_dmax{kNoDistanceLimit, Distance{16}, Distance{8},
+                                          Distance{4}};
 
-  Table small_table({"config", "instances", "matches", "match rate", "pruned matches",
-                     "pruned rate", "mean opt", "mean algo ms"});
+  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+
+  // (a) Small instances vs the exhaustive optimum.
   for (const Config& config : small_configs) {
-    std::vector<std::size_t> algo_counts(seeds);
-    std::vector<std::size_t> pruned_counts(seeds);
-    std::vector<std::size_t> opt_counts(seeds);
-    std::vector<double> algo_ms(seeds);
-    ParallelFor(pool, seeds, [&](std::size_t seed) {
+    const auto make_instance = [config](std::uint64_t seed) {
       gen::BinaryTreeConfig cfg;
       cfg.clients = config.clients;
       cfg.min_requests = 1;
       cfg.max_requests = config.capacity;
       cfg.min_edge = 1;
       cfg.max_edge = config.max_edge;
-      const Instance inst(gen::GenerateFullBinaryTree(cfg, 9100 + seed), config.capacity,
-                          config.dmax);
-      Timer timer;
-      const auto algo = multiple::SolveMultipleBin(inst);
-      algo_ms[seed] = timer.ElapsedMs();
-      RPT_CHECK(IsFeasible(inst, Policy::kMultiple, algo.solution));
-      const auto pruned = multiple::PruneReplicas(inst, algo.solution);
-      const auto opt = exact::SolveExactMultiple(inst);
-      RPT_CHECK(opt.feasible);
-      algo_counts[seed] = algo.solution.ReplicaCount();
-      pruned_counts[seed] = pruned.solution.ReplicaCount();
-      opt_counts[seed] = opt.solution.ReplicaCount();
-      RPT_CHECK(algo_counts[seed] >= opt_counts[seed]);  // never below the optimum
-    });
-    std::size_t matches = 0;
-    std::size_t pruned_matches = 0;
-    StatAccumulator opt_stat;
-    StatAccumulator ms_stat;
-    for (std::size_t seed = 0; seed < seeds; ++seed) {
-      matches += algo_counts[seed] == opt_counts[seed];
-      pruned_matches += pruned_counts[seed] == opt_counts[seed];
-      opt_stat.Add(static_cast<double>(opt_counts[seed]));
-      ms_stat.Add(algo_ms[seed]);
-    }
-    small_table.NewRow()
-        .Add(config.name)
-        .Add(std::uint64_t{seeds})
-        .Add(std::uint64_t{matches})
-        .Add(static_cast<double>(matches) / static_cast<double>(seeds), 3)
-        .Add(std::uint64_t{pruned_matches})
-        .Add(static_cast<double>(pruned_matches) / static_cast<double>(seeds), 3)
-        .Add(opt_stat.Mean(), 2)
-        .Add(ms_stat.Mean(), 4);
+      return Instance(gen::GenerateFullBinaryTree(cfg, seed), config.capacity, config.dmax);
+    };
+    batch.AddComparisonSweep(
+        std::string("small/") + config.name, make_instance,
+        {{"exact", runner::SolveWith(core::Algorithm::kExactMultiple)},
+         {"multiple-bin", runner::SolveWith(core::Algorithm::kMultipleBin)},
+         {"pruned", runner::SolveWith(core::Algorithm::kMultipleBinPruned)}},
+        base_seed, flags.seeds);
   }
-  std::cout << "(a) vs exhaustive optimum, small binary trees:\n";
-  small_table.PrintAscii(std::cout);
 
   // (b) vs the Multiple-NoD DP at sizes brute force cannot reach.
-  Table dp_table({"clients", "instances", "matches", "match rate", "mean opt"});
-  for (const std::uint32_t clients : {30u, 60u, 120u}) {
-    std::vector<char> match(seeds);
-    std::vector<std::size_t> opt_counts(seeds);
-    ParallelFor(pool, seeds, [&](std::size_t seed) {
+  for (const std::uint32_t clients : dp_clients) {
+    const auto make_instance = [clients](std::uint64_t seed) {
       gen::BinaryTreeConfig cfg;
       cfg.clients = clients;
       cfg.min_requests = 1;
       cfg.max_requests = 9;
-      const Instance inst(gen::GenerateFullBinaryTree(cfg, 9500 + seed), /*capacity=*/9,
-                          kNoDistanceLimit);
-      const auto algo = multiple::SolveMultipleBin(inst);
-      const auto dp = multiple::SolveMultipleNodDp(inst);
-      RPT_CHECK(dp.feasible);
-      match[seed] = algo.solution.ReplicaCount() == dp.solution.ReplicaCount();
-      opt_counts[seed] = dp.solution.ReplicaCount();
-    });
-    std::size_t matches = 0;
-    StatAccumulator opt_stat;
-    for (std::size_t seed = 0; seed < seeds; ++seed) {
-      matches += match[seed] != 0;
-      opt_stat.Add(static_cast<double>(opt_counts[seed]));
-    }
-    dp_table.NewRow()
-        .Add(std::uint64_t{clients})
-        .Add(std::uint64_t{seeds})
-        .Add(std::uint64_t{matches})
-        .Add(static_cast<double>(matches) / static_cast<double>(seeds), 3)
-        .Add(opt_stat.Mean(), 2);
+      return Instance(gen::GenerateFullBinaryTree(cfg, seed), /*capacity=*/9,
+                      kNoDistanceLimit);
+    };
+    batch.AddComparisonSweep(
+        "dp/clients=" + std::to_string(clients), make_instance,
+        {{"nod-dp", runner::SolveWith(core::Algorithm::kMultipleNodDp)},
+         {"multiple-bin", runner::SolveWith(core::Algorithm::kMultipleBin)}},
+        base_seed + 400, flags.seeds);
   }
-  std::cout << "\n(b) vs exact Multiple-NoD DP, larger NoD trees:\n";
-  dp_table.PrintAscii(std::cout);
 
   // (c) vs the greedy splitting baseline under increasingly tight dmax.
-  Table greedy_table({"dmax", "mean OPT", "mean greedy", "mean excess", "max excess",
-                      "greedy wins"});
-  for (const Distance dmax : {kNoDistanceLimit, Distance{16}, Distance{8}, Distance{4}}) {
-    std::vector<std::size_t> algo_counts(seeds);
-    std::vector<std::size_t> greedy_counts(seeds);
-    ParallelFor(pool, seeds, [&](std::size_t seed) {
+  for (const Distance dmax : greedy_dmax) {
+    const auto make_instance = [dmax](std::uint64_t seed) {
       gen::BinaryTreeConfig cfg;
       cfg.clients = 80;
       cfg.min_requests = 1;
       cfg.max_requests = 12;
       cfg.min_edge = 1;
       cfg.max_edge = 3;
-      const Instance inst(gen::GenerateFullBinaryTree(cfg, 9900 + seed), /*capacity=*/12, dmax);
-      algo_counts[seed] = multiple::SolveMultipleBin(inst).solution.ReplicaCount();
-      greedy_counts[seed] = multiple::SolveMultipleGreedy(inst).ReplicaCount();
-    });
-    StatAccumulator opt_stat;
-    StatAccumulator greedy_stat;
-    StatAccumulator excess;
-    std::size_t wins = 0;
-    for (std::size_t seed = 0; seed < seeds; ++seed) {
-      RPT_CHECK(greedy_counts[seed] >= algo_counts[seed]);  // optimality again
-      opt_stat.Add(static_cast<double>(algo_counts[seed]));
-      greedy_stat.Add(static_cast<double>(greedy_counts[seed]));
-      excess.Add(static_cast<double>(greedy_counts[seed] - algo_counts[seed]));
-      wins += greedy_counts[seed] == algo_counts[seed];
-    }
+      return Instance(gen::GenerateFullBinaryTree(cfg, seed), /*capacity=*/12, dmax);
+    };
+    batch.AddComparisonSweep(
+        "greedy/dmax=" + DmaxLabel(dmax), make_instance,
+        {{"multiple-bin", runner::SolveWith(core::Algorithm::kMultipleBin)},
+         {"greedy", runner::SolveWith(core::Algorithm::kMultipleGreedy)}},
+        base_seed + 800, flags.seeds);
+  }
+
+  const runner::BatchReport report = batch.Run();
+
+  Table small_table({"config", "instances", "matches", "match rate", "pruned matches",
+                     "pruned rate", "mean opt", "mean algo ms"});
+  for (const Config& config : small_configs) {
+    const std::string group = std::string("small/") + config.name;
+    const runner::ComparisonReport* comparison = report.FindComparison(group);
+    const runner::GroupReport* exact = report.FindGroup(group + "/exact");
+    const runner::GroupReport* algo = report.FindGroup(group + "/multiple-bin");
+    RPT_CHECK(comparison != nullptr && exact != nullptr && algo != nullptr);
+    const runner::RatioStat* bin = comparison->FindRatio("multiple-bin");
+    const runner::RatioStat* pruned = comparison->FindRatio("pruned");
+    RPT_CHECK(bin != nullptr && pruned != nullptr);
+    if (bin->pairs == 0) continue;
+    // Never below the optimum (and pruning never below it either).
+    RPT_CHECK(bin->wins == 0 && pruned->wins == 0);
+    small_table.NewRow()
+        .Add(config.name)
+        .Add(bin->pairs)
+        .Add(bin->ties)
+        .Add(static_cast<double>(bin->ties) / static_cast<double>(bin->pairs), 3)
+        .Add(pruned->ties)
+        .Add(static_cast<double>(pruned->ties) / static_cast<double>(pruned->pairs), 3)
+        .Add(exact->cost.Mean(), 2)
+        .Add(algo->elapsed_ms.Mean(), 4);
+  }
+  std::cout << "(a) vs exhaustive optimum, small binary trees:\n";
+  small_table.PrintAscii(std::cout);
+
+  Table dp_table({"clients", "instances", "matches", "match rate", "mean opt"});
+  for (const std::uint32_t clients : dp_clients) {
+    const std::string group = "dp/clients=" + std::to_string(clients);
+    const runner::ComparisonReport* comparison = report.FindComparison(group);
+    const runner::GroupReport* dp = report.FindGroup(group + "/nod-dp");
+    RPT_CHECK(comparison != nullptr && dp != nullptr);
+    const runner::RatioStat* bin = comparison->FindRatio("multiple-bin");
+    RPT_CHECK(bin != nullptr);
+    if (bin->pairs == 0) continue;
+    RPT_CHECK(bin->wins == 0);  // the DP is exact on NoD
+    dp_table.NewRow()
+        .Add(std::uint64_t{clients})
+        .Add(bin->pairs)
+        .Add(bin->ties)
+        .Add(static_cast<double>(bin->ties) / static_cast<double>(bin->pairs), 3)
+        .Add(dp->cost.Mean(), 2);
+  }
+  std::cout << "\n(b) vs exact Multiple-NoD DP, larger NoD trees:\n";
+  dp_table.PrintAscii(std::cout);
+
+  Table greedy_table({"dmax", "mean OPT", "mean greedy", "mean excess", "max excess",
+                      "greedy wins"});
+  for (const Distance dmax : greedy_dmax) {
+    const std::string group = "greedy/dmax=" + DmaxLabel(dmax);
+    const runner::ComparisonReport* comparison = report.FindComparison(group);
+    const runner::GroupReport* algo = report.FindGroup(group + "/multiple-bin");
+    const runner::GroupReport* greedy = report.FindGroup(group + "/greedy");
+    RPT_CHECK(comparison != nullptr && algo != nullptr && greedy != nullptr);
+    const runner::RatioStat* excess = comparison->FindRatio("greedy");
+    RPT_CHECK(excess != nullptr);
+    if (excess->pairs == 0) continue;
+    RPT_CHECK(excess->wins == 0);  // optimality again: greedy >= multiple-bin
     greedy_table.NewRow()
-        .Add(dmax == kNoDistanceLimit ? std::string("inf") : std::to_string(dmax))
-        .Add(opt_stat.Mean(), 2)
-        .Add(greedy_stat.Mean(), 2)
-        .Add(excess.Mean(), 2)
-        .Add(excess.Max(), 0)
-        .Add(std::uint64_t{wins});
+        .Add(DmaxLabel(dmax))
+        .Add(algo->cost.Mean(), 2)
+        .Add(greedy->cost.Mean(), 2)
+        .Add(excess->diff.Mean(), 2)
+        .Add(excess->diff.Max(), 0)
+        .Add(excess->ties);
   }
   std::cout << "\n(c) vs greedy splitting baseline (80-client trees):\n";
   greedy_table.PrintAscii(std::cout);
+
+  runner::WriteJsonIfRequested(cli, report, std::cout);
   if (const std::string csv = cli.GetString("csv"); !csv.empty()) greedy_table.WriteCsvFile(csv);
   std::cout << "\nNoD rows match the optimum everywhere — but the distance-constrained rows in\n"
                "(a) fall short of 1.000: Algorithm 3 as specified in RR-7750 is not optimal\n"
                "once dmax binds (see EXPERIMENTS.md E6 and the pinned 13-node counterexample).\n"
                "The added flow-based pruning pass repairs nearly every deviation.\n";
-  return 0;
+  return report.AllOk() ? 0 : 1;
 }

@@ -3,104 +3,127 @@
 //
 // On random binary trees we sweep the server capacity W and the distance
 // bound dmax, and compare the best Single-policy count we can compute
-// (single-gen, best-fit, and — where the instance is small enough — the
-// exhaustive Single optimum) against the provably optimal Multiple count
-// from multiple-bin.
+// (single-gen and best-fit) against the provably optimal Multiple count from
+// multiple-bin — on the *identical* instance per seed, via the batch
+// engine's paired comparison sweeps. Per-seed gap statistics come from the
+// RatioStat of the "single-best" composite solver against the multiple-bin
+// baseline.
 //
 // Expected shape: Multiple saves the most when W is near the typical client
 // demand (whole-client packing wastes capacity) and the saving narrows as W
 // grows; tight dmax pushes both policies towards one-replica-per-client.
 #include <iostream>
 
-#include "exact/exact.hpp"
 #include "gen/random_tree.hpp"
-#include "multiple/multiple_bin.hpp"
-#include "single/baselines.hpp"
-#include "single/single_gen.hpp"
+#include "runner/batch_runner.hpp"
 #include "support/cli.hpp"
-#include "support/stats.hpp"
 #include "support/table.hpp"
-#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace rpt;
+
+// The best Single count this library can compute quickly: the cheaper of
+// single-gen and greedy best-fit on the same instance.
+core::RunResult SolveSingleBest(const Instance& instance) {
+  core::RunResult gen_result = core::Run(core::Algorithm::kSingleGen, instance);
+  core::RunResult fit_result = core::Run(core::Algorithm::kGreedyBestFit, instance);
+  const double total_ms = gen_result.elapsed_ms + fit_result.elapsed_ms;
+  core::RunResult best =
+      fit_result.solution.ReplicaCount() < gen_result.solution.ReplicaCount()
+          ? std::move(fit_result)
+          : std::move(gen_result);
+  best.elapsed_ms = total_ms;
+  return best;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rpt;
   Cli cli("bench_policy_gap", "E8: Single vs Multiple replica counts");
-  cli.AddInt("seeds", 40, "instances per configuration");
+  AddBatchFlags(cli, /*default_seeds=*/40);
   cli.AddInt("clients", 100, "clients per random binary tree");
+  cli.AddInt("base-seed", 31000, "base seed; per-cell seeds derive deterministically");
+  runner::AddJsonFlag(cli);
   cli.AddString("csv", "", "optional CSV output path");
   if (!cli.Parse(argc, argv)) return 0;
-  const auto seeds = static_cast<std::size_t>(cli.GetInt("seeds"));
-  const auto clients = static_cast<std::uint32_t>(cli.GetInt("clients"));
-  ThreadPool pool;
+  const BatchFlags flags = GetBatchFlags(cli);
+  const auto clients = static_cast<std::uint32_t>(cli.GetUint("clients", 1u << 26));
+  const auto base_seed = cli.GetUint("base-seed");
 
   std::cout << "E8: Single vs Multiple policy gap on random binary trees (" << clients
             << " clients, requests 1..10)\n\n";
+
+  const std::vector<Requests> capacities{10, 15, 25, 50, 100};
+  const std::vector<Distance> dmax_values{kNoDistanceLimit, Distance{12}, Distance{6}};
+  auto config_group = [](Requests capacity, Distance dmax) {
+    return "W=" + std::to_string(capacity) + ",dmax=" + DmaxLabel(dmax);
+  };
+
+  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+  for (const Requests capacity : capacities) {
+    for (const Distance dmax : dmax_values) {
+      const auto make_instance = [clients, capacity, dmax](std::uint64_t seed) {
+        gen::BinaryTreeConfig cfg;
+        cfg.clients = clients;
+        cfg.min_requests = 1;
+        cfg.max_requests = 10;
+        cfg.min_edge = 1;
+        cfg.max_edge = 2;
+        return Instance(gen::GenerateFullBinaryTree(cfg, seed), capacity, dmax);
+      };
+      batch.AddComparisonSweep(
+          config_group(capacity, dmax), make_instance,
+          {{"multiple-bin", runner::SolveWith(core::Algorithm::kMultipleBin)},
+           {"single-best", SolveSingleBest},
+           {"single-gen", runner::SolveWith(core::Algorithm::kSingleGen)},
+           {"best-fit", runner::SolveWith(core::Algorithm::kGreedyBestFit)}},
+          base_seed, flags.seeds,
+          {{"lower_bound", [](const Instance& instance, const core::RunResult&) {
+              return static_cast<double>(instance.CapacityLowerBound());
+            }}});
+    }
+  }
+
+  const runner::BatchReport report = batch.Run();
+
   Table table({"W", "dmax", "mean LB", "multiple-bin", "Single single-gen", "Single best-fit",
                "gap best-Single/multiple-bin", "max gap"});
-  for (const Requests capacity : {Requests{10}, Requests{15}, Requests{25}, Requests{50},
-                                  Requests{100}}) {
-    for (const Distance dmax : {kNoDistanceLimit, Distance{12}, Distance{6}}) {
-      std::vector<std::size_t> multiple_counts(seeds);
-      std::vector<std::size_t> single_best(seeds);
-      std::vector<std::uint64_t> lower_bounds(seeds);
-      ParallelFor(pool, seeds, [&](std::size_t seed) {
-        gen::BinaryTreeConfig cfg;
-        cfg.clients = clients;
-        cfg.min_requests = 1;
-        cfg.max_requests = 10;
-        cfg.min_edge = 1;
-        cfg.max_edge = 2;
-        const Instance inst(gen::GenerateFullBinaryTree(cfg, 31000 + seed), capacity, dmax);
-        multiple_counts[seed] = multiple::SolveMultipleBin(inst).solution.ReplicaCount();
-        const std::size_t gen_count = single::SolveSingleGen(inst).solution.ReplicaCount();
-        const std::size_t fit_count = single::SolveGreedyBestFit(inst).ReplicaCount();
-        single_best[seed] = std::min(gen_count, fit_count);
-        lower_bounds[seed] = inst.CapacityLowerBound();
-      });
-      StatAccumulator lb_stat;
-      StatAccumulator multiple_stat;
-      StatAccumulator gen_stat;
-      StatAccumulator fit_stat;
-      StatAccumulator gap;
-      // Recompute per-algorithm means for the table (cheap second pass).
-      std::vector<std::size_t> gen_counts(seeds);
-      std::vector<std::size_t> fit_counts(seeds);
-      ParallelFor(pool, seeds, [&](std::size_t seed) {
-        gen::BinaryTreeConfig cfg;
-        cfg.clients = clients;
-        cfg.min_requests = 1;
-        cfg.max_requests = 10;
-        cfg.min_edge = 1;
-        cfg.max_edge = 2;
-        const Instance inst(gen::GenerateFullBinaryTree(cfg, 31000 + seed), capacity, dmax);
-        gen_counts[seed] = single::SolveSingleGen(inst).solution.ReplicaCount();
-        fit_counts[seed] = single::SolveGreedyBestFit(inst).ReplicaCount();
-      });
-      for (std::size_t seed = 0; seed < seeds; ++seed) {
-        RPT_CHECK(multiple_counts[seed] <= single_best[seed]);  // policy dominance
-        lb_stat.Add(static_cast<double>(lower_bounds[seed]));
-        multiple_stat.Add(static_cast<double>(multiple_counts[seed]));
-        gen_stat.Add(static_cast<double>(gen_counts[seed]));
-        fit_stat.Add(static_cast<double>(fit_counts[seed]));
-        gap.Add(static_cast<double>(single_best[seed]) /
-                static_cast<double>(multiple_counts[seed]));
-      }
+  for (const Requests capacity : capacities) {
+    for (const Distance dmax : dmax_values) {
+      const std::string group = config_group(capacity, dmax);
+      const runner::ComparisonReport* comparison = report.FindComparison(group);
+      RPT_CHECK(comparison != nullptr);
+      const runner::GroupReport* multiple = report.FindGroup(group + "/multiple-bin");
+      const runner::GroupReport* gen_group = report.FindGroup(group + "/single-gen");
+      const runner::GroupReport* fit_group = report.FindGroup(group + "/best-fit");
+      const runner::RatioStat* gap = comparison->FindRatio("single-best");
+      RPT_CHECK(multiple != nullptr && gen_group != nullptr && fit_group != nullptr &&
+                gap != nullptr);
+      // Policy dominance: Multiple can never need more replicas than the
+      // best Single plan on the same instance.
+      RPT_CHECK(gap->wins == 0);
+      const StatAccumulator* lb = multiple->FindMetric("lower_bound");
+      RPT_CHECK(lb != nullptr);
       table.NewRow()
           .Add(capacity)
-          .Add(dmax == kNoDistanceLimit ? std::string("inf") : std::to_string(dmax))
-          .Add(lb_stat.Mean(), 1)
-          .Add(multiple_stat.Mean(), 1)
-          .Add(gen_stat.Mean(), 1)
-          .Add(fit_stat.Mean(), 1)
-          .Add(gap.Mean(), 3)
-          .Add(gap.Max(), 3);
+          .Add(DmaxLabel(dmax))
+          .Add(lb->Mean(), 1)
+          .Add(multiple->cost.Mean(), 1)
+          .Add(gen_group->cost.Mean(), 1)
+          .Add(fit_group->cost.Mean(), 1)
+          .Add(gap->ratio.Mean(), 3)
+          .Add(gap->ratio.Max(), 3);
     }
   }
   table.PrintAscii(std::cout);
+
+  runner::WriteJsonIfRequested(cli, report, std::cout);
   if (const std::string csv = cli.GetString("csv"); !csv.empty()) table.WriteCsvFile(csv);
   std::cout << "\nMultiple (splitting allowed; multiple-bin is optimal at dmax=inf and within a\n"
                "few percent otherwise) tracks the volume lower bound; the\n"
                "Single policy pays a packing premium that peaks when W is a small multiple\n"
                "of the typical client demand and vanishes as W grows.\n";
-  return 0;
+  return report.AllOk() ? 0 : 1;
 }

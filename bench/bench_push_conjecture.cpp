@@ -6,125 +6,173 @@
 //
 // `single-push` implements exactly that strategy (see
 // src/single/push_root.hpp). This bench measures its empirical ratio
-// against the exhaustive Single optimum across instance classes, including
-// the two adversarial families from the paper, and compares it with the
-// proven algorithms. A max ratio above 1.5 anywhere would refute the hope
-// that *this* push strategy realizes the conjecture; staying below keeps it
+// against the exhaustive Single optimum across instance classes — paired
+// comparison sweeps on the batch engine, so every algorithm sees the
+// identical instance per seed — including the two adversarial families from
+// the paper. A max ratio above 1.5 anywhere would refute the hope that
+// *this* push strategy realizes the conjecture; staying below keeps it
 // alive (it is evidence, not proof).
 #include <iostream>
 
-#include "exact/exact.hpp"
 #include "gen/paper_instances.hpp"
 #include "gen/random_tree.hpp"
-#include "model/validate.hpp"
-#include "single/push_root.hpp"
-#include "single/single_gen.hpp"
-#include "single/single_nod.hpp"
+#include "runner/batch_runner.hpp"
 #include "support/cli.hpp"
-#include "support/stats.hpp"
 #include "support/table.hpp"
-#include "support/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace rpt;
   Cli cli("bench_push_conjecture", "E10: the paper's 3/2 push-to-root conjecture, empirically");
-  cli.AddInt("seeds", 80, "instances per configuration");
+  AddBatchFlags(cli, /*default_seeds=*/80);
+  cli.AddInt("base-seed", 70000, "base seed; per-cell seeds derive deterministically");
+  runner::AddJsonFlag(cli);
   cli.AddString("csv", "", "optional CSV output path");
   if (!cli.Parse(argc, argv)) return 0;
-  const auto seeds = static_cast<std::size_t>(cli.GetInt("seeds"));
-  ThreadPool pool;
+  const BatchFlags flags = GetBatchFlags(cli);
+  const auto base_seed = cli.GetUint("base-seed");
 
   std::cout << "E10 (paper conclusion): does pushing servers toward the root stay within\n"
                "3/2 of the Single-NoD-Bin optimum?\n\n";
 
-  // Random Single-NoD-Bin sweeps: mean/max ratio of each algorithm vs exact.
-  Table table({"W", "max req", "mean opt", "push mean", "push max", "nod mean", "nod max",
-               "gen mean", "gen max"});
   struct Cfg {
     Requests capacity;
     Requests max_requests;
   };
-  for (const Cfg cfg_case : {Cfg{6, 6}, Cfg{9, 9}, Cfg{9, 4}, Cfg{16, 16}, Cfg{20, 7}}) {
-    std::vector<std::size_t> push_counts(seeds);
-    std::vector<std::size_t> nod_counts(seeds);
-    std::vector<std::size_t> gen_counts(seeds);
-    std::vector<std::size_t> opt_counts(seeds);
-    ParallelFor(pool, seeds, [&](std::size_t seed) {
+  const std::vector<Cfg> cfg_cases{{6, 6}, {9, 9}, {9, 4}, {16, 16}, {20, 7}};
+  auto cfg_group = [](const Cfg& cfg_case) {
+    return "random/W=" + std::to_string(cfg_case.capacity) +
+           ",maxreq=" + std::to_string(cfg_case.max_requests);
+  };
+
+  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+
+  // (a) Random Single-NoD-Bin sweeps vs the exhaustive optimum.
+  for (const Cfg& cfg_case : cfg_cases) {
+    const auto make_instance = [cfg_case](std::uint64_t seed) {
       gen::BinaryTreeConfig cfg;
       cfg.clients = 7;
       cfg.min_requests = 1;
       cfg.max_requests = cfg_case.max_requests;
-      const Instance inst(gen::GenerateFullBinaryTree(cfg, 70000 + seed), cfg_case.capacity,
-                          kNoDistanceLimit);
-      const auto push = single::SolveSinglePushRoot(inst);
-      RPT_CHECK(IsFeasible(inst, Policy::kSingle, push.solution));
-      push_counts[seed] = push.solution.ReplicaCount();
-      nod_counts[seed] = single::SolveSingleNod(inst).solution.ReplicaCount();
-      gen_counts[seed] = single::SolveSingleGen(inst).solution.ReplicaCount();
-      const auto opt = exact::SolveExactSingle(inst);
-      RPT_CHECK(opt.feasible);
-      opt_counts[seed] = opt.solution.ReplicaCount();
-    });
-    StatAccumulator opt_stat;
-    StatAccumulator push_ratio;
-    StatAccumulator nod_ratio;
-    StatAccumulator gen_ratio;
-    for (std::size_t seed = 0; seed < seeds; ++seed) {
-      const auto opt = static_cast<double>(opt_counts[seed]);
-      opt_stat.Add(opt);
-      push_ratio.Add(static_cast<double>(push_counts[seed]) / opt);
-      nod_ratio.Add(static_cast<double>(nod_counts[seed]) / opt);
-      gen_ratio.Add(static_cast<double>(gen_counts[seed]) / opt);
-    }
+      return Instance(gen::GenerateFullBinaryTree(cfg, seed), cfg_case.capacity,
+                      kNoDistanceLimit);
+    };
+    batch.AddComparisonSweep(
+        cfg_group(cfg_case), make_instance,
+        {{"exact", runner::SolveWith(core::Algorithm::kExactSingle)},
+         {"single-push", runner::SolveWith(core::Algorithm::kSinglePushRoot)},
+         {"single-nod", runner::SolveWith(core::Algorithm::kSingleNod)},
+         {"single-gen", runner::SolveWith(core::Algorithm::kSingleGen)}},
+        base_seed, flags.seeds);
+  }
+
+  // (b) The paper's adversarial families (deterministic; one cell each).
+  const std::vector<std::uint64_t> fig4_ks{4u, 16u, 64u};
+  for (const std::uint64_t k : fig4_ks) {
+    const gen::TightnessFig4 fig = gen::BuildTightnessFig4(k);
+    const std::uint64_t optimal = fig.optimal;
+    batch.AddComparisonSweep(
+        "Fig4/K=" + std::to_string(k),
+        [k](std::uint64_t) { return gen::BuildTightnessFig4(k).instance; },
+        {{"single-push", runner::SolveWith(core::Algorithm::kSinglePushRoot)},
+         {"single-nod", runner::SolveWith(core::Algorithm::kSingleNod)},
+         {"single-gen", runner::SolveWith(core::Algorithm::kSingleGen)}},
+        /*base_seed=*/0, /*seed_count=*/1,
+        {{"ratio_vs_opt", [optimal](const Instance&, const core::RunResult& run) {
+            return static_cast<double>(run.solution.ReplicaCount()) /
+                   static_cast<double>(optimal);
+          }}});
+  }
+  const std::vector<std::uint64_t> im_ms{2u, 8u, 32u};
+  for (const std::uint64_t m : im_ms) {
+    const gen::TightnessIm im = gen::BuildTightnessIm(m, 2);
+    const std::uint64_t optimal = im.optimal;
+    // single-nod is not applicable here (the Im family is distance-
+    // constrained), so only the distance-aware algorithms run.
+    batch.AddComparisonSweep(
+        "Im-D2/m=" + std::to_string(m),
+        [m](std::uint64_t) { return gen::BuildTightnessIm(m, 2).instance; },
+        {{"single-push", runner::SolveWith(core::Algorithm::kSinglePushRoot)},
+         {"single-gen", runner::SolveWith(core::Algorithm::kSingleGen)}},
+        /*base_seed=*/0, /*seed_count=*/1,
+        {{"ratio_vs_opt", [optimal](const Instance&, const core::RunResult& run) {
+            return static_cast<double>(run.solution.ReplicaCount()) /
+                   static_cast<double>(optimal);
+          }}});
+  }
+
+  const runner::BatchReport report = batch.Run();
+
+  Table table({"W", "max req", "mean opt", "push mean", "push max", "nod mean", "nod max",
+               "gen mean", "gen max"});
+  for (const Cfg& cfg_case : cfg_cases) {
+    const std::string group = cfg_group(cfg_case);
+    const runner::ComparisonReport* comparison = report.FindComparison(group);
+    const runner::GroupReport* exact = report.FindGroup(group + "/exact");
+    RPT_CHECK(comparison != nullptr && exact != nullptr);
+    const runner::RatioStat* push = comparison->FindRatio("single-push");
+    const runner::RatioStat* nod = comparison->FindRatio("single-nod");
+    const runner::RatioStat* gen_ratio = comparison->FindRatio("single-gen");
+    RPT_CHECK(push != nullptr && nod != nullptr && gen_ratio != nullptr);
+    if (push->pairs == 0) continue;
+    // No approximation beats the exhaustive optimum.
+    RPT_CHECK(push->wins == 0 && nod->wins == 0 && gen_ratio->wins == 0);
     table.NewRow()
         .Add(cfg_case.capacity)
         .Add(cfg_case.max_requests)
-        .Add(opt_stat.Mean(), 2)
-        .Add(push_ratio.Mean(), 3)
-        .Add(push_ratio.Max(), 3)
-        .Add(nod_ratio.Mean(), 3)
-        .Add(nod_ratio.Max(), 3)
-        .Add(gen_ratio.Mean(), 3)
-        .Add(gen_ratio.Max(), 3);
+        .Add(exact->cost.Mean(), 2)
+        .Add(push->ratio.Mean(), 3)
+        .Add(push->ratio.Max(), 3)
+        .Add(nod->ratio.Mean(), 3)
+        .Add(nod->ratio.Max(), 3)
+        .Add(gen_ratio->ratio.Mean(), 3)
+        .Add(gen_ratio->ratio.Max(), 3);
   }
   std::cout << "(a) random full binary NoD instances (7 clients, exact optimum):\n";
   table.PrintAscii(std::cout);
 
-  // The adversarial families: push-to-root neutralizes both.
   Table families({"family", "param", "opt", "single-push", "single-nod", "single-gen",
                   "push ratio"});
-  for (const std::uint64_t k : {4u, 16u, 64u}) {
+  for (const std::uint64_t k : fig4_ks) {
+    const std::string group = "Fig4/K=" + std::to_string(k);
     const gen::TightnessFig4 fig = gen::BuildTightnessFig4(k);
-    const auto push = single::SolveSinglePushRoot(fig.instance);
-    RPT_CHECK(IsFeasible(fig.instance, Policy::kSingle, push.solution));
+    const runner::GroupReport* push = report.FindGroup(group + "/single-push");
+    const runner::GroupReport* nod = report.FindGroup(group + "/single-nod");
+    const runner::GroupReport* gen_group = report.FindGroup(group + "/single-gen");
+    RPT_CHECK(push != nullptr && nod != nullptr && gen_group != nullptr);
+    if (push->feasible == 0) continue;
+    const StatAccumulator* push_ratio = push->FindMetric("ratio_vs_opt");
+    RPT_CHECK(push_ratio != nullptr);
     families.NewRow()
         .Add("Fig4")
         .Add(k)
         .Add(fig.optimal)
-        .Add(std::uint64_t{push.solution.ReplicaCount()})
-        .Add(std::uint64_t{single::SolveSingleNod(fig.instance).solution.ReplicaCount()})
-        .Add(std::uint64_t{single::SolveSingleGen(fig.instance).solution.ReplicaCount()})
-        .Add(static_cast<double>(push.solution.ReplicaCount()) /
-                 static_cast<double>(fig.optimal),
-             3);
+        .Add(static_cast<std::uint64_t>(push->cost.Mean()))
+        .Add(static_cast<std::uint64_t>(nod->cost.Mean()))
+        .Add(static_cast<std::uint64_t>(gen_group->cost.Mean()))
+        .Add(push_ratio->Mean(), 3);
   }
-  for (const std::uint64_t m : {2u, 8u, 32u}) {
+  for (const std::uint64_t m : im_ms) {
+    const std::string group = "Im-D2/m=" + std::to_string(m);
     const gen::TightnessIm im = gen::BuildTightnessIm(m, 2);
-    const auto push = single::SolveSinglePushRoot(im.instance);
-    RPT_CHECK(IsFeasible(im.instance, Policy::kSingle, push.solution));
+    const runner::GroupReport* push = report.FindGroup(group + "/single-push");
+    const runner::GroupReport* gen_group = report.FindGroup(group + "/single-gen");
+    RPT_CHECK(push != nullptr && gen_group != nullptr);
+    if (push->feasible == 0) continue;
+    const StatAccumulator* push_ratio = push->FindMetric("ratio_vs_opt");
+    RPT_CHECK(push_ratio != nullptr);
     families.NewRow()
         .Add("Im (D=2)")
         .Add(m)
         .Add(im.optimal)
-        .Add(std::uint64_t{push.solution.ReplicaCount()})
+        .Add(static_cast<std::uint64_t>(push->cost.Mean()))
         .Add("n/a (dmax)")
-        .Add(std::uint64_t{single::SolveSingleGen(im.instance).solution.ReplicaCount()})
-        .Add(static_cast<double>(push.solution.ReplicaCount()) /
-                 static_cast<double>(im.optimal),
-             3);
+        .Add(static_cast<std::uint64_t>(gen_group->cost.Mean()))
+        .Add(push_ratio->Mean(), 3);
   }
   std::cout << "\n(b) the paper's adversarial families:\n";
   families.PrintAscii(std::cout);
+
+  runner::WriteJsonIfRequested(cli, report, std::cout);
   if (const std::string csv = cli.GetString("csv"); !csv.empty()) families.WriteCsvFile(csv);
   std::cout << "\nOn Single-NoD-Bin (the conjecture's scope: no distance constraints) every\n"
                "measured push ratio stays at or below 1.5 and the Fig. 4 family that locks\n"
@@ -132,5 +180,5 @@ int main(int argc, char** argv) {
                "3/2 conjecture. The Im rows are distance-constrained (outside the\n"
                "conjecture) and show the push strategy degrading toward 2 there: distance\n"
                "bounds block exactly the rootward merges the strategy relies on.\n";
-  return 0;
+  return report.AllOk() ? 0 : 1;
 }

@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
   cli.AddInt("max-clients", 16384, "largest client count in the sweep");
   cli.AddInt("multiplier", 4, "geometric step between client counts");
   cli.AddInt("base-seed", 77, "base seed; per-cell seeds derive deterministically");
-  cli.AddString("json", "", "write the deterministic aggregate report (no timing) here");
+  runner::AddJsonFlag(cli);
   cli.AddString("csv", "", "write per-group aggregates incl. timing here");
   if (!cli.Parse(argc, argv)) return 0;
   const BatchFlags flags = GetBatchFlags(cli);
@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
   const auto min_clients = static_cast<std::uint32_t>(min_clients_flag);
   const auto max_clients = static_cast<std::uint32_t>(max_clients_flag);
   const auto multiplier = static_cast<std::uint64_t>(multiplier_flag);
-  const auto base_seed = static_cast<std::uint64_t>(cli.GetInt("base-seed"));
+  const auto base_seed = cli.GetUint("base-seed");
 
   std::vector<std::uint32_t> sizes;
   // 64-bit induction with the bounds above keeps n *= multiplier from ever
@@ -193,12 +193,7 @@ int main(int argc, char** argv) {
   std::cout << "\nlog-log complexity fits (slope ≈ exponent of N):\n\n";
   fits.PrintAscii(std::cout);
 
-  if (const std::string json = cli.GetString("json"); !json.empty()) {
-    std::ofstream os(json);
-    RPT_REQUIRE(os.good(), "cannot open JSON output: " + json);
-    report.WriteJson(os, /*include_timing=*/false);
-    std::cout << "\nwrote deterministic aggregate report to " << json << "\n";
-  }
+  runner::WriteJsonIfRequested(cli, report, std::cout);
   if (const std::string csv = cli.GetString("csv"); !csv.empty()) {
     std::ofstream os(csv);
     RPT_REQUIRE(os.good(), "cannot open CSV output: " + csv);

@@ -9,61 +9,103 @@
 // neighbourhood's viewers be split across servers (Multiple) instead of
 // pinning each neighbourhood to one server (Single)?
 //
-//   ./examples/cdn_vod --clients=200 --seed=1
+// Runs on the batch engine: each SKU is a paired comparison sweep over
+// --seeds random topologies, so the Single/Multiple ratio is a per-seed
+// paired statistic rather than a single anecdote.
+//
+//   ./examples/cdn_vod --clients=200 --seeds=5 --json=cdn.json
 #include <cstdio>
 #include <iostream>
+#include <limits>
 
-#include "core/solver.hpp"
 #include "gen/random_tree.hpp"
+#include "runner/batch_runner.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace rpt;
   Cli cli("cdn_vod", "VoD CDN capacity planning example");
+  AddBatchFlags(cli, /*default_seeds=*/5);
   cli.AddInt("clients", 200, "number of last-mile aggregation points");
-  cli.AddInt("seed", 1, "workload seed");
+  cli.AddInt("seed", 1, "base topology seed; per-cell seeds derive deterministically");
   cli.AddInt("peak-streams", 120, "peak concurrent streams of the hottest client");
+  runner::AddJsonFlag(cli);
   if (!cli.Parse(argc, argv)) return 0;
+  const BatchFlags flags = GetBatchFlags(cli);
+  const auto clients = static_cast<std::uint32_t>(cli.GetUint("clients", 1u << 26));
+  const auto peak_streams = static_cast<Requests>(cli.GetUint("peak-streams"));
+  const auto base_seed = cli.GetUint("seed");
 
-  gen::BinaryTreeConfig cfg;
-  cfg.clients = static_cast<std::uint32_t>(cli.GetInt("clients"));
-  cfg.min_requests = 5;
-  cfg.max_requests = static_cast<Requests>(cli.GetInt("peak-streams"));
-  cfg.request_skew = 2.0;  // a few hot neighbourhoods, many cold ones
-  cfg.min_edge = 1;
-  cfg.max_edge = 3;
-  cfg.balanced = true;
-  const Tree tree = gen::GenerateFullBinaryTree(cfg, static_cast<std::uint64_t>(cli.GetInt("seed")));
-  std::printf("VoD distribution tree: %zu PoPs, %zu aggregation points, %llu peak streams\n\n",
-              tree.InternalCount(), tree.ClientCount(),
-              static_cast<unsigned long long>(tree.TotalRequests()));
+  std::printf("VoD planning sweep: %u aggregation points, peak %llu streams, %zu topologies\n\n",
+              clients, static_cast<unsigned long long>(peak_streams), flags.seeds);
+
+  const std::vector<Requests> skus{150, 250, 400, 800, 1600};
+  auto sku_group = [](Requests capacity) { return "SKU=" + std::to_string(capacity); };
+
+  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+  for (const Requests capacity : skus) {
+    const auto make_instance = [clients, peak_streams, capacity](std::uint64_t seed) {
+      gen::BinaryTreeConfig cfg;
+      cfg.clients = clients;
+      cfg.min_requests = 5;
+      cfg.max_requests = peak_streams;
+      cfg.request_skew = 2.0;  // a few hot neighbourhoods, many cold ones
+      cfg.min_edge = 1;
+      cfg.max_edge = 3;
+      cfg.balanced = true;
+      return Instance(gen::GenerateFullBinaryTree(cfg, seed), capacity, kNoDistanceLimit);
+    };
+    batch.AddComparisonSweep(
+        sku_group(capacity), make_instance,
+        {{"multiple-bin", runner::SolveWith(core::Algorithm::kMultipleBin)},
+         {"single-gen", runner::SolveWith(core::Algorithm::kSingleGen)},
+         {"best-fit", runner::SolveWith(core::Algorithm::kGreedyBestFit)}},
+        base_seed, flags.seeds,
+        {{"lower_bound",
+          [](const Instance& instance, const core::RunResult&) {
+            return static_cast<double>(instance.CapacityLowerBound());
+          }},
+         {"utilization", [](const Instance& instance, const core::RunResult& run) {
+            if (!run.feasible) return std::numeric_limits<double>::quiet_NaN();
+            return SummarizeLoads(instance.GetTree(), instance.Capacity(), run.solution)
+                .utilization;
+          }}});
+  }
+
+  const runner::BatchReport report = batch.Run();
 
   Table table({"server SKU (streams)", "lower bound", "Single (single-gen)",
                "Single (best-fit)", "Multiple (multiple-bin, OPT for NoD)", "Single/Multiple",
                "OPT utilization"});
-  for (const Requests capacity : {Requests{150}, Requests{250}, Requests{400}, Requests{800},
-                                  Requests{1600}}) {
-    const Instance instance(tree, capacity, kNoDistanceLimit);
-    const auto single_gen = core::Run(core::Algorithm::kSingleGen, instance);
-    const auto best_fit = core::Run(core::Algorithm::kGreedyBestFit, instance);
-    const auto multiple = core::Run(core::Algorithm::kMultipleBin, instance);
-    const LoadSummary loads = SummarizeLoads(tree, capacity, multiple.solution);
+  for (const Requests capacity : skus) {
+    const std::string group = sku_group(capacity);
+    const runner::GroupReport* multiple = report.FindGroup(group + "/multiple-bin");
+    const runner::GroupReport* gen_group = report.FindGroup(group + "/single-gen");
+    const runner::GroupReport* fit = report.FindGroup(group + "/best-fit");
+    const runner::ComparisonReport* comparison = report.FindComparison(group);
+    RPT_CHECK(multiple != nullptr && gen_group != nullptr && fit != nullptr &&
+              comparison != nullptr);
+    if (multiple->feasible == 0) continue;
+    const runner::RatioStat* single_ratio = comparison->FindRatio("single-gen");
+    const StatAccumulator* lb = multiple->FindMetric("lower_bound");
+    const StatAccumulator* utilization = multiple->FindMetric("utilization");
+    RPT_CHECK(single_ratio != nullptr && lb != nullptr && utilization != nullptr);
     table.NewRow()
         .Add(capacity)
-        .Add(instance.CapacityLowerBound())
-        .Add(single_gen.solution.ReplicaCount())
-        .Add(best_fit.solution.ReplicaCount())
-        .Add(multiple.solution.ReplicaCount())
-        .Add(static_cast<double>(single_gen.solution.ReplicaCount()) /
-                 static_cast<double>(multiple.solution.ReplicaCount()),
-             2)
-        .Add(loads.utilization, 3);
+        .Add(lb->Mean(), 1)
+        .Add(gen_group->cost.Mean(), 1)
+        .Add(fit->cost.Mean(), 1)
+        .Add(multiple->cost.Mean(), 1)
+        .Add(single_ratio->ratio.Mean(), 2)
+        .Add(utilization->Mean(), 3);
   }
   table.PrintAscii(std::cout);
+
+  runner::WriteJsonIfRequested(cli, report, std::cout);
   std::printf(
       "\nReading the table: multiple-bin is provably optimal for the Multiple policy on\n"
-      "binary trees (Theorem 6), so the last ratio column is a lower bound on what the\n"
-      "Single policy costs this deployment at each SKU.\n");
-  return 0;
+      "binary trees (Theorem 6), so the Single/Multiple ratio column is a lower bound\n"
+      "on what the Single policy costs this deployment at each SKU.\n");
+  return report.AllOk() ? 0 : 1;
 }

@@ -56,10 +56,10 @@ int main(int argc, char** argv) {
     const std::int64_t dmax_flag = cli.GetInt("dmax");
     const Distance dmax = dmax_flag < 0 ? kNoDistanceLimit : static_cast<Distance>(dmax_flag);
     gen::BinaryTreeConfig cfg;
-    cfg.clients = static_cast<std::uint32_t>(cli.GetInt("clients"));
+    cfg.clients = static_cast<std::uint32_t>(cli.GetUint("clients", 1u << 26));
     cfg.min_requests = 1;
-    cfg.max_requests = static_cast<Requests>(cli.GetInt("max-requests"));
-    const auto capacity = static_cast<Requests>(cli.GetInt("capacity"));
+    cfg.max_requests = static_cast<Requests>(cli.GetUint("max-requests"));
+    const auto capacity = static_cast<Requests>(cli.GetUint("capacity"));
     const core::Algorithm algorithm = core::ParseAlgorithm(cli.GetString("algo"));
 
     runner::BatchRunner batch(runner::BatchOptions{batch_flags.threads});
@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
                    [cfg, capacity, dmax](std::uint64_t seed) {
                      return Instance(gen::GenerateFullBinaryTree(cfg, seed), capacity, dmax);
                    },
-                   runner::SolveWith(algorithm), static_cast<std::uint64_t>(cli.GetInt("seed")),
+                   runner::SolveWith(algorithm), cli.GetUint("seed"),
                    batch_flags.seeds);
     const runner::BatchReport report = batch.Run();
     report.PrintAscii(std::cout);
@@ -92,15 +92,15 @@ int main(int argc, char** argv) {
       return ReadTree(in);
     }
     gen::BinaryTreeConfig cfg;
-    cfg.clients = static_cast<std::uint32_t>(cli.GetInt("clients"));
+    cfg.clients = static_cast<std::uint32_t>(cli.GetUint("clients", 1u << 26));
     cfg.min_requests = 1;
-    cfg.max_requests = static_cast<Requests>(cli.GetInt("max-requests"));
-    return gen::GenerateFullBinaryTree(cfg, static_cast<std::uint64_t>(cli.GetInt("seed")));
+    cfg.max_requests = static_cast<Requests>(cli.GetUint("max-requests"));
+    return gen::GenerateFullBinaryTree(cfg, cli.GetUint("seed"));
   }();
 
   const std::int64_t dmax_flag = cli.GetInt("dmax");
   const Distance dmax = dmax_flag < 0 ? kNoDistanceLimit : static_cast<Distance>(dmax_flag);
-  const Instance instance(std::move(tree), static_cast<Requests>(cli.GetInt("capacity")), dmax);
+  const Instance instance(std::move(tree), static_cast<Requests>(cli.GetUint("capacity")), dmax);
   std::printf("Instance: %s\n", instance.Summary().c_str());
 
   const core::Algorithm algorithm = core::ParseAlgorithm(cli.GetString("algo"));
@@ -152,8 +152,8 @@ int main(int argc, char** argv) {
   if (const std::int64_t ticks = cli.GetInt("replay-ticks"); ticks > 0) {
     sim::ReplayConfig config;
     config.ticks = static_cast<std::uint64_t>(ticks);
-    config.demand_factor = static_cast<double>(cli.GetInt("replay-percent")) / 100.0;
-    config.seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
+    config.demand_factor = static_cast<double>(cli.GetUint("replay-percent")) / 100.0;
+    config.seed = cli.GetUint("seed");
     const sim::ReplayReport report = sim::Replay(instance, result.solution, config);
     std::printf(
         "replay: %llu ticks at %lld%% demand -> served %llu/%llu, mean wait %.2f ticks, "

@@ -3,77 +3,131 @@
 //
 // Scenario: an ISP deploys database replicas inside its aggregation tree.
 // Marketing sells latency tiers; engineering asks how the replica bill grows
-// as the promised latency budget (dmax) shrinks. This sweeps dmax and runs
-// the distance-aware solvers, then dumps the tightest deployment as
-// Graphviz DOT for the network diagram.
+// as the promised latency budget (dmax) shrinks. Each budget tier is a
+// paired comparison sweep on the batch engine over --seeds random
+// topologies (the tier ladder is derived from the base-seed topology so the
+// sweep is deterministic); the tightest deployment of the base topology can
+// still be dumped as Graphviz DOT for the network diagram.
 //
-//   ./examples/isp_qos --clients=120 --capacity=300 --seed=3
+//   ./examples/isp_qos --clients=120 --capacity=300 --seeds=5 --json=qos.json
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <limits>
 
-#include "core/solver.hpp"
 #include "gen/random_tree.hpp"
-#include "multiple/multiple_bin.hpp"
+#include "runner/batch_runner.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "tree/serialize.hpp"
 
-int main(int argc, char** argv) {
-  using namespace rpt;
-  Cli cli("isp_qos", "ISP QoS latency-budget sweep example");
-  cli.AddInt("clients", 120, "number of subscriber aggregation points");
-  cli.AddInt("capacity", 300, "requests one replica can absorb");
-  cli.AddInt("seed", 3, "topology seed");
-  cli.AddString("dot", "", "optional path to write the tightest deployment as DOT");
-  if (!cli.Parse(argc, argv)) return 0;
+namespace {
 
+using namespace rpt;
+
+gen::BinaryTreeConfig TopologyConfig(std::uint32_t clients) {
   gen::BinaryTreeConfig cfg;
-  cfg.clients = static_cast<std::uint32_t>(cli.GetInt("clients"));
+  cfg.clients = clients;
   cfg.min_requests = 1;
   cfg.max_requests = 60;
   cfg.min_edge = 1;
   cfg.max_edge = 5;  // per-hop latency in milliseconds
-  const Tree tree = gen::GenerateFullBinaryTree(cfg, static_cast<std::uint64_t>(cli.GetInt("seed")));
-  const auto capacity = static_cast<Requests>(cli.GetInt("capacity"));
+  return cfg;
+}
 
-  // Latency budget sweep: from "anything goes" down to "serve on the spot".
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rpt;
+  Cli cli("isp_qos", "ISP QoS latency-budget sweep example");
+  AddBatchFlags(cli, /*default_seeds=*/5);
+  cli.AddInt("clients", 120, "number of subscriber aggregation points");
+  cli.AddInt("capacity", 300, "requests one replica can absorb");
+  cli.AddInt("seed", 3, "base topology seed; per-cell seeds derive deterministically");
+  runner::AddJsonFlag(cli);
+  cli.AddString("dot", "", "optional path to write the base topology as DOT");
+  if (!cli.Parse(argc, argv)) return 0;
+  const BatchFlags flags = GetBatchFlags(cli);
+  const auto clients = static_cast<std::uint32_t>(cli.GetUint("clients", 1u << 26));
+  const auto capacity = static_cast<Requests>(cli.GetUint("capacity"));
+  const auto base_seed = cli.GetUint("seed");
+
+  // Latency budget ladder: from "anything goes" down to "serve on the spot".
+  // The top tier must not bind on any swept topology, so the ceiling is the
+  // deepest client across *all* --seeds topologies (regenerating them here
+  // is cheap; the solves dominate).
   Distance max_depth = 0;
-  for (NodeId id = 0; id < tree.Size(); ++id) {
-    if (tree.IsClient(id)) max_depth = std::max(max_depth, tree.DistFromRoot(id));
+  for (std::size_t i = 0; i < flags.seeds; ++i) {
+    const Tree tree = gen::GenerateFullBinaryTree(TopologyConfig(clients),
+                                                  runner::DeriveSeed(base_seed, i));
+    for (NodeId id = 0; id < tree.Size(); ++id) {
+      if (tree.IsClient(id)) max_depth = std::max(max_depth, tree.DistFromRoot(id));
+    }
   }
-  std::printf("ISP aggregation tree: %zu nodes, deepest client at %llu ms from the core\n\n",
-              tree.Size(), static_cast<unsigned long long>(max_depth));
+  std::vector<Distance> budgets;
+  for (Distance budget = max_depth + 1; budget != 0; budget = budget / 2) {
+    budgets.push_back(budget);
+    if (budget == 1) break;
+  }
+  std::printf("ISP aggregation sweep: deepest client at %llu ms from the core across "
+              "%zu topologies\n\n",
+              static_cast<unsigned long long>(max_depth), flags.seeds);
+
+  auto tier_group = [](Distance budget) { return "budget=" + std::to_string(budget) + "ms"; };
+
+  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+  for (const Distance budget : budgets) {
+    const auto make_instance = [clients, capacity, budget](std::uint64_t seed) {
+      return Instance(gen::GenerateFullBinaryTree(TopologyConfig(clients), seed), capacity,
+                      budget);
+    };
+    batch.AddComparisonSweep(
+        tier_group(budget), make_instance,
+        {{"multiple-bin", runner::SolveWith(core::Algorithm::kMultipleBin)},
+         {"single-gen", runner::SolveWith(core::Algorithm::kSingleGen)}},
+        base_seed, flags.seeds,
+        {{"mean_load", [](const Instance& instance, const core::RunResult& run) {
+            if (!run.feasible) return std::numeric_limits<double>::quiet_NaN();
+            return SummarizeLoads(instance.GetTree(), instance.Capacity(), run.solution)
+                .mean_load;
+          }}});
+  }
+
+  const runner::BatchReport report = batch.Run();
 
   Table table({"latency budget (ms)", "Single (single-gen)", "Multiple (multiple-bin)",
-               "forced local replicas", "mean server load"});
-  Solution tightest;
-  for (Distance budget = max_depth + 1; budget != 0; budget = budget / 2) {
-    const Instance instance(tree, capacity, budget);
-    const auto single_run = core::Run(core::Algorithm::kSingleGen, instance);
-    const auto multi_result = rpt::multiple::SolveMultipleBin(instance);
-    const LoadSummary loads = SummarizeLoads(tree, capacity, multi_result.solution);
+               "Single/Multiple", "mean server load"});
+  for (const Distance budget : budgets) {
+    const std::string group = tier_group(budget);
+    const runner::GroupReport* multiple = report.FindGroup(group + "/multiple-bin");
+    const runner::GroupReport* single_group = report.FindGroup(group + "/single-gen");
+    const runner::ComparisonReport* comparison = report.FindComparison(group);
+    RPT_CHECK(multiple != nullptr && single_group != nullptr && comparison != nullptr);
+    if (multiple->feasible == 0) continue;
+    const runner::RatioStat* single_ratio = comparison->FindRatio("single-gen");
+    const StatAccumulator* mean_load = multiple->FindMetric("mean_load");
+    RPT_CHECK(single_ratio != nullptr && mean_load != nullptr);
     table.NewRow()
         .Add(budget)
-        .Add(single_run.solution.ReplicaCount())
-        .Add(multi_result.solution.ReplicaCount())
-        .Add(multi_result.stats.leaf_forced_replicas)
-        .Add(loads.mean_load, 1);
-    tightest = multi_result.solution;
-    if (budget == 1) break;
+        .Add(single_group->cost.Mean(), 1)
+        .Add(multiple->cost.Mean(), 1)
+        .Add(single_ratio->ratio.Mean(), 2)
+        .Add(mean_load->Mean(), 1);
   }
   table.PrintAscii(std::cout);
 
-  const std::string dot_path = cli.GetString("dot");
-  if (!dot_path.empty()) {
+  runner::WriteJsonIfRequested(cli, report, std::cout);
+  if (const std::string dot_path = cli.GetString("dot"); !dot_path.empty()) {
+    const Tree base_tree = gen::GenerateFullBinaryTree(TopologyConfig(clients),
+                                                       runner::DeriveSeed(base_seed, 0));
     std::ofstream out(dot_path);
-    WriteDot(out, tree, "isp_qos");
-    std::printf("\nWrote topology DOT to %s (%zu replicas in the tightest deployment)\n",
-                dot_path.c_str(), tightest.ReplicaCount());
+    WriteDot(out, base_tree, "isp_qos");
+    std::printf("\nWrote base topology DOT to %s\n", dot_path.c_str());
   }
   std::printf(
       "\nAs the latency budget shrinks, replicas are pushed from the core towards the\n"
       "leaves and the bill grows; once the budget drops below the access-link latency,\n"
       "every aggregation point must host its own replica (the paper's trivial bound).\n");
-  return 0;
+  return report.AllOk() ? 0 : 1;
 }

@@ -9,65 +9,154 @@
 // earlier under surge — the classic efficiency/headroom trade-off, made
 // visible with the simulator.
 //
-//   ./examples/surge_replay --clients=64 --capacity=60 --ticks=300
+// Runs on the batch engine: each (demand factor × policy) pair is a group
+// of --seeds cells, each planning and replaying one random topology. The
+// replay statistics reach the report through metric hooks; since a replay
+// report is not part of core::RunResult, each cell's solve caches its
+// replay outcome in per-cell shared state that the metric hooks (which run
+// right after the solve, on the same worker) read back.
+//
+//   ./examples/surge_replay --clients=64 --capacity=60 --ticks=300 --seeds=4
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <optional>
 
-#include "core/solver.hpp"
 #include "gen/random_tree.hpp"
+#include "runner/batch_runner.hpp"
 #include "sim/replay.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
+namespace {
+
+using namespace rpt;
+
+struct PolicyCase {
+  const char* name;
+  core::Algorithm algorithm;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace rpt;
   Cli cli("surge_replay", "replay stochastic demand against Single vs Multiple placements");
+  AddBatchFlags(cli, /*default_seeds=*/4);
   cli.AddInt("clients", 64, "aggregation points");
   cli.AddInt("capacity", 60, "server capacity per tick");
   cli.AddInt("ticks", 300, "simulated ticks");
-  cli.AddInt("seed", 11, "topology/demand seed");
+  cli.AddInt("seed", 11, "base topology/demand seed; per-cell seeds derive deterministically");
+  runner::AddJsonFlag(cli);
   if (!cli.Parse(argc, argv)) return 0;
+  const BatchFlags flags = GetBatchFlags(cli);
+  const auto clients = static_cast<std::uint32_t>(cli.GetUint("clients", 1u << 26));
+  const auto capacity = static_cast<Requests>(cli.GetUint("capacity"));
+  const std::uint64_t ticks = cli.GetUint("ticks");
+  RPT_REQUIRE(ticks > 0, "surge_replay: --ticks must be > 0");
+  const auto base_seed = cli.GetUint("seed");
 
-  gen::BinaryTreeConfig cfg;
-  cfg.clients = static_cast<std::uint32_t>(cli.GetInt("clients"));
-  cfg.min_requests = 2;
-  cfg.max_requests = 30;
-  cfg.request_skew = 1.5;
-  const auto seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
-  const Instance inst(gen::GenerateFullBinaryTree(cfg, seed),
-                      static_cast<Requests>(cli.GetInt("capacity")), /*dmax=*/12);
-  std::printf("Instance: %s\n\n", inst.Summary().c_str());
+  std::printf("Surge replay sweep: %u clients, W=%llu, %llu ticks, %zu topologies\n\n",
+              clients, static_cast<unsigned long long>(capacity),
+              static_cast<unsigned long long>(ticks), flags.seeds);
 
-  const Solution single_plan = core::Run(core::Algorithm::kSingleGen, inst).solution;
-  const Solution multiple_plan = core::Run(core::Algorithm::kMultipleBin, inst).solution;
-  std::printf("Placements: Single(single-gen) = %zu replicas, Multiple(multiple-bin) = %zu\n\n",
-              single_plan.ReplicaCount(), multiple_plan.ReplicaCount());
+  const std::vector<double> factors{0.8, 1.0, 1.15, 1.4};
+  const std::vector<PolicyCase> policies{{"Single", core::Algorithm::kSingleGen},
+                                         {"Multiple", core::Algorithm::kMultipleBin}};
+  auto case_group = [](double factor, const PolicyCase& policy) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "x%.2f", factor);
+    return std::string(label) + "/" + policy.name;
+  };
 
-  Table table({"demand x", "policy", "replicas", "served", "drained", "mean wait (ticks)",
-               "peak backlog", "mean distance"});
-  for (const double factor : {0.8, 1.0, 1.15, 1.4}) {
-    for (int which = 0; which < 2; ++which) {
-      const Solution& plan = which == 0 ? single_plan : multiple_plan;
-      sim::ReplayConfig config;
-      config.ticks = static_cast<std::uint64_t>(cli.GetInt("ticks"));
-      config.demand_factor = factor;
-      config.seed = seed + 17;
-      const sim::ReplayReport report = sim::Replay(inst, plan, config);
+  const auto make_instance = [clients, capacity](std::uint64_t seed) {
+    gen::BinaryTreeConfig cfg;
+    cfg.clients = clients;
+    cfg.min_requests = 2;
+    cfg.max_requests = 30;
+    cfg.request_skew = 1.5;
+    return Instance(gen::GenerateFullBinaryTree(cfg, seed), capacity, /*dmax=*/12);
+  };
+
+  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+  for (const double factor : factors) {
+    for (const PolicyCase& policy : policies) {
+      for (std::size_t i = 0; i < flags.seeds; ++i) {
+        // The same derived seed across all (factor, policy) groups: every
+        // cell of index i plans and replays the identical topology, and the
+        // replay demand stream is deterministic in (seed, factor).
+        const std::uint64_t seed = runner::DeriveSeed(base_seed, i);
+        auto replay_cache = std::make_shared<std::optional<sim::ReplayReport>>();
+        const auto solve = [algorithm = policy.algorithm, factor, ticks, seed,
+                            replay_cache](const Instance& instance) {
+          core::RunResult result = core::Run(algorithm, instance);
+          sim::ReplayConfig config;
+          config.ticks = ticks;
+          config.demand_factor = factor;
+          config.seed = seed + 17;
+          *replay_cache = sim::Replay(instance, result.solution, config);
+          return result;
+        };
+        auto replay_metric = [replay_cache](double (*select)(const sim::ReplayReport&)) {
+          return [replay_cache, select](const Instance&, const core::RunResult&) {
+            RPT_CHECK(replay_cache->has_value());  // solve ran on this cell first
+            return select(**replay_cache);
+          };
+        };
+        batch.Add(runner::Cell{
+            case_group(factor, policy), make_instance, solve, seed,
+            {{"served", replay_metric([](const sim::ReplayReport& r) {
+                return static_cast<double>(r.served);
+              })},
+             {"drained", replay_metric([](const sim::ReplayReport& r) {
+                return r.Drained() ? 1.0 : 0.0;
+              })},
+             {"mean_wait", replay_metric([](const sim::ReplayReport& r) {
+                return r.mean_wait_ticks;
+              })},
+             {"peak_backlog", replay_metric([](const sim::ReplayReport& r) {
+                return static_cast<double>(r.peak_backlog_total);
+              })},
+             {"mean_distance", replay_metric([](const sim::ReplayReport& r) {
+                return r.mean_service_distance;
+              })}}});
+      }
+    }
+  }
+
+  const runner::BatchReport report = batch.Run();
+
+  Table table({"demand x", "policy", "mean replicas", "mean served", "drained rate",
+               "mean wait (ticks)", "mean peak backlog", "mean distance"});
+  for (const double factor : factors) {
+    for (const PolicyCase& policy : policies) {
+      const runner::GroupReport* group = report.FindGroup(case_group(factor, policy));
+      RPT_CHECK(group != nullptr);
+      if (group->feasible == 0) continue;
+      const StatAccumulator* served = group->FindMetric("served");
+      const StatAccumulator* drained = group->FindMetric("drained");
+      const StatAccumulator* wait = group->FindMetric("mean_wait");
+      const StatAccumulator* backlog = group->FindMetric("peak_backlog");
+      const StatAccumulator* distance = group->FindMetric("mean_distance");
+      RPT_CHECK(served != nullptr && drained != nullptr && wait != nullptr &&
+                backlog != nullptr && distance != nullptr);
       table.NewRow()
           .Add(factor, 2)
-          .Add(which == 0 ? "Single" : "Multiple")
-          .Add(std::uint64_t{plan.ReplicaCount()})
-          .Add(report.served)
-          .Add(report.Drained() ? "yes" : "no")
-          .Add(report.mean_wait_ticks, 2)
-          .Add(report.peak_backlog_total)
-          .Add(report.mean_service_distance, 2);
+          .Add(policy.name)
+          .Add(group->cost.Mean(), 1)
+          .Add(served->Mean(), 0)
+          .Add(drained->Mean(), 2)
+          .Add(wait->Mean(), 2)
+          .Add(backlog->Mean(), 1)
+          .Add(distance->Mean(), 2);
     }
   }
   table.PrintAscii(std::cout);
+
+  runner::WriteJsonIfRequested(cli, report, std::cout);
   std::printf(
       "\nBoth plans are lossless at the planned load (factor 1.0). Under surge, the\n"
       "leaner Multiple placement queues first — fewer, hotter servers — while the\n"
       "Single placement's packing slack doubles as surge headroom.\n");
-  return 0;
+  return report.AllOk() ? 0 : 1;
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Batch-engine determinism smoke: runs every BatchRunner-backed bench and
+# example with a tiny sweep at --threads 1 and --threads 4 and fails when the
+# deterministic JSON reports are not byte-identical. Also fails when any
+# binary exits non-zero (their exit codes gate on BatchReport::AllOk()).
+#
+# Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+run_pair() {
+  local name="$1"
+  shift
+  "$BUILD_DIR/$name" "$@" --threads=1 --json="$OUT_DIR/$name-t1.json" > /dev/null
+  "$BUILD_DIR/$name" "$@" --threads=4 --json="$OUT_DIR/$name-t4.json" > /dev/null
+  if ! diff "$OUT_DIR/$name-t1.json" "$OUT_DIR/$name-t4.json"; then
+    echo "FAIL: $name JSON differs between --threads 1 and --threads 4"
+    exit 1
+  fi
+  echo "OK: $name"
+}
+
+run_pair bench_scaling --seeds=2 --min-clients=256 --max-clients=1024
+run_pair bench_ablations --seeds=3
+run_pair bench_fig3_tightness --max-m=4
+run_pair bench_fig4_tightness --max-k=8
+run_pair bench_general_multiple --seeds=2
+run_pair bench_i2_hardness --seeds=2
+run_pair bench_i4_inapprox --seeds=2
+run_pair bench_i6_hardness --seeds=2
+run_pair bench_multbin_optimality --seeds=2
+run_pair bench_policy_gap --seeds=2
+run_pair bench_push_conjecture --seeds=3
+run_pair cdn_vod --seeds=2 --clients=40
+run_pair isp_qos --seeds=2 --clients=40
+run_pair surge_replay --seeds=2 --clients=32 --ticks=60
+
+# instance_explorer spells its report flag --sweep-json.
+"$BUILD_DIR/instance_explorer" --algo=single-gen --clients=40 --seeds=4 --threads=1 \
+  --sweep-json="$OUT_DIR/explorer-t1.json" > /dev/null
+"$BUILD_DIR/instance_explorer" --algo=single-gen --clients=40 --seeds=4 --threads=4 \
+  --sweep-json="$OUT_DIR/explorer-t4.json" > /dev/null
+if ! diff "$OUT_DIR/explorer-t1.json" "$OUT_DIR/explorer-t4.json"; then
+  echo "FAIL: instance_explorer JSON differs between --threads 1 and --threads 4"
+  exit 1
+fi
+echo "OK: instance_explorer"
+
+echo "all batch reports byte-identical across thread counts"

@@ -5,13 +5,24 @@
 // independent solver invocations; BatchRunner is the shared engine that
 // executes such a grid with work stealing and produces a deterministic
 // report. Determinism contract: the aggregate report (costs, feasibility,
-// error counts — everything except wall-clock timing) is bit-identical
-// regardless of thread count, because per-cell seeds are derived from the
-// cell itself (never from execution order) and aggregation runs over the
-// cell list in submission order after all workers finish.
+// error counts, metric and ratio statistics — everything except wall-clock
+// timing) is bit-identical regardless of thread count, because per-cell
+// seeds are derived from the cell itself (never from execution order) and
+// aggregation runs over the cell list in submission order after all workers
+// finish.
 //
-// Exception isolation: a cell whose generator or solver throws is recorded
-// as an error in its CellResult; the remaining cells still run.
+// Exception isolation: a cell whose generator, solver, or metric hook throws
+// is recorded as an error in its CellResult; the remaining cells still run.
+//
+// Beyond plain sweeps the runner supports:
+//  * custom per-cell metrics — named hooks evaluated after the solve, whose
+//    values aggregate into named StatAccumulator columns of the GroupReport
+//    (and the JSON/CSV output);
+//  * paired comparison sweeps — several solvers run on the *identical*
+//    instance per seed, with per-seed ratio/gap statistics (RatioStat)
+//    aggregated against the first solver as baseline. This is what the
+//    tightness/gap/optimality benches need: "algorithm A vs algorithm B on
+//    the same tree", not just two independent sweeps.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +33,7 @@
 
 #include "core/solver.hpp"
 #include "model/instance.hpp"
+#include "support/cli.hpp"
 #include "support/stats.hpp"
 
 namespace rpt::runner {
@@ -29,6 +41,16 @@ namespace rpt::runner {
 /// Deterministically mixes a base seed and a cell index into an independent
 /// per-cell seed (splitmix64-style). Thread-count independent by design.
 [[nodiscard]] std::uint64_t DeriveSeed(std::uint64_t base_seed, std::uint64_t index) noexcept;
+
+/// A named per-cell metric: evaluated after the solve on the worker thread,
+/// its value flows into a StatAccumulator column of the cell's GroupReport.
+/// Returning NaN skips the sample for that cell (e.g. "ratio vs lower bound"
+/// when the bound is zero). The hook must be deterministic in its inputs —
+/// its values are part of the thread-count-invariant report.
+struct Metric {
+  std::string name;
+  std::function<double(const Instance&, const core::RunResult&)> fn;
+};
 
 /// One experiment cell: build an instance from a seed, solve it.
 struct Cell {
@@ -40,21 +62,49 @@ struct Cell {
   std::function<core::RunResult(const Instance&)> solve;
   /// Seed passed to make_instance (see DeriveSeed for sweeps).
   std::uint64_t seed = 0;
+  /// Custom metrics evaluated on (instance, run result) after the solve.
+  std::vector<Metric> metrics;
 };
 
 /// Adapts a registry algorithm to a Cell solve function (runs core::Run).
 [[nodiscard]] std::function<core::RunResult(const Instance&)> SolveWith(core::Algorithm algorithm);
 
+/// A solver with a display name, for comparison sweeps. The name becomes the
+/// group suffix ("<group>/<name>") and the label in RatioStat.
+struct NamedSolver {
+  std::string name;
+  std::function<core::RunResult(const Instance&)> solve;
+};
+
 /// Outcome of one cell, in submission order.
 struct CellResult {
   std::string group;
   std::uint64_t seed = 0;
-  bool ok = false;            ///< generator and solver completed without throwing
+  bool ok = false;            ///< generator, solver and metrics completed without throwing
   std::string error;          ///< exception message when !ok
   bool feasible = false;      ///< solver produced a solution
   bool validation_ok = false; ///< independent validation passed
   std::uint64_t cost = 0;     ///< replica count (0 when infeasible)
   double elapsed_ms = 0.0;    ///< solve wall time (nondeterministic)
+  std::vector<double> metric_values;  ///< parallel to Cell::metrics (NaN = skipped)
+};
+
+/// A named aggregate column (one per Metric name used in a group).
+struct NamedStat {
+  std::string name;
+  StatAccumulator stat;
+};
+
+/// Per-seed paired statistics of one solver against the comparison baseline.
+/// "Cost" is the replica count; smaller is better throughout.
+struct RatioStat {
+  std::string numerator;    ///< solver under comparison
+  std::string denominator;  ///< the baseline (first solver of the sweep)
+  std::uint64_t pairs = 0;  ///< seeds where both solvers produced a solution
+  std::uint64_t ties = 0;   ///< pairs with equal cost
+  std::uint64_t wins = 0;   ///< pairs where the numerator was strictly cheaper
+  StatAccumulator ratio;    ///< num/den over pairs with den > 0
+  StatAccumulator diff;     ///< num - den (signed), over all pairs
 };
 
 /// Aggregate over all cells of one group.
@@ -66,6 +116,20 @@ struct GroupReport {
   std::uint64_t validation_failures = 0;  ///< feasible cells failing validation
   StatAccumulator cost;        ///< over feasible cells
   StatAccumulator elapsed_ms;  ///< over non-error cells (nondeterministic)
+  std::vector<NamedStat> metrics;  ///< custom metric columns, first-seen order
+
+  /// Looks up a metric column by name; nullptr when absent.
+  [[nodiscard]] const StatAccumulator* FindMetric(std::string_view name) const noexcept;
+};
+
+/// Aggregate of one comparison sweep: every solver paired against the first.
+struct ComparisonReport {
+  std::string group;                        ///< the sweep's base group name
+  std::vector<std::string> solver_groups;   ///< "<group>/<solver>" per solver
+  std::vector<RatioStat> ratios;            ///< solver k (k >= 1) vs solver 0
+
+  /// Looks up the RatioStat whose numerator is `solver`; nullptr when absent.
+  [[nodiscard]] const RatioStat* FindRatio(std::string_view solver) const noexcept;
 };
 
 /// Aggregated batch outcome. Groups appear in first-submission order.
@@ -73,6 +137,10 @@ class BatchReport {
  public:
   [[nodiscard]] const std::vector<GroupReport>& Groups() const noexcept { return groups_; }
   [[nodiscard]] const GroupReport* FindGroup(std::string_view group) const noexcept;
+  [[nodiscard]] const std::vector<ComparisonReport>& Comparisons() const noexcept {
+    return comparisons_;
+  }
+  [[nodiscard]] const ComparisonReport* FindComparison(std::string_view group) const noexcept;
   [[nodiscard]] std::uint64_t TotalCells() const noexcept;
   [[nodiscard]] std::uint64_t TotalErrors() const noexcept;
   [[nodiscard]] std::uint64_t TotalValidationFailures() const noexcept;
@@ -83,21 +151,38 @@ class BatchReport {
     return TotalErrors() == 0 && TotalValidationFailures() == 0;
   }
 
-  /// Writes the report as JSON. Timing stats are excluded by default so the
-  /// output is bit-identical across runs and thread counts.
+  /// Writes the report as JSON (group aggregates, metric columns, and
+  /// comparison ratio stats). Timing stats are excluded by default so the
+  /// output is bit-identical across runs and thread counts. All strings are
+  /// JSON-escaped, so group/solver/metric names may contain any characters.
   void WriteJson(std::ostream& os, bool include_timing = false) const;
   [[nodiscard]] std::string ToJson(bool include_timing = false) const;
 
+  /// Writes the JSON report to a file; throws InvalidArgument on I/O error.
+  void WriteJsonFile(const std::string& path, bool include_timing = false) const;
+
   /// Writes one CSV row per group (timing columns included when asked).
+  /// Custom metric columns are the union over groups (empty when a group
+  /// lacks the metric); fields are RFC-4180 quoted when needed.
   void WriteCsv(std::ostream& os, bool include_timing = true) const;
 
-  /// Prints an aligned ASCII summary table (with timing) for stdout.
+  /// Prints an aligned ASCII summary (with timing) for stdout: the group
+  /// table, followed by a paired-comparison table when comparisons exist.
   void PrintAscii(std::ostream& os) const;
 
  private:
   friend class BatchRunner;
   std::vector<GroupReport> groups_;
+  std::vector<ComparisonReport> comparisons_;
 };
+
+/// Declares the standard `--json <path>` flag every batch-backed binary
+/// shares (pairs with WriteJsonIfRequested).
+void AddJsonFlag(Cli& cli);
+
+/// Writes the deterministic report to the path given via --json (no-op when
+/// the flag is empty) and prints a confirmation line to `os`.
+void WriteJsonIfRequested(const Cli& cli, const BatchReport& report, std::ostream& os);
 
 /// Execution options.
 struct BatchOptions {
@@ -114,10 +199,22 @@ class BatchRunner {
   void Add(Cell cell);
 
   /// Adds `seed_count` cells for the same group/generator/solver, with
-  /// per-cell seeds DeriveSeed(base_seed, 0..seed_count-1).
+  /// per-cell seeds DeriveSeed(base_seed, 0..seed_count-1). The optional
+  /// metrics are attached to every cell.
   void AddSweep(std::string group, std::function<Instance(std::uint64_t)> make_instance,
                 std::function<core::RunResult(const Instance&)> solve, std::uint64_t base_seed,
-                std::size_t seed_count);
+                std::size_t seed_count, std::vector<Metric> metrics = {});
+
+  /// Adds a paired comparison sweep: for each of `seed_count` derived seeds,
+  /// every solver runs on the *identical* instance (same derived seed fed to
+  /// make_instance). Each solver aggregates under "<group>/<solver name>",
+  /// and the report gains a ComparisonReport with per-seed ratio/gap stats
+  /// of every solver against the first (the baseline). Solver names must be
+  /// non-empty and distinct. The optional metrics attach to every cell.
+  void AddComparisonSweep(std::string group,
+                          std::function<Instance(std::uint64_t)> make_instance,
+                          std::vector<NamedSolver> solvers, std::uint64_t base_seed,
+                          std::size_t seed_count, std::vector<Metric> metrics = {});
 
   [[nodiscard]] std::size_t CellCount() const noexcept { return cells_.size(); }
 
@@ -129,10 +226,21 @@ class BatchRunner {
   [[nodiscard]] const std::vector<CellResult>& Results() const noexcept { return results_; }
 
  private:
+  /// Bookkeeping for one AddComparisonSweep call: its cells occupy
+  /// [first_cell, first_cell + solver_count * seed_count), seed-major
+  /// (all solvers of seed i are contiguous).
+  struct ComparisonSpec {
+    std::string group;
+    std::vector<std::string> solver_names;
+    std::size_t first_cell = 0;
+    std::size_t seed_count = 0;
+  };
+
   void ExecuteCell(std::size_t index);
 
   BatchOptions options_;
   std::vector<Cell> cells_;
+  std::vector<ComparisonSpec> comparisons_;
   std::vector<CellResult> results_;
   bool ran_ = false;
 };

@@ -31,6 +31,38 @@ std::uint64_t DrawPoisson(Rng& rng, double mean) {
   return value <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(value));
 }
 
+std::vector<std::uint64_t> SplitLargestRemainder(std::uint64_t demand,
+                                                 const std::vector<Requests>& weights) {
+  RPT_REQUIRE(!weights.empty(), "SplitLargestRemainder: need at least one weight");
+  // The sum (and hence the remainders) can exceed 64 bits even though every
+  // weight and every resulting part fits: keep both in 128-bit.
+  unsigned __int128 total = 0;
+  for (const Requests weight : weights) total += weight;
+  RPT_REQUIRE(total > 0, "SplitLargestRemainder: weights must have a positive sum");
+
+  std::vector<std::uint64_t> parts(weights.size());
+  std::vector<unsigned __int128> remainders(weights.size());
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const auto scaled = static_cast<unsigned __int128>(demand) * weights[i];
+    parts[i] = static_cast<std::uint64_t>(scaled / total);  // <= demand, fits
+    remainders[i] = scaled % total;
+    assigned += parts[i];
+  }
+  // sum(scaled) == demand * total exactly, so the leftover after flooring is
+  // sum(remainders) / total < |weights| units.
+  std::vector<std::size_t> order(weights.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return remainders[a] != remainders[b] ? remainders[a] > remainders[b] : a < b;
+  });
+  for (std::size_t r = 0; assigned < demand; ++r) {
+    ++parts[order[r]];
+    ++assigned;
+  }
+  return parts;
+}
+
 ReplayReport Replay(const Instance& instance, const Solution& solution,
                     const ReplayConfig& config) {
   RPT_REQUIRE(config.ticks > 0, "Replay: need at least one tick");
@@ -52,19 +84,24 @@ ReplayReport Replay(const Instance& instance, const Solution& solution,
     report.server = replica;
     servers.push_back(report);
   }
-  struct Share {
-    std::size_t server;
-    Requests amount;
-    Distance distance;
+  // Per-client routing plan, constant across ticks: parallel server/weight
+  // vectors (weights feed the largest-remainder split each tick).
+  struct ClientPlan {
+    std::vector<std::size_t> servers;
+    std::vector<Requests> weights;
+    Requests planned = 0;
   };
-  std::unordered_map<NodeId, std::vector<Share>> shares;
+  std::unordered_map<NodeId, ClientPlan> plans;
   double distance_weighted = 0.0;
   Requests planned_total = 0;
   ReplayReport report;
   for (const ServiceEntry& entry : solution.assignment) {
     const std::size_t index = server_index.at(entry.server);
     const Distance distance = tree.DistToAncestor(entry.client, entry.server);
-    shares[entry.client].push_back(Share{index, entry.amount, distance});
+    ClientPlan& plan = plans[entry.client];
+    plan.servers.push_back(index);
+    plan.weights.push_back(entry.amount);
+    plan.planned += entry.amount;
     servers[index].planned_load += entry.amount;
     distance_weighted += static_cast<double>(distance) * static_cast<double>(entry.amount);
     planned_total += entry.amount;
@@ -82,27 +119,19 @@ ReplayReport Replay(const Instance& instance, const Solution& solution,
   for (std::uint64_t tick = 0; tick < config.ticks; ++tick) {
     // Arrivals: each client draws its demand and splits it proportionally
     // to the planned routing (largest-remainder rounding keeps the total).
-    for (const auto& [client, client_shares] : shares) {
-      Requests planned = 0;
-      for (const Share& share : client_shares) planned += share.amount;
+    for (const auto& [client, plan] : plans) {
       const double mean =
-          static_cast<double>(planned) * config.demand_factor;
+          static_cast<double>(plan.planned) * config.demand_factor;
       const std::uint64_t demand = DrawPoisson(rng, mean);
       if (demand == 0) continue;
-      std::uint64_t assigned = 0;
-      for (std::size_t s = 0; s < client_shares.size(); ++s) {
-        const Share& share = client_shares[s];
-        std::uint64_t part;
-        if (s + 1 == client_shares.size()) {
-          part = demand - assigned;  // remainder to the last share
-        } else {
-          part = demand * share.amount / planned;
-        }
-        assigned += part;
+      const std::vector<std::uint64_t> parts = SplitLargestRemainder(demand, plan.weights);
+      for (std::size_t s = 0; s < plan.servers.size(); ++s) {
+        const std::uint64_t part = parts[s];
         if (part == 0) continue;
-        queues[share.server].emplace_back(tick, part);
-        backlog[share.server] += part;
-        servers[share.server].arrived += part;
+        const std::size_t server = plan.servers[s];
+        queues[server].emplace_back(tick, part);
+        backlog[server] += part;
+        servers[server].arrived += part;
         report.arrived += part;
       }
     }

@@ -67,4 +67,14 @@ struct ReplayReport {
 /// for small means, normal approximation above 64). Deterministic in `rng`.
 [[nodiscard]] std::uint64_t DrawPoisson(Rng& rng, double mean);
 
+/// Splits `demand` into |weights| integer parts proportional to the weights
+/// using largest-remainder rounding: every part is the floor of its exact
+/// proportional quota, and the leftover units (fewer than |weights|) go to
+/// the parts with the largest fractional remainders, ties broken by index so
+/// the split is deterministic. The parts always sum to `demand` exactly;
+/// 128-bit intermediates keep demand * weight exact even when both are
+/// large. Requires a non-empty weight vector with a positive sum.
+[[nodiscard]] std::vector<std::uint64_t> SplitLargestRemainder(
+    std::uint64_t demand, const std::vector<Requests>& weights);
+
 }  // namespace rpt::sim

@@ -84,15 +84,24 @@ std::string Cli::GetString(const std::string& name) const {
 
 bool Cli::GetBool(const std::string& name) const { return Find(name, Kind::kBool).value == "true"; }
 
+std::uint64_t Cli::GetUint(const std::string& name, std::uint64_t max_value) const {
+  const std::int64_t value = GetInt(name);
+  RPT_REQUIRE(value >= 0,
+              "Cli: flag --" + name + " must be >= 0, got " + std::to_string(value));
+  RPT_REQUIRE(static_cast<std::uint64_t>(value) <= max_value,
+              "Cli: flag --" + name + " must be <= " + std::to_string(max_value) + ", got " +
+                  std::to_string(value));
+  return static_cast<std::uint64_t>(value);
+}
+
 void AddBatchFlags(Cli& cli, std::int64_t default_seeds) {
   cli.AddInt("threads", 0, "worker threads for the batch engine; 0 = hardware concurrency");
   cli.AddInt("seeds", default_seeds, "seeds (instances) per sweep configuration");
 }
 
 BatchFlags GetBatchFlags(const Cli& cli) {
-  const std::int64_t threads = cli.GetInt("threads");
-  const std::int64_t seeds = cli.GetInt("seeds");
-  RPT_REQUIRE(threads >= 0, "Cli: --threads must be >= 0");
+  const std::uint64_t threads = cli.GetUint("threads");
+  const std::uint64_t seeds = cli.GetUint("seeds");
   RPT_REQUIRE(seeds > 0, "Cli: --seeds must be > 0");
   return BatchFlags{static_cast<std::size_t>(threads), static_cast<std::size_t>(seeds)};
 }

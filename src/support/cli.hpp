@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -36,6 +37,14 @@ class Cli {
   [[nodiscard]] std::int64_t GetInt(const std::string& name) const;
   [[nodiscard]] std::string GetString(const std::string& name) const;
   [[nodiscard]] bool GetBool(const std::string& name) const;
+
+  /// Reads an integer flag that must be non-negative (and at most
+  /// `max_value`); throws InvalidArgument with a clear message otherwise.
+  /// Use this instead of casting GetInt() to an unsigned type — the cast
+  /// silently turns `--seeds -1` into ~2^64.
+  [[nodiscard]] std::uint64_t GetUint(
+      const std::string& name,
+      std::uint64_t max_value = std::numeric_limits<std::uint64_t>::max()) const;
 
  private:
   enum class Kind { kInt, kString, kBool };

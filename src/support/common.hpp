@@ -80,4 +80,10 @@ namespace detail {
   return den == 0 ? 0 : (num + den - 1) / den;
 }
 
+/// Human-readable dmax label: "inf" for the no-limit sentinel. Shared by the
+/// benches so group names stay consistent across their JSON reports.
+[[nodiscard]] inline std::string DmaxLabel(Distance dmax) {
+  return dmax == kNoDistanceLimit ? std::string("inf") : std::to_string(dmax);
+}
+
 }  // namespace rpt

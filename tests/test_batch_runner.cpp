@@ -1,9 +1,14 @@
 // Tests for the runner::BatchRunner batch experiment engine: deterministic
-// seeding and aggregation (thread-count independent), empty batches, and
-// exception isolation.
+// seeding and aggregation (thread-count independent), empty batches,
+// exception isolation, paired comparison sweeps, custom metric hooks, and
+// the JSON/CSV escaping of group, solver, and metric names.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -99,12 +104,13 @@ TEST(BatchRunner, ThrowingCellDoesNotPoisonTheBatch) {
             if (i % 2 == 1) throw std::runtime_error("cell blew up");
             return core::Run(core::Algorithm::kSingleGen, instance);
           },
-          DeriveSeed(5, i)});
+          DeriveSeed(5, i),
+          {}});
     }
     // A generator failure is isolated the same way as a solver failure.
     runner.Add(Cell{"mixed",
                     [](std::uint64_t) -> Instance { throw std::runtime_error("bad gen"); },
-                    SolveWith(core::Algorithm::kSingleGen), 0});
+                    SolveWith(core::Algorithm::kSingleGen), 0, {}});
     const BatchReport report = runner.Run();
     ASSERT_EQ(report.Groups().size(), 1u);
     const GroupReport& group = report.Groups().front();
@@ -130,7 +136,7 @@ TEST(BatchRunner, NotApplicableAlgorithmIsIsolatedAsError) {
                     cfg.clients = 8;
                     return Instance(gen::GenerateFullBinaryTree(cfg, seed), 15, Distance{3});
                   },
-                  SolveWith(core::Algorithm::kSingleNod), 1});
+                  SolveWith(core::Algorithm::kSingleNod), 1, {}});
   runner.AddSweep("gen", SmallBinaryWorkload(8), SolveWith(core::Algorithm::kSingleGen), 1, 2);
   const BatchReport report = runner.Run();
   EXPECT_EQ(report.TotalErrors(), 1u);
@@ -150,15 +156,265 @@ TEST(BatchRunner, GroupsKeepSubmissionOrder) {
   EXPECT_EQ(report.Groups()[1].group, "alpha");
 }
 
+// A deterministic fake solver with a fixed replica count, for exercising the
+// pairing arithmetic without depending on real algorithm outputs.
+std::function<core::RunResult(const Instance&)> FakeSolver(std::size_t cost) {
+  return [cost](const Instance&) {
+    core::RunResult result;
+    result.feasible = true;
+    for (std::size_t i = 0; i < cost; ++i) {
+      result.solution.replicas.push_back(static_cast<NodeId>(i));
+    }
+    return result;
+  };
+}
+
+TEST(ComparisonSweep, PairsSolversPerSeed) {
+  BatchRunner runner(BatchOptions{3});
+  runner.AddComparisonSweep("cmp", SmallBinaryWorkload(8),
+                            {{"base", FakeSolver(2)},
+                             {"double", FakeSolver(4)},
+                             {"tie", FakeSolver(2)},
+                             {"cheaper", FakeSolver(1)}},
+                            /*base_seed=*/7, /*seed_count=*/5);
+  EXPECT_EQ(runner.CellCount(), 20u);
+  const BatchReport report = runner.Run();
+
+  // Every solver aggregates under its own subgroup.
+  ASSERT_NE(report.FindGroup("cmp/base"), nullptr);
+  EXPECT_EQ(report.FindGroup("cmp/base")->cells, 5u);
+  EXPECT_EQ(report.FindGroup("cmp/double")->cost.Mean(), 4.0);
+
+  const ComparisonReport* comparison = report.FindComparison("cmp");
+  ASSERT_NE(comparison, nullptr);
+  ASSERT_EQ(comparison->ratios.size(), 3u);  // every solver vs "base"
+  ASSERT_EQ(comparison->solver_groups.size(), 4u);
+  EXPECT_EQ(comparison->solver_groups[0], "cmp/base");
+
+  const RatioStat* doubled = comparison->FindRatio("double");
+  ASSERT_NE(doubled, nullptr);
+  EXPECT_EQ(doubled->denominator, "base");
+  EXPECT_EQ(doubled->pairs, 5u);
+  EXPECT_EQ(doubled->ties, 0u);
+  EXPECT_EQ(doubled->wins, 0u);
+  EXPECT_DOUBLE_EQ(doubled->ratio.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(doubled->diff.Mean(), 2.0);
+
+  const RatioStat* tie = comparison->FindRatio("tie");
+  ASSERT_NE(tie, nullptr);
+  EXPECT_EQ(tie->ties, 5u);
+  EXPECT_EQ(tie->wins, 0u);
+  EXPECT_DOUBLE_EQ(tie->ratio.Mean(), 1.0);
+
+  const RatioStat* cheaper = comparison->FindRatio("cheaper");
+  ASSERT_NE(cheaper, nullptr);
+  EXPECT_EQ(cheaper->wins, 5u);
+  EXPECT_DOUBLE_EQ(cheaper->diff.Mean(), -1.0);
+  EXPECT_EQ(comparison->FindRatio("base"), nullptr);  // baseline has no self-ratio
+}
+
+TEST(ComparisonSweep, IdenticalInstancePerSeed) {
+  // Real solvers on the identical instance: multiple-bin can never use more
+  // replicas than single-gen on the same tree, for every single pair.
+  BatchRunner runner(BatchOptions{4});
+  runner.AddComparisonSweep("policies", SmallBinaryWorkload(24),
+                            {{"multiple-bin", SolveWith(core::Algorithm::kMultipleBin)},
+                             {"single-gen", SolveWith(core::Algorithm::kSingleGen)}},
+                            /*base_seed=*/11, /*seed_count=*/8);
+  const BatchReport report = runner.Run();
+  EXPECT_TRUE(report.AllOk());
+  const RatioStat* ratio = report.FindComparison("policies")->FindRatio("single-gen");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_EQ(ratio->pairs, 8u);
+  EXPECT_EQ(ratio->wins, 0u);  // Single never beats Multiple on the same instance
+  EXPECT_GE(ratio->ratio.Min(), 1.0);
+}
+
+TEST(ComparisonSweep, ThreadCountInvariantReport) {
+  auto build = [](std::size_t threads) {
+    BatchRunner runner(BatchOptions{threads});
+    runner.AddComparisonSweep(
+        "grid", SmallBinaryWorkload(16),
+        {{"bin", SolveWith(core::Algorithm::kMultipleBin)},
+         {"gen", SolveWith(core::Algorithm::kSingleGen)},
+         {"greedy", SolveWith(core::Algorithm::kMultipleGreedy)}},
+        /*base_seed=*/3, /*seed_count=*/6,
+        {{"lower_bound", [](const Instance& instance, const core::RunResult&) {
+            return static_cast<double>(instance.CapacityLowerBound());
+          }}});
+    return runner;
+  };
+  BatchRunner baseline = build(1);
+  const std::string baseline_json = baseline.Run().ToJson();
+  for (const std::size_t threads : {2u, 5u, 16u}) {
+    BatchRunner runner = build(threads);
+    EXPECT_EQ(runner.Run().ToJson(), baseline_json) << "threads=" << threads;
+  }
+}
+
+TEST(ComparisonSweep, BrokenSolverYieldsNoPairs) {
+  BatchRunner runner(BatchOptions{2});
+  runner.AddComparisonSweep(
+      "broken", SmallBinaryWorkload(8),
+      {{"ok", FakeSolver(2)},
+       {"throws", [](const Instance&) -> core::RunResult {
+          throw std::runtime_error("solver exploded");
+        }}},
+      /*base_seed=*/1, /*seed_count=*/3);
+  const BatchReport report = runner.Run();
+  EXPECT_FALSE(report.AllOk());
+  EXPECT_EQ(report.FindGroup("broken/throws")->errors, 3u);
+  EXPECT_EQ(report.FindGroup("broken/ok")->errors, 0u);
+  const RatioStat* ratio = report.FindComparison("broken")->FindRatio("throws");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_EQ(ratio->pairs, 0u);
+  EXPECT_EQ(ratio->ratio.Count(), 0u);
+}
+
+TEST(ComparisonSweep, RejectsMisuse) {
+  BatchRunner runner(BatchOptions{1});
+  EXPECT_THROW(
+      runner.AddComparisonSweep("g", SmallBinaryWorkload(8), {}, 0, 1),
+      InvalidArgument);
+  EXPECT_THROW(runner.AddComparisonSweep(
+                   "g", SmallBinaryWorkload(8),
+                   {{"dup", FakeSolver(1)}, {"dup", FakeSolver(2)}}, 0, 1),
+               InvalidArgument);
+  EXPECT_THROW(runner.AddComparisonSweep("g", SmallBinaryWorkload(8), {{"", FakeSolver(1)}},
+                                         0, 1),
+               InvalidArgument);
+}
+
+TEST(Metrics, AggregateIntoNamedColumns) {
+  BatchRunner runner(BatchOptions{2});
+  runner.AddSweep("sized", SmallBinaryWorkload(8), FakeSolver(3), /*base_seed=*/5,
+                  /*seed_count=*/4,
+                  {{"tree_size",
+                    [](const Instance& instance, const core::RunResult&) {
+                      return static_cast<double>(instance.GetTree().Size());
+                    }},
+                   {"always_nan", [](const Instance&, const core::RunResult&) {
+                      return std::numeric_limits<double>::quiet_NaN();
+                    }}});
+  const BatchReport report = runner.Run();
+  const GroupReport* group = report.FindGroup("sized");
+  ASSERT_NE(group, nullptr);
+  const StatAccumulator* size = group->FindMetric("tree_size");
+  ASSERT_NE(size, nullptr);
+  EXPECT_EQ(size->Count(), 4u);
+  EXPECT_GT(size->Mean(), 8.0);  // 8 clients plus internal nodes
+  // A hook returning NaN everywhere never creates a column.
+  EXPECT_EQ(group->FindMetric("always_nan"), nullptr);
+  EXPECT_EQ(group->FindMetric("missing"), nullptr);
+  // Per-cell values are recorded in submission order, NaN included.
+  ASSERT_EQ(runner.Results()[0].metric_values.size(), 2u);
+  EXPECT_TRUE(std::isnan(runner.Results()[0].metric_values[1]));
+}
+
+TEST(Metrics, ThrowingHookIsIsolatedAsCellError) {
+  BatchRunner runner(BatchOptions{2});
+  runner.AddSweep("half", SmallBinaryWorkload(8), FakeSolver(1), /*base_seed=*/5,
+                  /*seed_count=*/4,
+                  {{"picky", [](const Instance&, const core::RunResult& run) -> double {
+                      if (run.solution.ReplicaCount() == 1) {
+                        throw std::runtime_error("metric rejected the cell");
+                      }
+                      return 1.0;
+                    }}});
+  runner.AddSweep("fine", SmallBinaryWorkload(8), FakeSolver(1), /*base_seed=*/5,
+                  /*seed_count=*/2);
+  const BatchReport report = runner.Run();
+  EXPECT_EQ(report.FindGroup("half")->errors, 4u);
+  EXPECT_EQ(runner.Results()[0].error, "metric rejected the cell");
+  EXPECT_EQ(report.FindGroup("fine")->errors, 0u);
+  EXPECT_FALSE(report.AllOk());
+}
+
+TEST(Metrics, RejectsUnnamedOrEmptyHooks) {
+  BatchRunner runner(BatchOptions{1});
+  EXPECT_THROW(
+      runner.Add(Cell{"g", SmallBinaryWorkload(8), FakeSolver(1), 0,
+                      {{"", [](const Instance&, const core::RunResult&) { return 0.0; }}}}),
+      InvalidArgument);
+  EXPECT_THROW(runner.Add(Cell{"g", SmallBinaryWorkload(8), FakeSolver(1), 0,
+                               {{"named", nullptr}}}),
+               InvalidArgument);
+}
+
+TEST(ReportEscaping, JsonEscapesGroupSolverAndMetricNames) {
+  BatchRunner runner(BatchOptions{1});
+  runner.AddComparisonSweep("W=10,dmax=6", SmallBinaryWorkload(8),
+                            {{"base", FakeSolver(1)}, {"quote\"back\\slash", FakeSolver(2)}},
+                            /*base_seed=*/1, /*seed_count=*/1,
+                            {{"tab\there", [](const Instance&, const core::RunResult&) {
+                                return 1.0;
+                              }}});
+  const std::string json = runner.Run().ToJson();
+  // Group names with commas survive verbatim inside the JSON string...
+  EXPECT_NE(json.find("\"group\":\"W=10,dmax=6/base\""), std::string::npos);
+  // ...while quotes, backslashes, and control characters are escaped.
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+  EXPECT_EQ(json.find("tab\there"), std::string::npos);
+}
+
+TEST(ReportEscaping, CsvQuotesGroupNamesWithCommasAndQuotes) {
+  BatchRunner runner(BatchOptions{1});
+  runner.Add(Cell{"W=10,dmax=6", SmallBinaryWorkload(8), FakeSolver(1), 0, {}});
+  runner.Add(Cell{"say \"hi\"", SmallBinaryWorkload(8), FakeSolver(1), 0, {}});
+  const BatchReport report = runner.Run();
+  std::ostringstream os;
+  report.WriteCsv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("\"W=10,dmax=6\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  // Round-trip: the first data row still has the base column count after
+  // CSV-aware splitting (the quoted comma does not add a field).
+  std::istringstream in(csv);
+  std::string header_line;
+  std::string row;
+  std::getline(in, header_line);
+  std::getline(in, row);
+  std::size_t fields = 0;
+  bool quoted = false;
+  for (const char c : row) {
+    if (c == '"') quoted = !quoted;
+    fields += (c == ',' && !quoted);
+  }
+  ++fields;
+  std::size_t header_fields = std::count(header_line.begin(), header_line.end(), ',') + 1;
+  EXPECT_EQ(fields, header_fields);
+}
+
+TEST(ReportEscaping, MetricColumnsJoinTheCsvHeader) {
+  BatchRunner runner(BatchOptions{1});
+  runner.AddSweep("a", SmallBinaryWorkload(8), FakeSolver(1), 0, 1,
+                  {{"extra", [](const Instance&, const core::RunResult&) { return 2.0; }}});
+  runner.AddSweep("b", SmallBinaryWorkload(8), FakeSolver(1), 0, 1);
+  const BatchReport report = runner.Run();
+  std::ostringstream os;
+  report.WriteCsv(os, /*include_timing=*/false);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("extra_mean,extra_min,extra_max"), std::string::npos);
+  // Group "b" lacks the metric: its row ends with empty fields.
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);  // group a
+  EXPECT_NE(line.find("2.0000,2.0000,2.0000"), std::string::npos);
+  std::getline(in, line);  // group b
+  EXPECT_NE(line.find(",,"), std::string::npos);
+}
+
 TEST(BatchRunner, RejectsMisuse) {
   BatchRunner runner(BatchOptions{1});
-  EXPECT_THROW(runner.Add(Cell{"g", nullptr, SolveWith(core::Algorithm::kSingleGen), 0}),
+  EXPECT_THROW(runner.Add(Cell{"g", nullptr, SolveWith(core::Algorithm::kSingleGen), 0, {}}),
                InvalidArgument);
-  EXPECT_THROW(runner.Add(Cell{"g", SmallBinaryWorkload(8), nullptr, 0}), InvalidArgument);
+  EXPECT_THROW(runner.Add(Cell{"g", SmallBinaryWorkload(8), nullptr, 0, {}}), InvalidArgument);
   (void)runner.Run();
   EXPECT_THROW((void)runner.Run(), InvalidArgument);  // Run() is once
   EXPECT_THROW(
-      runner.Add(Cell{"g", SmallBinaryWorkload(8), SolveWith(core::Algorithm::kSingleGen), 0}),
+      runner.Add(Cell{"g", SmallBinaryWorkload(8), SolveWith(core::Algorithm::kSingleGen), 0, {}}),
       InvalidArgument);
 }
 

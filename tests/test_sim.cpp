@@ -42,6 +42,68 @@ TEST(Poisson, RejectsBadMean) {
   EXPECT_THROW((void)DrawPoisson(rng, -1.0), InvalidArgument);
 }
 
+TEST(SplitLargestRemainder, ExactWhenDivisible) {
+  EXPECT_EQ(SplitLargestRemainder(4, {1, 1, 2}), (std::vector<std::uint64_t>{1, 1, 2}));
+  EXPECT_EQ(SplitLargestRemainder(0, {3, 5}), (std::vector<std::uint64_t>{0, 0}));
+  EXPECT_EQ(SplitLargestRemainder(10, {5}), (std::vector<std::uint64_t>{10}));
+}
+
+TEST(SplitLargestRemainder, LargestRemainderGetsTheExtraUnit) {
+  // Quotas: 24/7 = 3 r 3, 16/7 = 2 r 2, 16/7 = 2 r 2 — the single leftover
+  // unit goes to the first (largest-remainder) share.
+  EXPECT_EQ(SplitLargestRemainder(8, {3, 2, 2}), (std::vector<std::uint64_t>{4, 2, 2}));
+  // The old floor-plus-dump-on-last-share implementation yielded {3, 2, 3}.
+}
+
+TEST(SplitLargestRemainder, TiesBreakByIndexDeterministically) {
+  EXPECT_EQ(SplitLargestRemainder(4, {1, 1, 1}), (std::vector<std::uint64_t>{2, 1, 1}));
+  EXPECT_EQ(SplitLargestRemainder(5, {1, 1, 1}), (std::vector<std::uint64_t>{2, 2, 1}));
+}
+
+TEST(SplitLargestRemainder, ConservesAndStaysWithinOneOfQuota) {
+  for (const std::uint64_t demand : {1ull, 7ull, 100ull, 12345ull}) {
+    const std::vector<Requests> weights{7, 1, 3, 3, 11};
+    Requests total = 0;
+    for (const Requests w : weights) total += w;
+    const auto parts = SplitLargestRemainder(demand, weights);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const std::uint64_t floor_quota = demand * weights[i] / total;
+      EXPECT_GE(parts[i], floor_quota);
+      EXPECT_LE(parts[i], floor_quota + 1);
+      sum += parts[i];
+    }
+    EXPECT_EQ(sum, demand);
+  }
+}
+
+TEST(SplitLargestRemainder, HugeValuesDoNotOverflow) {
+  // demand * weight = 2^80 overflows 64-bit arithmetic; the split must stay
+  // exact via 128-bit intermediates. With total = 2^40 + 1 the quotas are
+  // 2^40 - 1 (remainder 1) and 0 (remainder 2^40), so the leftover unit goes
+  // to the second share.
+  const std::uint64_t big = std::uint64_t{1} << 40;
+  const auto parts = SplitLargestRemainder(big, {big, 1});
+  EXPECT_EQ(parts[0], big - 1);
+  EXPECT_EQ(parts[1], 1u);
+}
+
+TEST(SplitLargestRemainder, WeightSumBeyond64BitsStaysExact) {
+  // total = 2^64 + 2 overflows a 64-bit accumulator; the split must stay
+  // exact. Each big share's quota is floor(1e6 * 2^63 / (2^64 + 2)) = 499999
+  // with a large remainder, so both pick up one of the two leftover units.
+  const std::uint64_t big = std::uint64_t{1} << 63;
+  const auto parts = SplitLargestRemainder(1000000, {big, big, 2});
+  EXPECT_EQ(parts[0], 500000u);
+  EXPECT_EQ(parts[1], 500000u);
+  EXPECT_EQ(parts[2], 0u);
+}
+
+TEST(SplitLargestRemainder, RejectsBadWeights) {
+  EXPECT_THROW((void)SplitLargestRemainder(1, {}), InvalidArgument);
+  EXPECT_THROW((void)SplitLargestRemainder(1, {0, 0}), InvalidArgument);
+}
+
 TEST(Replay, ConservesRequests) {
   const Instance inst = MakeInstance();
   const Solution solution = Solve(inst);

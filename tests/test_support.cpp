@@ -296,6 +296,47 @@ TEST(Cli, HelpShortCircuits) {
   EXPECT_FALSE(cli.Parse(2, argv));
 }
 
+TEST(Cli, GetUintReadsNonNegativeValues) {
+  Cli cli("demo", "test");
+  cli.AddInt("count", 5, "a count");
+  const char* argv[] = {"demo", "--count=12"};
+  ASSERT_TRUE(cli.Parse(2, argv));
+  EXPECT_EQ(cli.GetUint("count"), 12u);
+  EXPECT_EQ(cli.GetUint("count", 12), 12u);
+}
+
+TEST(Cli, GetUintRejectsNegativeWithClearError) {
+  Cli cli("demo", "test");
+  cli.AddInt("seeds", 1, "a count");
+  const char* argv[] = {"demo", "--seeds=-1"};
+  ASSERT_TRUE(cli.Parse(2, argv));
+  // The old static_cast<std::size_t>(GetInt()) pattern turned -1 into ~2^64
+  // cells; GetUint must refuse instead.
+  try {
+    (void)cli.GetUint("seeds");
+    FAIL() << "GetUint accepted a negative value";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("--seeds must be >= 0"), std::string::npos);
+  }
+}
+
+TEST(Cli, GetUintEnforcesUpperBound) {
+  Cli cli("demo", "test");
+  cli.AddInt("clients", 10, "a count");
+  const char* argv[] = {"demo", "--clients=1000"};
+  ASSERT_TRUE(cli.Parse(2, argv));
+  EXPECT_EQ(cli.GetUint("clients", 1000), 1000u);
+  EXPECT_THROW((void)cli.GetUint("clients", 999), InvalidArgument);
+}
+
+TEST(Cli, BatchFlagsRejectNegativeSeeds) {
+  Cli cli("demo", "test");
+  AddBatchFlags(cli);
+  const char* argv[] = {"demo", "--seeds=-1"};
+  ASSERT_TRUE(cli.Parse(2, argv));
+  EXPECT_THROW((void)GetBatchFlags(cli), InvalidArgument);
+}
+
 TEST(Cli, BatchFlagsDefaults) {
   Cli cli("demo", "test");
   AddBatchFlags(cli, /*default_seeds=*/12);
