@@ -1,0 +1,220 @@
+// bench_hotpath — per-kernel wall-time tracking for the hot solver paths.
+//
+// This is the perf trajectory anchor: it times each solver kernel (plus the
+// tree-build substrate and the Dinic routing oracle) on large generated
+// instances of the bench_scaling class, single-threaded by default, and
+// writes the aggregate report — *including* timing statistics — to the path
+// given via --json (CI uploads it as the BENCH_hotpath.json artifact via
+// scripts/bench_perf.sh). Unlike the other batch binaries, the JSON here
+// deliberately contains wall-clock numbers, so it is NOT byte-identical
+// across runs; the deterministic part (costs, feasibility, metric columns)
+// still is, and bench_smoke.sh keeps covering the determinism contract for
+// the rest of the fleet.
+//
+// Kernels:
+//   tree-build         TreeBuilder::Build on a rebuilt copy of the instance
+//                      tree (--build-reps builds per cell)
+//   single-gen         Algorithm 1 on a full binary tree, NoD
+//   single-nod         Algorithm 2 on a full binary tree
+//   single-push        push-toward-root improvement loop
+//   multiple-bin       Algorithm 3 on a full binary tree
+//   multiple-nod-dp    exact Multiple-NoD tree knapsack DP (the dp_table_mib
+//                      metric is the analytic table footprint of the DP)
+//   flow-oracle        Dinic feasibility routing with a replica at every
+//                      internal node
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "flow/assignment.hpp"
+#include "gen/random_tree.hpp"
+#include "runner/batch_runner.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace rpt;
+
+// Same instance class as bench_scaling's BinaryWorkload: requests 1..10,
+// W=40, so every solver precondition (r_i <= W) holds.
+std::function<Instance(std::uint64_t)> BinaryWorkload(std::uint32_t clients) {
+  return [clients](std::uint64_t seed) {
+    gen::BinaryTreeConfig cfg;
+    cfg.clients = clients;
+    cfg.min_requests = 1;
+    cfg.max_requests = 10;
+    cfg.min_edge = 1;
+    cfg.max_edge = 2;
+    return Instance(gen::GenerateFullBinaryTree(cfg, seed), /*capacity=*/40, kNoDistanceLimit);
+  };
+}
+
+// Rebuilds the instance's tree through a fresh TreeBuilder `reps` times —
+// a pure measurement of the arena construction + derived-data pass.
+core::RunResult SolveTreeBuild(const Instance& instance, std::uint64_t reps) {
+  const Tree& tree = instance.GetTree();
+  core::RunResult result;
+  std::size_t checksum = 0;
+  Timer timer;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    TreeBuilder builder;
+    builder.Reserve(tree.Size());
+    for (NodeId id = 0; id < tree.Size(); ++id) {
+      if (id == tree.Root()) {
+        builder.AddRoot();
+      } else if (tree.IsClient(id)) {
+        builder.AddClient(tree.Parent(id), tree.DistToParent(id), tree.RequestsOf(id));
+      } else {
+        builder.AddInternal(tree.Parent(id), tree.DistToParent(id));
+      }
+    }
+    const Tree rebuilt = builder.Build();
+    checksum += rebuilt.SubtreeRequests(rebuilt.Root());
+  }
+  result.elapsed_ms = timer.ElapsedMs();
+  RPT_CHECK(checksum == reps * static_cast<std::size_t>(tree.TotalRequests()));
+  result.feasible = false;  // timing-only kernel; no solution to validate
+  return result;
+}
+
+// The Dinic-based Multiple feasibility oracle run on the placement
+// consisting of every internal node (as in bench_scaling).
+core::RunResult SolveFlowOracle(const Instance& instance) {
+  core::RunResult result;
+  Timer timer;
+  std::vector<NodeId> replicas;
+  for (NodeId id = 0; id < instance.GetTree().Size(); ++id) {
+    if (!instance.GetTree().IsClient(id)) replicas.push_back(id);
+  }
+  auto routing = flow::RouteMultiple(instance, replicas);
+  result.elapsed_ms = timer.ElapsedMs();
+  result.feasible = routing.has_value();
+  if (routing) {
+    result.solution.replicas = std::move(replicas);
+    result.solution.assignment = std::move(*routing);
+    result.validation = ValidateSolution(instance, Policy::kMultiple, result.solution);
+  }
+  return result;
+}
+
+// Analytic peak table footprint of the Multiple-NoD DP, in MiB: the final
+// F table of every node (subtree total + 1 entries) plus, per internal
+// node, the stored prefix tables G_0..G_k used for backtracking. Entries
+// are 4-byte costs. Identical before and after the scratch-buffer rework —
+// the *stored* tables are demand-bounded either way — so it tracks the
+// memory the DP cannot avoid holding.
+double DpTableMiB(const Instance& instance, const core::RunResult&) {
+  const Tree& tree = instance.GetTree();
+  std::uint64_t entries = 0;
+  for (NodeId id = 0; id < tree.Size(); ++id) {
+    entries += static_cast<std::uint64_t>(tree.SubtreeRequests(id)) + 1;  // F table
+    if (tree.IsClient(id)) continue;
+    std::uint64_t below = 0;
+    entries += 1;  // G_0 = {0}
+    for (const NodeId child : tree.Children(id)) {
+      below += tree.SubtreeRequests(child);
+      entries += below + 1;  // G_k
+    }
+  }
+  return static_cast<double>(entries) * 4.0 / (1024.0 * 1024.0);
+}
+
+std::string GroupName(const std::string& kernel, std::uint32_t clients) {
+  return kernel + "/N=" + std::to_string(clients);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rpt;
+  Cli cli("bench_hotpath",
+          "per-kernel wall-time baseline for the hot solver paths (perf trajectory)");
+  AddBatchFlags(cli, /*default_seeds=*/3);
+  cli.AddInt("clients", 65536, "client count for the near-linear kernels");
+  cli.AddInt("dp-clients", 8192, "client count for the multiple-nod-dp kernel");
+  cli.AddInt("push-clients", 8192, "client count for the single-push kernel");
+  cli.AddInt("flow-clients", 8192, "client count for the flow-oracle kernel");
+  cli.AddInt("build-reps", 10, "tree rebuilds per tree-build cell");
+  cli.AddInt("base-seed", 1205, "base seed; per-cell seeds derive deterministically");
+  cli.AddString("json", "", "write the report incl. timing stats here (BENCH_hotpath.json)");
+  cli.AddString("csv", "", "optional CSV output path (incl. timing)");
+  if (!cli.Parse(argc, argv)) return 0;
+  const BatchFlags flags = GetBatchFlags(cli);
+  const auto clients = static_cast<std::uint32_t>(cli.GetUint("clients", 1u << 26));
+  const auto dp_clients = static_cast<std::uint32_t>(cli.GetUint("dp-clients", 1u << 18));
+  const auto push_clients = static_cast<std::uint32_t>(cli.GetUint("push-clients", 1u << 18));
+  const auto flow_clients = static_cast<std::uint32_t>(cli.GetUint("flow-clients", 1u << 18));
+  const auto build_reps = cli.GetUint("build-reps", 1u << 20);
+  const auto base_seed = cli.GetUint("base-seed");
+  RPT_REQUIRE(clients >= 2 && dp_clients >= 2 && push_clients >= 2 && flow_clients >= 2,
+              "bench_hotpath: client counts must be >= 2");
+  RPT_REQUIRE(build_reps >= 1, "bench_hotpath: --build-reps must be >= 1");
+
+  struct Kernel {
+    std::string name;
+    std::uint32_t clients;
+    std::function<core::RunResult(const Instance&)> solve;
+    std::vector<runner::Metric> metrics;
+  };
+  std::vector<Kernel> kernels;
+  kernels.push_back({"tree-build", clients,
+                     [build_reps](const Instance& instance) {
+                       return SolveTreeBuild(instance, build_reps);
+                     },
+                     {}});
+  kernels.push_back(
+      {"single-gen", clients, runner::SolveWith(core::Algorithm::kSingleGen), {}});
+  kernels.push_back(
+      {"single-nod", clients, runner::SolveWith(core::Algorithm::kSingleNod), {}});
+  kernels.push_back(
+      {"single-push", push_clients, runner::SolveWith(core::Algorithm::kSinglePushRoot), {}});
+  kernels.push_back(
+      {"multiple-bin", clients, runner::SolveWith(core::Algorithm::kMultipleBin), {}});
+  kernels.push_back({"multiple-nod-dp", dp_clients,
+                     runner::SolveWith(core::Algorithm::kMultipleNodDp),
+                     {{"dp_table_mib", DpTableMiB}}});
+  kernels.push_back({"flow-oracle", flow_clients, SolveFlowOracle, {}});
+
+  runner::BatchRunner batch(runner::BatchOptions{flags.threads});
+  for (const Kernel& kernel : kernels) {
+    batch.AddSweep(GroupName(kernel.name, kernel.clients), BinaryWorkload(kernel.clients),
+                   kernel.solve, base_seed, flags.seeds, kernel.metrics);
+  }
+
+  std::cout << "hot-path kernel sweep: " << batch.CellCount() << " cells on "
+            << (flags.threads == 0 ? std::string("hw") : std::to_string(flags.threads))
+            << " threads (time only --threads=1 runs)\n\n";
+  const runner::BatchReport report = batch.Run();
+  report.PrintAscii(std::cout);
+
+  Table table({"kernel", "N", "cells", "mean ms", "min ms", "max ms"});
+  for (const Kernel& kernel : kernels) {
+    const runner::GroupReport* group = report.FindGroup(GroupName(kernel.name, kernel.clients));
+    RPT_CHECK(group != nullptr);
+    table.NewRow()
+        .Add(kernel.name)
+        .Add(std::uint64_t{kernel.clients})
+        .Add(group->cells)
+        .Add(group->elapsed_ms.Mean(), 2)
+        .Add(group->elapsed_ms.Min(), 2)
+        .Add(group->elapsed_ms.Max(), 2);
+  }
+  std::cout << "\nper-kernel wall time:\n\n";
+  table.PrintAscii(std::cout);
+
+  if (const std::string json = cli.GetString("json"); !json.empty()) {
+    report.WriteJsonFile(json, /*include_timing=*/true);
+    std::cout << "wrote timing report to " << json << "\n";
+  }
+  if (const std::string csv = cli.GetString("csv"); !csv.empty()) {
+    std::ofstream os(csv);
+    RPT_REQUIRE(os.good(), "cannot open CSV output: " + csv);
+    report.WriteCsv(os, /*include_timing=*/true);
+    std::cout << "wrote timing CSV to " << csv << "\n";
+  }
+  return report.AllOk() ? 0 : 1;
+}

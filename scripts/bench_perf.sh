@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Perf trajectory tracking: runs the hot-path kernel bench single-threaded in
+# Release and writes BENCH_hotpath.json (aggregate report *including* wall
+# time statistics). CI uploads the JSON as a workflow artifact so every
+# commit leaves a per-kernel timing trail.
+#
+# Usage: scripts/bench_perf.sh [build-dir] [output-json]
+#   build-dir    default: build
+#   output-json  default: BENCH_hotpath.json
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_hotpath.json}"
+
+if [[ ! -x "$BUILD_DIR/bench_hotpath" ]]; then
+  echo "bench_hotpath not found in $BUILD_DIR — build the benches first" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/bench_hotpath" --threads 1 --json "$OUT_JSON"
+echo "wrote $OUT_JSON"

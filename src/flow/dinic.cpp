@@ -1,7 +1,6 @@
 #include "flow/dinic.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 
 namespace rpt::flow {
@@ -23,18 +22,19 @@ EdgeId MaxFlow::AddEdge(std::size_t from, std::size_t to, FlowValue capacity) {
 }
 
 bool MaxFlow::Bfs(std::size_t source, std::size_t sink) {
+  // level_ and queue_ are members: their capacity survives across phases and
+  // Compute calls, so a BFS allocates nothing after the first phase.
   level_.assign(head_.size(), kNil);
-  std::deque<std::uint32_t> queue;
+  queue_.clear();
   level_[source] = 0;
-  queue.push_back(static_cast<std::uint32_t>(source));
-  while (!queue.empty()) {
-    const std::uint32_t node = queue.front();
-    queue.pop_front();
+  queue_.push_back(static_cast<std::uint32_t>(source));
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const std::uint32_t node = queue_[head];
     for (std::uint32_t e = head_[node]; e != kNil; e = edges_[e].next) {
       const Edge& edge = edges_[e];
       if (edge.capacity > 0 && level_[edge.to] == kNil) {
         level_[edge.to] = level_[node] + 1;
-        queue.push_back(edge.to);
+        queue_.push_back(edge.to);
       }
     }
   }

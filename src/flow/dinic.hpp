@@ -24,7 +24,11 @@ using FlowValue = std::uint64_t;
 using EdgeId = std::size_t;
 
 /// A reusable max-flow network. Add nodes and edges, call Compute, then read
-/// per-edge flows. Compute may be called once per built network.
+/// per-edge flows. Compute runs Dinic to completion; a further Compute call
+/// on the same object continues on the residual graph and reports only the
+/// additional flow (0 for a repeated query). The BFS level/queue scratch
+/// lives in the object and is reused across phases and Compute calls, so
+/// the solve loop performs no per-phase allocation.
 class MaxFlow {
  public:
   /// Creates a network with `node_count` nodes (ids 0..node_count-1).
@@ -59,6 +63,7 @@ class MaxFlow {
   std::vector<std::uint32_t> head_;  // adjacency heads
   std::vector<std::uint32_t> level_;
   std::vector<std::uint32_t> iter_;
+  std::vector<std::uint32_t> queue_;  // reusable BFS queue (head-index scan)
   std::vector<FlowValue> initial_capacity_;  // per forward edge, for FlowOn
 };
 

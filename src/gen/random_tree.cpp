@@ -32,6 +32,7 @@ Tree GenerateRandomTree(const RandomTreeConfig& config, std::uint64_t seed) {
   Rng rng(seed);
 
   TreeBuilder builder;
+  builder.Reserve(static_cast<std::size_t>(config.internal_nodes) + config.clients);
   const NodeId root = builder.AddRoot();
 
   // Internal skeleton: attach each new internal node to a uniformly random
@@ -125,6 +126,7 @@ Tree GenerateFullBinaryTree(const BinaryTreeConfig& config, std::uint64_t seed) 
   RPT_REQUIRE(config.clients >= 1, "GenerateFullBinaryTree: need at least one client");
   Rng rng(seed);
   TreeBuilder builder;
+  builder.Reserve(2 * static_cast<std::size_t>(config.clients));
   const NodeId root = builder.AddRoot();
   GrowBinary(builder, rng, config, root, config.clients);
   Tree tree = builder.Build();

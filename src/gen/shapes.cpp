@@ -6,6 +6,7 @@ Tree MakeStar(std::uint32_t clients, std::span<const Requests> requests, Distanc
   RPT_REQUIRE(clients >= 1, "MakeStar: need at least one client");
   RPT_REQUIRE(!requests.empty(), "MakeStar: need at least one request value");
   TreeBuilder builder;
+  builder.Reserve(static_cast<std::size_t>(clients) + 1);
   const NodeId root = builder.AddRoot();
   for (std::uint32_t i = 0; i < clients; ++i) {
     builder.AddClient(root, edge, requests[i % requests.size()]);
@@ -16,6 +17,7 @@ Tree MakeStar(std::uint32_t clients, std::span<const Requests> requests, Distanc
 Tree MakeChain(std::uint32_t depth, Requests requests, Distance edge) {
   RPT_REQUIRE(depth >= 1, "MakeChain: depth must be >= 1");
   TreeBuilder builder;
+  builder.Reserve(static_cast<std::size_t>(depth) + 1);
   NodeId node = builder.AddRoot();
   for (std::uint32_t level = 1; level < depth; ++level) node = builder.AddInternal(node, edge);
   builder.AddClient(node, edge, requests);
@@ -25,6 +27,7 @@ Tree MakeChain(std::uint32_t depth, Requests requests, Distance edge) {
 Tree MakeCaterpillar(std::span<const Requests> requests, Distance edge) {
   RPT_REQUIRE(!requests.empty(), "MakeCaterpillar: need at least one client");
   TreeBuilder builder;
+  builder.Reserve(2 * requests.size());
   NodeId spine = builder.AddRoot();
   if (requests.size() == 1) {
     builder.AddClient(spine, edge, requests[0]);

@@ -10,16 +10,27 @@ namespace rpt {
 void Solution::Canonicalize() {
   std::sort(replicas.begin(), replicas.end());
   replicas.erase(std::unique(replicas.begin(), replicas.end()), replicas.end());
-  // Merge duplicate (client, server) entries, then sort.
-  std::map<std::pair<NodeId, NodeId>, Requests> merged;
-  for (const ServiceEntry& entry : assignment) {
-    merged[{entry.client, entry.server}] += entry.amount;
+  // Sort by (client, server), then merge duplicates in place — same
+  // canonical order a (client, server)-keyed map would produce, without the
+  // per-entry node allocations.
+  std::sort(assignment.begin(), assignment.end(),
+            [](const ServiceEntry& a, const ServiceEntry& b) {
+              if (a.client != b.client) return a.client < b.client;
+              return a.server < b.server;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < assignment.size();) {
+    const NodeId client = assignment[i].client;
+    const NodeId server = assignment[i].server;
+    Requests amount = 0;
+    for (; i < assignment.size() && assignment[i].client == client &&
+           assignment[i].server == server;
+         ++i) {
+      amount += assignment[i].amount;
+    }
+    if (amount > 0) assignment[out++] = ServiceEntry{client, server, amount};
   }
-  assignment.clear();
-  assignment.reserve(merged.size());
-  for (const auto& [key, amount] : merged) {
-    if (amount > 0) assignment.push_back(ServiceEntry{key.first, key.second, amount});
-  }
+  assignment.resize(out);
 }
 
 LoadSummary SummarizeLoads(const Tree& tree, Requests capacity, const Solution& solution) {

@@ -1,10 +1,9 @@
 #include "model/validate.hpp"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace rpt {
 
@@ -29,22 +28,26 @@ ValidationReport ValidateSolution(const Instance& instance, Policy policy,
   ValidationReport report;
   const Tree& tree = instance.GetTree();
 
+  // All bookkeeping is NodeId-indexed flat columns — the validator runs
+  // after every solver call, so it must not hash or node-allocate.
   // 1. Replica set sanity.
-  std::unordered_set<NodeId> replicas;
+  std::vector<char> is_replica(tree.Size(), 0);
   for (NodeId replica : solution.replicas) {
     if (replica >= tree.Size()) {
       report.Fail("replica id out of range: " + std::to_string(replica));
       continue;
     }
-    if (!replicas.insert(replica).second) {
+    if (is_replica[replica]) {
       report.Fail("duplicate replica: " + std::to_string(replica));
     }
+    is_replica[replica] = 1;
   }
 
   // 2. Per-entry checks; accumulate per-client and per-server totals.
-  std::unordered_map<NodeId, Requests> served_of_client;
-  std::unordered_map<NodeId, Requests> load_of_server;
-  std::unordered_map<NodeId, std::set<NodeId>> servers_of_client;
+  std::vector<Requests> served_of_client(tree.Size(), 0);
+  std::vector<Requests> load_of_server(tree.Size(), 0);
+  std::vector<std::pair<NodeId, NodeId>> client_server_pairs;
+  if (policy == Policy::kSingle) client_server_pairs.reserve(solution.assignment.size());
   for (const ServiceEntry& entry : solution.assignment) {
     if (entry.client >= tree.Size() || !tree.IsClient(entry.client)) {
       report.Fail("assignment from non-client node " + std::to_string(entry.client));
@@ -58,7 +61,7 @@ ValidationReport ValidateSolution(const Instance& instance, Policy policy,
       report.Fail("zero-amount assignment for client " + std::to_string(entry.client));
       continue;
     }
-    if (!replicas.contains(entry.server)) {
+    if (!is_replica[entry.server]) {
       report.Fail("assignment to non-replica node " + std::to_string(entry.server));
     }
     if (!tree.IsAncestorOrSelf(entry.server, entry.client)) {
@@ -71,43 +74,55 @@ ValidationReport ValidateSolution(const Instance& instance, Policy policy,
     }
     served_of_client[entry.client] += entry.amount;
     load_of_server[entry.server] += entry.amount;
-    servers_of_client[entry.client].insert(entry.server);
+    if (policy == Policy::kSingle) client_server_pairs.emplace_back(entry.client, entry.server);
   }
 
   // 3. Completeness: every client fully served (clients with r_i = 0 are
   // trivially complete and need no entries).
   for (NodeId client : tree.Clients()) {
     const Requests needed = tree.RequestsOf(client);
-    const auto it = served_of_client.find(client);
-    const Requests served = it == served_of_client.end() ? 0 : it->second;
+    const Requests served = served_of_client[client];
     if (served != needed) {
       report.Fail("client " + std::to_string(client) + " served " + std::to_string(served) +
                   " of " + std::to_string(needed) + " requests");
     }
   }
 
-  // 4. Single policy: one server per client.
+  // 4. Single policy: one server per client (count distinct servers per
+  // client over the sorted pair list).
   if (policy == Policy::kSingle) {
-    for (const auto& [client, servers] : servers_of_client) {
-      if (servers.size() > 1) {
+    std::sort(client_server_pairs.begin(), client_server_pairs.end());
+    std::size_t i = 0;
+    while (i < client_server_pairs.size()) {
+      const NodeId client = client_server_pairs[i].first;
+      std::size_t distinct = 0;
+      NodeId last_server = kInvalidNode;
+      for (; i < client_server_pairs.size() && client_server_pairs[i].first == client; ++i) {
+        if (client_server_pairs[i].second != last_server) {
+          ++distinct;
+          last_server = client_server_pairs[i].second;
+        }
+      }
+      if (distinct > 1) {
         report.Fail("Single policy: client " + std::to_string(client) + " uses " +
-                    std::to_string(servers.size()) + " servers");
+                    std::to_string(distinct) + " servers");
       }
     }
   }
 
   // 5. Capacity.
-  for (const auto& [server, load] : load_of_server) {
-    if (load > instance.Capacity()) {
-      report.Fail("server " + std::to_string(server) + " overloaded: " + std::to_string(load) +
+  for (NodeId server = 0; server < tree.Size(); ++server) {
+    if (load_of_server[server] > instance.Capacity()) {
+      report.Fail("server " + std::to_string(server) + " overloaded: " +
+                  std::to_string(load_of_server[server]) +
                   " > W=" + std::to_string(instance.Capacity()));
     }
   }
 
   // 6. Optional: idle replicas.
   if (forbid_idle_replicas) {
-    for (NodeId replica : replicas) {
-      if (!load_of_server.contains(replica)) {
+    for (NodeId replica = 0; replica < tree.Size(); ++replica) {
+      if (is_replica[replica] && load_of_server[replica] == 0) {
         report.Fail("idle replica: " + std::to_string(replica));
       }
     }
@@ -121,3 +136,4 @@ bool IsFeasible(const Instance& instance, Policy policy, const Solution& solutio
 }
 
 }  // namespace rpt
+

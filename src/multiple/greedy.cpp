@@ -1,7 +1,7 @@
 #include "multiple/greedy.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <limits>
 #include <vector>
 
 namespace rpt::multiple {
@@ -12,54 +12,63 @@ Solution SolveMultipleGreedy(const Instance& instance) {
   const Tree& tree = instance.GetTree();
   const Requests capacity = instance.Capacity();
 
-  // Eligible root-path prefix per client (self first, root-most last).
+  // Sentinel residual meaning "no replica opened at this node yet".
+  constexpr Requests kClosed = static_cast<Requests>(-1);
+
+  // Eligible root-path prefix per client (self first, root-most last),
+  // stored CSR-style: one flat id array plus NodeId-indexed offset/count
+  // columns — no per-client vector or hashing.
   std::vector<NodeId> clients(tree.Clients().begin(), tree.Clients().end());
   std::erase_if(clients, [&](NodeId c) { return tree.RequestsOf(c) == 0; });
-  std::unordered_map<NodeId, std::vector<NodeId>> eligible;
-  eligible.reserve(clients.size());
+  std::vector<NodeId> paths_flat;
+  std::vector<std::uint32_t> path_begin(tree.Size(), 0);
+  std::vector<std::uint32_t> path_count(tree.Size(), 0);
   for (const NodeId client : clients) {
-    auto& path = eligible[client];
+    path_begin[client] = static_cast<std::uint32_t>(paths_flat.size());
     for (NodeId node = client;; node = tree.Parent(node)) {
       if (!instance.CanServe(client, node)) break;
-      path.push_back(node);
+      paths_flat.push_back(node);
       if (node == tree.Root()) break;
     }
+    path_count[client] = static_cast<std::uint32_t>(paths_flat.size()) - path_begin[client];
   }
+  // The casts above are exact iff the final flat size fits 32 bits (growth
+  // is monotone, so checking once afterwards covers every intermediate).
+  RPT_REQUIRE(paths_flat.size() <= std::numeric_limits<std::uint32_t>::max(),
+              "multiple-greedy: eligible-path index exceeds 32-bit offsets");
   // Most-constrained clients first: fewer eligible servers, then more
   // requests, then id for determinism.
   std::sort(clients.begin(), clients.end(), [&](NodeId a, NodeId b) {
-    const std::size_t ea = eligible[a].size();
-    const std::size_t eb = eligible[b].size();
-    if (ea != eb) return ea < eb;
+    if (path_count[a] != path_count[b]) return path_count[a] < path_count[b];
     if (tree.RequestsOf(a) != tree.RequestsOf(b)) return tree.RequestsOf(a) > tree.RequestsOf(b);
     return a < b;
   });
 
   Solution solution;
-  std::unordered_map<NodeId, Requests> residual;  // open server -> remaining capacity
+  std::vector<Requests> residual(tree.Size(), kClosed);  // per-node remaining capacity
   for (const NodeId client : clients) {
     Requests remaining = tree.RequestsOf(client);
-    const auto& path = eligible[client];
+    const NodeId* path = paths_flat.data() + path_begin[client];
+    const std::uint32_t count = path_count[client];
     // Pour into open servers, deepest (closest to the client) first.
-    for (const NodeId node : path) {
-      if (remaining == 0) break;
-      const auto it = residual.find(node);
-      if (it == residual.end() || it->second == 0) continue;
-      const Requests take = std::min(remaining, it->second);
-      it->second -= take;
+    for (std::uint32_t i = 0; i < count && remaining > 0; ++i) {
+      const NodeId node = path[i];
+      if (residual[node] == kClosed || residual[node] == 0) continue;
+      const Requests take = std::min(remaining, residual[node]);
+      residual[node] -= take;
       remaining -= take;
       solution.assignment.push_back(ServiceEntry{client, node, take});
     }
     // Open new replicas, highest eligible free node first (a high server can
     // still absorb future clients from other subtrees).
-    for (auto it = path.rbegin(); it != path.rend() && remaining > 0; ++it) {
-      if (residual.contains(*it)) continue;
-      residual.emplace(*it, capacity);
-      solution.replicas.push_back(*it);
+    for (std::uint32_t i = count; i-- > 0 && remaining > 0;) {
+      const NodeId node = path[i];
+      if (residual[node] != kClosed) continue;
+      solution.replicas.push_back(node);
       const Requests take = std::min(remaining, capacity);
-      residual[*it] -= take;
+      residual[node] = capacity - take;
       remaining -= take;
-      solution.assignment.push_back(ServiceEntry{client, *it, take});
+      solution.assignment.push_back(ServiceEntry{client, node, take});
     }
     RPT_CHECK(remaining == 0);  // the client's own node guarantees feasibility
   }

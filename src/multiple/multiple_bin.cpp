@@ -24,29 +24,52 @@ Requests TotalOf(const TripleList& list) noexcept {
   return total;
 }
 
-// add-dist of the paper: shifts every distance by `dist`.
-TripleList AddDist(const TripleList& list, Distance dist) {
-  TripleList out;
+// add-dist of the paper: shifts every distance by `dist`, writing into a
+// caller-owned list (reused scratch or the persistent proc list). Returns
+// the total pending weight so callers never re-scan the list.
+Requests AddDistInto(const TripleList& list, Distance dist, TripleList& out) {
+  out.clear();
   out.reserve(list.size());
-  for (const Triple& t : list) out.push_back(Triple{SaturatingAdd(t.d, dist), t.w, t.client});
-  return out;
+  Requests total = 0;
+  for (const Triple& t : list) {
+    out.push_back(Triple{SaturatingAdd(t.d, dist), t.w, t.client});
+    total += t.w;
+  }
+  return total;
 }
 
-// merge of the paper: merges two lists sorted by non-increasing d.
-TripleList Merge(TripleList a, TripleList b) {
-  TripleList out;
+// Fused add-dist + merge of the paper: shifts each child list by its edge
+// length on the fly while merging the two non-increasing-d lists into `out`.
+// Skips the two intermediate shifted copies the textbook formulation builds;
+// returns the merged total weight.
+Requests MergeShiftedInto(const TripleList& a, Distance da, const TripleList& b, Distance db,
+                          TripleList& out) {
+  out.clear();
   out.reserve(a.size() + b.size());
+  Requests total = 0;
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
-    if (a[i].d >= b[j].d) {
-      out.push_back(a[i++]);
+    const Distance da_i = SaturatingAdd(a[i].d, da);
+    const Distance db_j = SaturatingAdd(b[j].d, db);
+    if (da_i >= db_j) {
+      out.push_back(Triple{da_i, a[i].w, a[i].client});
+      total += a[i].w;
+      ++i;
     } else {
-      out.push_back(b[j++]);
+      out.push_back(Triple{db_j, b[j].w, b[j].client});
+      total += b[j].w;
+      ++j;
     }
   }
-  while (i < a.size()) out.push_back(a[i++]);
-  while (j < b.size()) out.push_back(b[j++]);
-  return out;
+  for (; i < a.size(); ++i) {
+    out.push_back(Triple{SaturatingAdd(a[i].d, da), a[i].w, a[i].client});
+    total += a[i].w;
+  }
+  for (; j < b.size(); ++j) {
+    out.push_back(Triple{SaturatingAdd(b[j].d, db), b[j].w, b[j].client});
+    total += b[j].w;
+  }
+  return total;
 }
 
 // Full algorithm state.
@@ -57,7 +80,24 @@ struct State {
   std::vector<TripleList> req;   // pending lists
   std::vector<TripleList> proc;  // per-replica assigned triples
   std::vector<bool> is_replica;
+  TripleList merge_scratch_;        // reused shifted-merge buffer (one per solve)
+  std::vector<TripleList> pool_;    // retired pending lists, recycled capacity
   MultipleBinStats stats;
+
+  // Pending lists churn once per node; recycling released lists keeps the
+  // post-order sweep allocation-free after warm-up.
+  [[nodiscard]] TripleList AcquireList() {
+    if (pool_.empty()) return {};
+    TripleList list = std::move(pool_.back());
+    pool_.pop_back();
+    list.clear();
+    return list;
+  }
+
+  void ReleaseList(TripleList& list) {
+    pool_.push_back(std::move(list));
+    list = TripleList{};
+  }
 
   State(const Instance& inst, const MultipleBinOptions& opts)
       : instance(inst),
@@ -95,8 +135,8 @@ struct State {
       const NodeId rchild = kids[1];
       // j now serves everything pending from its left child; every such
       // triple satisfies d + δ_l <= dmax by the pending-list invariant.
-      proc[node] = AddDist(req[lchild], tree.DistToParent(lchild));
-      RPT_CHECK(TotalOf(proc[node]) <= instance.Capacity());
+      const Requests reassigned = AddDistInto(req[lchild], tree.DistToParent(lchild), proc[node]);
+      RPT_CHECK(reassigned <= instance.Capacity());
       if (!is_replica[rchild]) {
         PlaceReplica(rchild);
         ++stats.extra_replicas;
@@ -118,23 +158,25 @@ struct State {
       ++stats.leaf_forced_replicas;
       proc[node] = {Triple{0, requests, node}};
     } else {
-      req[node] = {Triple{0, requests, node}};
+      req[node] = AcquireList();
+      req[node].push_back(Triple{0, requests, node});
     }
   }
 
   void ProcessInternal(NodeId node) {
     const auto kids = tree.Children(node);
-    TripleList temp;
+    TripleList& temp = merge_scratch_;
+    temp.clear();
+    Requests wtot = 0;
     if (kids.size() == 1) {
-      temp = AddDist(req[kids[0]], tree.DistToParent(kids[0]));
+      wtot = AddDistInto(req[kids[0]], tree.DistToParent(kids[0]), temp);
     } else if (kids.size() == 2) {
-      temp = Merge(AddDist(req[kids[0]], tree.DistToParent(kids[0])),
-                   AddDist(req[kids[1]], tree.DistToParent(kids[1])));
+      wtot = MergeShiftedInto(req[kids[0]], tree.DistToParent(kids[0]), req[kids[1]],
+                              tree.DistToParent(kids[1]), temp);
     }
     if (temp.empty()) return;
 
     const Requests capacity = instance.Capacity();
-    const Requests wtot = TotalOf(temp);
     const bool distance_trigger = !CanGoUp(node, temp.front().d);
     if (distance_trigger || wtot > capacity) {
       // This node becomes a server and absorbs exactly min(wtot, W)
@@ -150,6 +192,7 @@ struct State {
       }
       Requests used = 0;
       std::size_t index = 0;
+      proc[node].reserve(std::min<std::size_t>(temp.size(), static_cast<std::size_t>(capacity)));
       while (index < temp.size() && used < capacity) {
         Triple& head = temp[index];
         const Requests take = std::min(head.w, capacity - used);
@@ -166,10 +209,14 @@ struct State {
       if (options.fill == MultipleBinOptions::FillOrder::kLeastConstrainedFirst) {
         std::reverse(temp.begin(), temp.end());  // restore non-increasing d
       }
-      req[node] = std::move(temp);
+      req[node] = std::move(merge_scratch_);
+      merge_scratch_ = AcquireList();
       RPT_CHECK(TotalOf(req[node]) <= capacity);  // binary tree: <= 2W - W
     } else {
-      req[node] = std::move(temp);
+      // Hand the merged scratch to the node wholesale and recycle a retired
+      // list as the next scratch — no triple is copied a second time.
+      req[node] = std::move(merge_scratch_);
+      merge_scratch_ = AcquireList();
     }
 
     if (!req[node].empty() && !CanGoUp(node, req[node].front().d)) {
@@ -182,9 +229,10 @@ struct State {
     // Children's pending lists are only ever revisited by extra-server, and
     // extra-server walks exclusively through replica nodes. Releasing the
     // lists below non-replica nodes keeps resident memory O(|T|) instead of
-    // O(|T|^2) on deep trees (the Theorem 6 worst-case regime).
+    // O(|T|^2) on deep trees (the Theorem 6 worst-case regime); released
+    // capacity is recycled through the pool.
     if (!is_replica[node]) {
-      for (const NodeId child : kids) TripleList().swap(req[child]);
+      for (const NodeId child : kids) ReleaseList(req[child]);
     }
   }
 };

@@ -21,19 +21,34 @@ void MakeMonotone(CostTable& table) {
   for (std::size_t u = 1; u < table.size(); ++u) table[u] = std::min(table[u], table[u - 1]);
 }
 
-// Min-plus convolution of two monotone tables (domains are subtree totals).
-CostTable Convolve(const CostTable& a, const CostTable& b) {
-  CostTable out(a.size() + b.size() - 1, kInf);
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i] >= kInf) continue;
-    for (std::size_t j = 0; j < b.size(); ++j) {
-      if (b[j] >= kInf) continue;
-      out[i + j] = std::min(out[i + j], a[i] + b[j]);
+// Inverse staircase of a monotone non-increasing table: inv[c - vmin] is the
+// smallest u with table[u] <= c, for every integer cost c in [vmin, vmax]
+// (vmax = largest finite value, i.e. table[first_finite]; vmin =
+// table.back()). Leading kInf runs are skipped entirely — first_finite marks
+// where the finite staircase starts.
+struct Staircase {
+  Cost vmin = 0;
+  Cost vmax = 0;
+  std::size_t first_finite = 0;
+  std::vector<std::uint32_t> inv;
+
+  void BuildFrom(const CostTable& table) {
+    std::size_t f = 0;
+    while (f < table.size() && table[f] >= kInf) ++f;
+    RPT_CHECK(f < table.size());  // every DP table has a finite entry
+    first_finite = f;
+    vmax = table[f];
+    vmin = table.back();
+    inv.assign(static_cast<std::size_t>(vmax - vmin) + 1, static_cast<std::uint32_t>(f));
+    Cost cur = vmax;
+    for (std::size_t u = f + 1; u < table.size(); ++u) {
+      while (cur > table[u]) {
+        --cur;
+        inv[cur - vmin] = static_cast<std::uint32_t>(u);
+      }
     }
   }
-  MakeMonotone(out);
-  return out;
-}
+};
 
 struct Dp {
   const Instance& instance;
@@ -41,9 +56,59 @@ struct Dp {
   std::vector<CostTable> f;                      // per node
   std::vector<std::vector<CostTable>> prefixes;  // per node: G_0..G_k for backtracking
   Solution solution;
+  MultipleNodDpStats stats;
+
+  // Scratch reused by every convolution (the hot loop allocates nothing
+  // beyond the stored output tables themselves).
+  Staircase lhs_stairs_;
+  Staircase rhs_stairs_;
+  std::vector<std::uint32_t> out_inv_;
 
   explicit Dp(const Instance& inst)
       : instance(inst), tree(inst.GetTree()), f(tree.Size()), prefixes(tree.Size()) {}
+
+  // Monotone min-plus convolution, out[k] = min_{i+j<=k} a[i] + b[j],
+  // written into `out` (sized |a|+|b|-1; kInf where no finite split exists).
+  // Because both inputs are monotone staircases, the convolution runs in the
+  // *cost* domain: O(range(a) * range(b) + |out|) instead of O(|a| * |b|).
+  // Cost ranges are replica counts (<= subtree client counts), which on
+  // request-heavy instances are orders of magnitude below the request-domain
+  // table sizes. Equivalent to the naive convolution followed by
+  // MakeMonotone, entry for entry.
+  void Convolve(const CostTable& a, const CostTable& b, CostTable& out) {
+    lhs_stairs_.BuildFrom(a);
+    rhs_stairs_.BuildFrom(b);
+    const Cost cmin = lhs_stairs_.vmin + rhs_stairs_.vmin;
+    const Cost cmax = lhs_stairs_.vmax + rhs_stairs_.vmax;
+
+    // Out(c) = min forwarded budget achieving total cost <= c: minimize
+    // A(c1) + B(c2) over all splits c1 + c2 <= c, then close under "spend
+    // less, forward more" monotonicity.
+    out_inv_.assign(static_cast<std::size_t>(cmax - cmin) + 1,
+                    std::numeric_limits<std::uint32_t>::max());
+    for (Cost c1 = lhs_stairs_.vmin; c1 <= lhs_stairs_.vmax; ++c1) {
+      const std::uint32_t ua = lhs_stairs_.inv[c1 - lhs_stairs_.vmin];
+      for (Cost c2 = rhs_stairs_.vmin; c2 <= rhs_stairs_.vmax; ++c2) {
+        std::uint32_t& slot = out_inv_[(c1 + c2) - cmin];
+        slot = std::min(slot, ua + rhs_stairs_.inv[c2 - rhs_stairs_.vmin]);
+      }
+    }
+    for (std::size_t c = 1; c < out_inv_.size(); ++c) {
+      out_inv_[c] = std::min(out_inv_[c], out_inv_[c - 1]);
+    }
+    stats.convolve_cells +=
+        static_cast<std::uint64_t>(lhs_stairs_.inv.size()) * rhs_stairs_.inv.size();
+
+    // Materialize the output staircase; indices below the first feasible
+    // budget (the leading kInf run) are never written.
+    out.assign(a.size() + b.size() - 1, kInf);
+    std::size_t hi = out.size();
+    for (Cost c = cmin; c <= cmax && hi > 0; ++c) {
+      const std::size_t u = out_inv_[c - cmin];
+      for (std::size_t k = u; k < hi; ++k) out[k] = c;
+      hi = std::min(hi, u);
+    }
+  }
 
   void Forward() {
     const Requests capacity = instance.Capacity();
@@ -57,18 +122,28 @@ struct Dp {
           table[u] = std::min<Cost>(table[u], 1);  // replica: serve min(r, W) locally
         }
         MakeMonotone(table);
+        RPT_CHECK(table.size() == static_cast<std::size_t>(tree.SubtreeRequests(node)) + 1);
+        stats.table_entries += table.size();
         f[node] = std::move(table);
         continue;
       }
-      // Children convolution with stored prefixes.
+      // Children convolution with stored prefixes. Every stored table stays
+      // bounded by its (sub)domain's request total + 1 — the convolution
+      // never widens a table beyond the demand it can actually forward.
       auto& prefix = prefixes[node];
       prefix.clear();
+      prefix.reserve(tree.Children(node).size() + 1);
       prefix.push_back(CostTable{0});  // empty product: forward 0 at cost 0
+      stats.table_entries += 1;
       for (const NodeId child : tree.Children(node)) {
-        prefix.push_back(Convolve(prefix.back(), f[child]));
+        CostTable next;
+        Convolve(prefix.back(), f[child], next);
+        stats.table_entries += next.size();
+        prefix.push_back(std::move(next));
       }
       const CostTable& g = prefix.back();
       const std::size_t total = g.size() - 1;  // subtree request total below node
+      RPT_CHECK(total == static_cast<std::size_t>(tree.SubtreeRequests(node)));
       CostTable table(total + 1, kInf);
       for (std::size_t u = 0; u <= total; ++u) {
         table[u] = g[u];  // no replica
@@ -79,6 +154,7 @@ struct Dp {
         }
       }
       MakeMonotone(table);
+      stats.table_entries += table.size();
       f[node] = std::move(table);
     }
   }
@@ -192,6 +268,7 @@ MultipleNodDpResult SolveMultipleNodDp(const Instance& instance) {
   Dp dp(instance);
   dp.Forward();
   MultipleNodDpResult result;
+  result.stats = dp.stats;
   const CostTable& root = dp.f[instance.GetTree().Root()];
   if (root.empty() || root[0] >= kInf) {
     result.feasible = false;

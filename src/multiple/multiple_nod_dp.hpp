@@ -22,6 +22,17 @@
 
 namespace rpt::multiple {
 
+/// Counters describing the work and footprint of one DP run.
+struct MultipleNodDpStats {
+  /// Total entries (4 bytes each) held across all stored F and prefix
+  /// tables; every table is bounded by its subtree request total + 1, so
+  /// this is also the peak footprint (tables live until backtracking ends).
+  std::uint64_t table_entries = 0;
+  /// Inner-loop iterations of all staircase convolutions (cost-domain
+  /// cells), the dominant arithmetic of the forward pass.
+  std::uint64_t convolve_cells = 0;
+};
+
 /// Result of the Multiple-NoD DP.
 struct MultipleNodDpResult {
   /// True iff a feasible Multiple-NoD solution exists (it may not, e.g. a
@@ -29,6 +40,8 @@ struct MultipleNodDpResult {
   bool feasible = false;
   /// The optimal solution (empty when infeasible).
   Solution solution;
+  /// Work/footprint counters of the run (filled even when infeasible).
+  MultipleNodDpStats stats;
 };
 
 /// Runs the DP and reconstructs an optimal placement plus routing.

@@ -1,7 +1,6 @@
 #include "single/baselines.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 #include <vector>
 
 namespace rpt::single {
@@ -33,13 +32,17 @@ Solution SolveGreedyBestFit(const Instance& instance) {
     return a < b;
   });
 
+  // Sentinel residual meaning "no replica opened at this node yet".
+  constexpr Requests kClosed = static_cast<Requests>(-1);
+
   Solution solution;
-  std::unordered_map<NodeId, Requests> residual;  // open server -> remaining capacity
+  std::vector<Requests> residual(tree.Size(), kClosed);  // per-node remaining capacity
+  std::vector<NodeId> eligible;  // reused root-path scratch
 
   for (const NodeId client : clients) {
     const Requests requests = tree.RequestsOf(client);
     // Walk the root path collecting eligible nodes (within dmax).
-    std::vector<NodeId> eligible;
+    eligible.clear();
     for (NodeId node = client;; node = tree.Parent(node)) {
       if (!instance.CanServe(client, node)) break;
       eligible.push_back(node);
@@ -49,23 +52,22 @@ Solution SolveGreedyBestFit(const Instance& instance) {
     NodeId best = kInvalidNode;
     Requests best_residual = capacity + 1;
     for (const NodeId node : eligible) {
-      const auto it = residual.find(node);
-      if (it == residual.end()) continue;
-      if (it->second >= requests && it->second < best_residual) {
+      if (residual[node] == kClosed) continue;
+      if (residual[node] >= requests && residual[node] < best_residual) {
         best = node;
-        best_residual = it->second;
+        best_residual = residual[node];
       }
     }
     if (best == kInvalidNode) {
       // Open a new replica at the highest eligible replica-free node.
       for (auto it = eligible.rbegin(); it != eligible.rend(); ++it) {
-        if (!residual.contains(*it)) {
+        if (residual[*it] == kClosed) {
           best = *it;
           break;
         }
       }
       RPT_CHECK(best != kInvalidNode);  // the client itself is always free
-      residual.emplace(best, capacity);
+      residual[best] = capacity;
       solution.replicas.push_back(best);
     }
     residual[best] -= requests;

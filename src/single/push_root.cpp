@@ -1,12 +1,14 @@
 #include "single/push_root.hpp"
 
 #include <algorithm>
-#include <map>
 #include <vector>
 
 namespace rpt::single {
 
 namespace {
+
+/// Sentinel for "no server occupies this node" in the flat occupancy index.
+constexpr std::size_t kFree = static_cast<std::size_t>(-1);
 
 // Mutable server state during the improvement loop.
 struct Server {
@@ -18,7 +20,8 @@ struct Server {
 
 class PushRoot {
  public:
-  explicit PushRoot(const Instance& instance) : instance_(instance), tree_(instance.GetTree()) {}
+  explicit PushRoot(const Instance& instance)
+      : instance_(instance), tree_(instance.GetTree()), occupied_(tree_.Size(), kFree) {}
 
   PushRootResult Run() {
     // Trivial start: every requesting client serves itself.
@@ -32,6 +35,7 @@ class PushRoot {
       occupied_[client] = servers_.size();
       servers_.push_back(std::move(server));
     }
+    extra_load_.assign(servers_.size(), 0);
 
     bool changed = true;
     while (changed) {
@@ -70,19 +74,19 @@ class PushRoot {
   // ordering is exactly what recovers the optimum K+1: the unit clients pool
   // at the root while each W-sized client settles one level up). Depth
   // breaks ties so children move before parents.
-  std::vector<std::size_t> AliveClimbOrder() const {
-    std::vector<std::size_t> order;
+  const std::vector<std::size_t>& AliveClimbOrder() {
+    order_.clear();
     for (std::size_t i = 0; i < servers_.size(); ++i) {
-      if (servers_[i].alive) order.push_back(i);
+      if (servers_[i].alive) order_.push_back(i);
     }
-    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    std::sort(order_.begin(), order_.end(), [this](std::size_t a, std::size_t b) {
       if (servers_[a].load != servers_[b].load) return servers_[a].load < servers_[b].load;
       const std::uint32_t da = tree_.Depth(servers_[a].node);
       const std::uint32_t db = tree_.Depth(servers_[b].node);
       if (da != db) return da > db;
       return servers_[a].node < servers_[b].node;
     });
-    return order;
+    return order_;
   }
 
   // Move 1+2: climb each server toward the root; merge into an occupied
@@ -95,22 +99,21 @@ class PushRoot {
       while (server.node != tree_.Root()) {
         const NodeId parent = tree_.Parent(server.node);
         if (!AllEligible(server, parent)) break;
-        const auto occupant = occupied_.find(parent);
-        if (occupant != occupied_.end()) {
-          Server& target = servers_[occupant->second];
+        if (const std::size_t occupant = occupied_[parent]; occupant != kFree) {
+          Server& target = servers_[occupant];
           if (target.load + server.load > instance_.Capacity()) break;
           // Merge: the ancestor absorbs all of this server's clients.
           target.load += server.load;
           target.clients.insert(target.clients.end(), server.clients.begin(),
                                 server.clients.end());
-          occupied_.erase(server.node);
+          occupied_[server.node] = kFree;
           server.alive = false;
           ++stats_.merges;
           changed = true;
           break;
         }
         // Relocate one level up (free slot).
-        occupied_.erase(server.node);
+        occupied_[server.node] = kFree;
         server.node = parent;
         occupied_[parent] = index;
         ++stats_.push_ups;
@@ -124,7 +127,8 @@ class PushRoot {
   // (whole, Single policy) into other servers' residual capacity.
   bool RepackPass() {
     bool changed = false;
-    std::vector<std::size_t> order;
+    std::vector<std::size_t>& order = order_;
+    order.clear();
     for (std::size_t i = 0; i < servers_.size(); ++i) {
       if (servers_[i].alive) order.push_back(i);
     }
@@ -132,41 +136,57 @@ class PushRoot {
       if (servers_[a].load != servers_[b].load) return servers_[a].load < servers_[b].load;
       return servers_[a].node < servers_[b].node;
     });
+    rank_.assign(servers_.size(), kFree);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) rank_[order[pos]] = pos;
     for (const std::size_t index : order) {
       Server& server = servers_[index];
       if (!server.alive) continue;
       // Tentatively place each client elsewhere; commit only if all fit.
-      std::vector<std::pair<std::size_t, std::pair<NodeId, Requests>>> moves;
-      std::map<std::size_t, Requests> extra_load;
+      // `extra_load_` is a flat per-server scratch: only the entries named
+      // in `moves_` are ever dirtied, and they are wiped again below.
+      //
+      // Every server serves only clients inside its subtree, so a client's
+      // candidate targets are exactly the occupied nodes on its root path:
+      // walking the ancestor chain (O(depth)) and taking the feasible
+      // candidate with the smallest pass-order rank reproduces the first-fit
+      // scan over all servers without the O(|servers|) inner loop.
+      moves_.clear();
       bool all_placed = true;
       for (const auto& entry : server.clients) {
         const auto& [client, demand] = entry;
-        bool placed = false;
-        for (const std::size_t other_index : order) {
-          if (other_index == index) continue;
-          const Server& other = servers_[other_index];
-          if (!other.alive) continue;
-          if (!instance_.CanServe(client, other.node)) continue;
-          if (other.load + extra_load[other_index] + demand > instance_.Capacity()) continue;
-          moves.emplace_back(other_index, entry);
-          extra_load[other_index] += demand;
-          placed = true;
-          break;
+        std::size_t best = kFree;
+        for (NodeId ancestor = client;; ancestor = tree_.Parent(ancestor)) {
+          const std::size_t occupant = occupied_[ancestor];
+          if (occupant != kFree && occupant != index) {
+            const Server& other = servers_[occupant];
+            if (other.alive && rank_[occupant] < (best == kFree ? kFree : rank_[best]) &&
+                instance_.CanServe(client, ancestor) &&
+                other.load + extra_load_[occupant] + demand <= instance_.Capacity()) {
+              best = occupant;
+            }
+          }
+          if (ancestor == tree_.Root()) break;
         }
-        if (!placed) {
+        if (best == kFree) {
           all_placed = false;
           break;
         }
+        moves_.emplace_back(best, entry);
+        extra_load_[best] += demand;
       }
-      if (!all_placed) continue;
-      for (const auto& [target_index, entry] : moves) {
-        servers_[target_index].clients.push_back(entry);
-        servers_[target_index].load += entry.second;
+      if (all_placed) {
+        for (const auto& [target_index, entry] : moves_) {
+          servers_[target_index].clients.push_back(entry);
+          servers_[target_index].load += entry.second;
+          extra_load_[target_index] = 0;
+        }
+        occupied_[server.node] = kFree;
+        server.alive = false;
+        ++stats_.repacks;
+        changed = true;
+      } else {
+        for (const auto& [target_index, entry] : moves_) extra_load_[target_index] = 0;
       }
-      occupied_.erase(server.node);
-      server.alive = false;
-      ++stats_.repacks;
-      changed = true;
     }
     return changed;
   }
@@ -174,7 +194,11 @@ class PushRoot {
   const Instance& instance_;
   const Tree& tree_;
   std::vector<Server> servers_;
-  std::map<NodeId, std::size_t> occupied_;  // node -> alive server index
+  std::vector<std::size_t> occupied_;  // node -> alive server index, kFree when empty
+  std::vector<std::size_t> order_;     // reused pass-order scratch
+  std::vector<std::size_t> rank_;      // server index -> position in the repack order
+  std::vector<std::pair<std::size_t, std::pair<NodeId, Requests>>> moves_;
+  std::vector<Requests> extra_load_;   // per-server tentative load scratch
   PushRootStats stats_;
 };
 

@@ -8,6 +8,8 @@ namespace rpt::single {
 
 namespace {
 
+constexpr std::uint32_t kNil = static_cast<std::uint32_t>(-1);
+
 // Subtracts d from a slack, treating kNoDistanceLimit as +inf.
 Distance SlackMinus(Distance slack, Distance d) noexcept {
   if (slack == kNoDistanceLimit) return slack;
@@ -17,18 +19,21 @@ Distance SlackMinus(Distance slack, Distance d) noexcept {
 
 // One client whose requests are still travelling up the tree. `slack` is the
 // remaining distance budget at the node currently holding the aggregate:
-// dmax - dist(client, current node).
+// dmax - dist(client, current node). Entries live in one shared arena and
+// chain through `next`, so merging pending sets never copies or reallocates.
 struct PendingEntry {
-  NodeId client;
-  Requests amount;
-  Distance slack;
+  NodeId client = kInvalidNode;
+  Requests amount = 0;
+  Distance slack = kNoDistanceLimit;
+  std::uint32_t next = kNil;
 };
 
 // Aggregate of pending requests at a node — the (req, dist) pair of the
-// paper, plus the explicit client items. Slack subtraction is lazy (a
+// paper, plus the chained client items. Slack subtraction is lazy (a
 // per-set offset) so deep chains stay linear-time.
 struct PendingSet {
-  std::vector<PendingEntry> entries;
+  std::uint32_t head = kNil;
+  std::uint32_t tail = kNil;
   Requests total = 0;
   Distance min_slack = kNoDistanceLimit;  // effective min over entries
   Distance offset = 0;                    // pending subtraction per entry
@@ -36,7 +41,8 @@ struct PendingSet {
   [[nodiscard]] bool Empty() const noexcept { return total == 0; }
 
   void Clear() noexcept {
-    entries.clear();
+    head = kNil;
+    tail = kNil;
     total = 0;
     min_slack = kNoDistanceLimit;
     offset = 0;
@@ -48,38 +54,59 @@ struct PendingSet {
     min_slack = SlackMinus(min_slack, d);
     offset = SaturatingAdd(offset, d);
   }
-
-  // Applies the lazy offset to all entries.
-  void Flush() {
-    if (offset == 0) return;
-    for (PendingEntry& entry : entries) entry.slack = SlackMinus(entry.slack, offset);
-    offset = 0;
-  }
-
-  // Appends another set (its offset is flushed first).
-  void Absorb(PendingSet&& other) {
-    other.Flush();
-    if (entries.empty()) {
-      entries = std::move(other.entries);
-      RPT_CHECK(offset == 0);
-    } else {
-      Flush();
-      entries.insert(entries.end(), other.entries.begin(), other.entries.end());
-    }
-    total += other.total;
-    min_slack = std::min(min_slack, other.min_slack);
-    other.Clear();
-  }
 };
 
-// Places a replica at `server` handling every entry of `pending`.
-void PlaceServer(Solution& solution, NodeId server, PendingSet& pending) {
-  solution.replicas.push_back(server);
-  for (const PendingEntry& entry : pending.entries) {
-    solution.assignment.push_back(ServiceEntry{entry.client, server, entry.amount});
+// The shared entry arena plus the set operations that need it.
+class PendingArena {
+ public:
+  explicit PendingArena(std::size_t client_count) { entries_.reserve(client_count); }
+
+  void AddLeaf(PendingSet& set, NodeId client, Requests requests, Distance dmax) {
+    const auto id = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(PendingEntry{client, requests, dmax, kNil});
+    set.head = id;
+    set.tail = id;
+    set.total = requests;
+    set.min_slack = dmax;
   }
-  pending.Clear();
-}
+
+  // Applies the lazy offset to all entries.
+  void Flush(PendingSet& set) {
+    if (set.offset == 0) return;
+    for (std::uint32_t e = set.head; e != kNil; e = entries_[e].next) {
+      entries_[e].slack = SlackMinus(entries_[e].slack, set.offset);
+    }
+    set.offset = 0;
+  }
+
+  // Appends another set (its offset is flushed first); O(1) splice.
+  void Absorb(PendingSet& set, PendingSet& other) {
+    Flush(other);
+    if (set.head == kNil) {
+      set.head = other.head;
+      RPT_CHECK(set.offset == 0);
+    } else {
+      Flush(set);
+      entries_[set.tail].next = other.head;
+    }
+    set.tail = other.tail;
+    set.total += other.total;
+    set.min_slack = std::min(set.min_slack, other.min_slack);
+    other.Clear();
+  }
+
+  // Places a replica at `server` handling every entry of `pending`.
+  void PlaceServer(Solution& solution, NodeId server, PendingSet& pending) {
+    solution.replicas.push_back(server);
+    for (std::uint32_t e = pending.head; e != kNil; e = entries_[e].next) {
+      solution.assignment.push_back(ServiceEntry{entries_[e].client, server, entries_[e].amount});
+    }
+    pending.Clear();
+  }
+
+ private:
+  std::vector<PendingEntry> entries_;
+};
 
 }  // namespace
 
@@ -90,6 +117,7 @@ SingleGenResult SolveSingleGen(const Instance& instance) {
               "single-gen: some client has r_i > W; no Single solution exists");
 
   SingleGenResult result;
+  PendingArena arena(tree.ClientCount());
   std::vector<PendingSet> pending(tree.Size());
 
   for (const NodeId node : tree.PostOrder()) {
@@ -97,11 +125,7 @@ SingleGenResult SolveSingleGen(const Instance& instance) {
     if (tree.IsClient(node)) {
       // Leaf: return (r_j, dmax).
       const Requests requests = tree.RequestsOf(node);
-      if (requests > 0) {
-        mine.entries.push_back(PendingEntry{node, requests, instance.Dmax()});
-        mine.total = requests;
-        mine.min_slack = instance.Dmax();
-      }
+      if (requests > 0) arena.AddLeaf(mine, node, requests, instance.Dmax());
       continue;
     }
 
@@ -113,8 +137,8 @@ SingleGenResult SolveSingleGen(const Instance& instance) {
       if (theirs.Empty()) continue;
       const Distance delta = tree.DistToParent(child);
       if (delta > theirs.min_slack) {
-        theirs.Flush();
-        PlaceServer(result.solution, child, theirs);
+        arena.Flush(theirs);
+        arena.PlaceServer(result.solution, child, theirs);
         ++result.stats.distance_replicas;
       } else {
         theirs.Ascend(delta);
@@ -128,8 +152,8 @@ SingleGenResult SolveSingleGen(const Instance& instance) {
       for (const NodeId child : tree.Children(node)) {
         PendingSet& theirs = pending[child];
         if (theirs.Empty()) continue;
-        theirs.Flush();
-        PlaceServer(result.solution, child, theirs);
+        arena.Flush(theirs);
+        arena.PlaceServer(result.solution, child, theirs);
         ++result.stats.capacity_replicas;
       }
       continue;  // (0, dmax) goes up
@@ -139,16 +163,16 @@ SingleGenResult SolveSingleGen(const Instance& instance) {
     if (node == tree.Root()) {
       PendingSet merged;
       for (const NodeId child : tree.Children(node)) {
-        if (!pending[child].Empty()) merged.Absorb(std::move(pending[child]));
+        if (!pending[child].Empty()) arena.Absorb(merged, pending[child]);
       }
       if (!merged.Empty()) {
-        merged.Flush();
-        PlaceServer(result.solution, tree.Root(), merged);
+        arena.Flush(merged);
+        arena.PlaceServer(result.solution, tree.Root(), merged);
         ++result.stats.distance_replicas;  // R1 in the proof of Theorem 3
       }
     } else {
       for (const NodeId child : tree.Children(node)) {
-        if (!pending[child].Empty()) mine.Absorb(std::move(pending[child]));
+        if (!pending[child].Empty()) arena.Absorb(mine, pending[child]);
       }
       RPT_CHECK(mine.total <= capacity);
     }

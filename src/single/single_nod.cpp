@@ -1,27 +1,104 @@
 #include "single/single_nod.hpp"
 
 #include <algorithm>
-#include <utility>
 #include <vector>
 
 namespace rpt::single {
 
 namespace {
 
-// A pending bundle: requests of `clients` (all inside subtree(root_node))
-// that can be served together by a replica at root_node or any ancestor.
+constexpr std::uint32_t kNil = static_cast<std::uint32_t>(-1);
+
+// One (client, amount) block of a bundle, stored in a shared arena and
+// chained through `next`. Bundles only ever concatenate, so a singly linked
+// chain makes every merge O(1) with zero allocation.
+struct Entry {
+  NodeId client = kInvalidNode;
+  Requests amount = 0;
+  std::uint32_t next = kNil;
+};
+
+// A pending bundle: requests of the chained entries (all inside
+// subtree(root_node)) that can be served together by a replica at root_node
+// or any ancestor. Bundles themselves chain into per-node pending lists.
 struct Bundle {
   NodeId root_node = kInvalidNode;
   Requests total = 0;
-  std::vector<std::pair<NodeId, Requests>> clients;
+  std::uint32_t head = kNil;  // first entry in the arena
+  std::uint32_t tail = kNil;  // last entry (for O(1) concatenation)
+  std::uint32_t next = kNil;  // next bundle in the same pending list
 };
 
-// Serves every client of the bundle at `server`.
-void ServeBundle(Solution& solution, NodeId server, const Bundle& bundle) {
-  for (const auto& [client, amount] : bundle.clients) {
-    solution.assignment.push_back(ServiceEntry{client, server, amount});
+// Flat replacement for the former per-node std::vector<Bundle> lists: two
+// arenas (entries, bundles) plus head/tail cursors per node.
+class BundleLists {
+ public:
+  explicit BundleLists(const Tree& tree)
+      : head_(tree.Size(), kNil), tail_(tree.Size(), kNil) {
+    entries_.reserve(tree.ClientCount());
+    bundles_.reserve(tree.Size());
   }
-}
+
+  [[nodiscard]] Bundle& At(std::uint32_t id) { return bundles_[id]; }
+
+  std::uint32_t MakeLeafBundle(NodeId client, Requests requests) {
+    const auto entry = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(Entry{client, requests, kNil});
+    const auto bundle = static_cast<std::uint32_t>(bundles_.size());
+    bundles_.push_back(Bundle{client, requests, entry, entry, kNil});
+    return bundle;
+  }
+
+  // Concatenates the entry chains of `parts` (in order) into one new bundle
+  // rooted at `root` — O(|parts|), no entry is copied or reallocated.
+  std::uint32_t MakeMergedBundle(NodeId root, Requests total,
+                                 const std::vector<std::uint32_t>& parts) {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    for (const std::uint32_t part : parts) {
+      if (head == kNil) {
+        head = bundles_[part].head;
+      } else {
+        entries_[tail].next = bundles_[part].head;
+      }
+      tail = bundles_[part].tail;
+    }
+    const auto bundle = static_cast<std::uint32_t>(bundles_.size());
+    bundles_.push_back(Bundle{root, total, head, tail, kNil});
+    return bundle;
+  }
+
+  void Append(NodeId node, std::uint32_t bundle) {
+    bundles_[bundle].next = kNil;
+    if (head_[node] == kNil) {
+      head_[node] = bundle;
+    } else {
+      bundles_[tail_[node]].next = bundle;
+    }
+    tail_[node] = bundle;
+  }
+
+  // Moves the pending list of `node` into `out` (bundle ids, list order).
+  void Drain(NodeId node, std::vector<std::uint32_t>& out) {
+    out.clear();
+    for (std::uint32_t b = head_[node]; b != kNil; b = bundles_[b].next) out.push_back(b);
+    head_[node] = kNil;
+    tail_[node] = kNil;
+  }
+
+  // Serves every entry of the bundle at `server`, in chain order.
+  void ServeBundle(Solution& solution, NodeId server, std::uint32_t bundle) const {
+    for (std::uint32_t e = bundles_[bundle].head; e != kNil; e = entries_[e].next) {
+      solution.assignment.push_back(ServiceEntry{entries_[e].client, server, entries_[e].amount});
+    }
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<Bundle> bundles_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> tail_;
+};
 
 }  // namespace
 
@@ -38,62 +115,65 @@ SingleNodResult SolveSingleNod(const Instance& instance, const SingleNodOptions&
 
   // L_j of the paper; bundles arrive from direct children and from
   // re-parenting at deeper overflow nodes.
-  std::vector<std::vector<Bundle>> lists(tree.Size());
+  BundleLists lists(tree);
+  std::vector<std::uint32_t> mine;  // reused per-node drain scratch
 
   for (const NodeId node : tree.PostOrder()) {
     if (tree.IsClient(node)) {
       const Requests requests = tree.RequestsOf(node);
       if (requests > 0 && node != tree.Root()) {
-        lists[tree.Parent(node)].push_back(
-            Bundle{node, requests, {{node, requests}}});
+        lists.Append(tree.Parent(node), lists.MakeLeafBundle(node, requests));
       }
       continue;
     }
 
-    std::vector<Bundle>& mine = lists[node];
+    lists.Drain(node, mine);
     Requests total = 0;
-    for (const Bundle& bundle : mine) total += bundle.total;
+    for (const std::uint32_t bundle : mine) total += lists.At(bundle).total;
 
     if (total > capacity) {
       // Overflow: this node becomes a server and greedily absorbs the
       // smallest bundles; the first bundle that would overflow gets its own
       // server at its root node (jmin of the paper).
       const bool ascending = options.order == SingleNodOptions::BundleOrder::kSmallestFirst;
-      std::sort(mine.begin(), mine.end(), [ascending](const Bundle& a, const Bundle& b) {
-        if (a.total != b.total) return ascending ? a.total < b.total : a.total > b.total;
-        return a.root_node < b.root_node;  // deterministic tie-break
-      });
+      std::sort(mine.begin(), mine.end(),
+                [ascending, &lists](std::uint32_t a, std::uint32_t b) {
+                  const Bundle& ba = lists.At(a);
+                  const Bundle& bb = lists.At(b);
+                  if (ba.total != bb.total) {
+                    return ascending ? ba.total < bb.total : ba.total > bb.total;
+                  }
+                  return ba.root_node < bb.root_node;  // deterministic tie-break
+                });
       solution.replicas.push_back(node);
       ++result.stats.overflow_servers;
       Requests used = 0;
       std::size_t index = 0;
       for (; index < mine.size(); ++index) {
-        const Bundle& bundle = mine[index];
+        const Bundle& bundle = lists.At(mine[index]);
         if (used + bundle.total <= capacity) {
           used += bundle.total;
-          ServeBundle(solution, node, bundle);
+          lists.ServeBundle(solution, node, mine[index]);
           continue;
         }
         // First overflow: companion server at the bundle's own root.
         solution.replicas.push_back(bundle.root_node);
         ++result.stats.extra_servers;
-        ServeBundle(solution, bundle.root_node, bundle);
+        lists.ServeBundle(solution, bundle.root_node, mine[index]);
         ++index;
         break;
       }
       // Remaining bundles: re-parent (or, at the root, each gets a server).
       if (node != tree.Root()) {
-        auto& parent_list = lists[tree.Parent(node)];
-        for (; index < mine.size(); ++index) parent_list.push_back(std::move(mine[index]));
+        for (; index < mine.size(); ++index) lists.Append(tree.Parent(node), mine[index]);
       } else {
         for (; index < mine.size(); ++index) {
-          const Bundle& bundle = mine[index];
+          const Bundle& bundle = lists.At(mine[index]);
           solution.replicas.push_back(bundle.root_node);
           ++result.stats.root_spill_servers;
-          ServeBundle(solution, bundle.root_node, bundle);
+          lists.ServeBundle(solution, bundle.root_node, mine[index]);
         }
       }
-      mine.clear();
       continue;
     }
 
@@ -102,21 +182,13 @@ SingleNodResult SolveSingleNod(const Instance& instance, const SingleNodOptions&
       if (total > 0) {
         solution.replicas.push_back(tree.Root());
         result.stats.root_server = true;
-        for (const Bundle& bundle : mine) ServeBundle(solution, tree.Root(), bundle);
+        for (const std::uint32_t bundle : mine) lists.ServeBundle(solution, tree.Root(), bundle);
       }
-      mine.clear();
       continue;
     }
     if (total > 0) {
-      Bundle merged;
-      merged.root_node = node;
-      merged.total = total;
-      for (Bundle& bundle : mine) {
-        merged.clients.insert(merged.clients.end(), bundle.clients.begin(), bundle.clients.end());
-      }
-      lists[tree.Parent(node)].push_back(std::move(merged));
+      lists.Append(tree.Parent(node), lists.MakeMergedBundle(node, total, mine));
     }
-    mine.clear();
   }
 
   return result;

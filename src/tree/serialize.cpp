@@ -62,6 +62,7 @@ Tree ReadTree(std::istream& is) {
   RPT_REQUIRE(n >= 1, "ReadTree: node count must be >= 1");
 
   TreeBuilder builder;
+  builder.Reserve(n);
   for (std::uint64_t expected = 0; expected < n; ++expected) {
     RPT_REQUIRE(NextLine(is, line), "ReadTree: truncated node list");
     std::istringstream row(line);

@@ -4,6 +4,13 @@
 
 namespace rpt {
 
+void TreeBuilder::Reserve(std::size_t node_count) {
+  kind_.reserve(node_count);
+  parent_.reserve(node_count);
+  delta_.reserve(node_count);
+  requests_.reserve(node_count);
+}
+
 NodeId TreeBuilder::AddRoot() {
   RPT_REQUIRE(kind_.empty(), "TreeBuilder: root must be the first node");
   return AddNode(kInvalidNode, kNoDistanceLimit, NodeKind::kInternal, 0);
@@ -32,21 +39,13 @@ NodeId TreeBuilder::AddNode(NodeId parent, Distance delta, NodeKind kind, Reques
   parent_.push_back(parent);
   delta_.push_back(delta);
   requests_.push_back(requests);
-  children_.emplace_back();
-  if (parent != kInvalidNode) children_[parent].push_back(id);
+  if (kind == NodeKind::kClient) ++client_count_;
   return id;
 }
 
 Tree TreeBuilder::Build() {
   RPT_REQUIRE(!kind_.empty(), "TreeBuilder: empty tree");
   const std::size_t n = kind_.size();
-  for (std::size_t id = 0; id < n; ++id) {
-    if (kind_[id] == NodeKind::kClient) {
-      RPT_REQUIRE(children_[id].empty(), "TreeBuilder: clients must be leaves");
-    } else if (id != 0) {
-      RPT_REQUIRE(!children_[id].empty(), "TreeBuilder: non-root internal node without children");
-    }
-  }
 
   Tree tree;
   tree.kind_ = std::move(kind_);
@@ -54,76 +53,98 @@ Tree TreeBuilder::Build() {
   tree.delta_ = std::move(delta_);
   tree.requests_ = std::move(requests_);
 
-  // CSR children layout.
+  // CSR children layout by counting sort over the parent column. Scattering
+  // ids in increasing order reproduces per-parent insertion order, because
+  // AddNode appends children in id order. AddNode already rejects client
+  // parents, so only the non-root-internal-must-have-children check remains.
   tree.children_begin_.assign(n + 1, 0);
-  for (std::size_t id = 0; id < n; ++id) {
-    tree.children_begin_[id + 1] =
-        tree.children_begin_[id] + static_cast<std::uint32_t>(children_[id].size());
+  for (std::size_t id = 1; id < n; ++id) {
+    ++tree.children_begin_[static_cast<std::size_t>(tree.parent_[id]) + 1];
   }
-  tree.children_flat_.reserve(n - 1);
   for (std::size_t id = 0; id < n; ++id) {
-    tree.children_flat_.insert(tree.children_flat_.end(), children_[id].begin(),
-                               children_[id].end());
+    if (tree.kind_[id] == NodeKind::kInternal && id != 0) {
+      RPT_REQUIRE(tree.children_begin_[id + 1] != 0,
+                  "TreeBuilder: non-root internal node without children");
+    }
+    tree.children_begin_[id + 1] += tree.children_begin_[id];
+  }
+  tree.children_flat_.resize(n - 1);
+  {
+    std::vector<std::uint32_t> cursor(tree.children_begin_.begin(),
+                                      tree.children_begin_.end() - 1);
+    for (std::size_t id = 1; id < n; ++id) {
+      tree.children_flat_[cursor[tree.parent_[id]]++] = static_cast<NodeId>(id);
+    }
   }
 
-  // Derived per-node data via one iterative DFS from the root.
+  // Derived per-node data. AddNode guarantees a parent exists before its
+  // children (parent id < child id), so the tree is connected by
+  // construction and every derived column falls out of flat sequential
+  // passes — no DFS anywhere:
+  //  * forward id pass: depth, root distance, arity, client list;
+  //  * reverse id pass: subtree sizes and request totals (children fold
+  //    into parents bottom-up);
+  //  * forward id pass: Euler intervals, because the DFS clock is fully
+  //    determined by subtree sizes — the first child enters at tin+1 and
+  //    each next sibling at the previous sibling's tout+1, with
+  //    tout = tin + 2*subtree_size - 1;
+  //  * clock scan: post-order is the nodes sorted by tout, recovered by
+  //    bucketing touts over the 2n Euler clock ticks.
+  // The resulting tin/tout/post-order match the classic iterative DFS tick
+  // for tick.
   tree.depth_.assign(n, 0);
   tree.dist_root_.assign(n, 0);
-  tree.tin_.assign(n, 0);
-  tree.tout_.assign(n, 0);
-  tree.post_order_.clear();
-  tree.post_order_.reserve(n);
   tree.clients_.clear();
+  tree.clients_.reserve(client_count_);
+  client_count_ = 0;
   tree.arity_ = 0;
   tree.total_requests_ = 0;
-
-  std::uint32_t clock = 0;
-  std::size_t visited = 0;
-  // Stack frames: (node, next child index).
-  std::vector<std::pair<NodeId, std::uint32_t>> stack;
-  stack.reserve(64);
-  stack.emplace_back(0, 0);
-  tree.tin_[0] = clock++;
-  while (!stack.empty()) {
-    auto& [node, next_child] = stack.back();
-    const auto kids = tree.Children(node);
-    if (next_child == 0) {
-      ++visited;
-      tree.arity_ = std::max(tree.arity_, static_cast<std::uint32_t>(kids.size()));
-      if (tree.kind_[node] == NodeKind::kClient) {
-        tree.clients_.push_back(node);
-        tree.total_requests_ += tree.requests_[node];
-      }
-    }
-    if (next_child < kids.size()) {
-      const NodeId child = kids[next_child++];
-      tree.depth_[child] = tree.depth_[node] + 1;
-      tree.dist_root_[child] = tree.dist_root_[node] + tree.delta_[child];
-      RPT_REQUIRE(tree.dist_root_[child] < kNoDistanceLimit / 2,
+  for (std::size_t id = 0; id < n; ++id) {
+    if (id != 0) {
+      const NodeId parent = tree.parent_[id];
+      tree.depth_[id] = tree.depth_[parent] + 1;
+      tree.dist_root_[id] = tree.dist_root_[parent] + tree.delta_[id];
+      RPT_REQUIRE(tree.dist_root_[id] < kNoDistanceLimit / 2,
                   "TreeBuilder: root distance overflow");
-      tree.tin_[child] = clock++;
-      stack.emplace_back(child, 0);
-    } else {
-      tree.tout_[node] = clock++;
-      tree.post_order_.push_back(node);
-      stack.pop_back();
+    }
+    tree.arity_ = std::max(tree.arity_, tree.children_begin_[id + 1] - tree.children_begin_[id]);
+    if (tree.kind_[id] == NodeKind::kClient) {
+      tree.clients_.push_back(static_cast<NodeId>(id));
+      tree.total_requests_ += tree.requests_[id];
     }
   }
-  RPT_REQUIRE(visited == n, "TreeBuilder: disconnected nodes present");
 
-  // Subtree aggregates in post-order.
   tree.subtree_requests_.assign(n, 0);
   tree.subtree_size_.assign(n, 1);
-  for (NodeId node : tree.post_order_) {
-    if (tree.kind_[node] == NodeKind::kClient) tree.subtree_requests_[node] = tree.requests_[node];
-    for (NodeId child : tree.Children(node)) {
-      tree.subtree_requests_[node] += tree.subtree_requests_[child];
-      tree.subtree_size_[node] += tree.subtree_size_[child];
+  for (std::size_t id = n; id-- > 1;) {
+    const NodeId parent = tree.parent_[id];
+    if (tree.kind_[id] == NodeKind::kClient) tree.subtree_requests_[id] += tree.requests_[id];
+    tree.subtree_requests_[parent] += tree.subtree_requests_[id];
+    tree.subtree_size_[parent] += tree.subtree_size_[id];
+  }
+  if (tree.kind_[0] == NodeKind::kClient) tree.subtree_requests_[0] += tree.requests_[0];
+
+  tree.tin_.assign(n, 0);
+  for (std::size_t id = 0; id < n; ++id) {
+    std::uint32_t clock = tree.tin_[id] + 1;
+    for (std::uint32_t slot = tree.children_begin_[id]; slot < tree.children_begin_[id + 1];
+         ++slot) {
+      const NodeId child = tree.children_flat_[slot];
+      tree.tin_[child] = clock;
+      clock += 2 * tree.subtree_size_[child];
     }
   }
 
-  // Leave the builder reusable-but-empty.
-  children_.clear();
+  // Post-order position from the Euler clock: when a node exits, the ticks
+  // spent so far are two per already-exited node (its tin and tout), one per
+  // open ancestor (its tin), and the node's own tin — so
+  // tout = 2*post_index + depth + 1.
+  tree.post_order_.resize(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    tree.post_order_[(tree.Tout(static_cast<NodeId>(id)) - tree.depth_[id] - 1) / 2] =
+        static_cast<NodeId>(id);
+  }
+
   return tree;
 }
 

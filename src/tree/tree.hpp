@@ -96,7 +96,7 @@ class Tree {
   [[nodiscard]] bool IsAncestorOrSelf(NodeId ancestor, NodeId node) const {
     Check(ancestor);
     Check(node);
-    return tin_[ancestor] <= tin_[node] && tout_[node] <= tout_[ancestor];
+    return tin_[ancestor] <= tin_[node] && Tout(node) <= Tout(ancestor);
   }
 
   /// Path distance from `node` up to `ancestor`; requires
@@ -124,6 +124,12 @@ class Tree {
     return id;
   }
 
+  /// Euler exit tick, derived from the entry tick and the subtree size (a
+  /// subtree of s nodes spans exactly 2s consecutive ticks).
+  [[nodiscard]] std::uint32_t Tout(NodeId id) const noexcept {
+    return tin_[id] + 2 * subtree_size_[id] - 1;
+  }
+
   std::vector<NodeKind> kind_;
   std::vector<NodeId> parent_;
   std::vector<Distance> delta_;
@@ -135,7 +141,6 @@ class Tree {
   std::vector<std::uint32_t> depth_;
   std::vector<Distance> dist_root_;
   std::vector<std::uint32_t> tin_;
-  std::vector<std::uint32_t> tout_;
   std::vector<Requests> subtree_requests_;
   std::vector<std::uint32_t> subtree_size_;
   Requests total_requests_ = 0;
@@ -150,7 +155,10 @@ class Tree {
 ///   Tree t = b.Build();
 ///
 /// Build() validates the structure (exactly one root, clients are leaves,
-/// internal nodes have at least one child) and freezes the tree.
+/// internal nodes have at least one child) and freezes the tree. The builder
+/// itself stores only flat per-node columns; the CSR children arrays are
+/// materialized in Build() by a counting pass over the parent column, so no
+/// per-node child vectors are ever allocated.
 class TreeBuilder {
  public:
   TreeBuilder() = default;
@@ -168,6 +176,10 @@ class TreeBuilder {
   /// Number of nodes added so far.
   [[nodiscard]] std::size_t Size() const noexcept { return kind_.size(); }
 
+  /// Pre-allocates the per-node columns for `node_count` nodes. Optional;
+  /// generators that know the final size call it to avoid regrowth.
+  void Reserve(std::size_t node_count);
+
   /// Validates and freezes; the builder is left empty afterwards.
   [[nodiscard]] Tree Build();
 
@@ -178,7 +190,7 @@ class TreeBuilder {
   std::vector<NodeId> parent_;
   std::vector<Distance> delta_;
   std::vector<Requests> requests_;
-  std::vector<std::vector<NodeId>> children_;
+  std::size_t client_count_ = 0;
 };
 
 }  // namespace rpt
