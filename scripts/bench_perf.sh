@@ -1,21 +1,26 @@
 #!/usr/bin/env bash
-# Perf trajectory tracking: runs the hot-path kernel bench single-threaded in
-# Release and writes BENCH_hotpath.json (aggregate report *including* wall
-# time statistics). CI uploads the JSON as a workflow artifact so every
-# commit leaves a per-kernel timing trail.
+# Perf trajectory tracking: runs the hot-path kernel bench across the solver
+# thread ladder in Release and writes BENCH_hotpath.json (aggregate report
+# *including* wall time statistics plus the per-kernel thread_sweep speedup
+# section). CI uploads the JSON as a workflow artifact so every commit
+# leaves a per-kernel timing trail, and diffs it against the committed
+# baseline with scripts/bench_compare.py.
 #
-# Usage: scripts/bench_perf.sh [build-dir] [output-json]
-#   build-dir    default: build
-#   output-json  default: BENCH_hotpath.json
+# Usage: scripts/bench_perf.sh [build-dir] [output-json] [thread-sweep]
+#   build-dir     default: build
+#   output-json   default: BENCH_hotpath.json
+#   thread-sweep  default: 1,2,4,8 (first entry is the speedup baseline and
+#                 the source of the report's headline timing columns)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_hotpath.json}"
+THREAD_SWEEP="${3:-1,2,4,8}"
 
 if [[ ! -x "$BUILD_DIR/bench_hotpath" ]]; then
   echo "bench_hotpath not found in $BUILD_DIR — build the benches first" >&2
   exit 1
 fi
 
-"$BUILD_DIR/bench_hotpath" --threads 1 --json "$OUT_JSON"
+"$BUILD_DIR/bench_hotpath" --thread-sweep "$THREAD_SWEEP" --json "$OUT_JSON"
 echo "wrote $OUT_JSON"

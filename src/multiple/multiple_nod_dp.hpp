@@ -15,12 +15,30 @@
 // exact — we use it both as a baseline for the policy-gap experiments and to
 // cross-check multiple-bin on NoD binary instances at sizes the brute-force
 // solver cannot reach.
+// The forward pass is level-synchronous: all subtree merges at one tree
+// depth are independent, so they run as parallel chunks on the process-wide
+// solver pool (SolverPool()), each chunk leasing a reusable scratch arena.
+// Outputs are byte-identical to the serial pass at any thread count.
 #pragma once
+
+#include <cstddef>
+#include <cstdint>
 
 #include "model/instance.hpp"
 #include "model/solution.hpp"
 
 namespace rpt::multiple {
+
+namespace detail {
+
+/// The staircase-merge inner loop: out[j] = min(out[j], rhs[j] + shift) for
+/// j in [0, n). Written branch-free over restrict-qualified flat arrays so
+/// the compiler auto-vectorizes it; equivalent entry-for-entry to the scalar
+/// reference (asserted by test_multiple_nod_dp).
+void MergeMinShift(std::uint32_t* out, const std::uint32_t* rhs, std::uint32_t shift,
+                   std::size_t n) noexcept;
+
+}  // namespace detail
 
 /// Counters describing the work and footprint of one DP run.
 struct MultipleNodDpStats {

@@ -15,18 +15,11 @@
 #include "support/common.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rpt::runner {
 
 namespace {
-
-// Deterministic double formatting for JSON/CSV: enough digits to round-trip
-// the aggregate means, same string on every run with the same inputs.
-std::string FormatDouble(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
-  return buffer;
-}
 
 std::string EscapeJson(std::string_view text) {
   std::string out;
@@ -52,9 +45,9 @@ std::string EscapeJson(std::string_view text) {
 }
 
 void WriteStatJson(std::ostream& os, const StatAccumulator& stat) {
-  os << "{\"count\":" << stat.Count() << ",\"mean\":" << FormatDouble(stat.Mean())
-     << ",\"min\":" << FormatDouble(stat.Min()) << ",\"max\":" << FormatDouble(stat.Max())
-     << ",\"stddev\":" << FormatDouble(stat.Stddev()) << "}";
+  os << "{\"count\":" << stat.Count() << ",\"mean\":" << FormatCompactDouble(stat.Mean())
+     << ",\"min\":" << FormatCompactDouble(stat.Min()) << ",\"max\":" << FormatCompactDouble(stat.Max())
+     << ",\"stddev\":" << FormatCompactDouble(stat.Stddev()) << "}";
 }
 
 }  // namespace
@@ -116,16 +109,24 @@ std::uint64_t BatchReport::TotalValidationFailures() const noexcept {
   return total;
 }
 
-void BatchReport::WriteJson(std::ostream& os, bool include_timing) const {
+void BatchReport::WriteJson(std::ostream& os, bool include_timing,
+                            std::string_view extra_json) const {
   os << "{\"cells\":" << TotalCells() << ",\"errors\":" << TotalErrors() << ",\"groups\":[";
   bool first = true;
   for (const GroupReport& g : groups_) {
     if (!first) os << ",";
     first = false;
     os << "{\"group\":\"" << EscapeJson(g.group) << "\",\"cells\":" << g.cells
-       << ",\"errors\":" << g.errors << ",\"feasible\":" << g.feasible
-       << ",\"validation_failures\":" << g.validation_failures << ",\"cost\":";
-    WriteStatJson(os, g.cost);
+       << ",\"errors\":" << g.errors;
+    if (g.metric_only) {
+      // Timing/metric group: no solution, so the feasibility/cost columns
+      // would only ever report zeros — suppress them.
+      os << ",\"metric_only\":true";
+    } else {
+      os << ",\"feasible\":" << g.feasible
+         << ",\"validation_failures\":" << g.validation_failures << ",\"cost\":";
+      WriteStatJson(os, g.cost);
+    }
     if (!g.metrics.empty()) {
       os << ",\"metrics\":{";
       bool first_metric = true;
@@ -167,19 +168,21 @@ void BatchReport::WriteJson(std::ostream& os, bool include_timing) const {
     }
     os << "]";
   }
+  if (!extra_json.empty()) os << "," << extra_json;
   os << "}\n";
 }
 
-std::string BatchReport::ToJson(bool include_timing) const {
+std::string BatchReport::ToJson(bool include_timing, std::string_view extra_json) const {
   std::ostringstream os;
-  WriteJson(os, include_timing);
+  WriteJson(os, include_timing, extra_json);
   return os.str();
 }
 
-void BatchReport::WriteJsonFile(const std::string& path, bool include_timing) const {
+void BatchReport::WriteJsonFile(const std::string& path, bool include_timing,
+                                std::string_view extra_json) const {
   std::ofstream os(path);
   RPT_REQUIRE(os.good(), "BatchReport: cannot open JSON output file: " + path);
-  WriteJson(os, include_timing);
+  WriteJson(os, include_timing, extra_json);
   os.flush();  // surface buffered write errors (e.g. ENOSPC) before checking
   RPT_REQUIRE(os.good(), "BatchReport: write failed for JSON output file: " + path);
 }
@@ -210,16 +213,17 @@ void BatchReport::WriteCsv(std::ostream& os, bool include_timing) const {
   }
   Table table(std::move(headers));
   for (const GroupReport& g : groups_) {
-    Table& row = table.NewRow()
-                     .Add(g.group)
-                     .Add(g.cells)
-                     .Add(g.errors)
-                     .Add(g.feasible)
-                     .Add(g.validation_failures)
-                     .Add(g.cost.Mean(), 4)
-                     .Add(g.cost.Min(), 0)
-                     .Add(g.cost.Max(), 0)
-                     .Add(g.cost.Stddev(), 4);
+    Table& row = table.NewRow().Add(g.group).Add(g.cells).Add(g.errors);
+    if (g.metric_only) {
+      row.Add("").Add("").Add("").Add("").Add("").Add("");
+    } else {
+      row.Add(g.feasible)
+          .Add(g.validation_failures)
+          .Add(g.cost.Mean(), 4)
+          .Add(g.cost.Min(), 0)
+          .Add(g.cost.Max(), 0)
+          .Add(g.cost.Stddev(), 4);
+    }
     for (const std::string& name : metric_names) {
       if (const StatAccumulator* stat = g.FindMetric(name)) {
         row.Add(stat->Mean(), 4).Add(stat->Min(), 4).Add(stat->Max(), 4);
@@ -238,16 +242,13 @@ void BatchReport::PrintAscii(std::ostream& os) const {
   Table table({"group", "cells", "err", "feasible", "cost mean", "cost min", "cost max",
                "ms mean", "ms max"});
   for (const GroupReport& g : groups_) {
-    table.NewRow()
-        .Add(g.group)
-        .Add(g.cells)
-        .Add(g.errors)
-        .Add(g.feasible)
-        .Add(g.cost.Mean(), 2)
-        .Add(g.cost.Min(), 0)
-        .Add(g.cost.Max(), 0)
-        .Add(g.elapsed_ms.Mean(), 3)
-        .Add(g.elapsed_ms.Max(), 3);
+    Table& row = table.NewRow().Add(g.group).Add(g.cells).Add(g.errors);
+    if (g.metric_only) {
+      row.Add("-").Add("-").Add("-").Add("-");  // timing/metric-only group
+    } else {
+      row.Add(g.feasible).Add(g.cost.Mean(), 2).Add(g.cost.Min(), 0).Add(g.cost.Max(), 0);
+    }
+    row.Add(g.elapsed_ms.Mean(), 3).Add(g.elapsed_ms.Max(), 3);
   }
   table.PrintAscii(os);
 
@@ -323,9 +324,9 @@ void BatchRunner::AddSweep(std::string group,
                            std::function<Instance(std::uint64_t)> make_instance,
                            std::function<core::RunResult(const Instance&)> solve,
                            std::uint64_t base_seed, std::size_t seed_count,
-                           std::vector<Metric> metrics) {
+                           std::vector<Metric> metrics, bool metric_only) {
   for (std::size_t i = 0; i < seed_count; ++i) {
-    Add(Cell{group, make_instance, solve, DeriveSeed(base_seed, i), metrics});
+    Add(Cell{group, make_instance, solve, DeriveSeed(base_seed, i), metrics, metric_only});
   }
 }
 
@@ -442,12 +443,22 @@ BatchReport BatchRunner::Run() {
     };
 
     if (threads == 1) {
+      // Inline on the caller: cells may still use intra-solver parallelism
+      // (this is how bench_hotpath measures one instance saturating the
+      // solver pool).
       worker_body(0);
     } else {
+      // Spawned workers mark themselves as engine workers so solvers inside
+      // cells run their fork-join loops inline — the batch workers already
+      // saturate the cores, and nesting onto the shared solver pool would
+      // only oversubscribe it.
       std::vector<std::jthread> workers;
       workers.reserve(threads);
       for (std::size_t w = 0; w < threads; ++w) {
-        workers.emplace_back(worker_body, w);
+        workers.emplace_back([&worker_body, w] {
+          const ThreadPool::ScopedWorkerMark mark;
+          worker_body(w);
+        });
       }
     }
   }
@@ -462,16 +473,18 @@ BatchReport BatchRunner::Run() {
     if (inserted) {
       GroupReport group;
       group.group = result.group;
+      group.metric_only = cells_[i].metric_only;
       report.groups_.push_back(std::move(group));
     }
     GroupReport& group = report.groups_[it->second];
+    RPT_CHECK(group.metric_only == cells_[i].metric_only);  // groups must agree
     ++group.cells;
     if (!result.ok) {
       ++group.errors;
       continue;
     }
     group.elapsed_ms.Add(result.elapsed_ms);
-    if (result.feasible) {
+    if (result.feasible && !group.metric_only) {
       ++group.feasible;
       group.cost.Add(static_cast<double>(result.cost));
       if (!result.validation_ok) ++group.validation_failures;

@@ -64,6 +64,11 @@ struct Cell {
   std::uint64_t seed = 0;
   /// Custom metrics evaluated on (instance, run result) after the solve.
   std::vector<Metric> metrics;
+  /// Timing/metric-only cell: the solve produces no solution to validate
+  /// (e.g. the tree-build kernel), so the feasibility/cost/validation
+  /// columns are meaningless and are suppressed in every report format.
+  /// All cells of a group must agree on this flag.
+  bool metric_only = false;
 };
 
 /// Adapts a registry algorithm to a Cell solve function (runs core::Run).
@@ -112,6 +117,7 @@ struct GroupReport {
   std::string group;
   std::uint64_t cells = 0;
   std::uint64_t errors = 0;               ///< cells that threw
+  bool metric_only = false;    ///< timing/metric group: no solution columns
   std::uint64_t feasible = 0;             ///< cells with a solution
   std::uint64_t validation_failures = 0;  ///< feasible cells failing validation
   StatAccumulator cost;        ///< over feasible cells
@@ -155,11 +161,17 @@ class BatchReport {
   /// comparison ratio stats). Timing stats are excluded by default so the
   /// output is bit-identical across runs and thread counts. All strings are
   /// JSON-escaped, so group/solver/metric names may contain any characters.
-  void WriteJson(std::ostream& os, bool include_timing = false) const;
-  [[nodiscard]] std::string ToJson(bool include_timing = false) const;
+  /// `extra_json`, when non-empty, must be one or more complete top-level
+  /// members (e.g. "\"thread_sweep\":{...}", already escaped by the caller)
+  /// and is spliced verbatim before the closing brace.
+  void WriteJson(std::ostream& os, bool include_timing = false,
+                 std::string_view extra_json = {}) const;
+  [[nodiscard]] std::string ToJson(bool include_timing = false,
+                                   std::string_view extra_json = {}) const;
 
   /// Writes the JSON report to a file; throws InvalidArgument on I/O error.
-  void WriteJsonFile(const std::string& path, bool include_timing = false) const;
+  void WriteJsonFile(const std::string& path, bool include_timing = false,
+                     std::string_view extra_json = {}) const;
 
   /// Writes one CSV row per group (timing columns included when asked).
   /// Custom metric columns are the union over groups (empty when a group
@@ -200,10 +212,12 @@ class BatchRunner {
 
   /// Adds `seed_count` cells for the same group/generator/solver, with
   /// per-cell seeds DeriveSeed(base_seed, 0..seed_count-1). The optional
-  /// metrics are attached to every cell.
+  /// metrics are attached to every cell; `metric_only` marks the whole
+  /// sweep as a timing/metric group (see Cell::metric_only).
   void AddSweep(std::string group, std::function<Instance(std::uint64_t)> make_instance,
                 std::function<core::RunResult(const Instance&)> solve, std::uint64_t base_seed,
-                std::size_t seed_count, std::vector<Metric> metrics = {});
+                std::size_t seed_count, std::vector<Metric> metrics = {},
+                bool metric_only = false);
 
   /// Adds a paired comparison sweep: for each of `seed_count` derived seeds,
   /// every solver runs on the *identical* instance (same derived seed fed to

@@ -1,0 +1,166 @@
+// Reusable scratch memory for the hot solver kernels.
+//
+// Two pieces:
+//  * Arena — a bump allocator over reused slabs for trivially-destructible
+//    scratch. Reset() rewinds the cursor without releasing the slabs, so a
+//    kernel that resets between iterations allocates from the OS only while
+//    warming up and runs allocation-free in steady state.
+//  * ScratchPool<T> — a thread-safe freelist of reusable scratch objects for
+//    fork-join kernels: each parallel chunk leases one T (created on first
+//    use, recycled afterwards), so the pool holds at most max-concurrency
+//    objects for the lifetime of the solve instead of one allocation per
+//    chunk per level.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace rpt {
+
+/// Bump allocator over reused slabs. Allocations are never individually
+/// freed; Reset() recycles everything at once while keeping the slab memory.
+/// Only trivially-destructible element types are allowed (nothing runs
+/// destructors). Not thread-safe — use one Arena per worker/scratch object.
+class Arena {
+ public:
+  /// `slab_bytes` is the granularity of slab growth; requests larger than a
+  /// slab get a dedicated slab of exactly the requested size.
+  explicit Arena(std::size_t slab_bytes = std::size_t{1} << 20) : slab_bytes_(slab_bytes) {
+    RPT_REQUIRE(slab_bytes >= 1, "Arena: slab size must be >= 1 byte");
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates an uninitialized span of `count` Ts, aligned for T.
+  template <typename T>
+  [[nodiscard]] std::span<T> AllocSpan(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena: element type must be trivially destructible");
+    if (count == 0) return {};
+    const std::size_t bytes = count * sizeof(T);
+    return {static_cast<T*>(AllocBytes(bytes, alignof(T))), count};
+  }
+
+  /// Rewinds all allocations; slab memory is kept for reuse.
+  void Reset() noexcept {
+    slab_index_ = 0;
+    cursor_ = 0;
+  }
+
+  /// Total bytes held across slabs (capacity, not live allocations).
+  [[nodiscard]] std::size_t BytesReserved() const noexcept {
+    std::size_t total = 0;
+    for (const Slab& slab : slabs_) total += slab.size;
+    return total;
+  }
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* AllocBytes(std::size_t bytes, std::size_t align) {
+    // Walk forward until a slab with room is found; slabs skipped by a large
+    // request stay available after the next Reset(). Alignment is computed
+    // on the absolute address — slab bases are only new[]-aligned.
+    while (slab_index_ < slabs_.size()) {
+      Slab& slab = slabs_[slab_index_];
+      const auto addr = reinterpret_cast<std::uintptr_t>(slab.data.get()) + cursor_;
+      const std::size_t aligned = cursor_ + (align - addr % align) % align;
+      if (aligned + bytes <= slab.size) {
+        cursor_ = aligned + bytes;
+        return slab.data.get() + aligned;
+      }
+      ++slab_index_;
+      cursor_ = 0;
+    }
+    // +align so any alignment fits even when the allocator returns a
+    // minimally-aligned block for byte arrays.
+    const std::size_t slab_size = std::max(slab_bytes_, bytes + align);
+    slabs_.push_back(Slab{std::make_unique<std::byte[]>(slab_size), slab_size});
+    slab_index_ = slabs_.size() - 1;
+    std::byte* base = slabs_.back().data.get();
+    const auto addr = reinterpret_cast<std::uintptr_t>(base);
+    const std::size_t offset = (align - addr % align) % align;
+    cursor_ = offset + bytes;
+    return base + offset;
+  }
+
+  std::size_t slab_bytes_;
+  std::vector<Slab> slabs_;
+  std::size_t slab_index_ = 0;  // slab currently bumped
+  std::size_t cursor_ = 0;      // bump offset within that slab
+};
+
+/// Thread-safe freelist of default-constructed scratch objects. Acquire()
+/// leases one (creating it only when the freelist is empty); the lease
+/// returns it on destruction. Objects are never shrunk, so whatever capacity
+/// a scratch object grew during one chunk is still there for the next.
+template <typename T>
+class ScratchPool {
+ public:
+  class Lease {
+   public:
+    Lease(ScratchPool* pool, std::unique_ptr<T> object) noexcept
+        : pool_(pool), object_(std::move(object)) {}
+    Lease(Lease&&) noexcept = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (object_) pool_->Release(std::move(object_));
+    }
+
+    [[nodiscard]] T& operator*() const noexcept { return *object_; }
+    [[nodiscard]] T* operator->() const noexcept { return object_.get(); }
+
+   private:
+    ScratchPool* pool_;
+    std::unique_ptr<T> object_;
+  };
+
+  ScratchPool() = default;
+  ScratchPool(const ScratchPool&) = delete;
+  ScratchPool& operator=(const ScratchPool&) = delete;
+
+  [[nodiscard]] Lease Acquire() {
+    {
+      std::scoped_lock lock(mutex_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> object = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(object));
+      }
+    }
+    return Lease(this, std::make_unique<T>());
+  }
+
+  /// Number of idle objects currently pooled (for tests).
+  [[nodiscard]] std::size_t IdleCount() const {
+    std::scoped_lock lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  friend class Lease;
+
+  void Release(std::unique_ptr<T> object) {
+    std::scoped_lock lock(mutex_);
+    free_.push_back(std::move(object));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> free_;
+};
+
+}  // namespace rpt

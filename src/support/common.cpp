@@ -1,6 +1,17 @@
 #include "support/common.hpp"
 
+#include <cstdio>
 #include <sstream>
+
+namespace rpt {
+
+std::string FormatCompactDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace rpt
 
 namespace rpt::detail {
 

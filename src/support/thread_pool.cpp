@@ -1,11 +1,28 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "support/common.hpp"
 
 namespace rpt {
+
+namespace {
+
+// Set for the lifetime of every pool worker thread; lets fork-join helpers
+// detect nested parallelism and degrade to inline execution.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+bool ThreadPool::InWorker() noexcept { return t_in_pool_worker; }
+
+ThreadPool::ScopedWorkerMark::ScopedWorkerMark() noexcept : previous_(t_in_pool_worker) {
+  t_in_pool_worker = true;
+}
+
+ThreadPool::ScopedWorkerMark::~ScopedWorkerMark() { t_in_pool_worker = previous_; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -45,6 +62,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  const ScopedWorkerMark mark;
   while (true) {
     std::function<void()> task;
     {
@@ -68,18 +86,57 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(ThreadPool& pool, std::size_t count,
-                 const std::function<void(std::size_t)>& body) {
-  if (count == 0) return;
-  const std::size_t chunks = std::min(count, pool.ThreadCount() * 4);
-  const std::size_t chunk_size = (count + chunks - 1) / chunks;
-  for (std::size_t begin = 0; begin < count; begin += chunk_size) {
-    const std::size_t end = std::min(count, begin + chunk_size);
-    pool.Submit([&body, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
-    });
+// ---------------------------------------------------------------------------
+// Process-wide solver pool.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SolverPoolState {
+  std::mutex mutex;
+  std::size_t threads = 0;  // 0 = hardware concurrency, resolved lazily
+  std::unique_ptr<ThreadPool> pool;
+};
+
+SolverPoolState& GlobalSolverPool() {
+  // Function-local static: constructed on first use, destroyed after main
+  // (jthread destructors join the workers).
+  static SolverPoolState state;
+  return state;
+}
+
+std::size_t ResolveThreads(std::size_t threads) {
+  return threads != 0 ? threads
+                      : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ThreadPool* SolverPool() {
+  SolverPoolState& state = GlobalSolverPool();
+  std::scoped_lock lock(state.mutex);
+  const std::size_t width = ResolveThreads(state.threads);
+  if (width <= 1) return nullptr;
+  if (!state.pool) state.pool = std::make_unique<ThreadPool>(width);
+  return state.pool.get();
+}
+
+void SetSolverThreads(std::size_t threads) {
+  std::unique_ptr<ThreadPool> retired;  // joined outside the lock
+  SolverPoolState& state = GlobalSolverPool();
+  {
+    std::scoped_lock lock(state.mutex);
+    state.threads = threads;
+    if (state.pool && state.pool->ThreadCount() != ResolveThreads(threads)) {
+      retired = std::move(state.pool);
+    }
   }
-  pool.Wait();
+}
+
+std::size_t SolverThreads() {
+  SolverPoolState& state = GlobalSolverPool();
+  std::scoped_lock lock(state.mutex);
+  return ResolveThreads(state.threads);
 }
 
 }  // namespace rpt

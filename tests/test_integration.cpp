@@ -113,9 +113,11 @@ TEST(Integration, ParallelSolvesAreRaceFree) {
     serial[i] = core::Run(core::Algorithm::kMultipleBin, make_instance(i)).solution.ReplicaCount();
   }
   ThreadPool pool(4);
-  ParallelFor(pool, kRuns, [&](std::size_t i) {
-    parallel_counts[i] =
-        core::Run(core::Algorithm::kMultipleBin, make_instance(i)).solution.ReplicaCount();
+  ParallelForChunked(&pool, kRuns, /*grain=*/1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      parallel_counts[i] =
+          core::Run(core::Algorithm::kMultipleBin, make_instance(i)).solution.ReplicaCount();
+    }
   });
   EXPECT_EQ(serial, parallel_counts);
 }

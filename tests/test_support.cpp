@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "support/arena.hpp"
 #include "support/cli.hpp"
 #include "support/common.hpp"
 #include "support/rng.hpp"
@@ -258,6 +259,146 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
 TEST(ThreadPool, ParallelForZeroIterations) {
   ThreadPool pool(2);
   ParallelFor(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForChunkedCoversRangeNotDivisibleByGrain) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(103);
+  ParallelForChunked(&pool, hits.size(), /*grain=*/10,
+                     [&hits](std::size_t begin, std::size_t end) {
+                       EXPECT_LT(begin, end);
+                       for (std::size_t i = begin; i < end; ++i) {
+                         hits[i].fetch_add(1, std::memory_order_relaxed);
+                       }
+                     });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunkedZeroCountNeverCallsBody) {
+  ThreadPool pool(2);
+  ParallelForChunked(&pool, 0, /*grain=*/4,
+                     [](std::size_t, std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForChunkedCountBelowGrainRunsOneInlineChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  const auto caller = std::this_thread::get_id();
+  ParallelForChunked(&pool, 5, /*grain=*/16,
+                     [&](std::size_t begin, std::size_t end) {
+                       ++calls;
+                       EXPECT_EQ(begin, 0u);
+                       EXPECT_EQ(end, 5u);
+                       EXPECT_EQ(std::this_thread::get_id(), caller);  // ran inline
+                     });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunkedNullPoolRunsSerial) {
+  std::atomic<int> calls{0};
+  std::vector<int> hits(100, 0);
+  ParallelForChunked(nullptr, hits.size(), /*grain=*/8,
+                     [&](std::size_t begin, std::size_t end) {
+                       ++calls;
+                       for (std::size_t i = begin; i < end; ++i) hits[i] += 1;
+                     });
+  EXPECT_EQ(calls.load(), 1);  // one chunk covering everything
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForChunkedRejectsZeroGrain) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelForChunked(&pool, 10, /*grain=*/0, [](std::size_t, std::size_t) {}),
+               InvalidArgument);
+}
+
+TEST(ThreadPool, ParallelForChunkedPropagatesExceptionExactlyOnce) {
+  ThreadPool pool(4);
+  // Every chunk throws, but the caller must see exactly one exception, and
+  // only after all chunks finished (no dangling captures).
+  std::atomic<int> chunks{0};
+  int caught = 0;
+  try {
+    ParallelForChunked(&pool, 1000, /*grain=*/1, [&chunks](std::size_t, std::size_t) {
+      chunks.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("chunk failed");
+    });
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+  EXPECT_GE(chunks.load(), 2);  // the range really was split
+  // The pool stays usable: its own error channel never saw the exception.
+  std::atomic<int> counter{0};
+  ParallelForChunked(&pool, 10, 1,
+                     [&counter](std::size_t begin, std::size_t end) {
+                       counter.fetch_add(static_cast<int>(end - begin),
+                                         std::memory_order_relaxed);
+                     });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, SolverPoolFollowsConfiguredWidth) {
+  SetSolverThreads(3);
+  ThreadPool* pool = SolverPool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->ThreadCount(), 3u);
+  EXPECT_EQ(SolverThreads(), 3u);
+  SetSolverThreads(1);  // serial: no pool at all
+  EXPECT_EQ(SolverPool(), nullptr);
+  EXPECT_EQ(SolverThreads(), 1u);
+}
+
+TEST(Arena, SpansAreDisjointAndResetReusesSlabs) {
+  Arena arena(/*slab_bytes=*/256);
+  auto a = arena.AllocSpan<std::uint32_t>(16);
+  auto b = arena.AllocSpan<std::uint32_t>(16);
+  ASSERT_EQ(a.size(), 16u);
+  ASSERT_EQ(b.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    a[i] = static_cast<std::uint32_t>(i);
+    b[i] = static_cast<std::uint32_t>(100 + i);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a[i], i);  // b's writes did not alias a
+    EXPECT_EQ(b[i], 100 + i);
+  }
+  const std::size_t reserved = arena.BytesReserved();
+  EXPECT_GT(reserved, 0u);
+  arena.Reset();
+  (void)arena.AllocSpan<std::uint32_t>(16);
+  (void)arena.AllocSpan<std::uint32_t>(16);
+  EXPECT_EQ(arena.BytesReserved(), reserved);  // steady state: no new slabs
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedSlab) {
+  Arena arena(/*slab_bytes=*/64);
+  auto big = arena.AllocSpan<std::uint64_t>(1000);  // 8000 bytes >> slab
+  ASSERT_EQ(big.size(), 1000u);
+  big.front() = 1;
+  big.back() = 2;
+  EXPECT_EQ(big.front(), 1u);
+  EXPECT_EQ(big.back(), 2u);
+  EXPECT_EQ(arena.AllocSpan<std::uint64_t>(0).size(), 0u);
+}
+
+TEST(ScratchPool, LeasesAreDistinctAndRecycled) {
+  ScratchPool<std::vector<int>> pool;
+  std::vector<int>* first = nullptr;
+  {
+    auto a = pool.Acquire();
+    auto b = pool.Acquire();
+    a->push_back(1);
+    b->push_back(2);
+    EXPECT_NE(&*a, &*b);
+    first = &*a;
+  }
+  EXPECT_EQ(pool.IdleCount(), 2u);
+  // Reacquire: one of the pooled objects comes back, capacity intact.
+  auto c = pool.Acquire();
+  EXPECT_EQ(pool.IdleCount(), 1u);
+  EXPECT_TRUE(&*c == first || c->capacity() > 0);
 }
 
 TEST(Cli, ParsesTypedFlags) {
