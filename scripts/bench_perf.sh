@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Perf trajectory tracking: runs the hot-path kernel bench across the solver
-# thread ladder in Release and writes BENCH_hotpath.json (aggregate report
-# *including* wall time statistics plus the per-kernel thread_sweep speedup
-# section). CI uploads the JSON as a workflow artifact so every commit
-# leaves a per-kernel timing trail, and diffs it against the committed
-# baseline with scripts/bench_compare.py.
+# thread ladder plus the incremental-engine event sweep in Release and
+# writes one combined BENCH_hotpath.json (aggregate report *including* wall
+# time statistics, the per-kernel thread_sweep speedup section, and the
+# incremental_sweep churn/speedup section). CI uploads the JSON as a
+# workflow artifact so every commit leaves a per-kernel timing trail, and
+# diffs it against the committed baseline with scripts/bench_compare.py.
 #
 # Usage: scripts/bench_perf.sh [build-dir] [output-json] [thread-sweep]
 #   build-dir     default: build
@@ -17,10 +18,18 @@ BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_hotpath.json}"
 THREAD_SWEEP="${3:-1,2,4,8}"
 
-if [[ ! -x "$BUILD_DIR/bench_hotpath" ]]; then
-  echo "bench_hotpath not found in $BUILD_DIR — build the benches first" >&2
-  exit 1
-fi
+for bench in bench_hotpath bench_incremental; do
+  if [[ ! -x "$BUILD_DIR/$bench" ]]; then
+    echo "$bench not found in $BUILD_DIR — build the benches first" >&2
+    exit 1
+  fi
+done
 
-"$BUILD_DIR/bench_hotpath" --thread-sweep "$THREAD_SWEEP" --json "$OUT_JSON"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+"$BUILD_DIR/bench_hotpath" --thread-sweep "$THREAD_SWEEP" --json "$TMP_DIR/hotpath.json"
+"$BUILD_DIR/bench_incremental" --json "$TMP_DIR/incremental.json"
+python3 "$(dirname "$0")/merge_bench_json.py" "$OUT_JSON" \
+  "$TMP_DIR/hotpath.json" "$TMP_DIR/incremental.json"
 echo "wrote $OUT_JSON"

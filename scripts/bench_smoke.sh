@@ -38,6 +38,19 @@ run_pair cdn_vod --seeds=2 --clients=40
 run_pair isp_qos --seeds=2 --clients=40
 run_pair surge_replay --seeds=2 --clients=32 --ticks=60
 
+# bench_incremental's --json embeds wall time (like bench_hotpath), so the
+# thread-invariance diff runs on its deterministic --det-json report: the
+# incremental engine must plan byte-identically at any solver-pool width.
+"$BUILD_DIR/bench_incremental" --clients=256 --ticks=12 --seeds=2 --threads=1 \
+  --fractions=0.01,0.05 --det-json="$OUT_DIR/bench_incremental-t1.json" > /dev/null
+"$BUILD_DIR/bench_incremental" --clients=256 --ticks=12 --seeds=2 --threads=4 \
+  --fractions=0.01,0.05 --det-json="$OUT_DIR/bench_incremental-t4.json" > /dev/null
+if ! diff "$OUT_DIR/bench_incremental-t1.json" "$OUT_DIR/bench_incremental-t4.json"; then
+  echo "FAIL: bench_incremental det-json differs between --threads 1 and --threads 4"
+  exit 1
+fi
+echo "OK: bench_incremental"
+
 # instance_explorer spells its report flag --sweep-json.
 "$BUILD_DIR/instance_explorer" --algo=single-gen --clients=40 --seeds=4 --threads=1 \
   --sweep-json="$OUT_DIR/explorer-t1.json" > /dev/null

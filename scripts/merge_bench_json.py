@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Merges batch-engine JSON reports into one combined report.
+
+Used by scripts/bench_perf.sh to fold bench_incremental's report into
+BENCH_hotpath.json so every timed group rides the same perf-regression gate
+(scripts/bench_compare.py) and the same CI artifact. The first report is the
+base; every further report contributes its "groups" entries (group names
+must not collide) and any top-level sections the base lacks (e.g.
+"incremental_sweep"). The "cells"/"errors" totals are re-summed.
+
+Usage:
+  scripts/merge_bench_json.py OUTPUT.json INPUT1.json INPUT2.json [...]
+
+Exit status: 0 on success, 2 on malformed input or colliding group names.
+"""
+
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) < 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    output_path = sys.argv[1]
+    input_paths = sys.argv[2:]
+
+    try:
+        reports = []
+        for path in input_paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                reports.append(json.load(handle))
+    except (OSError, ValueError) as error:
+        print(f"merge_bench_json: cannot read reports: {error}", file=sys.stderr)
+        return 2
+
+    merged = reports[0]
+    merged.setdefault("groups", [])
+    seen = {group["group"] for group in merged["groups"]}
+    for report in reports[1:]:
+        for group in report.get("groups", []):
+            if group["group"] in seen:
+                print(
+                    f"merge_bench_json: duplicate group '{group['group']}'",
+                    file=sys.stderr,
+                )
+                return 2
+            seen.add(group["group"])
+            merged["groups"].append(group)
+        for key, value in report.items():
+            if key in ("groups", "cells", "errors"):
+                continue
+            if key not in merged:
+                merged[key] = value
+    merged["cells"] = sum(r.get("cells", 0) for r in reports)
+    merged["errors"] = sum(r.get("errors", 0) for r in reports)
+
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, separators=(",", ":"))
+        handle.write("\n")
+    print(f"merged {len(input_paths)} reports ({len(merged['groups'])} groups) "
+          f"into {output_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+#include "incremental/incremental_solver.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "multiple/multiple_nod_dp.hpp"
+#include "single/single_nod.hpp"
+
+namespace rpt::incremental {
+
+const char* EngineName(Engine engine) noexcept {
+  return engine == Engine::kIncremental ? "incremental" : "full-resolve";
+}
+
+IncrementalSolver::IncrementalSolver(const Instance& instance, Options options)
+    : tree_(instance.GetTree()),
+      options_(options),
+      capacity_(instance.Capacity()),
+      demand_(tree_.Size()) {
+  RPT_REQUIRE(!instance.HasDistanceConstraint(),
+              "incremental: only valid without distance constraints (NoD)");
+  if (options_.policy == Policy::kMultiple && options_.engine == Engine::kIncremental) {
+    engine_.emplace(tree_, capacity_);
+  }
+  for (NodeId id = 0; id < tree_.Size(); ++id) demand_[id] = tree_.RequestsOf(id);
+  total_demand_ = tree_.TotalRequests();
+  Resolve({}, /*full=*/true);
+}
+
+Requests IncrementalSolver::DemandOf(NodeId client) const {
+  RPT_REQUIRE(client < tree_.Size(), "incremental: node id out of range");
+  return demand_[client];
+}
+
+Instance IncrementalSolver::MaterializeInstance() const {
+  return Instance(tree_.WithRequests(demand_), capacity_);
+}
+
+// Dry-runs the whole batch against the current state so a bad event leaves
+// the solver untouched (Apply's atomicity guarantee). Demand interactions
+// within the batch (a delta following an add, etc.) are tracked in a
+// side map.
+void IncrementalSolver::Validate(std::span<const UpdateEvent> events) const {
+  std::unordered_map<NodeId, Requests> pending;
+  const auto demand_of = [&](NodeId client) {
+    const auto it = pending.find(client);
+    return it == pending.end() ? demand_[client] : it->second;
+  };
+  for (const UpdateEvent& event : events) {
+    if (event.kind == UpdateEvent::Kind::kCapacity) {
+      RPT_REQUIRE(event.value > 0, "incremental: capacity must stay positive");
+      continue;
+    }
+    RPT_REQUIRE(event.client < tree_.Size() && tree_.IsClient(event.client),
+                "incremental: update events must target a client leaf");
+    switch (event.kind) {
+      case UpdateEvent::Kind::kDemandDelta: {
+        const Requests current = demand_of(event.client);
+        if (event.delta < 0) {
+          RPT_REQUIRE(current >= static_cast<Requests>(-event.delta),
+                      "incremental: demand delta would drop a client below zero");
+          pending[event.client] = current - static_cast<Requests>(-event.delta);
+        } else {
+          pending[event.client] = current + static_cast<Requests>(event.delta);
+        }
+        break;
+      }
+      case UpdateEvent::Kind::kClientAdd:
+        RPT_REQUIRE(demand_of(event.client) == 0,
+                    "incremental: kClientAdd targets a client that is already active");
+        RPT_REQUIRE(event.value > 0, "incremental: kClientAdd needs a positive demand");
+        pending[event.client] = event.value;
+        break;
+      case UpdateEvent::Kind::kClientRemove:
+        pending[event.client] = 0;  // removing an idle client is a no-op
+        break;
+      case UpdateEvent::Kind::kCapacity:
+        break;  // handled above
+    }
+  }
+}
+
+bool IncrementalSolver::Apply(std::span<const UpdateEvent> events) {
+  Validate(events);
+  touched_scratch_.clear();
+  bool capacity_changed = false;
+  const auto set_demand = [&](NodeId client, Requests value) {
+    const Requests old = demand_[client];
+    if (old == value) return;  // tables depend on the value, not the event
+    demand_[client] = value;
+    total_demand_ = total_demand_ - old + value;
+    if (engine_) engine_->SetDemand(client, value);
+    touched_scratch_.push_back(client);
+  };
+  for (const UpdateEvent& event : events) {
+    switch (event.kind) {
+      case UpdateEvent::Kind::kDemandDelta:
+        set_demand(event.client,
+                   event.delta < 0 ? demand_[event.client] - static_cast<Requests>(-event.delta)
+                                   : demand_[event.client] + static_cast<Requests>(event.delta));
+        break;
+      case UpdateEvent::Kind::kClientAdd:
+        set_demand(event.client, event.value);
+        break;
+      case UpdateEvent::Kind::kClientRemove:
+        set_demand(event.client, 0);
+        break;
+      case UpdateEvent::Kind::kCapacity:
+        if (event.value != capacity_) {
+          capacity_ = event.value;
+          capacity_changed = true;
+        }
+        break;
+    }
+  }
+  stats_.events_applied += events.size();
+  Resolve(touched_scratch_, /*full=*/capacity_changed);
+  return feasible_;
+}
+
+void IncrementalSolver::Resolve(std::span<const NodeId> touched, bool full) {
+  ++stats_.resolves;
+
+  if (options_.policy == Policy::kSingle) {
+    // The single-nod pass is near-linear, so it simply re-runs over the
+    // demand overlay — no tree materialization, no allocation churn beyond
+    // the pass itself. Infeasibility (some r_i > W) is a state, not an
+    // error.
+    ++stats_.full_recomputes;
+    stats_.nodes_recomputed += tree_.Size();
+    for (const NodeId client : tree_.Clients()) {
+      if (demand_[client] > capacity_) {
+        feasible_ = false;
+        solution_ = Solution{};
+        return;
+      }
+    }
+    feasible_ = true;
+    solution_ = single::SolveSingleNod(tree_, capacity_, demand_).solution;
+    solution_.Canonicalize();
+    return;
+  }
+
+  if (options_.engine == Engine::kFullResolve) {
+    // The oracle: exactly what a caller without the incremental engine
+    // would run — materialize the current state and solve from scratch.
+    ++stats_.full_recomputes;
+    stats_.nodes_recomputed += tree_.Size();
+    const Instance instance = MaterializeInstance();
+    auto result = multiple::SolveMultipleNodDp(instance);
+    feasible_ = result.feasible;
+    solution_ = std::move(result.solution);  // already canonical
+    return;
+  }
+
+  // Incremental Multiple-NoD: dirty-chain recompute, full pass only when
+  // forced (initial solve, capacity change).
+  RPT_CHECK(engine_.has_value());
+  if (full) {
+    engine_->SetCapacity(capacity_);
+    engine_->ComputeAll();
+    ++stats_.full_recomputes;
+  } else {
+    engine_->RecomputeDirty(touched);
+  }
+  stats_.nodes_recomputed += engine_->LastPassNodes();
+  stats_.nodes_reused += tree_.Size() - engine_->LastPassNodes();
+  feasible_ = engine_->Feasible();
+  solution_ = feasible_ ? engine_->Backtrack() : Solution{};
+}
+
+}  // namespace rpt::incremental

@@ -1,0 +1,127 @@
+// IncrementalSolver — re-solving a placement against a stream of demand
+// updates without re-optimizing the world per event.
+//
+// The batch solvers answer "given this instance, where do replicas go?".
+// Streaming workloads ask a different question: the instance barely changes
+// between consecutive solves, so how much of the previous solve survives?
+// For the Multiple-NoD DP the answer is structural: node j's tables depend
+// only on subtree(j), so a demand change at client i invalidates exactly the
+// root path of i. The solver owns a long-lived NodDpEngine (CSR tree + DP
+// tables + prefix tables), applies each UpdateEvent batch to the demand
+// overlay, and re-runs the forward pass on the union of dirty root paths —
+// every untouched subtree's tables are reused verbatim, and independent
+// dirty chains recompute in parallel (ParallelForChunked on the process-wide
+// SolverPool(), scratch leased from the engine's ScratchPool).
+//
+// Guarantees:
+//  * Equivalence — after every Apply() the solution is byte-identical
+//    (canonical form, cost, and hash) to a from-scratch solve of the
+//    current state: construct a second solver with Engine::kFullResolve (or
+//    call SolveMultipleNodDp on MaterializeInstance()) and compare. Enforced
+//    by tests/test_incremental.cpp at solver-pool widths 1 and 4.
+//  * Determinism — solutions and all stats except wall time are identical
+//    at any thread count (the engine's level sweeps are deterministic).
+//  * Atomicity — Apply() validates the whole batch against the current
+//    state before touching anything; on InvalidArgument the solver state is
+//    unchanged.
+//
+// Policies: Policy::kMultiple runs the incremental DP (or its from-scratch
+// oracle under Engine::kFullResolve). Policy::kSingle re-runs the
+// near-linear single-nod pass over the demand overlay each batch — the pass
+// is O(|T|)-ish, so "incremental" there means no tree rebuild and no
+// allocation churn rather than table reuse; both engines are identical for
+// it. Both policies require a NoD instance (no distance constraint).
+//
+// Ownership/lifetime: the solver keeps a reference to the instance's Tree;
+// the Instance passed to the constructor must outlive the solver. The
+// topology is immutable — see update_event.hpp for what events may change.
+// Not thread-safe: one solver per thread of control.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "incremental/update_event.hpp"
+#include "model/instance.hpp"
+#include "model/solution.hpp"
+#include "multiple/nod_dp_engine.hpp"
+
+namespace rpt::incremental {
+
+/// Cumulative counters over a solver's lifetime. Everything here is
+/// deterministic (thread-count invariant); wall time is deliberately absent.
+struct IncrementalStats {
+  std::uint64_t events_applied = 0;   ///< events across all Apply() batches
+  std::uint64_t resolves = 0;         ///< Apply() batches processed (incl. the initial solve)
+  std::uint64_t full_recomputes = 0;  ///< re-solves that processed every node
+  std::uint64_t nodes_recomputed = 0; ///< DP nodes re-processed across all re-solves
+  std::uint64_t nodes_reused = 0;     ///< DP nodes whose tables were reused verbatim
+};
+
+/// Execution options for IncrementalSolver.
+struct SolverOptions {
+  Engine engine = Engine::kIncremental;
+  Policy policy = Policy::kMultiple;
+};
+
+class IncrementalSolver {
+ public:
+  using Options = SolverOptions;
+
+  /// Solves `instance` from scratch (the warm state every later Apply()
+  /// updates). Requires no distance constraint; throws InvalidArgument
+  /// otherwise. The instance must outlive the solver.
+  explicit IncrementalSolver(const Instance& instance, Options options = {});
+
+  IncrementalSolver(const IncrementalSolver&) = delete;
+  IncrementalSolver& operator=(const IncrementalSolver&) = delete;
+
+  /// Applies one batch of events atomically (events within a batch apply in
+  /// order; validation of the whole batch happens first, so an
+  /// InvalidArgument leaves the solver unchanged), then re-solves. Returns
+  /// Feasible() for the new state — an infeasible state is not an error
+  /// (e.g. a chain too short to absorb a giant demand); the next batch may
+  /// make it feasible again.
+  bool Apply(std::span<const UpdateEvent> events);
+
+  /// True iff the current state admits a feasible placement.
+  [[nodiscard]] bool Feasible() const noexcept { return feasible_; }
+
+  /// The current optimal (Multiple) / 2-approx (Single) placement, in
+  /// canonical form; empty when infeasible.
+  [[nodiscard]] const Solution& Current() const noexcept { return solution_; }
+
+  [[nodiscard]] const Tree& GetTree() const noexcept { return tree_; }
+  [[nodiscard]] Requests Capacity() const noexcept { return capacity_; }
+  [[nodiscard]] Requests DemandOf(NodeId client) const;
+  [[nodiscard]] Requests TotalDemand() const noexcept { return total_demand_; }
+  [[nodiscard]] const IncrementalStats& Stats() const noexcept { return stats_; }
+  [[nodiscard]] const Options& GetOptions() const noexcept { return options_; }
+
+  /// Snapshot of the current (demands, capacity) state as a standalone
+  /// Instance — what the from-scratch oracle solves. O(|T|) via
+  /// Tree::WithRequests.
+  [[nodiscard]] Instance MaterializeInstance() const;
+
+ private:
+  void Validate(std::span<const UpdateEvent> events) const;
+  void Resolve(std::span<const NodeId> touched, bool capacity_changed);
+
+  const Tree& tree_;
+  Options options_;
+  Requests capacity_;
+  std::vector<Requests> demand_;  // source of truth, mirrored into the engine
+  Requests total_demand_ = 0;
+  /// Long-lived DP tables; engaged only for (kMultiple, kIncremental) — the
+  /// full-resolve oracle and the Single overlay never warm any state, so
+  /// they skip the engine's O(n) columns entirely.
+  std::optional<multiple::NodDpEngine> engine_;
+  Solution solution_;
+  bool feasible_ = false;
+  IncrementalStats stats_;
+  std::vector<NodeId> touched_scratch_;  // reused per Apply()
+};
+
+}  // namespace rpt::incremental

@@ -1,0 +1,60 @@
+#include "incremental/trace_gen.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace rpt::incremental {
+
+UpdateTrace MakeRandomTrace(const Tree& tree, const TraceConfig& config, std::uint64_t seed) {
+  RPT_REQUIRE(tree.ClientCount() > 0, "MakeRandomTrace: tree has no clients");
+  RPT_REQUIRE(config.touches_per_tick >= 1, "MakeRandomTrace: touches_per_tick must be >= 1");
+  RPT_REQUIRE(config.add_remove_fraction >= 0.0 && config.add_remove_fraction <= 1.0 &&
+                  std::isfinite(config.add_remove_fraction),
+              "MakeRandomTrace: add_remove_fraction must be in [0, 1]");
+  RPT_REQUIRE(config.capacity_period == 0 ||
+                  (config.capacity_min >= 1 && config.capacity_min <= config.capacity_max),
+              "MakeRandomTrace: need 1 <= capacity_min <= capacity_max");
+
+  const std::span<const NodeId> clients = tree.Clients();
+  // Evolving demand state keeps every emitted event legal to Apply().
+  std::vector<Requests> demand(tree.Size());
+  for (const NodeId client : clients) demand[client] = tree.RequestsOf(client);
+
+  Rng rng(seed);
+  UpdateTrace trace(config.ticks);
+  for (std::uint64_t tick = 0; tick < config.ticks; ++tick) {
+    std::vector<UpdateEvent>& batch = trace[tick];
+    batch.reserve(config.touches_per_tick);
+    for (std::uint32_t t = 0; t < config.touches_per_tick; ++t) {
+      const NodeId client = clients[rng.NextBelow(clients.size())];
+      const Requests current = demand[client];
+      if (rng.NextBool(config.add_remove_fraction)) {
+        if (current == 0 && config.max_demand > 0) {
+          const Requests value = rng.NextInRange(1, config.max_demand);
+          batch.push_back(UpdateEvent::ClientAdd(client, value));
+          demand[client] = value;
+          continue;
+        }
+        if (current > 0) {
+          batch.push_back(UpdateEvent::ClientRemove(client));
+          demand[client] = 0;
+          continue;
+        }
+        // fall through to a plain delta when neither transition is legal
+      }
+      const Requests target = rng.NextInRange(0, config.max_demand);
+      const std::int64_t delta =
+          static_cast<std::int64_t>(target) - static_cast<std::int64_t>(current);
+      batch.push_back(UpdateEvent::DemandDelta(client, delta));
+      demand[client] = target;
+    }
+    if (config.capacity_period != 0 && (tick + 1) % config.capacity_period == 0) {
+      batch.push_back(UpdateEvent::Capacity(
+          rng.NextInRange(config.capacity_min, config.capacity_max)));
+    }
+  }
+  return trace;
+}
+
+}  // namespace rpt::incremental

@@ -1,0 +1,44 @@
+// Deterministic random event-trace generator for streaming experiments.
+//
+// Produces a per-tick batch list (the shape sim::Replay's streaming mode,
+// bench_incremental, and the equivalence tests consume) that is always
+// *legal* for IncrementalSolver::Apply: the generator tracks the evolving
+// demand state, so deltas never drive a client negative, adds only target
+// idle clients, and removes only target active ones. Deterministic in
+// (tree, config, seed) — the same trace replays bit-for-bit anywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "incremental/update_event.hpp"
+#include "tree/tree.hpp"
+
+namespace rpt::incremental {
+
+/// Shape of the generated stream.
+struct TraceConfig {
+  std::uint64_t ticks = 100;           ///< number of per-tick batches
+  std::uint32_t touches_per_tick = 1;  ///< events per batch (>= 1)
+  /// New demands are drawn uniformly from [0, max_demand]; keep
+  /// max_demand <= W when the trace also feeds Single-policy solvers.
+  Requests max_demand = 10;
+  /// Fraction of touches emitted as kClientAdd/kClientRemove transitions
+  /// (when legal for the picked client) instead of plain deltas; in [0, 1].
+  double add_remove_fraction = 0.2;
+  /// Every `capacity_period`-th tick additionally wobbles the capacity
+  /// uniformly within [capacity_min, capacity_max]; 0 = never (default —
+  /// capacity events force full recomputes and drown the dirty-chain
+  /// signal).
+  std::uint64_t capacity_period = 0;
+  Requests capacity_min = 1;
+  Requests capacity_max = 1;
+};
+
+/// Generates a trace over `tree`'s clients starting from the tree's own
+/// request column. Throws InvalidArgument on an unsatisfiable config (no
+/// clients, zero touches, bad fractions/ranges).
+[[nodiscard]] UpdateTrace MakeRandomTrace(const Tree& tree, const TraceConfig& config,
+                                          std::uint64_t seed);
+
+}  // namespace rpt::incremental

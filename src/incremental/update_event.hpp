@@ -1,0 +1,78 @@
+// Update events for the incremental re-solve engine: the unit of change a
+// streaming workload applies to a solved instance.
+//
+// The distribution tree's *topology* is fixed for the lifetime of an
+// IncrementalSolver (node ids, edges, and edge lengths never change — they
+// are baked into the CSR arrays and the Euler/post-order invariants).
+// Everything the paper's model lets traffic change is expressed as events
+// over that fixed topology:
+//
+//  * kDemandDelta   — client i's request rate changes by a signed delta;
+//  * kClientAdd     — a pre-provisioned zero-demand client leaf comes alive
+//                     with an initial demand (CDNs provision attachment
+//                     points ahead of need; "adding a client" means turning
+//                     one on);
+//  * kClientRemove  — a client goes dark (demand drops to zero; the leaf
+//                     stays in the topology and may be re-added later);
+//  * kCapacity      — the uniform server capacity W changes (a fleet-wide
+//                     hardware/QoS reconfiguration; invalidates every DP
+//                     table, so it forces a full recompute).
+//
+// Events are plain data and deterministic to replay; a trace (a vector of
+// per-tick event batches) fully determines the placement sequence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace rpt::incremental {
+
+/// Which engine executes a re-solve after an update batch. kFullResolve is
+/// the oracle: it recomputes everything from scratch exactly as the batch
+/// solver would, and exists so the incremental path can be checked (and
+/// benchmarked) against it.
+enum class Engine : std::uint8_t {
+  kIncremental,  ///< dirty-chain recompute, untouched subtrees reused
+  kFullResolve,  ///< from-scratch solve per batch (the equivalence oracle)
+};
+
+/// Human-readable engine name ("incremental" / "full-resolve").
+[[nodiscard]] const char* EngineName(Engine engine) noexcept;
+
+/// One change to the demand/capacity state of a solved instance.
+struct UpdateEvent {
+  enum class Kind : std::uint8_t {
+    kDemandDelta,   ///< demand[client] += delta (result must stay >= 0)
+    kClientAdd,     ///< demand[client] = value (client must be at 0; value > 0)
+    kClientRemove,  ///< demand[client] = 0
+    kCapacity,      ///< capacity = value (> 0)
+  };
+
+  Kind kind = Kind::kDemandDelta;
+  NodeId client = kInvalidNode;  ///< target leaf (unused for kCapacity)
+  std::int64_t delta = 0;        ///< signed demand change (kDemandDelta only)
+  Requests value = 0;            ///< new demand (kClientAdd) or capacity (kCapacity)
+
+  friend bool operator==(const UpdateEvent&, const UpdateEvent&) = default;
+
+  [[nodiscard]] static UpdateEvent DemandDelta(NodeId client, std::int64_t delta) noexcept {
+    return UpdateEvent{Kind::kDemandDelta, client, delta, 0};
+  }
+  [[nodiscard]] static UpdateEvent ClientAdd(NodeId client, Requests demand) noexcept {
+    return UpdateEvent{Kind::kClientAdd, client, 0, demand};
+  }
+  [[nodiscard]] static UpdateEvent ClientRemove(NodeId client) noexcept {
+    return UpdateEvent{Kind::kClientRemove, client, 0, 0};
+  }
+  [[nodiscard]] static UpdateEvent Capacity(Requests capacity) noexcept {
+    return UpdateEvent{Kind::kCapacity, kInvalidNode, 0, capacity};
+  }
+};
+
+/// A trace: one event batch per tick (batches may be empty). The unit
+/// sim::Replay's streaming mode and the trace generator exchange.
+using UpdateTrace = std::vector<std::vector<UpdateEvent>>;
+
+}  // namespace rpt::incremental

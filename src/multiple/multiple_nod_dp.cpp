@@ -1,356 +1,28 @@
 #include "multiple/multiple_nod_dp.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <cstdint>
-#include <limits>
-#include <span>
 #include <utility>
-#include <vector>
 
-#include "support/arena.hpp"
-#include "support/thread_pool.hpp"
+#include "multiple/nod_dp_engine.hpp"
 
 namespace rpt::multiple {
-
-namespace detail {
-
-void MergeMinShift(std::uint32_t* __restrict__ out, const std::uint32_t* __restrict__ rhs,
-                   std::uint32_t shift, std::size_t n) noexcept {
-  for (std::size_t j = 0; j < n; ++j) {
-    const std::uint32_t candidate = rhs[j] + shift;
-    out[j] = out[j] < candidate ? out[j] : candidate;
-  }
-}
-
-}  // namespace detail
-
-namespace {
-
-using Cost = std::uint32_t;
-constexpr Cost kInf = std::numeric_limits<Cost>::max() / 2;
-
-// F table: F[u] = min replicas in the subtree such that at most u requests
-// are forwarded above it. Always non-increasing in u.
-using CostTable = std::vector<Cost>;
-
-void MakeMonotone(CostTable& table) {
-  for (std::size_t u = 1; u < table.size(); ++u) table[u] = std::min(table[u], table[u - 1]);
-}
-
-// Inverse staircase of a monotone non-increasing table: inv[c - vmin] is the
-// smallest u with table[u] <= c, for every integer cost c in [vmin, vmax]
-// (vmax = largest finite value, i.e. table[first_finite]; vmin =
-// table.back()). Leading kInf runs are skipped entirely — first_finite marks
-// where the finite staircase starts. The inv array lives in the per-chunk
-// scratch arena, reset before every merge.
-struct Staircase {
-  Cost vmin = 0;
-  Cost vmax = 0;
-  std::size_t first_finite = 0;
-  std::span<std::uint32_t> inv;
-
-  void BuildFrom(const CostTable& table, Arena& arena) {
-    std::size_t f = 0;
-    while (f < table.size() && table[f] >= kInf) ++f;
-    RPT_CHECK(f < table.size());  // every DP table has a finite entry
-    first_finite = f;
-    vmax = table[f];
-    vmin = table.back();
-    inv = arena.AllocSpan<std::uint32_t>(static_cast<std::size_t>(vmax - vmin) + 1);
-    std::fill(inv.begin(), inv.end(), static_cast<std::uint32_t>(f));
-    Cost cur = vmax;
-    for (std::size_t u = f + 1; u < table.size(); ++u) {
-      while (cur > table[u]) {
-        --cur;
-        inv[cur - vmin] = static_cast<std::uint32_t>(u);
-      }
-    }
-  }
-};
-
-// Scratch leased per parallel chunk: two staircases and the output inverse,
-// all bump-allocated from one arena that is reset per convolution, so the
-// hot loop allocates nothing in steady state (the slabs are reused across
-// merges, levels, and solves).
-struct ConvolveScratch {
-  Arena arena;
-  Staircase lhs;
-  Staircase rhs;
-};
-
-struct Dp {
-  const Instance& instance;
-  const Tree& tree;
-  std::vector<CostTable> f;                      // per node
-  std::vector<std::vector<CostTable>> prefixes;  // per node: G_0..G_k for backtracking
-  Solution solution;
-  MultipleNodDpStats stats;
-
-  // Chunk-leased scratch plus order-independent (exact integer sum) work
-  // counters, so the level-parallel forward pass stays deterministic.
-  ScratchPool<ConvolveScratch> scratch_pool;
-  std::atomic<std::uint64_t> table_entries{0};
-  std::atomic<std::uint64_t> convolve_cells{0};
-
-  explicit Dp(const Instance& inst)
-      : instance(inst), tree(inst.GetTree()), f(tree.Size()), prefixes(tree.Size()) {}
-
-  // Monotone min-plus convolution, out[k] = min_{i+j<=k} a[i] + b[j],
-  // written into `out` (sized |a|+|b|-1; kInf where no finite split exists).
-  // Because both inputs are monotone staircases, the convolution runs in the
-  // *cost* domain: O(range(a) * range(b) + |out|) instead of O(|a| * |b|).
-  // Cost ranges are replica counts (<= subtree client counts), which on
-  // request-heavy instances are orders of magnitude below the request-domain
-  // table sizes. Equivalent to the naive convolution followed by
-  // MakeMonotone, entry for entry.
-  void Convolve(const CostTable& a, const CostTable& b, CostTable& out,
-                ConvolveScratch& scratch, std::uint64_t& cells) {
-    scratch.arena.Reset();
-    scratch.lhs.BuildFrom(a, scratch.arena);
-    scratch.rhs.BuildFrom(b, scratch.arena);
-    const Staircase& lhs = scratch.lhs;
-    const Staircase& rhs = scratch.rhs;
-    const Cost cmin = lhs.vmin + rhs.vmin;
-    const Cost cmax = lhs.vmax + rhs.vmax;
-
-    // Out(c) = min forwarded budget achieving total cost <= c: minimize
-    // A(c1) + B(c2) over all splits c1 + c2 <= c, then close under "spend
-    // less, forward more" monotonicity. With j = c2 - rhs.vmin the output
-    // slot for (c1, c2) is (c1 - lhs.vmin) + j, so each c1 contributes one
-    // contiguous shifted-min sweep — the vectorized MergeMinShift.
-    const std::span<std::uint32_t> out_inv =
-        scratch.arena.AllocSpan<std::uint32_t>(static_cast<std::size_t>(cmax - cmin) + 1);
-    std::fill(out_inv.begin(), out_inv.end(), std::numeric_limits<std::uint32_t>::max());
-    const std::size_t rhs_len = rhs.inv.size();
-    for (Cost c1 = lhs.vmin; c1 <= lhs.vmax; ++c1) {
-      const std::uint32_t ua = lhs.inv[c1 - lhs.vmin];
-      detail::MergeMinShift(out_inv.data() + (c1 - lhs.vmin), rhs.inv.data(), ua, rhs_len);
-    }
-    for (std::size_t c = 1; c < out_inv.size(); ++c) {
-      out_inv[c] = std::min(out_inv[c], out_inv[c - 1]);
-    }
-    cells += static_cast<std::uint64_t>(lhs.inv.size()) * rhs_len;
-
-    // Materialize the output staircase; indices below the first feasible
-    // budget (the leading kInf run) are never written.
-    out.assign(a.size() + b.size() - 1, kInf);
-    std::size_t hi = out.size();
-    for (Cost c = cmin; c <= cmax && hi > 0; ++c) {
-      const std::size_t u = out_inv[c - cmin];
-      for (std::size_t k = u; k < hi; ++k) out[k] = c;
-      hi = std::min(hi, u);
-    }
-  }
-
-  // Computes f[node] (and, for internal nodes, the stored prefix tables) —
-  // all children must already be done, which the level sweep guarantees.
-  void ProcessNode(NodeId node, ConvolveScratch& scratch, std::uint64_t& entries,
-                   std::uint64_t& cells) {
-    const Requests capacity = instance.Capacity();
-    if (tree.IsClient(node)) {
-      const Requests r = tree.RequestsOf(node);
-      CostTable table(static_cast<std::size_t>(r) + 1, kInf);
-      table[static_cast<std::size_t>(r)] = 0;  // no replica: forward everything
-      const Requests min_forward = r > capacity ? r - capacity : 0;
-      for (std::size_t u = static_cast<std::size_t>(min_forward); u <= r; ++u) {
-        table[u] = std::min<Cost>(table[u], 1);  // replica: serve min(r, W) locally
-      }
-      MakeMonotone(table);
-      RPT_CHECK(table.size() == static_cast<std::size_t>(tree.SubtreeRequests(node)) + 1);
-      entries += table.size();
-      f[node] = std::move(table);
-      return;
-    }
-    // Children convolution with stored prefixes. Every stored table stays
-    // bounded by its (sub)domain's request total + 1 — the convolution
-    // never widens a table beyond the demand it can actually forward.
-    auto& prefix = prefixes[node];
-    prefix.clear();
-    prefix.reserve(tree.Children(node).size() + 1);
-    prefix.push_back(CostTable{0});  // empty product: forward 0 at cost 0
-    entries += 1;
-    for (const NodeId child : tree.Children(node)) {
-      CostTable next;
-      Convolve(prefix.back(), f[child], next, scratch, cells);
-      entries += next.size();
-      prefix.push_back(std::move(next));
-    }
-    const CostTable& g = prefix.back();
-    const std::size_t total = g.size() - 1;  // subtree request total below node
-    RPT_CHECK(total == static_cast<std::size_t>(tree.SubtreeRequests(node)));
-    CostTable table(total + 1, kInf);
-    for (std::size_t u = 0; u <= total; ++u) {
-      table[u] = g[u];  // no replica
-      const std::size_t relaxed = std::min<std::size_t>(
-          total, u + static_cast<std::size_t>(std::min<Requests>(capacity, total)));
-      if (g[relaxed] < kInf) {
-        table[u] = std::min<Cost>(table[u], 1 + g[relaxed]);  // replica absorbs up to W
-      }
-    }
-    MakeMonotone(table);
-    entries += table.size();
-    f[node] = std::move(table);
-  }
-
-  // Level-synchronous forward pass: bucket nodes by depth, then sweep the
-  // levels deepest-first. Within a level every node's merge is independent
-  // (its children live one level deeper and are already done), so the level
-  // runs as parallel chunks; per-chunk scratch leases and exact-integer
-  // work counters keep the outputs bit-identical to a serial sweep.
-  void Forward() {
-    const std::size_t n = tree.Size();
-    std::uint32_t max_depth = 0;
-    for (NodeId id = 0; id < n; ++id) max_depth = std::max(max_depth, tree.Depth(id));
-    std::vector<std::uint32_t> level_begin(static_cast<std::size_t>(max_depth) + 2, 0);
-    for (NodeId id = 0; id < n; ++id) ++level_begin[tree.Depth(id) + 1];
-    for (std::size_t d = 1; d < level_begin.size(); ++d) level_begin[d] += level_begin[d - 1];
-    std::vector<NodeId> by_level(n);
-    {
-      std::vector<std::uint32_t> cursor(level_begin.begin(), level_begin.end() - 1);
-      for (NodeId id = 0; id < n; ++id) by_level[cursor[tree.Depth(id)]++] = id;
-    }
-
-    ThreadPool* pool = SolverPool();
-    for (std::uint32_t d = max_depth + 1; d-- > 0;) {
-      const std::size_t lb = level_begin[d];
-      const std::size_t le = level_begin[d + 1];
-      ParallelForChunked(pool, le - lb, /*grain=*/1,
-                         [&](std::size_t begin, std::size_t end) {
-                           const auto lease = scratch_pool.Acquire();
-                           std::uint64_t entries = 0;
-                           std::uint64_t cells = 0;
-                           for (std::size_t slot = lb + begin; slot < lb + end; ++slot) {
-                             ProcessNode(by_level[slot], *lease, entries, cells);
-                           }
-                           table_entries.fetch_add(entries, std::memory_order_relaxed);
-                           convolve_cells.fetch_add(cells, std::memory_order_relaxed);
-                         });
-    }
-    stats.table_entries = table_entries.load(std::memory_order_relaxed);
-    stats.convolve_cells = convolve_cells.load(std::memory_order_relaxed);
-  }
-
-  // Pending requests travelling upward during reconstruction.
-  using PendingList = std::vector<std::pair<NodeId, Requests>>;  // (client, amount)
-
-  static Requests TotalOf(const PendingList& list) noexcept {
-    Requests total = 0;
-    for (const auto& [client, amount] : list) total += amount;
-    return total;
-  }
-
-  // Reconstructs the subtree decision for `node` with forwarded budget u;
-  // returns the list actually forwarded upward (total <= u).
-  PendingList Backtrack(NodeId node, std::size_t u) {
-    const Requests capacity = instance.Capacity();
-    const CostTable& table = f[node];
-    RPT_CHECK(u < table.size() || !table.empty());
-    u = std::min(u, table.size() - 1);
-    const Cost cost = table[u];
-    RPT_CHECK(cost < kInf);
-
-    if (tree.IsClient(node)) {
-      const Requests r = tree.RequestsOf(node);
-      if (r == 0) return {};
-      if (cost == 0) return {{node, r}};  // no replica, forward all
-      // Replica: serve as much as possible locally, forward the remainder.
-      const Requests local = std::min(r, capacity);
-      solution.replicas.push_back(node);
-      solution.assignment.push_back(ServiceEntry{node, node, local});
-      if (r > local) return {{node, r - local}};
-      return {};
-    }
-
-    const auto& prefix = prefixes[node];
-    const CostTable& g = prefix.back();
-    const std::size_t total = g.size() - 1;
-    const bool use_replica = [&] {
-      if (g[u] == cost) return false;  // prefer the replica-free branch
-      return true;
-    }();
-    std::size_t budget = u;
-    Cost remaining_cost = cost;
-    if (use_replica) {
-      budget = std::min<std::size_t>(
-          total, u + static_cast<std::size_t>(std::min<Requests>(capacity, total)));
-      RPT_CHECK(cost >= 1 && g[budget] == cost - 1);
-      remaining_cost = cost - 1;
-    } else {
-      RPT_CHECK(g[budget] == cost);
-    }
-
-    // Split `budget` among children by walking the prefix tables backwards.
-    const auto kids = tree.Children(node);
-    std::vector<std::size_t> child_budget(kids.size(), 0);
-    std::size_t v = budget;
-    Cost target = remaining_cost;
-    for (std::size_t k = kids.size(); k-- > 0;) {
-      const CostTable& before = prefix[k];
-      const CostTable& child_table = f[kids[k]];
-      bool found = false;
-      // Smallest child budget achieving the target keeps ancestors safest.
-      for (std::size_t b = 0; b < child_table.size() && b <= v; ++b) {
-        if (child_table[b] >= kInf) continue;
-        const std::size_t rest = v - b;
-        const std::size_t rest_clamped = std::min(rest, before.size() - 1);
-        if (before[rest_clamped] < kInf &&
-            before[rest_clamped] + child_table[b] == target) {
-          child_budget[k] = b;
-          target -= child_table[b];
-          v = rest_clamped;
-          found = true;
-          break;
-        }
-      }
-      RPT_CHECK(found);
-    }
-
-    PendingList incoming;
-    for (std::size_t k = 0; k < kids.size(); ++k) {
-      PendingList from_child = Backtrack(kids[k], child_budget[k]);
-      incoming.insert(incoming.end(), from_child.begin(), from_child.end());
-    }
-
-    if (!use_replica) return incoming;
-
-    // Replica at node: serve min(T, W) of the incoming requests, forward the
-    // rest (guaranteed <= u by the DP transition).
-    solution.replicas.push_back(node);
-    Requests to_serve = std::min(TotalOf(incoming), capacity);
-    PendingList forwarded;
-    for (auto& [client, amount] : incoming) {
-      const Requests take = std::min(amount, to_serve);
-      if (take > 0) {
-        solution.assignment.push_back(ServiceEntry{client, node, take});
-        to_serve -= take;
-      }
-      if (amount > take) forwarded.emplace_back(client, amount - take);
-    }
-    RPT_CHECK(TotalOf(forwarded) <= u);
-    return forwarded;
-  }
-};
-
-}  // namespace
 
 MultipleNodDpResult SolveMultipleNodDp(const Instance& instance) {
   RPT_REQUIRE(!instance.HasDistanceConstraint(),
               "multiple-nod-dp: only valid without distance constraints");
-  Dp dp(instance);
-  dp.Forward();
+  // One full forward pass on a fresh engine; the engine is also the substrate
+  // of the incremental re-solver (src/incremental/), which keeps it alive
+  // across update batches instead of rebuilding it per solve.
+  NodDpEngine engine(instance.GetTree(), instance.Capacity());
+  engine.ComputeAll();
   MultipleNodDpResult result;
-  result.stats = dp.stats;
-  const CostTable& root = dp.f[instance.GetTree().Root()];
-  if (root.empty() || root[0] >= kInf) {
+  result.stats.table_entries = engine.Work().table_entries;
+  result.stats.convolve_cells = engine.Work().convolve_cells;
+  if (!engine.Feasible()) {
     result.feasible = false;
     return result;
   }
-  const auto leftover = dp.Backtrack(instance.GetTree().Root(), 0);
-  RPT_CHECK(leftover.empty());
   result.feasible = true;
-  result.solution = std::move(dp.solution);
-  result.solution.Canonicalize();
+  result.solution = engine.Backtrack();
   return result;
 }
 

@@ -19,6 +19,10 @@
 // depth are independent, so they run as parallel chunks on the process-wide
 // solver pool (SolverPool()), each chunk leasing a reusable scratch arena.
 // Outputs are byte-identical to the serial pass at any thread count.
+// The DP core itself (tables, staircase convolution, level sweep, and
+// detail::MergeMinShift) lives in multiple/nod_dp_engine.hpp — this header
+// keeps the batch-solve entry point; the incremental re-solver
+// (src/incremental/) drives the same engine across update batches.
 #pragma once
 
 #include <cstddef>
@@ -26,19 +30,9 @@
 
 #include "model/instance.hpp"
 #include "model/solution.hpp"
+#include "multiple/nod_dp_engine.hpp"
 
 namespace rpt::multiple {
-
-namespace detail {
-
-/// The staircase-merge inner loop: out[j] = min(out[j], rhs[j] + shift) for
-/// j in [0, n). Written branch-free over restrict-qualified flat arrays so
-/// the compiler auto-vectorizes it; equivalent entry-for-entry to the scalar
-/// reference (asserted by test_multiple_nod_dp).
-void MergeMinShift(std::uint32_t* out, const std::uint32_t* rhs, std::uint32_t shift,
-                   std::size_t n) noexcept;
-
-}  // namespace detail
 
 /// Counters describing the work and footprint of one DP run.
 struct MultipleNodDpStats {

@@ -1,0 +1,486 @@
+#include "multiple/nod_dp_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "support/thread_pool.hpp"
+
+namespace rpt::multiple {
+
+namespace detail {
+
+void MergeMinShift(std::uint32_t* __restrict__ out, const std::uint32_t* __restrict__ rhs,
+                   std::uint32_t shift, std::size_t n) noexcept {
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t candidate = rhs[j] + shift;
+    out[j] = out[j] < candidate ? out[j] : candidate;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+using Cost = NodDpEngine::Cost;
+constexpr Cost kInf = NodDpEngine::kInfCost;
+
+void MakeMonotone(NodDpEngine::CostTable& table) {
+  for (std::size_t u = 1; u < table.size(); ++u) table[u] = std::min(table[u], table[u - 1]);
+}
+
+}  // namespace
+
+// Inverse staircase of a monotone non-increasing table: inv[c - vmin] is the
+// smallest u with table[u] <= c, for every integer cost c in [vmin, vmax]
+// (vmax = largest finite value, i.e. table[first_finite]; vmin =
+// table.back()). Leading kInf runs are skipped entirely — first_finite marks
+// where the finite staircase starts. The inv array lives in the per-chunk
+// scratch arena, reset before every merge.
+void NodDpEngine::Staircase::BuildFrom(const CostTable& table, Arena& arena) {
+  std::size_t f = 0;
+  while (f < table.size() && table[f] >= kInf) ++f;
+  RPT_CHECK(f < table.size());  // every DP table has a finite entry
+  first_finite = f;
+  vmax = table[f];
+  vmin = table.back();
+  inv = arena.AllocSpan<std::uint32_t>(static_cast<std::size_t>(vmax - vmin) + 1);
+  std::fill(inv.begin(), inv.end(), static_cast<std::uint32_t>(f));
+  Cost cur = vmax;
+  for (std::size_t u = f + 1; u < table.size(); ++u) {
+    while (cur > table[u]) {
+      --cur;
+      inv[cur - vmin] = static_cast<std::uint32_t>(u);
+    }
+  }
+}
+
+NodDpEngine::NodDpEngine(const Tree& tree, Requests capacity)
+    : tree_(tree),
+      capacity_(capacity),
+      demand_(tree.Size()),
+      subtree_demand_(tree.Size()),
+      f_(tree.Size()),
+      prefixes_(tree.Size()),
+      last_dirty_pass_(tree.Size(), 0),
+      frag_(tree.Size()) {
+  RPT_REQUIRE(capacity_ > 0, "NodDpEngine: capacity must be positive");
+  std::uint32_t max_depth = 0;
+  for (NodeId id = 0; id < tree_.Size(); ++id) {
+    demand_[id] = tree_.RequestsOf(id);
+    subtree_demand_[id] = tree_.SubtreeRequests(id);
+    max_depth = std::max(max_depth, tree_.Depth(id));
+  }
+  all_levels_.resize(static_cast<std::size_t>(max_depth) + 1);
+  dirty_levels_.resize(all_levels_.size());
+  for (NodeId id = 0; id < tree_.Size(); ++id) all_levels_[tree_.Depth(id)].push_back(id);
+}
+
+void NodDpEngine::SetDemand(NodeId client, Requests demand) {
+  RPT_REQUIRE(tree_.IsClient(CheckNode(client)), "NodDpEngine: demand belongs to client leaves");
+  const Requests old = demand_[client];
+  if (old == demand) return;
+  demand_[client] = demand;
+  for (NodeId cur = client;; cur = tree_.Parent(cur)) {
+    subtree_demand_[cur] = subtree_demand_[cur] - old + demand;
+    if (cur == tree_.Root()) break;
+  }
+}
+
+void NodDpEngine::SetCapacity(Requests capacity) {
+  RPT_REQUIRE(capacity > 0, "NodDpEngine: capacity must be positive");
+  if (capacity == capacity_) return;
+  capacity_ = capacity;
+  computed_ = false;  // every transition depends on W: full recompute needed
+}
+
+// Monotone min-plus convolution, out[k] = min_{i+j<=k} a[i] + b[j], written
+// into `out` (sized |a|+|b|-1; kInf where no finite split exists). Because
+// both inputs are monotone staircases, the convolution runs in the *cost*
+// domain: O(range(a) * range(b) + |out|) instead of O(|a| * |b|). Cost
+// ranges are replica counts (<= subtree client counts), which on
+// request-heavy instances are orders of magnitude below the request-domain
+// table sizes. Equivalent to the naive convolution followed by MakeMonotone,
+// entry for entry.
+void NodDpEngine::Convolve(const CostTable& a, const CostTable& b, CostTable& out,
+                           ConvolveScratch& scratch, std::uint64_t& cells) {
+  scratch.arena.Reset();
+  scratch.lhs.BuildFrom(a, scratch.arena);
+  scratch.rhs.BuildFrom(b, scratch.arena);
+  const Staircase& lhs = scratch.lhs;
+  const Staircase& rhs = scratch.rhs;
+  const Cost cmin = lhs.vmin + rhs.vmin;
+  const Cost cmax = lhs.vmax + rhs.vmax;
+
+  // Out(c) = min forwarded budget achieving total cost <= c: minimize
+  // A(c1) + B(c2) over all splits c1 + c2 <= c, then close under "spend
+  // less, forward more" monotonicity. With j = c2 - rhs.vmin the output
+  // slot for (c1, c2) is (c1 - lhs.vmin) + j, so each c1 contributes one
+  // contiguous shifted-min sweep — the vectorized MergeMinShift.
+  const std::span<std::uint32_t> out_inv =
+      scratch.arena.AllocSpan<std::uint32_t>(static_cast<std::size_t>(cmax - cmin) + 1);
+  std::fill(out_inv.begin(), out_inv.end(), std::numeric_limits<std::uint32_t>::max());
+  const std::size_t rhs_len = rhs.inv.size();
+  for (Cost c1 = lhs.vmin; c1 <= lhs.vmax; ++c1) {
+    const std::uint32_t ua = lhs.inv[c1 - lhs.vmin];
+    detail::MergeMinShift(out_inv.data() + (c1 - lhs.vmin), rhs.inv.data(), ua, rhs_len);
+  }
+  for (std::size_t c = 1; c < out_inv.size(); ++c) {
+    out_inv[c] = std::min(out_inv[c], out_inv[c - 1]);
+  }
+  cells += static_cast<std::uint64_t>(lhs.inv.size()) * rhs_len;
+
+  // Materialize the output staircase; indices below the first feasible
+  // budget (the leading kInf run) are never written.
+  out.assign(a.size() + b.size() - 1, kInf);
+  std::size_t hi = out.size();
+  for (Cost c = cmin; c <= cmax && hi > 0; ++c) {
+    const std::size_t u = out_inv[c - cmin];
+    for (std::size_t k = u; k < hi; ++k) out[k] = c;
+    hi = std::min(hi, u);
+  }
+}
+
+// Recomputes f_[node] (and, for internal nodes, the stored prefix tables
+// from child index `first_child` on) — all children must already be up to
+// date, which the level sweep guarantees. The recomputed tables depend only
+// on (children tables, demand, capacity), never on which pass runs the
+// node, so an incremental recompute writes exactly the bytes a full pass
+// would.
+void NodDpEngine::ProcessNode(NodeId node, std::size_t first_child, ConvolveScratch& scratch,
+                              ChunkCounters& counters) {
+  if (tree_.IsClient(node)) {
+    const Requests r = demand_[node];
+    CostTable& table = f_[node];
+    table.assign(static_cast<std::size_t>(r) + 1, kInf);
+    table[static_cast<std::size_t>(r)] = 0;  // no replica: forward everything
+    const Requests min_forward = r > capacity_ ? r - capacity_ : 0;
+    for (std::size_t u = static_cast<std::size_t>(min_forward); u <= r; ++u) {
+      table[u] = std::min<Cost>(table[u], 1);  // replica: serve min(r, W) locally
+    }
+    MakeMonotone(table);
+    RPT_CHECK(table.size() == static_cast<std::size_t>(subtree_demand_[node]) + 1);
+    counters.entries += table.size();
+    return;
+  }
+  // Children convolution with stored prefixes: prefix[i] is the product of
+  // children [0, i). Every stored table stays bounded by its (sub)domain's
+  // request total + 1 — the convolution never widens a table beyond the
+  // demand it can actually forward.
+  const auto kids = tree_.Children(node);
+  auto& prefix = prefixes_[node];
+  prefix.resize(kids.size() + 1);
+  if (first_child == 0) {
+    prefix[0].assign(1, 0);  // empty product: forward 0 at cost 0
+    counters.entries += 1;
+  }
+  for (std::size_t c = first_child; c < kids.size(); ++c) {
+    Convolve(prefix[c], f_[kids[c]], prefix[c + 1], scratch, counters.cells);
+    counters.entries += prefix[c + 1].size();
+  }
+  const CostTable& g = prefix.back();
+  const std::size_t total = g.size() - 1;  // subtree request total below node
+  RPT_CHECK(total == static_cast<std::size_t>(subtree_demand_[node]));
+  CostTable& table = f_[node];
+  table.assign(total + 1, kInf);
+  for (std::size_t u = 0; u <= total; ++u) {
+    table[u] = g[u];  // no replica
+    const std::size_t relaxed = std::min<std::size_t>(
+        total, u + static_cast<std::size_t>(std::min<Requests>(capacity_, total)));
+    if (g[relaxed] < kInf) {
+      table[u] = std::min<Cost>(table[u], 1 + g[relaxed]);  // replica absorbs up to W
+    }
+  }
+  MakeMonotone(table);
+  counters.entries += table.size();
+}
+
+// Level-synchronous sweep, deepest level first. Within a level every node's
+// merge is independent (its children live one level deeper and are already
+// done), so the level runs as parallel chunks on the process-wide solver
+// pool; per-chunk scratch leases and exact-integer work counters keep the
+// outputs bit-identical to a serial sweep. In the incremental form the
+// levels hold only dirty nodes — independent dirty chains proceed in
+// parallel — and each internal node's prefix chain restarts at its first
+// dirty child.
+void NodDpEngine::SweepLevels(const std::vector<std::vector<NodeId>>& levels, bool incremental) {
+  std::atomic<std::uint64_t> entries{0};
+  std::atomic<std::uint64_t> cells{0};
+  std::uint64_t nodes = 0;
+  ThreadPool* pool = SolverPool();
+  for (std::size_t d = levels.size(); d-- > 0;) {
+    const std::vector<NodeId>& level = levels[d];
+    if (level.empty()) continue;
+    nodes += level.size();
+    ParallelForChunked(pool, level.size(), /*grain=*/1,
+                       [&](std::size_t begin, std::size_t end) {
+                         const auto lease = scratch_pool_.Acquire();
+                         ChunkCounters counters;
+                         for (std::size_t slot = begin; slot < end; ++slot) {
+                           const NodeId node = level[slot];
+                           std::size_t first_child = 0;
+                           if (incremental && !tree_.IsClient(node)) {
+                             // Reuse the prefix chain up to the first child
+                             // whose subtree changed this pass.
+                             const auto kids = tree_.Children(node);
+                             first_child = kids.size();
+                             for (std::size_t c = 0; c < kids.size(); ++c) {
+                               if (last_dirty_pass_[kids[c]] == pass_) {
+                                 first_child = c;
+                                 break;
+                               }
+                             }
+                             // A dirty internal node always has a dirty
+                             // child (dirt spreads leaf -> root), but fall
+                             // back to a full rebuild defensively.
+                             if (first_child == kids.size()) first_child = 0;
+                           }
+                           ProcessNode(node, first_child, *lease, counters);
+                         }
+                         entries.fetch_add(counters.entries, std::memory_order_relaxed);
+                         cells.fetch_add(counters.cells, std::memory_order_relaxed);
+                       });
+  }
+  work_.table_entries += entries.load(std::memory_order_relaxed);
+  work_.convolve_cells += cells.load(std::memory_order_relaxed);
+  work_.nodes_processed += nodes;
+  last_pass_nodes_ = nodes;
+}
+
+void NodDpEngine::ComputeAll() {
+  ++pass_;
+  std::fill(last_dirty_pass_.begin(), last_dirty_pass_.end(), pass_);
+  SweepLevels(all_levels_, /*incremental=*/false);
+  computed_ = true;
+}
+
+void NodDpEngine::RecomputeDirty(std::span<const NodeId> touched) {
+  RPT_REQUIRE(computed_, "NodDpEngine: RecomputeDirty requires a completed ComputeAll");
+  if (touched.empty()) {
+    last_pass_nodes_ = 0;
+    return;
+  }
+  ++pass_;
+  for (auto& level : dirty_levels_) level.clear();
+  // The dirty set is the union of the touched leaves' root paths; each walk
+  // stops at the first node already marked by an earlier path.
+  for (const NodeId leaf : touched) {
+    RPT_REQUIRE(tree_.IsClient(CheckNode(leaf)), "NodDpEngine: touched nodes must be clients");
+    for (NodeId cur = leaf;; cur = tree_.Parent(cur)) {
+      if (last_dirty_pass_[cur] == pass_) break;
+      last_dirty_pass_[cur] = pass_;
+      dirty_levels_[tree_.Depth(cur)].push_back(cur);
+      if (cur == tree_.Root()) break;
+    }
+  }
+  // Paths are walked in touched order, so bucket contents may be unsorted;
+  // sort for deterministic chunk boundaries independent of touch order.
+  for (auto& level : dirty_levels_) std::sort(level.begin(), level.end());
+  SweepLevels(dirty_levels_, /*incremental=*/true);
+}
+
+bool NodDpEngine::Feasible() const {
+  RPT_REQUIRE(computed_, "NodDpEngine: Feasible requires up-to-date tables");
+  const CostTable& root = f_[tree_.Root()];
+  return !root.empty() && root[0] < kInf;
+}
+
+namespace {
+constexpr std::uint32_t kPendNil = static_cast<std::uint32_t>(-1);
+}  // namespace
+
+NodDpEngine::PendChain NodDpEngine::BacktrackNode(NodeId node, std::size_t u,
+                                                  Solution& solution) {
+  const CostTable& table = f_[node];
+  RPT_CHECK(u < table.size() || !table.empty());
+  u = std::min(u, table.size() - 1);
+
+  const auto empty_chain = [] { return PendChain{kPendNil, kPendNil, 0}; };
+  const auto single_chain = [this](NodeId client, Requests amount) {
+    const auto id = static_cast<std::uint32_t>(pend_entries_.size());
+    pend_entries_.push_back(PendEntry{client, amount, kPendNil});
+    return PendChain{id, id, amount};
+  };
+
+  // Fragment replay: valid iff the fragment was recorded after the subtree's
+  // last recompute (a dirty node this pass has last_dirty == pass_ >=
+  // built_pass, so it can never hit) and the clamped budget matches. The
+  // reconstruction below is a pure function of (subtree tables, budget), so
+  // the replayed bytes are exactly what the recursion would append.
+  FragmentCache& frag = frag_[node];
+  if (frag.built_pass > last_dirty_pass_[node] && frag.budget == u) {
+    solution.replicas.insert(solution.replicas.end(), frag.replicas.begin(),
+                             frag.replicas.end());
+    solution.assignment.insert(solution.assignment.end(), frag.entries.begin(),
+                               frag.entries.end());
+    PendChain chain = empty_chain();
+    for (const auto& [client, amount] : frag.forwarded) {
+      const PendChain link = single_chain(client, amount);
+      if (chain.head == kPendNil) {
+        chain.head = link.head;
+      } else {
+        pend_entries_[chain.tail].next = link.head;
+      }
+      chain.tail = link.tail;
+      chain.total += amount;
+    }
+    return chain;
+  }
+  const std::size_t mark_replicas = solution.replicas.size();
+  const std::size_t mark_entries = solution.assignment.size();
+  const auto record_fragment = [&](const PendChain& out) {
+    // Record only clean subtrees: a node recomputed this pass is likely on a
+    // hot path that changes again, and its fragment near the root can span
+    // most of the solution — recording it every pass would cost more than
+    // the recursion it saves.
+    if (last_dirty_pass_[node] >= pass_) return;
+    // Budget check: replacing this node's old fragment frees its share; a
+    // brand-new fragment past the cap is simply not recorded (replay is an
+    // optimization, never a correctness dependency).
+    frag_entries_total_ -= frag.EntryCount();
+    const std::size_t incoming_entries =
+        (solution.replicas.size() - mark_replicas) + (solution.assignment.size() - mark_entries);
+    if (frag_entries_total_ + incoming_entries > kFragEntryBudget) {
+      frag = FragmentCache{};  // drop the stale share instead of keeping it
+      return;
+    }
+    frag.built_pass = pass_;
+    frag.budget = u;
+    frag.replicas.assign(solution.replicas.begin() + mark_replicas, solution.replicas.end());
+    frag.entries.assign(solution.assignment.begin() + mark_entries, solution.assignment.end());
+    frag.forwarded.clear();
+    for (std::uint32_t e = out.head; e != kPendNil; e = pend_entries_[e].next) {
+      frag.forwarded.emplace_back(pend_entries_[e].client, pend_entries_[e].amount);
+    }
+    frag_entries_total_ += frag.EntryCount();
+  };
+
+  const Cost cost = table[u];
+  RPT_CHECK(cost < kInf);
+
+  if (tree_.IsClient(node)) {
+    const auto leaf_chain = [&]() -> PendChain {
+      const Requests r = demand_[node];
+      if (r == 0) return empty_chain();
+      if (cost == 0) return single_chain(node, r);  // no replica, forward all
+      // Replica: serve as much as possible locally, forward the remainder.
+      const Requests local = std::min(r, capacity_);
+      solution.replicas.push_back(node);
+      solution.assignment.push_back(ServiceEntry{node, node, local});
+      if (r > local) return single_chain(node, r - local);
+      return empty_chain();
+    }();
+    record_fragment(leaf_chain);
+    return leaf_chain;
+  }
+
+  const auto& prefix = prefixes_[node];
+  const CostTable& g = prefix.back();
+  const std::size_t total = g.size() - 1;
+  const bool use_replica = g[u] != cost;  // prefer the replica-free branch
+  std::size_t budget = u;
+  Cost remaining_cost = cost;
+  if (use_replica) {
+    budget = std::min<std::size_t>(
+        total, u + static_cast<std::size_t>(std::min<Requests>(capacity_, total)));
+    RPT_CHECK(cost >= 1 && g[budget] == cost - 1);
+    remaining_cost = cost - 1;
+  } else {
+    RPT_CHECK(g[budget] == cost);
+  }
+
+  // Split `budget` among children by walking the prefix tables backwards.
+  // Budgets live in a small stack buffer (heap only past arity 8) so the
+  // recursion allocates nothing on typical trees.
+  const auto kids = tree_.Children(node);
+  std::size_t inline_budget[8];
+  std::vector<std::size_t> heap_budget;
+  std::size_t* child_budget = inline_budget;
+  if (kids.size() > 8) {
+    heap_budget.resize(kids.size());
+    child_budget = heap_budget.data();
+  }
+  std::size_t v = budget;
+  Cost target = remaining_cost;
+  for (std::size_t k = kids.size(); k-- > 0;) {
+    const CostTable& before = prefix[k];
+    const CostTable& child_table = f_[kids[k]];
+    bool found = false;
+    // Smallest child budget achieving the target keeps ancestors safest.
+    for (std::size_t b = 0; b < child_table.size() && b <= v; ++b) {
+      if (child_table[b] >= kInf) continue;
+      const std::size_t rest = v - b;
+      const std::size_t rest_clamped = std::min(rest, before.size() - 1);
+      if (before[rest_clamped] < kInf && before[rest_clamped] + child_table[b] == target) {
+        child_budget[k] = b;
+        target -= child_table[b];
+        v = rest_clamped;
+        found = true;
+        break;
+      }
+    }
+    RPT_CHECK(found);
+  }
+
+  // Concatenate the children's pending chains in child order — O(1) splices,
+  // preserving exactly the order the flat-list implementation produced.
+  PendChain incoming = empty_chain();
+  for (std::size_t k = 0; k < kids.size(); ++k) {
+    const PendChain from_child = BacktrackNode(kids[k], child_budget[k], solution);
+    if (from_child.head == kPendNil) continue;
+    if (incoming.head == kPendNil) {
+      incoming.head = from_child.head;
+    } else {
+      pend_entries_[incoming.tail].next = from_child.head;
+    }
+    incoming.tail = from_child.tail;
+    incoming.total += from_child.total;
+  }
+
+  if (!use_replica) {
+    record_fragment(incoming);
+    return incoming;
+  }
+
+  // Replica at node: serve min(T, W) of the incoming requests in chain
+  // order, forward the rest (guaranteed <= u by the DP transition). Serving
+  // is prefix-greedy, so the forwarded list is the chain's suffix starting
+  // at the first partially-served entry.
+  solution.replicas.push_back(node);
+  Requests to_serve = std::min(incoming.total, capacity_);
+  PendChain forwarded{incoming.head, incoming.tail, incoming.total - to_serve};
+  while (to_serve > 0) {
+    RPT_CHECK(forwarded.head != kPendNil);
+    PendEntry& entry = pend_entries_[forwarded.head];
+    const Requests take = std::min(entry.amount, to_serve);
+    solution.assignment.push_back(ServiceEntry{entry.client, node, take});
+    to_serve -= take;
+    if (take == entry.amount) {
+      forwarded.head = entry.next;
+      if (forwarded.head == kPendNil) forwarded.tail = kPendNil;
+    } else {
+      entry.amount -= take;
+    }
+  }
+  RPT_CHECK(forwarded.total <= u);
+  record_fragment(forwarded);
+  return forwarded;
+}
+
+Solution NodDpEngine::Backtrack() {
+  RPT_REQUIRE(Feasible(), "NodDpEngine: Backtrack requires a feasible state");
+  pend_entries_.clear();
+  Solution solution;
+  // Consecutive solutions of a low-churn stream have near-identical sizes;
+  // pre-sizing to the previous one removes the per-call regrowth churn.
+  solution.replicas.reserve(last_replica_count_);
+  solution.assignment.reserve(last_assignment_count_);
+  const PendChain leftover = BacktrackNode(tree_.Root(), 0, solution);
+  RPT_CHECK(leftover.head == kPendNil && leftover.total == 0);
+  last_replica_count_ = solution.replicas.size();
+  last_assignment_count_ = solution.assignment.size();
+  solution.Canonicalize();
+  return solution;
+}
+
+}  // namespace rpt::multiple

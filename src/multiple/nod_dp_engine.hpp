@@ -1,0 +1,244 @@
+// Reusable core of the Multiple-NoD tree-knapsack DP, factored out of
+// SolveMultipleNodDp so the same tables can serve both batch solves and the
+// incremental re-solve engine (src/incremental/).
+//
+// The engine owns the full DP state for one tree: a mutable per-client
+// demand overlay (initialized from the tree's request column), the per-node
+// F tables (F_j(u) = min replicas in subtree(j) forwarding at most u
+// requests above j), and the per-internal-node prefix tables G_0..G_k used
+// by backtracking. Two forward passes share every kernel:
+//
+//  * ComputeAll()       — the classic full pass: level-synchronous sweep
+//                         deepest-first, parallel chunks within a level on
+//                         the process-wide SolverPool(), per-chunk scratch
+//                         leased from a ScratchPool (see multiple_nod_dp.hpp
+//                         for the staircase-convolution details). This is
+//                         exactly what SolveMultipleNodDp runs.
+//  * RecomputeDirty(S)  — the incremental pass: given the set S of touched
+//                         client leaves, only the union of their root paths
+//                         is re-processed (children before parents, parallel
+//                         within a level across independent dirty chains);
+//                         every untouched subtree keeps its tables verbatim.
+//                         At a dirty internal node the prefix chain is
+//                         reused up to the first dirty child, so a change
+//                         under the last child re-runs only the tail merges.
+//
+// Invariant: after either pass, every table equals byte-for-byte what a
+// from-scratch ComputeAll() over the current (demands, capacity) state
+// would produce — recomputed nodes see identical inputs (their children's
+// tables), and the DP itself is deterministic at any thread count. This is
+// what makes the incremental solver's solutions bit-identical to the batch
+// oracle (asserted by tests/test_incremental.cpp).
+//
+// Ownership/lifetime: the engine stores a reference to the Tree; the tree
+// must outlive it and is never mutated (demand lives in the overlay, NOT in
+// Tree::RequestsOf). Not thread-safe: one engine per thread of control; the
+// internal parallelism is fork-join and fully contained in the passes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "model/solution.hpp"
+#include "support/arena.hpp"
+#include "tree/tree.hpp"
+
+namespace rpt::multiple {
+
+namespace detail {
+
+/// The staircase-merge inner loop: out[j] = min(out[j], rhs[j] + shift) for
+/// j in [0, n). Written branch-free over restrict-qualified flat arrays so
+/// the compiler auto-vectorizes it; equivalent entry-for-entry to the scalar
+/// reference (asserted by test_multiple_nod_dp).
+void MergeMinShift(std::uint32_t* out, const std::uint32_t* rhs, std::uint32_t shift,
+                   std::size_t n) noexcept;
+
+}  // namespace detail
+
+/// Counters describing the work and footprint of the DP passes run so far.
+/// Table entries / convolve cells are exact integer sums accumulated with
+/// relaxed atomics, so they are identical at any thread count.
+struct NodDpWork {
+  /// Entries (4 bytes each) written across all F and prefix tables.
+  std::uint64_t table_entries = 0;
+  /// Inner-loop iterations of all staircase convolutions (cost-domain
+  /// cells), the dominant arithmetic of the forward passes.
+  std::uint64_t convolve_cells = 0;
+  /// Nodes processed (a node re-processed by several passes counts each
+  /// time).
+  std::uint64_t nodes_processed = 0;
+};
+
+/// The Multiple-NoD DP state machine. Typical batch use:
+///   NodDpEngine engine(tree, capacity);
+///   engine.ComputeAll();
+///   if (engine.Feasible()) Solution s = engine.Backtrack();
+/// Incremental use replaces later ComputeAll() calls with SetDemand(...)
+/// followed by one RecomputeDirty(touched) per update batch.
+class NodDpEngine {
+ public:
+  using Cost = std::uint32_t;
+  using CostTable = std::vector<Cost>;
+
+  /// Sentinel for "no feasible entry" in a cost table.
+  static constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 2;
+
+  /// Demands start as the tree's client request column. `capacity` is the
+  /// uniform server capacity W (> 0). The tree must outlive the engine.
+  NodDpEngine(const Tree& tree, Requests capacity);
+
+  NodDpEngine(const NodDpEngine&) = delete;
+  NodDpEngine& operator=(const NodDpEngine&) = delete;
+
+  /// Full forward pass over every node. Must run once before Feasible() /
+  /// Backtrack(); also the recovery path after SetCapacity (a capacity
+  /// change invalidates every table, there is no partial recompute for it).
+  void ComputeAll();
+
+  /// Incremental forward pass: re-processes exactly the union of root paths
+  /// of `touched` (each must be a client leaf whose demand was changed via
+  /// SetDemand since the last pass). Requires a completed ComputeAll().
+  /// Touched ids may repeat; the dirty set is deduplicated internally.
+  void RecomputeDirty(std::span<const NodeId> touched);
+
+  /// Updates one client's demand and the subtree totals on its root path.
+  /// Tables are stale until the next RecomputeDirty()/ComputeAll() covering
+  /// the client. `client` must be a leaf.
+  void SetDemand(NodeId client, Requests demand);
+
+  /// Changes the uniform capacity W (> 0). Every table becomes stale; the
+  /// caller must run ComputeAll() before querying results again.
+  void SetCapacity(Requests capacity);
+
+  [[nodiscard]] const Tree& GetTree() const noexcept { return tree_; }
+  [[nodiscard]] Requests Capacity() const noexcept { return capacity_; }
+  [[nodiscard]] Requests DemandOf(NodeId node) const { return demand_[CheckNode(node)]; }
+  [[nodiscard]] Requests SubtreeDemand(NodeId node) const {
+    return subtree_demand_[CheckNode(node)];
+  }
+  [[nodiscard]] Requests TotalDemand() const noexcept { return subtree_demand_[0]; }
+
+  /// True iff the current state admits a feasible Multiple-NoD placement
+  /// (F_root(0) finite). Requires up-to-date tables.
+  [[nodiscard]] bool Feasible() const;
+
+  /// Reconstructs an optimal placement + routing from the tables; requires
+  /// Feasible(). The returned solution is canonicalized and identical to
+  /// what SolveMultipleNodDp would return on the equivalent instance.
+  ///
+  /// Backtrack is incremental too: each clean subtree (not re-processed
+  /// since the previous Backtrack) asked for the same forwarded budget
+  /// replays its recorded solution fragment instead of recursing — valid
+  /// because the reconstruction is a pure function of (subtree tables,
+  /// budget), both unchanged. Recursion descends only into dirty chains and
+  /// budget-shifted subtrees, so a low-churn re-solve rebuilds the solution
+  /// in roughly O(|solution| + dirty work).
+  [[nodiscard]] Solution Backtrack();
+
+  /// Cumulative work counters over the engine's lifetime.
+  [[nodiscard]] const NodDpWork& Work() const noexcept { return work_; }
+
+  /// Nodes re-processed by the most recent forward pass (ComputeAll counts
+  /// every node).
+  [[nodiscard]] std::uint64_t LastPassNodes() const noexcept { return last_pass_nodes_; }
+
+ private:
+  // Per-chunk scratch: two input staircases plus the output inverse, all
+  // bump-allocated from one arena reset per convolution (zero steady-state
+  // allocation; slabs reused across merges, levels, and passes).
+  struct Staircase {
+    Cost vmin = 0;
+    Cost vmax = 0;
+    std::size_t first_finite = 0;
+    std::span<std::uint32_t> inv;
+    void BuildFrom(const CostTable& table, Arena& arena);
+  };
+  struct ConvolveScratch {
+    Arena arena;
+    Staircase lhs;
+    Staircase rhs;
+  };
+  struct ChunkCounters {
+    std::uint64_t entries = 0;
+    std::uint64_t cells = 0;
+  };
+
+  NodeId CheckNode(NodeId id) const {
+    RPT_REQUIRE(id < tree_.Size(), "NodDpEngine: node id out of range");
+    return id;
+  }
+
+  void Convolve(const CostTable& a, const CostTable& b, CostTable& out, ConvolveScratch& scratch,
+                std::uint64_t& cells);
+  /// Recomputes f_[node]; for internal nodes the prefix chain is rebuilt
+  /// from child index `first_child` on (0 = full rebuild). All children must
+  /// already be up to date.
+  void ProcessNode(NodeId node, std::size_t first_child, ConvolveScratch& scratch,
+                   ChunkCounters& counters);
+  /// Sweeps the per-level node buckets deepest-first, parallel within each
+  /// level; `levels` holds node ids bucketed by depth.
+  void SweepLevels(const std::vector<std::vector<NodeId>>& levels, bool incremental);
+
+  // Pending requests travelling upward during reconstruction, stored as
+  // arena-chained (client, amount) entries so concatenation is O(1) and a
+  // replica's absorption is a prefix drop — Backtrack allocates nothing in
+  // steady state (the arena vector is reused across calls).
+  struct PendEntry {
+    NodeId client = kInvalidNode;
+    Requests amount = 0;
+    std::uint32_t next = 0;
+  };
+  struct PendChain {
+    std::uint32_t head = 0;  // kPendNil when empty
+    std::uint32_t tail = 0;
+    Requests total = 0;
+  };
+  // Recorded reconstruction of one subtree: the solution slice it appended
+  // and the pending list it forwarded, replayable while the subtree stays
+  // clean and the budget matches. built_pass == 0 means "never built".
+  struct FragmentCache {
+    std::uint64_t built_pass = 0;
+    std::size_t budget = 0;
+    std::vector<NodeId> replicas;
+    std::vector<ServiceEntry> entries;
+    std::vector<std::pair<NodeId, Requests>> forwarded;
+
+    [[nodiscard]] std::size_t EntryCount() const noexcept {
+      return replicas.size() + entries.size() + forwarded.size();
+    }
+  };
+  // Hard cap on the summed EntryCount over all cached fragments (~2M
+  // entries, tens of MB): every internal node eventually records its whole
+  // subtree's slice, which sums to O(|solution| * depth) — fine for the DP's
+  // pseudo-polynomial workloads, but capped so a pathological stream cannot
+  // grow the cache without bound. Past the cap, recording stops (existing
+  // fragments may still be replaced in place and still replay); correctness
+  // never depends on a fragment being cached.
+  static constexpr std::size_t kFragEntryBudget = std::size_t{1} << 21;
+  PendChain BacktrackNode(NodeId node, std::size_t budget, Solution& solution);
+
+  const Tree& tree_;
+  Requests capacity_;
+  std::vector<Requests> demand_;          // per node; internal nodes hold 0
+  std::vector<Requests> subtree_demand_;  // maintained by SetDemand
+  std::vector<CostTable> f_;
+  std::vector<std::vector<CostTable>> prefixes_;
+  std::vector<std::vector<NodeId>> all_levels_;    // every node bucketed by depth
+  std::vector<std::vector<NodeId>> dirty_levels_;  // reused dirty buckets
+  std::vector<std::uint64_t> last_dirty_pass_;     // forward pass that last re-processed a node
+  std::uint64_t pass_ = 0;                         // forward passes run so far
+  bool computed_ = false;
+  ScratchPool<ConvolveScratch> scratch_pool_;
+  NodDpWork work_;
+  std::uint64_t last_pass_nodes_ = 0;
+  std::vector<PendEntry> pend_entries_;  // Backtrack arena, reused per call
+  std::vector<FragmentCache> frag_;      // per-node Backtrack fragments
+  std::size_t frag_entries_total_ = 0;   // summed EntryCount, vs kFragEntryBudget
+  std::size_t last_replica_count_ = 0;   // previous solution sizes, for reserve
+  std::size_t last_assignment_count_ = 0;
+};
+
+}  // namespace rpt::multiple

@@ -23,6 +23,23 @@
 //    aggregated against the first solver as baseline. This is what the
 //    tightness/gap/optimality benches need: "algorithm A vs algorithm B on
 //    the same tree", not just two independent sweeps.
+//
+// Ownership: the runner owns its cells and results; Run() owns the worker
+// threads for its duration (spawned per call, joined before it returns,
+// marked with ThreadPool::ScopedWorkerMark so intra-solver parallelism
+// inside cells degrades to inline instead of oversubscribing). Generators,
+// solvers, and metric hooks are std::functions owned by the cell — anything
+// they capture by reference must outlive Run().
+//
+// Thread-safety: build the batch (Add/AddSweep/AddComparisonSweep) from one
+// thread, then call Run() once; cells execute concurrently, so hooks must
+// not share mutable state across cells (per-cell shared_ptr caches are the
+// sanctioned pattern, see surge_replay). BatchReport is immutable after
+// Run() and safe to read from any thread.
+//
+// Determinism: see the contract above — everything in the JSON report
+// except wall time is bit-identical for any --threads value, which
+// scripts/bench_smoke.sh enforces byte-for-byte in CI.
 #pragma once
 
 #include <cstdint>

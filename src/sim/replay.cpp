@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
+#include "incremental/incremental_solver.hpp"
 #include "model/validate.hpp"
+#include "support/timer.hpp"
 
 namespace rpt::sim {
 
@@ -63,65 +67,81 @@ std::vector<std::uint64_t> SplitLargestRemainder(std::uint64_t demand,
   return parts;
 }
 
-ReplayReport Replay(const Instance& instance, const Solution& solution,
-                    const ReplayConfig& config) {
-  RPT_REQUIRE(config.ticks > 0, "Replay: need at least one tick");
-  RPT_REQUIRE(config.demand_factor >= 0.0 && std::isfinite(config.demand_factor),
-              "Replay: demand_factor must be finite and >= 0");
-  const auto validation = ValidateSolution(instance, Policy::kMultiple, solution);
-  RPT_REQUIRE(validation.ok, "Replay: solution is not feasible: " + validation.Describe());
+namespace {
 
-  const Tree& tree = instance.GetTree();
-  const Requests capacity = instance.Capacity();
-  Rng rng(config.seed);
+// Per-client routing plan under the current placement: parallel
+// server-slot/weight vectors (weights feed the largest-remainder split each
+// tick). Plans are kept in ascending client-id order so the per-tick RNG
+// stream never depends on container iteration order.
+struct ClientPlan {
+  NodeId client = kInvalidNode;
+  std::vector<std::size_t> servers;  // slots into ReplayState::servers
+  std::vector<Requests> weights;
+  Requests planned = 0;
+};
 
-  // Compact server states and per-client routing shares.
+// Mutable state threaded through the tick loop; in streaming mode the plans
+// are rebuilt per re-solve while server slots and queues persist (a server
+// dropped by a new plan keeps draining its backlog).
+struct ReplayState {
   std::unordered_map<NodeId, std::size_t> server_index;
   std::vector<ServerReport> servers;
-  for (const NodeId replica : solution.replicas) {
-    server_index.emplace(replica, servers.size());
-    ServerReport report;
-    report.server = replica;
-    servers.push_back(report);
-  }
-  // Per-client routing plan, constant across ticks: parallel server/weight
-  // vectors (weights feed the largest-remainder split each tick).
-  struct ClientPlan {
-    std::vector<std::size_t> servers;
-    std::vector<Requests> weights;
-    Requests planned = 0;
-  };
-  std::unordered_map<NodeId, ClientPlan> plans;
-  double distance_weighted = 0.0;
-  Requests planned_total = 0;
-  ReplayReport report;
-  for (const ServiceEntry& entry : solution.assignment) {
-    const std::size_t index = server_index.at(entry.server);
-    const Distance distance = tree.DistToAncestor(entry.client, entry.server);
-    ClientPlan& plan = plans[entry.client];
-    plan.servers.push_back(index);
-    plan.weights.push_back(entry.amount);
-    plan.planned += entry.amount;
-    servers[index].planned_load += entry.amount;
-    distance_weighted += static_cast<double>(distance) * static_cast<double>(entry.amount);
-    planned_total += entry.amount;
-    report.max_service_distance = std::max(report.max_service_distance, distance);
-  }
-  report.mean_service_distance =
-      planned_total == 0 ? 0.0 : distance_weighted / static_cast<double>(planned_total);
-
-  // FIFO backlog per server: batches of (arrival tick, count).
-  std::vector<std::deque<std::pair<std::uint64_t, std::uint64_t>>> queues(servers.size());
-  std::vector<std::uint64_t> backlog(servers.size(), 0);
+  std::vector<std::deque<std::pair<std::uint64_t, std::uint64_t>>> queues;  // (tick, count)
+  std::vector<std::uint64_t> backlog;
+  std::vector<ClientPlan> plans;
+  double plan_distance_weighted = 0.0;  // over the current plan
+  Requests plan_total = 0;
+  std::uint64_t capacity_integral = 0;  // sum over ticks of W_t
+  double distance_weighted = 0.0;       // accumulated per tick
+  double planned_total_ticks = 0.0;
   double wait_weighted = 0.0;
+  double replica_ticks = 0.0;
 
-  report.ticks = config.ticks;
-  for (std::uint64_t tick = 0; tick < config.ticks; ++tick) {
-    // Arrivals: each client draws its demand and splits it proportionally
-    // to the planned routing (largest-remainder rounding keeps the total).
-    for (const auto& [client, plan] : plans) {
-      const double mean =
-          static_cast<double>(plan.planned) * config.demand_factor;
+  std::size_t ServerSlot(NodeId server) {
+    const auto [it, inserted] = server_index.emplace(server, servers.size());
+    if (inserted) {
+      ServerReport report;
+      report.server = server;
+      servers.push_back(report);
+      queues.emplace_back();
+      backlog.push_back(0);
+    }
+    return it->second;
+  }
+
+  // Rebuilds the per-client plans from a canonical (client-sorted)
+  // assignment. Replicas without load still claim a server slot so they
+  // appear in the report.
+  void BuildPlans(const Tree& tree, const Solution& solution, ReplayReport& report) {
+    plans.clear();
+    plan_distance_weighted = 0.0;
+    plan_total = 0;
+    for (ServerReport& server : servers) server.planned_load = 0;
+    for (const NodeId replica : solution.replicas) (void)ServerSlot(replica);
+    for (const ServiceEntry& entry : solution.assignment) {
+      const std::size_t slot = ServerSlot(entry.server);
+      const Distance distance = tree.DistToAncestor(entry.client, entry.server);
+      if (plans.empty() || plans.back().client != entry.client) {
+        plans.push_back(ClientPlan{entry.client, {}, {}, 0});
+      }
+      ClientPlan& plan = plans.back();
+      plan.servers.push_back(slot);
+      plan.weights.push_back(entry.amount);
+      plan.planned += entry.amount;
+      servers[slot].planned_load += entry.amount;
+      plan_distance_weighted +=
+          static_cast<double>(distance) * static_cast<double>(entry.amount);
+      plan_total += entry.amount;
+      report.max_service_distance = std::max(report.max_service_distance, distance);
+    }
+  }
+
+  // One simulated tick: Poisson arrivals per client (ascending id), FIFO
+  // service up to `capacity` per server.
+  void Tick(std::uint64_t tick, double demand_factor, Requests capacity, Rng& rng,
+            ReplayReport& report) {
+    for (const ClientPlan& plan : plans) {
+      const double mean = static_cast<double>(plan.planned) * demand_factor;
       const std::uint64_t demand = DrawPoisson(rng, mean);
       if (demand == 0) continue;
       const std::vector<std::uint64_t> parts = SplitLargestRemainder(demand, plan.weights);
@@ -135,7 +155,6 @@ ReplayReport Replay(const Instance& instance, const Solution& solution,
         report.arrived += part;
       }
     }
-    // Service: each server drains up to W requests, oldest first.
     std::uint64_t total_backlog = 0;
     for (std::size_t s = 0; s < servers.size(); ++s) {
       Requests budget = capacity;
@@ -154,17 +173,100 @@ ReplayReport Replay(const Instance& instance, const Solution& solution,
       total_backlog += backlog[s];
     }
     report.peak_backlog_total = std::max(report.peak_backlog_total, total_backlog);
+    capacity_integral += capacity;
+    distance_weighted += plan_distance_weighted;
+    planned_total_ticks += static_cast<double>(plan_total);
   }
 
-  for (std::size_t s = 0; s < servers.size(); ++s) {
-    servers[s].final_backlog = backlog[s];
-    servers[s].utilization =
-        static_cast<double>(servers[s].served) /
-        (static_cast<double>(config.ticks) * static_cast<double>(capacity));
+  void Finish(ReplayReport& report) {
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      servers[s].final_backlog = backlog[s];
+      servers[s].utilization = capacity_integral == 0
+                                   ? 0.0
+                                   : static_cast<double>(servers[s].served) /
+                                         static_cast<double>(capacity_integral);
+    }
+    report.mean_service_distance =
+        planned_total_ticks == 0.0 ? 0.0 : distance_weighted / planned_total_ticks;
+    report.mean_wait_ticks =
+        report.served == 0 ? 0.0 : wait_weighted / static_cast<double>(report.served);
+    report.servers = std::move(servers);
   }
-  report.mean_wait_ticks =
-      report.served == 0 ? 0.0 : wait_weighted / static_cast<double>(report.served);
-  report.servers = std::move(servers);
+};
+
+void CheckConfig(const ReplayConfig& config) {
+  RPT_REQUIRE(config.ticks > 0, "Replay: need at least one tick");
+  RPT_REQUIRE(config.demand_factor >= 0.0 && std::isfinite(config.demand_factor),
+              "Replay: demand_factor must be finite and >= 0");
+}
+
+}  // namespace
+
+ReplayReport Replay(const Instance& instance, const Solution& solution,
+                    const ReplayConfig& config) {
+  CheckConfig(config);
+  RPT_REQUIRE(config.trace.empty(),
+              "Replay: the static (instance, solution, config) form takes no update trace; "
+              "use Replay(instance, config) for streaming replays");
+  const auto validation = ValidateSolution(instance, Policy::kMultiple, solution);
+  RPT_REQUIRE(validation.ok, "Replay: solution is not feasible: " + validation.Describe());
+
+  Rng rng(config.seed);
+  ReplayReport report;
+  report.ticks = config.ticks;
+  report.mean_replicas = static_cast<double>(solution.ReplicaCount());
+
+  Solution canonical = solution;
+  canonical.Canonicalize();
+  ReplayState state;
+  state.BuildPlans(instance.GetTree(), canonical, report);
+  for (std::uint64_t tick = 0; tick < config.ticks; ++tick) {
+    state.Tick(tick, config.demand_factor, instance.Capacity(), rng, report);
+  }
+  state.Finish(report);
+  return report;
+}
+
+ReplayReport Replay(const Instance& instance, const ReplayConfig& config) {
+  CheckConfig(config);
+  RPT_REQUIRE(!config.trace.empty(),
+              "Replay: streaming replay needs a non-empty trace; use the "
+              "(instance, solution, config) form for a fixed plan");
+  RPT_REQUIRE(config.trace.size() == config.ticks,
+              "Replay: trace length (" + std::to_string(config.trace.size()) +
+                  ") must equal ticks (" + std::to_string(config.ticks) +
+                  "); refusing to silently truncate either side");
+
+  incremental::IncrementalSolver solver(instance, {config.engine, config.policy});
+  RPT_REQUIRE(solver.Feasible(),
+              "Replay: the initial instance is infeasible under the replay policy");
+
+  Rng rng(config.seed);
+  ReplayReport report;
+  report.ticks = config.ticks;
+  ReplayState state;
+  state.BuildPlans(instance.GetTree(), solver.Current(), report);
+  double replan_ms = 0.0;  // the constructor's initial solve is not counted
+
+  for (std::uint64_t tick = 0; tick < config.ticks; ++tick) {
+    if (!config.trace[tick].empty()) {
+      Timer timer;
+      const bool feasible = solver.Apply(config.trace[tick]);
+      replan_ms += timer.ElapsedMs();
+      RPT_REQUIRE(feasible, "Replay: the update trace made the instance infeasible at tick " +
+                                std::to_string(tick));
+      state.BuildPlans(instance.GetTree(), solver.Current(), report);
+    }
+    state.replica_ticks += static_cast<double>(solver.Current().ReplicaCount());
+    state.Tick(tick, config.demand_factor, solver.Capacity(), rng, report);
+  }
+  state.Finish(report);
+  report.mean_replicas = state.replica_ticks / static_cast<double>(config.ticks);
+  report.resolves = solver.Stats().resolves;
+  report.events_applied = solver.Stats().events_applied;
+  report.nodes_recomputed = solver.Stats().nodes_recomputed;
+  report.nodes_reused = solver.Stats().nodes_reused;
+  report.replan_ms = replan_ms;
   return report;
 }
 

@@ -102,14 +102,47 @@ class BundleLists {
 
 }  // namespace
 
+namespace {
+
+// Shared core: preconditions already checked by the public entry points.
+SingleNodResult SolveSingleNodImpl(const Tree& tree, Requests capacity,
+                                   std::span<const Requests> demands,
+                                   const SingleNodOptions& options);
+
+}  // namespace
+
 SingleNodResult SolveSingleNod(const Instance& instance, const SingleNodOptions& options) {
   RPT_REQUIRE(!instance.HasDistanceConstraint(),
               "single-nod: only valid without distance constraints (Single-NoD)");
   RPT_REQUIRE(instance.AllRequestsFitLocally(),
               "single-nod: some client has r_i > W; no Single solution exists");
+  // Zero-copy: the tree's own request column is the demand overlay.
   const Tree& tree = instance.GetTree();
-  const Requests capacity = instance.Capacity();
+  return SolveSingleNodImpl(tree, instance.Capacity(), tree.RequestsColumn(), options);
+}
 
+SingleNodResult SolveSingleNod(const Tree& tree, Requests capacity,
+                               std::span<const Requests> demands,
+                               const SingleNodOptions& options) {
+  RPT_REQUIRE(capacity > 0, "single-nod: capacity must be positive");
+  RPT_REQUIRE(demands.size() == tree.Size(),
+              "single-nod: need one demand entry per node (internal entries 0)");
+  for (NodeId id = 0; id < tree.Size(); ++id) {
+    if (tree.IsClient(id)) {
+      RPT_REQUIRE(demands[id] <= capacity,
+                  "single-nod: some client has r_i > W; no Single solution exists");
+    } else {
+      RPT_REQUIRE(demands[id] == 0, "single-nod: internal nodes issue no requests");
+    }
+  }
+  return SolveSingleNodImpl(tree, capacity, demands, options);
+}
+
+namespace {
+
+SingleNodResult SolveSingleNodImpl(const Tree& tree, Requests capacity,
+                                   std::span<const Requests> demands,
+                                   const SingleNodOptions& options) {
   SingleNodResult result;
   Solution& solution = result.solution;
 
@@ -120,7 +153,7 @@ SingleNodResult SolveSingleNod(const Instance& instance, const SingleNodOptions&
 
   for (const NodeId node : tree.PostOrder()) {
     if (tree.IsClient(node)) {
-      const Requests requests = tree.RequestsOf(node);
+      const Requests requests = demands[node];
       if (requests > 0 && node != tree.Root()) {
         lists.Append(tree.Parent(node), lists.MakeLeafBundle(node, requests));
       }
@@ -193,5 +226,7 @@ SingleNodResult SolveSingleNod(const Instance& instance, const SingleNodOptions&
 
   return result;
 }
+
+}  // namespace
 
 }  // namespace rpt::single

@@ -16,6 +16,8 @@
 // all-zero-requests instance.
 #pragma once
 
+#include <span>
+
 #include "model/instance.hpp"
 #include "model/solution.hpp"
 
@@ -49,6 +51,17 @@ struct SingleNodOptions {
 /// feasible Single solution, with at most 2x the optimal replica count under
 /// the default options.
 [[nodiscard]] SingleNodResult SolveSingleNod(const Instance& instance,
+                                             const SingleNodOptions& options = {});
+
+/// Demand-overlay form: runs Algorithm 2 on `tree` with client i issuing
+/// `demands[i]` requests (indexed by NodeId, size == tree.Size(); internal
+/// entries must be 0) instead of the tree's own request column. Requires
+/// every demand <= capacity; throws InvalidArgument otherwise. Byte-identical
+/// to the Instance form on Tree::WithRequests(demands) — this is the
+/// zero-materialization single-policy pass the incremental re-solver
+/// (src/incremental/) runs after each demand update.
+[[nodiscard]] SingleNodResult SolveSingleNod(const Tree& tree, Requests capacity,
+                                             std::span<const Requests> demands,
                                              const SingleNodOptions& options = {});
 
 }  // namespace rpt::single

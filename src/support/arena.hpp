@@ -10,6 +10,20 @@
 //    use, recycled afterwards), so the pool holds at most max-concurrency
 //    objects for the lifetime of the solve instead of one allocation per
 //    chunk per level.
+//
+// Ownership: an Arena owns its slabs; spans returned by AllocSpan point
+// into them and are invalidated by Reset() (never individually freed — only
+// trivially-destructible types are allowed). A ScratchPool owns its idle
+// objects; a Lease owns one object for its lifetime and returns it on
+// destruction, so the pool must outlive every lease.
+//
+// Thread-safety: Arena is NOT thread-safe — use one per worker/lease (that
+// is what ScratchPool is for). ScratchPool::Acquire/Release are mutex-
+// guarded and safe from any thread.
+//
+// Determinism: neither type affects computed values — which arena a chunk
+// leases changes addresses only, so kernels built on them stay byte-
+// identical at any thread count (asserted by test_parallel_determinism).
 #pragma once
 
 #include <cstddef>

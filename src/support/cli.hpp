@@ -2,6 +2,13 @@
 //
 // Supports --name=value and --name value forms plus boolean switches.
 // Unknown flags raise InvalidArgument so typos fail loudly.
+//
+// Ownership: a Cli owns its declared flags and parsed values; accessors
+// return copies. Thread-safety: none — declare, Parse(), and read from the
+// main thread before spawning workers (every binary here does exactly
+// that). Determinism: parsing is a pure function of argv; GetUint rejects
+// negative values instead of wrapping them into ~2^64, so flag misuse fails
+// loudly rather than silently changing workloads.
 #pragma once
 
 #include <cstdint>

@@ -4,6 +4,12 @@
 // paper assumes integer request counts, and integer arithmetic keeps the
 // validators exact (no epsilon comparisons). Distances are integers too;
 // "no distance constraint" is the sentinel kNoDistanceLimit.
+//
+// Ownership/thread-safety: this header defines only value types, constants,
+// and the RPT_REQUIRE/RPT_CHECK assertion macros (which throw
+// InvalidArgument / InternalError); nothing here holds state, so everything
+// is safe from any thread. Determinism: integer-only arithmetic is the
+// foundation of the repo-wide bit-identical-reports contract.
 #pragma once
 
 #include <cstdint>

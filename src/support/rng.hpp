@@ -7,6 +7,13 @@
 // recommended by the xoshiro authors. Every generator in rpt takes an
 // explicit 64-bit seed so experiments are reproducible bit-for-bit across
 // platforms.
+//
+// Ownership: an Rng is a 256-bit value type; copy or Fork() freely.
+// Thread-safety: none per instance — never share one Rng between threads;
+// give each worker its own stream (Fork(), or runner::DeriveSeed per cell,
+// which is how BatchRunner keeps reports thread-count invariant).
+// Determinism: all draws are pure functions of the seed and call sequence,
+// identical across platforms and build types.
 #pragma once
 
 #include <array>

@@ -1,4 +1,12 @@
 // Streaming statistics accumulators used by benchmark reporting.
+//
+// Ownership: plain value types; copy freely. Thread-safety: none — workers
+// accumulate into their own instances and the aggregator merges in
+// submission order (BatchRunner's pattern), never into a shared one.
+// Determinism: Add() order affects floating-point rounding, so aggregation
+// must run in a thread-count-independent order to keep reports
+// bit-identical — which is exactly why BatchRunner aggregates after the
+// workers finish rather than as cells complete.
 #pragma once
 
 #include <cmath>

@@ -1,5 +1,12 @@
 // Small table formatter used by the benchmark harness to print paper-style
 // result tables to stdout and to write machine-readable CSV next to them.
+//
+// Ownership: a Table owns its cells (strings). Thread-safety: none — build
+// and print from one thread (reports are assembled after the parallel phase
+// ends). Determinism: output is a pure function of the added cells;
+// FormatCompactDouble prints doubles with round-trip precision and no
+// locale dependence, so emitted JSON/CSV bytes are machine-independent for
+// deterministic inputs.
 #pragma once
 
 #include <cstdint>

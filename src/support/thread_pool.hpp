@@ -12,6 +12,23 @@
 // *range* [begin, end), so there is no per-index std::function dispatch, and
 // each call tracks its own completion state — concurrent ParallelForChunked
 // calls may safely share one pool (each waits only for its own chunks).
+//
+// Ownership: a ThreadPool owns its workers (joined in the destructor;
+// pending tasks complete first). The process-wide SolverPool() is owned by
+// this module — solvers never own threads, they borrow the shared pool and
+// SetSolverThreads() rebuilds it between solves. Data touched by tasks is
+// owned by the caller and must outlive the Wait()/ParallelForChunked call
+// that uses it.
+//
+// Thread-safety: Submit/Wait and ParallelForChunked may be called from any
+// thread, including concurrently; chunk bodies must only write to disjoint
+// index ranges (CP.2). SetSolverThreads is NOT safe while a solve is in
+// flight — call it between solves.
+//
+// Determinism: chunk boundaries depend only on (count, grain, thread
+// count), never on execution order, so a body that writes out[i] per index
+// is byte-identical at any width; reductions must fold chunk-local state in
+// chunk order (or use order-exact operations: integer sums, min/max).
 #pragma once
 
 #include <condition_variable>

@@ -1,4 +1,12 @@
 // Wall-clock timing helper used by the benchmark harness.
+//
+// Ownership: a trivially-copyable value type around one steady_clock time
+// point. Thread-safety: per-instance none (each worker times its own work);
+// steady_clock itself is safe everywhere. Determinism: none by design —
+// elapsed times are machine- and run-dependent, which is why timing stats
+// are excluded from the deterministic JSON reports (BatchReport::WriteJson
+// default) and only appear where wall time IS the measurement
+// (BENCH_hotpath.json).
 #pragma once
 
 #include <chrono>

@@ -1,0 +1,408 @@
+// Tests for the incremental re-solve engine (src/incremental/).
+//
+// The load-bearing property is oracle equivalence: after EVERY applied
+// event batch, the incremental solver's solution must be byte-identical
+// (cost and canonical-solution hash) to a from-scratch solve of the same
+// state — checked against both SolveMultipleNodDp on the materialized
+// instance and a second IncrementalSolver running the kFullResolve oracle
+// engine, on paper-style shapes (chain/star/caterpillar/comb), random
+// general trees, and full binary trees, at solver-pool widths 1 and 4.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/random_tree.hpp"
+#include "gen/shapes.hpp"
+#include "incremental/incremental_solver.hpp"
+#include "incremental/trace_gen.hpp"
+#include "model/validate.hpp"
+#include "multiple/multiple_nod_dp.hpp"
+#include "runner/batch_runner.hpp"
+#include "single/single_nod.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rpt::incremental {
+namespace {
+
+// FNV-1a over the canonicalized solution (same scheme as the hot-path
+// golden tests).
+std::uint64_t HashSolution(Solution solution) {
+  solution.Canonicalize();
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(solution.replicas.size());
+  for (NodeId r : solution.replicas) mix(r);
+  mix(solution.assignment.size());
+  for (const ServiceEntry& e : solution.assignment) {
+    mix(e.client);
+    mix(e.server);
+    mix(e.amount);
+  }
+  return h;
+}
+
+struct Topology {
+  std::string name;
+  Tree tree;
+  Requests capacity;
+};
+
+std::vector<Topology> MakeTopologies(std::uint64_t seed) {
+  std::vector<Topology> topologies;
+  const std::vector<Requests> caterpillar_requests{3, 7, 0, 12, 5, 9, 1, 4};
+  const std::vector<Requests> comb_requests{6, 2, 8, 4, 10};
+  const std::vector<Requests> star_requests{5, 9, 2};
+  topologies.push_back({"chain", gen::MakeChain(/*depth=*/6, /*requests=*/9), 10});
+  topologies.push_back({"star", gen::MakeStar(/*clients=*/12, star_requests), 15});
+  topologies.push_back({"caterpillar", gen::MakeCaterpillar(caterpillar_requests), 12});
+  topologies.push_back({"comb", gen::MakeComb(comb_requests, /*tooth_depth=*/3), 14});
+  {
+    gen::RandomTreeConfig cfg;
+    cfg.internal_nodes = 40;
+    cfg.clients = 120;
+    cfg.max_children = 4;
+    cfg.min_requests = 0;
+    cfg.max_requests = 9;
+    topologies.push_back({"random", gen::GenerateRandomTree(cfg, seed), 25});
+  }
+  {
+    gen::BinaryTreeConfig cfg;
+    cfg.clients = 96;
+    cfg.min_requests = 1;
+    cfg.max_requests = 10;
+    topologies.push_back({"binary", gen::GenerateFullBinaryTree(cfg, seed + 1), 30});
+  }
+  return topologies;
+}
+
+// Asserts the incremental solver's state equals a from-scratch solve of the
+// materialized instance, byte for byte.
+void ExpectMatchesOracle(const IncrementalSolver& solver, const std::string& context) {
+  SCOPED_TRACE(context);
+  const Instance materialized = solver.MaterializeInstance();
+  const auto oracle = multiple::SolveMultipleNodDp(materialized);
+  ASSERT_EQ(solver.Feasible(), oracle.feasible);
+  if (!oracle.feasible) return;
+  EXPECT_EQ(solver.Current().ReplicaCount(), oracle.solution.ReplicaCount());
+  EXPECT_EQ(HashSolution(solver.Current()), HashSolution(oracle.solution));
+  const auto validation = ValidateSolution(materialized, Policy::kMultiple, solver.Current());
+  EXPECT_TRUE(validation.ok) << validation.Describe();
+}
+
+class IncrementalEquivalence : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override { SetSolverThreads(GetParam()); }
+  void TearDown() override { SetSolverThreads(1); }
+};
+
+TEST_P(IncrementalEquivalence, RandomizedEventStreamsMatchOracleAfterEveryBatch) {
+  const std::vector<Topology> topologies = MakeTopologies(/*seed=*/7);
+  for (std::size_t t = 0; t < topologies.size(); ++t) {
+    const Topology& topology = topologies[t];
+    const Instance instance(topology.tree, topology.capacity);
+    TraceConfig config;
+    config.ticks = 24;
+    config.touches_per_tick = 2;
+    config.max_demand = 13;  // occasionally above W on the tighter topologies
+    config.add_remove_fraction = 0.3;
+    const UpdateTrace trace =
+        MakeRandomTrace(instance.GetTree(), config, runner::DeriveSeed(101, t));
+
+    IncrementalSolver solver(instance);
+    IncrementalSolver oracle(instance, {Engine::kFullResolve, Policy::kMultiple});
+    ExpectMatchesOracle(solver, topology.name + "/initial");
+    for (std::size_t tick = 0; tick < trace.size(); ++tick) {
+      const bool feasible = solver.Apply(trace[tick]);
+      const bool oracle_feasible = oracle.Apply(trace[tick]);
+      ASSERT_EQ(feasible, oracle_feasible) << topology.name << " tick " << tick;
+      ASSERT_EQ(HashSolution(solver.Current()), HashSolution(oracle.Current()))
+          << topology.name << " tick " << tick;
+      ExpectMatchesOracle(solver, topology.name + "/tick " + std::to_string(tick));
+    }
+    // The incremental engine must actually be incremental: with 2 touches
+    // per tick it re-processes at most the oracle's node count, and strictly
+    // fewer whenever the dirty root paths cannot cover the whole tree (on
+    // the chain topology the single client's path IS the tree, so equality
+    // there is correct, not a bug).
+    EXPECT_LE(solver.Stats().nodes_recomputed, oracle.Stats().nodes_recomputed)
+        << topology.name;
+    if (topology.tree.ClientCount() > 1) {
+      EXPECT_LT(solver.Stats().nodes_recomputed, oracle.Stats().nodes_recomputed)
+          << topology.name;
+      EXPECT_GT(solver.Stats().nodes_reused, 0u) << topology.name;
+    }
+  }
+}
+
+TEST_P(IncrementalEquivalence, CapacityChangesForceEquivalentFullRecompute) {
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = 64;
+  cfg.min_requests = 1;
+  cfg.max_requests = 10;
+  const Instance instance(gen::GenerateFullBinaryTree(cfg, 3), /*capacity=*/20);
+  IncrementalSolver solver(instance);
+  const std::uint64_t full_before = solver.Stats().full_recomputes;
+
+  const std::vector<UpdateEvent> batch{
+      UpdateEvent::DemandDelta(instance.GetTree().Clients()[0], 5),
+      UpdateEvent::Capacity(35),
+  };
+  EXPECT_TRUE(solver.Apply(batch));
+  EXPECT_EQ(solver.Capacity(), 35u);
+  EXPECT_EQ(solver.Stats().full_recomputes, full_before + 1);
+  ExpectMatchesOracle(solver, "after capacity change");
+
+  // Dropping W back also recomputes everything and still matches.
+  const std::vector<UpdateEvent> back{UpdateEvent::Capacity(20)};
+  EXPECT_TRUE(solver.Apply(back));
+  ExpectMatchesOracle(solver, "after capacity restore");
+}
+
+TEST_P(IncrementalEquivalence, InfeasibleAndBackToFeasibleTransitions) {
+  // A chain of depth 3 can absorb at most 4*W requests (client + three
+  // ancestors); push the single client far past that, then back.
+  const Instance instance(gen::MakeChain(/*depth=*/3, /*requests=*/5), /*capacity=*/10);
+  IncrementalSolver solver(instance);
+  ASSERT_TRUE(solver.Feasible());
+  const NodeId client = instance.GetTree().Clients()[0];
+
+  const std::vector<UpdateEvent> surge{UpdateEvent::DemandDelta(client, 100)};
+  EXPECT_FALSE(solver.Apply(surge));
+  EXPECT_TRUE(solver.Current().replicas.empty());
+  ExpectMatchesOracle(solver, "infeasible state");
+
+  const std::vector<UpdateEvent> calm{UpdateEvent::DemandDelta(client, -90)};
+  EXPECT_TRUE(solver.Apply(calm));
+  EXPECT_EQ(solver.DemandOf(client), 15u);
+  ExpectMatchesOracle(solver, "feasible again");
+}
+
+INSTANTIATE_TEST_SUITE_P(SolverPoolWidths, IncrementalEquivalence, ::testing::Values(1, 4),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+TEST(IncrementalSolver, BadEventsThrowAndLeaveStateUntouched) {
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = 16;
+  const Instance instance(gen::GenerateFullBinaryTree(cfg, 9), /*capacity=*/20);
+  IncrementalSolver solver(instance);
+  const std::uint64_t hash_before = HashSolution(solver.Current());
+  const std::uint64_t events_before = solver.Stats().events_applied;
+  const NodeId client = instance.GetTree().Clients()[0];
+  const NodeId internal = instance.GetTree().Root();
+
+  const std::vector<std::vector<UpdateEvent>> bad_batches{
+      {UpdateEvent::DemandDelta(internal, 1)},              // not a client
+      {UpdateEvent::DemandDelta(kInvalidNode, 1)},          // out of range
+      {UpdateEvent::DemandDelta(client, -1000)},            // below zero
+      {UpdateEvent::ClientAdd(client, 5)},                  // already active
+      {UpdateEvent::ClientAdd(client, 0)},                  // zero-demand add
+      {UpdateEvent::Capacity(0)},                           // zero capacity
+      // A good event followed by a bad one: atomicity means neither lands.
+      {UpdateEvent::DemandDelta(client, 2), UpdateEvent::Capacity(0)},
+  };
+  for (std::size_t i = 0; i < bad_batches.size(); ++i) {
+    SCOPED_TRACE("batch " + std::to_string(i));
+    EXPECT_THROW((void)solver.Apply(bad_batches[i]), InvalidArgument);
+    EXPECT_EQ(HashSolution(solver.Current()), hash_before);
+    EXPECT_EQ(solver.Stats().events_applied, events_before);
+  }
+}
+
+TEST(IncrementalSolver, AddRemoveLifecycle) {
+  const std::vector<Requests> requests{4, 0, 6};  // client 1 starts dark
+  const Instance instance(gen::MakeStar(3, requests), /*capacity=*/10);
+  IncrementalSolver solver(instance);
+  const Tree& tree = instance.GetTree();
+  const NodeId dark = tree.Clients()[1];
+  ASSERT_EQ(solver.DemandOf(dark), 0u);
+
+  EXPECT_TRUE(solver.Apply(std::vector<UpdateEvent>{UpdateEvent::ClientAdd(dark, 8)}));
+  EXPECT_EQ(solver.DemandOf(dark), 8u);
+  EXPECT_EQ(solver.TotalDemand(), 18u);
+  ExpectMatchesOracle(solver, "after add");
+
+  EXPECT_TRUE(solver.Apply(std::vector<UpdateEvent>{UpdateEvent::ClientRemove(dark)}));
+  EXPECT_EQ(solver.DemandOf(dark), 0u);
+  EXPECT_EQ(solver.TotalDemand(), 10u);
+  ExpectMatchesOracle(solver, "after remove");
+
+  // Removed clients may come back.
+  EXPECT_TRUE(solver.Apply(std::vector<UpdateEvent>{UpdateEvent::ClientAdd(dark, 3)}));
+  ExpectMatchesOracle(solver, "after re-add");
+}
+
+TEST(IncrementalSolver, RejectsDistanceConstrainedInstances) {
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = 8;
+  const Instance instance(gen::GenerateFullBinaryTree(cfg, 1), /*capacity=*/20, /*dmax=*/5);
+  EXPECT_THROW(IncrementalSolver{instance}, InvalidArgument);
+}
+
+TEST(IncrementalSolver, SinglePolicyOverlayMatchesMaterializedSolve) {
+  gen::RandomTreeConfig cfg;
+  cfg.internal_nodes = 30;
+  cfg.clients = 90;
+  cfg.max_children = 5;
+  cfg.min_requests = 0;
+  cfg.max_requests = 10;
+  const Instance instance(gen::GenerateRandomTree(cfg, 11), /*capacity=*/12);
+  IncrementalSolver solver(instance, {Engine::kIncremental, Policy::kSingle});
+  TraceConfig trace_config;
+  trace_config.ticks = 12;
+  trace_config.touches_per_tick = 3;
+  trace_config.max_demand = 12;  // keep r_i <= W so Single stays feasible
+  const UpdateTrace trace = MakeRandomTrace(instance.GetTree(), trace_config, 77);
+
+  for (std::size_t tick = 0; tick < trace.size(); ++tick) {
+    SCOPED_TRACE("tick " + std::to_string(tick));
+    ASSERT_TRUE(solver.Apply(trace[tick]));
+    const Instance materialized = solver.MaterializeInstance();
+    auto oracle = single::SolveSingleNod(materialized);
+    EXPECT_EQ(HashSolution(solver.Current()), HashSolution(oracle.solution));
+    const auto validation = ValidateSolution(materialized, Policy::kSingle, solver.Current());
+    EXPECT_TRUE(validation.ok) << validation.Describe();
+  }
+
+  // r_i > W flips Single infeasible (a state, not an error), and back.
+  const NodeId client = instance.GetTree().Clients()[0];
+  const Requests current = solver.DemandOf(client);
+  EXPECT_FALSE(solver.Apply(std::vector<UpdateEvent>{
+      UpdateEvent::DemandDelta(client, 13 - static_cast<std::int64_t>(current))}));
+  EXPECT_TRUE(solver.Apply(std::vector<UpdateEvent>{UpdateEvent::DemandDelta(client, -13)}));
+}
+
+TEST(IncrementalSolver, StatsCountReusedWork) {
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = 128;
+  const Instance instance(gen::GenerateFullBinaryTree(cfg, 5), /*capacity=*/20);
+  IncrementalSolver solver(instance);
+  const std::size_t n = instance.GetTree().Size();
+  EXPECT_EQ(solver.Stats().resolves, 1u);
+  EXPECT_EQ(solver.Stats().nodes_recomputed, n);  // initial solve touches all
+
+  const NodeId client = instance.GetTree().Clients()[3];
+  ASSERT_TRUE(solver.Apply(std::vector<UpdateEvent>{UpdateEvent::DemandDelta(client, 1)}));
+  EXPECT_EQ(solver.Stats().resolves, 2u);
+  const std::uint64_t chain = solver.Stats().nodes_recomputed - n;
+  // One touched leaf re-processes exactly its root path.
+  EXPECT_EQ(chain, instance.GetTree().Depth(client) + 1u);
+  EXPECT_EQ(solver.Stats().nodes_reused, n - chain);
+
+  // An empty batch re-solves nothing and changes nothing.
+  const std::uint64_t recomputed_before = solver.Stats().nodes_recomputed;
+  ASSERT_TRUE(solver.Apply(std::vector<UpdateEvent>{}));
+  EXPECT_EQ(solver.Stats().nodes_recomputed, recomputed_before);
+
+  // A delta of zero is legal but touches nothing.
+  ASSERT_TRUE(solver.Apply(std::vector<UpdateEvent>{UpdateEvent::DemandDelta(client, 0)}));
+  EXPECT_EQ(solver.Stats().nodes_recomputed, recomputed_before);
+}
+
+TEST(TraceGenerator, DeterministicAndLegal) {
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = 32;
+  const Tree tree = gen::GenerateFullBinaryTree(cfg, 2);
+  TraceConfig config;
+  config.ticks = 30;
+  config.touches_per_tick = 3;
+  config.add_remove_fraction = 0.5;
+  const UpdateTrace a = MakeRandomTrace(tree, config, 42);
+  const UpdateTrace b = MakeRandomTrace(tree, config, 42);
+  ASSERT_EQ(a.size(), 30u);
+  EXPECT_EQ(a, b);
+  const UpdateTrace c = MakeRandomTrace(tree, config, 43);
+  EXPECT_NE(a, c);
+
+  // Legality: the whole trace applies without throwing.
+  const Instance instance(tree, /*capacity=*/40);
+  IncrementalSolver solver(instance);
+  for (const auto& batch : a) {
+    ASSERT_EQ(batch.size(), 3u);
+    (void)solver.Apply(batch);
+  }
+}
+
+TEST(TraceGenerator, CapacityWobbleAndValidation) {
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = 8;
+  const Tree tree = gen::GenerateFullBinaryTree(cfg, 2);
+  TraceConfig config;
+  config.ticks = 9;
+  config.capacity_period = 3;
+  config.capacity_min = 10;
+  config.capacity_max = 20;
+  const UpdateTrace trace = MakeRandomTrace(tree, config, 1);
+  std::size_t capacity_events = 0;
+  for (const auto& batch : trace) {
+    for (const UpdateEvent& event : batch) {
+      if (event.kind == UpdateEvent::Kind::kCapacity) {
+        ++capacity_events;
+        EXPECT_GE(event.value, 10u);
+        EXPECT_LE(event.value, 20u);
+      }
+    }
+  }
+  EXPECT_EQ(capacity_events, 3u);
+
+  EXPECT_THROW((void)MakeRandomTrace(tree, TraceConfig{.touches_per_tick = 0}, 1),
+               InvalidArgument);
+  EXPECT_THROW((void)MakeRandomTrace(tree, TraceConfig{.add_remove_fraction = 1.5}, 1),
+               InvalidArgument);
+  EXPECT_THROW(
+      (void)MakeRandomTrace(tree, TraceConfig{.capacity_period = 2, .capacity_min = 0}, 1),
+      InvalidArgument);
+}
+
+TEST(TreeWithRequests, SwapsDemandAndReaggregates) {
+  gen::RandomTreeConfig cfg;
+  cfg.internal_nodes = 20;
+  cfg.clients = 60;
+  const Tree tree = gen::GenerateRandomTree(cfg, 4);
+  std::vector<Requests> demands(tree.Size(), 0);
+  Requests total = 0;
+  for (const NodeId client : tree.Clients()) {
+    demands[client] = (client * 7) % 11;
+    total += demands[client];
+  }
+  const Tree swapped = tree.WithRequests(demands);
+
+  ASSERT_EQ(swapped.Size(), tree.Size());
+  EXPECT_EQ(swapped.TotalRequests(), total);
+  for (NodeId id = 0; id < tree.Size(); ++id) {
+    EXPECT_EQ(swapped.RequestsOf(id), demands[id]);
+    EXPECT_EQ(swapped.Parent(id), tree.Parent(id));
+    EXPECT_EQ(swapped.Depth(id), tree.Depth(id));
+    EXPECT_EQ(swapped.DistToParent(id), tree.DistToParent(id));
+  }
+  // Subtree totals match a rebuild from scratch through TreeBuilder.
+  TreeBuilder builder;
+  builder.Reserve(tree.Size());
+  for (NodeId id = 0; id < tree.Size(); ++id) {
+    if (id == tree.Root()) {
+      (void)builder.AddRoot();
+    } else if (tree.IsClient(id)) {
+      (void)builder.AddClient(tree.Parent(id), tree.DistToParent(id), demands[id]);
+    } else {
+      (void)builder.AddInternal(tree.Parent(id), tree.DistToParent(id));
+    }
+  }
+  const Tree rebuilt = builder.Build();
+  for (NodeId id = 0; id < tree.Size(); ++id) {
+    EXPECT_EQ(swapped.SubtreeRequests(id), rebuilt.SubtreeRequests(id));
+  }
+
+  EXPECT_THROW((void)tree.WithRequests(std::vector<Requests>(3)), InvalidArgument);
+  std::vector<Requests> bad(tree.Size(), 0);
+  bad[tree.Root()] = 1;  // internal nodes issue no requests
+  EXPECT_THROW((void)tree.WithRequests(bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rpt::incremental

@@ -1,9 +1,11 @@
 // Tests for the replay simulator: conservation, determinism, stability at
-// planned load, saturation under surges, and the Poisson sampler.
+// planned load, saturation under surges, the Poisson sampler, and the
+// streaming mode (trace validation, engine invariance, demand tracking).
 #include <gtest/gtest.h>
 
 #include "core/solver.hpp"
 #include "gen/random_tree.hpp"
+#include "incremental/trace_gen.hpp"
 #include "sim/replay.hpp"
 
 namespace rpt::sim {
@@ -197,6 +199,139 @@ TEST(Replay, SingleSolutionsReplayToo) {
   const Solution single = core::Run(core::Algorithm::kSingleGen, inst).solution;
   const ReplayReport report = Replay(inst, single, ReplayConfig{});
   EXPECT_GT(report.arrived, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming mode.
+// ---------------------------------------------------------------------------
+
+Instance MakeNodInstance(std::uint64_t seed = 5) {
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = 24;
+  cfg.min_requests = 2;
+  cfg.max_requests = 12;
+  return Instance(gen::GenerateFullBinaryTree(cfg, seed), /*capacity=*/20);
+}
+
+ReplayConfig MakeStreamConfig(const Instance& inst, std::uint64_t ticks,
+                              std::uint32_t touches = 2) {
+  incremental::TraceConfig trace_cfg;
+  trace_cfg.ticks = ticks;
+  trace_cfg.touches_per_tick = touches;
+  trace_cfg.max_demand = 12;
+  ReplayConfig config;
+  config.ticks = ticks;
+  config.trace = incremental::MakeRandomTrace(inst.GetTree(), trace_cfg, 31);
+  return config;
+}
+
+// Regression test for the trace/ticks contract: a mismatched trace must be
+// rejected with a clear error instead of silently truncating either the
+// trace or the run.
+TEST(Replay, RejectsTraceTickCountMismatch) {
+  const Instance inst = MakeNodInstance();
+  ReplayConfig config = MakeStreamConfig(inst, /*ticks=*/20);
+  config.ticks = 30;  // 20-tick trace, 30-tick run
+  EXPECT_THROW((void)Replay(inst, config), InvalidArgument);
+  config.ticks = 10;  // trace longer than the run
+  EXPECT_THROW((void)Replay(inst, config), InvalidArgument);
+  config.ticks = 20;
+  EXPECT_NO_THROW((void)Replay(inst, config));
+}
+
+TEST(Replay, StaticFormRejectsTraces) {
+  const Instance inst = MakeNodInstance();
+  const Solution solution = core::Run(core::Algorithm::kMultipleNodDp, inst).solution;
+  ReplayConfig config = MakeStreamConfig(inst, /*ticks=*/10);
+  EXPECT_THROW((void)Replay(inst, solution, config), InvalidArgument);
+  ReplayConfig empty_trace;
+  EXPECT_THROW((void)Replay(inst, empty_trace), InvalidArgument);  // streaming needs a trace
+}
+
+TEST(Replay, StreamingConservesAndReportsResolves) {
+  const Instance inst = MakeNodInstance();
+  const ReplayConfig config = MakeStreamConfig(inst, /*ticks=*/40);
+  const ReplayReport report = Replay(inst, config);
+  EXPECT_EQ(report.ticks, 40u);
+  EXPECT_GT(report.arrived, 0u);
+  std::uint64_t arrived = 0;
+  std::uint64_t served = 0;
+  for (const ServerReport& server : report.servers) {
+    arrived += server.arrived;
+    served += server.served;
+    EXPECT_EQ(server.arrived, server.served + server.final_backlog);
+  }
+  EXPECT_EQ(report.arrived, arrived);
+  EXPECT_EQ(report.served, served);
+  EXPECT_EQ(report.resolves, 41u);  // initial solve + one per (non-empty) tick batch
+  EXPECT_EQ(report.events_applied, 80u);
+  EXPECT_GT(report.nodes_reused, 0u);
+  EXPECT_GT(report.mean_replicas, 0.0);
+}
+
+TEST(Replay, StreamingEnginesProduceIdenticalRuns) {
+  // The incremental engine and the from-scratch oracle plan identically, so
+  // the whole replay outcome (a function of plans + seeded arrivals) must
+  // match field for field.
+  const Instance inst = MakeNodInstance(9);
+  ReplayConfig config = MakeStreamConfig(inst, /*ticks=*/30, /*touches=*/3);
+  config.engine = incremental::Engine::kIncremental;
+  const ReplayReport incr = Replay(inst, config);
+  config.engine = incremental::Engine::kFullResolve;
+  const ReplayReport full = Replay(inst, config);
+
+  EXPECT_EQ(incr.arrived, full.arrived);
+  EXPECT_EQ(incr.served, full.served);
+  EXPECT_EQ(incr.peak_backlog_total, full.peak_backlog_total);
+  EXPECT_DOUBLE_EQ(incr.mean_wait_ticks, full.mean_wait_ticks);
+  EXPECT_DOUBLE_EQ(incr.mean_service_distance, full.mean_service_distance);
+  EXPECT_DOUBLE_EQ(incr.mean_replicas, full.mean_replicas);
+  ASSERT_EQ(incr.servers.size(), full.servers.size());
+  for (std::size_t s = 0; s < incr.servers.size(); ++s) {
+    EXPECT_EQ(incr.servers[s].server, full.servers[s].server);
+    EXPECT_EQ(incr.servers[s].served, full.servers[s].served);
+  }
+  // The incremental engine reuses warm tables; the oracle never does.
+  EXPECT_LT(incr.nodes_recomputed, full.nodes_recomputed);
+  EXPECT_EQ(full.nodes_reused, 0u);
+}
+
+TEST(Replay, StreamingTracksDemandRamp) {
+  // Ramp one client's demand by hand and check arrivals follow the plan.
+  const Instance inst = MakeNodInstance(3);
+  const NodeId client = inst.GetTree().Clients()[0];
+  ReplayConfig config;
+  config.ticks = 60;
+  config.trace.resize(60);
+  // Tick 30: the client surges by +15; the placement re-plans around it.
+  config.trace[30].push_back(incremental::UpdateEvent::DemandDelta(client, 15));
+  const ReplayReport report = Replay(inst, config);
+  EXPECT_EQ(report.resolves, 2u);  // initial + the surge tick
+  EXPECT_EQ(report.events_applied, 1u);
+  const ReplayReport baseline =
+      Replay(inst, [&] {
+        ReplayConfig c = config;
+        c.trace[30].clear();
+        c.trace[31].push_back(incremental::UpdateEvent::DemandDelta(client, 0));
+        return c;
+      }());
+  // Thirty ticks of +15 demand must show up as more arrivals.
+  EXPECT_GT(report.arrived, baseline.arrived + 200u);
+}
+
+TEST(Replay, StreamingSinglePolicy) {
+  const Instance inst = MakeNodInstance(7);
+  ReplayConfig config = MakeStreamConfig(inst, /*ticks=*/20);
+  config.policy = Policy::kSingle;
+  const ReplayReport report = Replay(inst, config);
+  EXPECT_GT(report.arrived, 0u);
+  EXPECT_EQ(report.resolves, 21u);
+}
+
+TEST(Replay, StreamingRejectsDistanceConstrainedInstances) {
+  const Instance inst = MakeInstance();  // dmax = 10
+  const ReplayConfig config = MakeStreamConfig(inst, /*ticks=*/5);
+  EXPECT_THROW((void)Replay(inst, config), InvalidArgument);
 }
 
 }  // namespace
