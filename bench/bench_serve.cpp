@@ -1,0 +1,321 @@
+// bench_serve — the always-on serving tier: snapshot publish cost, query
+// sweep cost, and concurrent QPS under live snapshot swaps.
+//
+// Three measurements:
+//  * serve-publish (BatchRunner group) — end-to-end ApplyAndPublish over a
+//    churn trace: incremental re-solve + snapshot build + store swap per
+//    batch. The deterministic columns (publishes, final snapshot hash) land
+//    in --det-json.
+//  * serve-query (BatchRunner group) — a serial sweep of the full query mix
+//    (which-replica / residual / attach-cost over every node) against a
+//    published snapshot; the answer checksum is the deterministic anchor.
+//  * serve_qps (extra JSON section, --json only) — the concurrent phase:
+//    --threads query threads hammer the harness while the publisher applies
+//    churn batches and swaps snapshots under them. Reports sustained QPS,
+//    p50/p99 query latency, and the failed-query count, which must be ZERO:
+//    a query that ever observes no snapshot (version 0) or throws during a
+//    swap is a correctness failure, and the bench exits nonzero.
+//
+// Determinism: the BatchRunner groups and every det-json byte are identical
+// at any --threads value (cells run on one batch worker, the solver pool is
+// pinned to one thread); only the serve_qps section and wall times vary.
+// scripts/bench_smoke.sh byte-diffs the det-json across thread counts.
+//
+//   ./bench_serve --clients=4096 --ticks=64 --qps-ticks=64 --threads=4
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/random_tree.hpp"
+#include "incremental/trace_gen.hpp"
+#include "model/validate.hpp"
+#include "runner/batch_runner.hpp"
+#include "serve/serve_harness.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace rpt;
+
+// The fixed query mix: every node is probed with the kind that makes sense
+// for it, plus an attach-cost probe with a small demand. Deterministic in
+// the tree alone.
+std::vector<serve::QueryRequest> MakeQueryMix(const Tree& tree) {
+  std::vector<serve::QueryRequest> queries;
+  queries.reserve(tree.Size() * 2);
+  for (NodeId id = 0; id < tree.Size(); ++id) {
+    queries.push_back({tree.IsClient(id) ? serve::QueryKind::kWhichReplica
+                                         : serve::QueryKind::kResidual,
+                       id, 0});
+    queries.push_back({serve::QueryKind::kAttachCost, id, (id % 7) + 1});
+  }
+  return queries;
+}
+
+// FNV-1a over a response — folded into the deterministic checksum metric.
+std::uint64_t MixResponse(std::uint64_t h, const serve::QueryResponse& response) {
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(response.version);
+  mix(response.ok ? 1 : 0);
+  mix(response.server);
+  mix(response.value);
+  mix(response.distance);
+  return h;
+}
+
+incremental::UpdateTrace MakeChurn(const Tree& tree, std::uint64_t ticks,
+                                   std::uint32_t touches, Requests max_demand,
+                                   std::uint64_t seed) {
+  incremental::TraceConfig cfg;
+  cfg.ticks = ticks;
+  cfg.touches_per_tick = touches;
+  cfg.max_demand = max_demand;
+  cfg.add_remove_fraction = 0.2;
+  return incremental::MakeRandomTrace(tree, cfg, seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rpt;
+  Cli cli("bench_serve",
+          "always-on placement serving: publish cost, query sweep, QPS under swaps");
+  AddBatchFlags(cli, /*default_seeds=*/3);
+  cli.AddInt("clients", 4096, "client count of the binary NoD workload");
+  cli.AddInt("capacity", 40, "server capacity W");
+  cli.AddInt("ticks", 48, "publish batches per serve-publish cell");
+  cli.AddInt("touches", 8, "clients touched per batch");
+  cli.AddInt("max-demand", 10, "per-client demand ceiling in the churn trace");
+  cli.AddInt("repeats", 4, "query-mix sweeps per serve-query cell");
+  cli.AddInt("qps-ticks", 64, "publish batches during the concurrent QPS phase");
+  cli.AddInt("qps-min-ms", 250,
+             "minimum QPS measurement window; readers keep querying at least this long "
+             "even when the churn drains faster");
+  cli.AddInt("base-seed", 521, "base seed; per-cell seeds derive deterministically");
+  cli.AddString("json", "", "write the report incl. timing + serve_qps section here "
+                            "(merged into BENCH_hotpath.json by scripts/bench_perf.sh)");
+  cli.AddString("det-json", "",
+                "write the deterministic report (no timing, no QPS section) here; "
+                "byte-identical across runs and --threads values");
+  cli.AddString("csv", "", "optional CSV output path (incl. timing)");
+  if (!cli.Parse(argc, argv)) return 0;
+  const BatchFlags flags = GetBatchFlags(cli);
+  const auto clients = static_cast<std::uint32_t>(cli.GetUint("clients", 1u << 24));
+  const auto capacity = static_cast<Requests>(cli.GetUint("capacity"));
+  const std::uint64_t ticks = cli.GetUint("ticks");
+  const auto touches = static_cast<std::uint32_t>(cli.GetUint("touches", 1u << 20));
+  const auto max_demand = static_cast<Requests>(cli.GetUint("max-demand"));
+  const std::uint64_t repeats = cli.GetUint("repeats");
+  const std::uint64_t qps_ticks = cli.GetUint("qps-ticks");
+  const std::uint64_t base_seed = cli.GetUint("base-seed");
+  RPT_REQUIRE(clients >= 2, "bench_serve: --clients must be >= 2");
+  RPT_REQUIRE(capacity > 0 && ticks > 0 && repeats > 0 && touches > 0,
+              "bench_serve: --capacity/--ticks/--repeats/--touches must be > 0");
+
+  // --threads is the QUERY thread count of the concurrent phase; the
+  // deterministic cells always run one batch worker and a width-1 solver
+  // pool so the det-json is thread-count invariant by construction.
+  const std::size_t query_threads = std::max<std::size_t>(1, flags.threads);
+  SetSolverThreads(1);
+
+  const auto make_instance = [clients, capacity](std::uint64_t seed) {
+    gen::BinaryTreeConfig cfg;
+    cfg.clients = clients;
+    cfg.min_requests = 1;
+    cfg.max_requests = 10;
+    cfg.min_edge = 1;
+    cfg.max_edge = 2;
+    return Instance(gen::GenerateFullBinaryTree(cfg, seed), capacity, kNoDistanceLimit);
+  };
+
+  std::printf("serve bench: N=%u clients, W=%llu, %llu batches/cell, %zu seeds, "
+              "%zu query threads in the QPS phase\n\n",
+              clients, static_cast<unsigned long long>(capacity),
+              static_cast<unsigned long long>(ticks), flags.seeds, query_threads);
+
+  runner::BatchRunner batch(runner::BatchOptions{/*threads=*/1});
+  for (std::size_t i = 0; i < flags.seeds; ++i) {
+    const std::uint64_t seed = runner::DeriveSeed(base_seed, i);
+
+    // serve-publish: the full ApplyAndPublish loop (re-solve + snapshot
+    // build + swap), initial solve excluded as shared setup.
+    auto publish_cache = std::make_shared<std::pair<std::uint64_t, std::uint64_t>>();
+    batch.Add(runner::Cell{
+        "serve-publish", make_instance,
+        [ticks, touches, max_demand, seed, publish_cache](const Instance& instance) {
+          const incremental::UpdateTrace trace =
+              MakeChurn(instance.GetTree(), ticks, touches, max_demand, seed + 31);
+          core::RunResult result;
+          serve::ServeHarness harness(instance);
+          Timer timer;
+          for (const auto& events : trace) (void)harness.ApplyAndPublish(events);
+          result.elapsed_ms = timer.ElapsedMs();
+          result.feasible = harness.Solver().Feasible();
+          result.solution = harness.Solver().Current();
+          result.validation = ValidateSolution(harness.Solver().MaterializeInstance(),
+                                               Policy::kMultiple, result.solution);
+          const serve::SnapshotStore::Ref snapshot = harness.Pin();
+          *publish_cache = {harness.Publishes(), snapshot->CanonicalHash() % (1ull << 32)};
+          return result;
+        },
+        seed,
+        {{"publishes",
+          [publish_cache](const Instance&, const core::RunResult&) {
+            return static_cast<double>(publish_cache->first);
+          }},
+         {"snapshot_hash", [publish_cache](const Instance&, const core::RunResult&) {
+            return static_cast<double>(publish_cache->second);
+          }}}});
+
+    // serve-query: serial sweeps of the full query mix against the warm
+    // snapshot; the checksum pins every answered byte.
+    auto query_cache = std::make_shared<std::pair<std::uint64_t, std::uint64_t>>();
+    batch.Add(runner::Cell{
+        "serve-query", make_instance,
+        [ticks, touches, max_demand, repeats, seed, query_cache](const Instance& instance) {
+          serve::ServeHarness harness(instance);
+          // Warm the state with the same churn the publish cells replay so
+          // the two groups describe the same serving regime.
+          const incremental::UpdateTrace trace =
+              MakeChurn(instance.GetTree(), ticks, touches, max_demand, seed + 31);
+          for (const auto& events : trace) (void)harness.ApplyAndPublish(events);
+          const std::vector<serve::QueryRequest> queries = MakeQueryMix(instance.GetTree());
+
+          core::RunResult result;
+          std::uint64_t checksum = 1469598103934665603ull;
+          Timer timer;
+          for (std::uint64_t r = 0; r < repeats; ++r) {
+            for (const serve::QueryRequest& query : queries) {
+              checksum = MixResponse(checksum, harness.Query(query));
+            }
+          }
+          result.elapsed_ms = timer.ElapsedMs();
+          result.feasible = harness.Solver().Feasible();
+          result.solution = harness.Solver().Current();
+          result.validation = ValidateSolution(harness.Solver().MaterializeInstance(),
+                                               Policy::kMultiple, result.solution);
+          *query_cache = {checksum % (1ull << 32), repeats * queries.size()};
+          return result;
+        },
+        seed,
+        {{"answer_checksum",
+          [query_cache](const Instance&, const core::RunResult&) {
+            return static_cast<double>(query_cache->first);
+          }},
+         {"queries", [query_cache](const Instance&, const core::RunResult&) {
+            return static_cast<double>(query_cache->second);
+          }}}});
+  }
+
+  const runner::BatchReport report = batch.Run();
+  report.PrintAscii(std::cout);
+
+  // ---- Concurrent phase: query threads vs live publisher. ----
+  const Instance instance = make_instance(runner::DeriveSeed(base_seed, 0));
+  const incremental::UpdateTrace churn =
+      MakeChurn(instance.GetTree(), qps_ticks, touches, max_demand, base_seed + 77);
+  const std::vector<serve::QueryRequest> queries = MakeQueryMix(instance.GetTree());
+  serve::ServeHarness harness(instance);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> failed{0};
+  std::vector<std::vector<double>> latencies_us(query_threads);
+  std::vector<std::thread> readers;
+  readers.reserve(query_threads);
+  for (std::size_t t = 0; t < query_threads; ++t) {
+    readers.emplace_back([&, t] {
+      std::vector<double>& sink = latencies_us[t];
+      std::size_t at = t * 131;
+      while (!done.load(std::memory_order_acquire)) {
+        const serve::QueryRequest& query = queries[at++ % queries.size()];
+        const auto begin = std::chrono::steady_clock::now();
+        try {
+          const serve::QueryResponse response = harness.Query(query);
+          if (response.version == 0) failed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        const auto end = std::chrono::steady_clock::now();
+        sink.push_back(std::chrono::duration<double, std::micro>(end - begin).count());
+      }
+    });
+  }
+  const double qps_min_ms = static_cast<double>(cli.GetUint("qps-min-ms"));
+  Timer qps_timer;
+  for (const auto& events : churn) (void)harness.ApplyAndPublish(events);
+  const double publish_window_ms = qps_timer.ElapsedMs();
+  // On few-core machines the publisher can drain the churn before the
+  // reader threads are even scheduled; keep the window open so the QPS and
+  // percentile numbers describe sustained serving, not a 1 ms burst.
+  while (qps_timer.ElapsedMs() < qps_min_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  const double window_ms = qps_timer.ElapsedMs();
+
+  std::vector<double> all_latencies;
+  for (const auto& sink : latencies_us) {
+    all_latencies.insert(all_latencies.end(), sink.begin(), sink.end());
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  const auto percentile = [&all_latencies](double p) {
+    if (all_latencies.empty()) return 0.0;
+    const auto at = static_cast<std::size_t>(p * static_cast<double>(all_latencies.size() - 1));
+    return all_latencies[at];
+  };
+  const std::uint64_t answered = all_latencies.size();
+  const double qps = window_ms > 0.0 ? 1000.0 * static_cast<double>(answered) / window_ms : 0.0;
+  const double p50 = percentile(0.50);
+  const double p99 = percentile(0.99);
+
+  std::printf("\nconcurrent QPS phase: %llu queries on %zu threads while %llu snapshots "
+              "published in %.1f ms\n  QPS=%.0f  p50=%.1f us  p99=%.1f us  failed=%llu\n",
+              static_cast<unsigned long long>(answered), query_threads,
+              static_cast<unsigned long long>(harness.Publishes()), publish_window_ms, qps, p50,
+              p99, static_cast<unsigned long long>(failed.load()));
+  if (failed.load() != 0) {
+    std::fprintf(stderr,
+                 "bench_serve: %llu queries failed or saw no snapshot during swaps — "
+                 "the zero-downtime contract is broken\n",
+                 static_cast<unsigned long long>(failed.load()));
+  }
+
+  std::ostringstream js;
+  js << "\"serve_qps\":{\"clients\":" << clients << ",\"query_threads\":" << query_threads
+     << ",\"publishes\":" << harness.Publishes() << ",\"queries\":" << answered
+     << ",\"window_ms\":" << FormatCompactDouble(window_ms)
+     << ",\"qps\":" << FormatCompactDouble(qps) << ",\"p50_us\":" << FormatCompactDouble(p50)
+     << ",\"p99_us\":" << FormatCompactDouble(p99) << ",\"failed\":" << failed.load()
+     << ",\"hw_threads\":" << std::thread::hardware_concurrency() << "}";
+
+  if (const std::string json = cli.GetString("json"); !json.empty()) {
+    report.WriteJsonFile(json, /*include_timing=*/true, js.str());
+    std::cout << "wrote timing report to " << json << "\n";
+  }
+  if (const std::string det_json = cli.GetString("det-json"); !det_json.empty()) {
+    report.WriteJsonFile(det_json, /*include_timing=*/false);
+    std::cout << "wrote deterministic report to " << det_json << "\n";
+  }
+  if (const std::string csv = cli.GetString("csv"); !csv.empty()) {
+    std::ofstream os(csv);
+    RPT_REQUIRE(os.good(), "cannot open CSV output: " + csv);
+    report.WriteCsv(os, /*include_timing=*/true);
+    std::cout << "wrote timing CSV to " << csv << "\n";
+  }
+  return report.AllOk() && failed.load() == 0 ? 0 : 1;
+}

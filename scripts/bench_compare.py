@@ -8,10 +8,21 @@ gate (new tiers appear, old ones retire); groups faster than --min-ms in the
 baseline are compared but exempt from failing, since sub-millisecond kernels
 are dominated by scheduler noise.
 
-Usage:
-  scripts/bench_compare.py BASELINE.json FRESH.json [--threshold 0.25] [--min-ms 1.0]
+Beyond the serial means, the gate also checks the "thread_sweep" section:
+for every kernel in both sweeps, the parallel speedup at the largest thread
+width the two reports share must not collapse. A kernel is only *gated* on
+scaling when the baseline itself showed real scaling there (speedup >=
+--min-scaling-base): a baseline recorded on a small machine shows speedups
+near (or below) 1.0 for every kernel, and gating against that would be
+gating noise — those rows are reported as "not gated". Record the baseline
+on a pinned multicore box to arm this half of the gate; the report's "env"
+section (hw_threads) says what the baseline was recorded on.
 
-Exit status: 0 when no kernel regressed past the threshold, 1 otherwise
+Usage:
+  scripts/bench_compare.py BASELINE.json FRESH.json [--threshold 0.25]
+      [--min-ms 1.0] [--scaling-threshold 0.25] [--min-scaling-base 1.2]
+
+Exit status: 0 when no kernel regressed past either threshold, 1 otherwise
 (or 2 on malformed input).
 """
 
@@ -20,10 +31,13 @@ import json
 import sys
 
 
-def load_group_means(path):
-    """Returns {group name: mean elapsed ms} for every group with timing."""
+def load_report(path):
     with open(path, "r", encoding="utf-8") as handle:
-        report = json.load(handle)
+        return json.load(handle)
+
+
+def group_means(report):
+    """Returns {group name: mean elapsed ms} for every group with timing."""
     means = {}
     for group in report.get("groups", []):
         elapsed = group.get("elapsed_ms")
@@ -31,6 +45,67 @@ def load_group_means(path):
             continue
         means[group["group"]] = float(elapsed["mean"])
     return means
+
+
+def sweep_speedups(report):
+    """Returns {kernel: {thread width: speedup}} from the thread_sweep section,
+    or None when the report carries no sweep."""
+    sweep = report.get("thread_sweep")
+    if not sweep:
+        return None
+    threads = sweep.get("threads", [])
+    out = {}
+    for kernel in sweep.get("kernels", []):
+        speedups = kernel.get("speedup", [])
+        out[kernel["group"]] = {
+            int(t): float(s) for t, s in zip(threads, speedups)
+        }
+    return out
+
+
+def check_scaling(baseline_report, fresh_report, args):
+    """Compares parallel speedup at the largest shared thread width.
+
+    Returns the list of kernels whose scaling collapsed past the threshold.
+    Kernels whose *baseline* speedup is below --min-scaling-base are shown
+    but never gated — a baseline recorded on a 1-core host scales nowhere,
+    and that is a fact about the recording machine, not the code.
+    """
+    base_sweep = sweep_speedups(baseline_report)
+    fresh_sweep = sweep_speedups(fresh_report)
+    print("\nthread-sweep scaling gate:")
+    if base_sweep is None or fresh_sweep is None:
+        which = "baseline" if base_sweep is None else "fresh"
+        print(f"  (skipped: {which} report has no thread_sweep section)")
+        return []
+    env = baseline_report.get("env", {})
+    if env.get("hw_threads"):
+        print(f"  baseline recorded with hw_threads={env['hw_threads']}")
+
+    failures = []
+    shared_kernels = sorted(set(base_sweep) & set(fresh_sweep))
+    if not shared_kernels:
+        print("  (no kernels shared between the two sweeps)")
+        return []
+    width = max(max(len(k) for k in shared_kernels), len("kernel"))
+    print(f"  {'kernel':<{width}}  {'@threads':>8}  {'base x':>7}  {'fresh x':>7}  verdict")
+    for kernel in shared_kernels:
+        shared_widths = set(base_sweep[kernel]) & set(fresh_sweep[kernel])
+        if not shared_widths:
+            print(f"  {kernel:<{width}}  (no shared thread width)")
+            continue
+        at = max(shared_widths)
+        base_x = base_sweep[kernel][at]
+        fresh_x = fresh_sweep[kernel][at]
+        if base_x < args.min_scaling_base:
+            verdict = f"not gated (baseline never scaled, < {args.min_scaling_base:g}x)"
+        elif fresh_x < base_x * (1.0 - args.scaling_threshold):
+            verdict = f"SCALING COLLAPSED (> {args.scaling_threshold:.0%} loss)"
+            failures.append(kernel)
+        else:
+            verdict = "ok"
+        print(f"  {kernel:<{width}}  {at:>8}  {base_x:>7.2f}  {fresh_x:>7.2f}  {verdict}")
+    return failures
 
 
 def main():
@@ -49,11 +124,27 @@ def main():
         default=1.0,
         help="kernels below this baseline mean are reported but never fail (default 1.0)",
     )
+    parser.add_argument(
+        "--scaling-threshold",
+        type=float,
+        default=0.25,
+        help="fail when fresh parallel speedup drops below baseline speedup "
+        "by this fraction (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-scaling-base",
+        type=float,
+        default=1.2,
+        help="only gate scaling for kernels whose baseline speedup reached "
+        "this factor; below it the baseline never scaled (default 1.2)",
+    )
     args = parser.parse_args()
 
     try:
-        baseline = load_group_means(args.baseline)
-        fresh = load_group_means(args.fresh)
+        baseline_report = load_report(args.baseline)
+        fresh_report = load_report(args.fresh)
+        baseline = group_means(baseline_report)
+        fresh = group_means(fresh_report)
     except (OSError, ValueError, KeyError) as error:
         print(f"bench_compare: cannot read reports: {error}", file=sys.stderr)
         return 2
@@ -86,13 +177,24 @@ def main():
     for group in only_fresh:
         print(f"{group:<{width}}  {'-':>10}  {fresh[group]:>10.3f}  {'':>8}  new")
 
-    if regressions:
-        print(
-            f"\nFAIL: {len(regressions)} kernel(s) regressed more than "
-            f"{args.threshold:.0%}: {', '.join(regressions)}"
-        )
+    scaling_failures = check_scaling(baseline_report, fresh_report, args)
+
+    if regressions or scaling_failures:
+        parts = []
+        if regressions:
+            parts.append(
+                f"{len(regressions)} kernel(s) regressed more than "
+                f"{args.threshold:.0%}: {', '.join(regressions)}"
+            )
+        if scaling_failures:
+            parts.append(
+                f"{len(scaling_failures)} kernel(s) lost more than "
+                f"{args.scaling_threshold:.0%} of their parallel speedup: "
+                f"{', '.join(scaling_failures)}"
+            )
+        print("\nFAIL: " + "; ".join(parts))
         return 1
-    print("\nOK: no kernel regressed past the threshold")
+    print("\nOK: no kernel regressed past the serial or scaling thresholds")
     return 0
 
 

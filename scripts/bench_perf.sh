@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Perf trajectory tracking: runs the hot-path kernel bench across the solver
-# thread ladder plus the incremental-engine event sweep in Release and
-# writes one combined BENCH_hotpath.json (aggregate report *including* wall
-# time statistics, the per-kernel thread_sweep speedup section, and the
-# incremental_sweep churn/speedup section). CI uploads the JSON as a
-# workflow artifact so every commit leaves a per-kernel timing trail, and
-# diffs it against the committed baseline with scripts/bench_compare.py.
+# thread ladder, the incremental-engine event sweep, and the serve-layer
+# publish/query bench in Release, and writes one combined BENCH_hotpath.json
+# (aggregate report *including* wall time statistics, the per-kernel
+# thread_sweep speedup section, the incremental_sweep churn/speedup section,
+# and the serve_qps snapshot-swap section). The report is stamped with an
+# "env" section (hw_threads) so the scaling half of the regression gate in
+# scripts/bench_compare.py knows what kind of machine recorded the baseline.
+# CI uploads the JSON as a workflow artifact so every commit leaves a
+# per-kernel timing trail, and diffs it against the committed baseline.
 #
 # Usage: scripts/bench_perf.sh [build-dir] [output-json] [thread-sweep]
 #   build-dir     default: build
@@ -18,7 +21,7 @@ BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_hotpath.json}"
 THREAD_SWEEP="${3:-1,2,4,8}"
 
-for bench in bench_hotpath bench_incremental; do
+for bench in bench_hotpath bench_incremental bench_serve; do
   if [[ ! -x "$BUILD_DIR/$bench" ]]; then
     echo "$bench not found in $BUILD_DIR — build the benches first" >&2
     exit 1
@@ -28,8 +31,21 @@ done
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
+SERVE_THREADS="${THREAD_SWEEP##*,}"
+
 "$BUILD_DIR/bench_hotpath" --thread-sweep "$THREAD_SWEEP" --json "$TMP_DIR/hotpath.json"
 "$BUILD_DIR/bench_incremental" --json "$TMP_DIR/incremental.json"
+"$BUILD_DIR/bench_serve" --threads "$SERVE_THREADS" --json "$TMP_DIR/serve.json"
 python3 "$(dirname "$0")/merge_bench_json.py" "$OUT_JSON" \
-  "$TMP_DIR/hotpath.json" "$TMP_DIR/incremental.json"
+  "$TMP_DIR/hotpath.json" "$TMP_DIR/incremental.json" "$TMP_DIR/serve.json"
+python3 - "$OUT_JSON" <<'PY'
+import json, os, sys
+path = sys.argv[1]
+with open(path, "r", encoding="utf-8") as handle:
+    report = json.load(handle)
+report["env"] = {"hw_threads": os.cpu_count() or 1}
+with open(path, "w", encoding="utf-8") as handle:
+    json.dump(report, handle, separators=(",", ":"))
+    handle.write("\n")
+PY
 echo "wrote $OUT_JSON"

@@ -51,6 +51,23 @@ if ! diff "$OUT_DIR/bench_incremental-t1.json" "$OUT_DIR/bench_incremental-t4.js
 fi
 echo "OK: bench_incremental"
 
+# bench_serve likewise carries wall time (and QPS) only in --json; its
+# deterministic --det-json covers the publish/query groups, which must hash
+# identically no matter how many reader threads hammer the snapshot store.
+"$BUILD_DIR/bench_serve" --clients=512 --ticks=12 --repeats=2 --qps-ticks=8 \
+  --qps-min-ms=50 --threads=1 --det-json="$OUT_DIR/bench_serve-t1.json" > /dev/null
+"$BUILD_DIR/bench_serve" --clients=512 --ticks=12 --repeats=2 --qps-ticks=8 \
+  --qps-min-ms=50 --threads=4 --det-json="$OUT_DIR/bench_serve-t4.json" > /dev/null
+if ! diff "$OUT_DIR/bench_serve-t1.json" "$OUT_DIR/bench_serve-t4.json"; then
+  echo "FAIL: bench_serve det-json differs between --threads 1 and --threads 4"
+  exit 1
+fi
+echo "OK: bench_serve"
+
+# The TCP front-end demo checks its own wire answers against in-process ones.
+"$BUILD_DIR/rpt_serve" --selftest --clients=128 --batches=4 > /dev/null
+echo "OK: rpt_serve --selftest"
+
 # instance_explorer spells its report flag --sweep-json.
 "$BUILD_DIR/instance_explorer" --algo=single-gen --clients=40 --seeds=4 --threads=1 \
   --sweep-json="$OUT_DIR/explorer-t1.json" > /dev/null

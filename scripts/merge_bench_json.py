@@ -4,14 +4,22 @@
 Used by scripts/bench_perf.sh to fold bench_incremental's report into
 BENCH_hotpath.json so every timed group rides the same perf-regression gate
 (scripts/bench_compare.py) and the same CI artifact. The first report is the
-base; every further report contributes its "groups" entries (group names
-must not collide) and any top-level sections the base lacks (e.g.
-"incremental_sweep"). The "cells"/"errors" totals are re-summed.
+base; every further report contributes its "groups" entries and its extra
+top-level sections (e.g. "incremental_sweep"). The "cells"/"errors" totals
+are re-summed.
+
+Collisions are errors, never silent: a duplicate group name OR a duplicate
+top-level section (two reports both carrying "incremental_sweep", say)
+aborts the merge with exit 2. Dropping one of two same-named sections on
+the floor would leave the combined artifact claiming data it does not have
+— the gate downstream (scripts/bench_compare.py) would then compare against
+whichever report happened to come first.
 
 Usage:
   scripts/merge_bench_json.py OUTPUT.json INPUT1.json INPUT2.json [...]
 
-Exit status: 0 on success, 2 on malformed input or colliding group names.
+Exit status: 0 on success, 2 on malformed input, colliding group names, or
+colliding top-level sections.
 """
 
 import json
@@ -50,8 +58,15 @@ def main():
         for key, value in report.items():
             if key in ("groups", "cells", "errors"):
                 continue
-            if key not in merged:
-                merged[key] = value
+            if key in merged:
+                print(
+                    f"merge_bench_json: duplicate top-level section '{key}' — "
+                    "two input reports carry it and merging would silently "
+                    "drop one; rename the section in one of the benches",
+                    file=sys.stderr,
+                )
+                return 2
+            merged[key] = value
     merged["cells"] = sum(r.get("cells", 0) for r in reports)
     merged["errors"] = sum(r.get("errors", 0) for r in reports)
 

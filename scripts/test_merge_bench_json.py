@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Tests for scripts/merge_bench_json.py.
+
+Registered as a ctest (`merge_bench_json_py`) so the merge step of the perf
+pipeline is covered by the same `ctest` invocation as everything else. Run
+directly with:  python3 scripts/test_merge_bench_json.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "merge_bench_json.py")
+
+
+def run_merge(tmp, *reports):
+    """Writes each report dict to a file, runs the merge, returns (rc, merged-or-None, stderr)."""
+    paths = []
+    for i, report in enumerate(reports):
+        path = os.path.join(tmp, f"in{i}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle)
+        paths.append(path)
+    out = os.path.join(tmp, "merged.json")
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, out] + paths, capture_output=True, text=True, check=False
+    )
+    merged = None
+    if proc.returncode == 0:
+        with open(out, "r", encoding="utf-8") as handle:
+            merged = json.load(handle)
+    return proc.returncode, merged, proc.stderr
+
+
+def report(groups, cells=1, **sections):
+    base = {"cells": cells, "errors": 0, "groups": [{"group": g} for g in groups]}
+    base.update(sections)
+    return base
+
+
+class MergeBenchJsonTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.tmp = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def test_merges_groups_sections_and_totals(self):
+        rc, merged, _ = run_merge(
+            self.tmp,
+            report(["a", "b"], cells=2, thread_sweep={"n": 1}),
+            report(["c"], cells=3, incremental_sweep={"m": 2}),
+            report(["d"], cells=1, serve_qps={"qps": 9}),
+        )
+        self.assertEqual(rc, 0)
+        self.assertEqual([g["group"] for g in merged["groups"]], ["a", "b", "c", "d"])
+        self.assertEqual(merged["cells"], 6)
+        self.assertEqual(merged["thread_sweep"], {"n": 1})
+        self.assertEqual(merged["incremental_sweep"], {"m": 2})
+        self.assertEqual(merged["serve_qps"], {"qps": 9})
+
+    def test_duplicate_group_name_is_an_error(self):
+        rc, merged, stderr = run_merge(
+            self.tmp, report(["a", "b"]), report(["b"])
+        )
+        self.assertEqual(rc, 2)
+        self.assertIsNone(merged)
+        self.assertIn("duplicate group 'b'", stderr)
+
+    def test_duplicate_top_level_section_is_an_error(self):
+        # The regression this file exists for: two reports both carrying
+        # "incremental_sweep" used to merge silently, keeping the first and
+        # dropping the second on the floor.
+        rc, merged, stderr = run_merge(
+            self.tmp,
+            report(["a"], incremental_sweep={"speedup": [2.0]}),
+            report(["b"], incremental_sweep={"speedup": [9.0]}),
+        )
+        self.assertEqual(rc, 2)
+        self.assertIsNone(merged)
+        self.assertIn("duplicate top-level section 'incremental_sweep'", stderr)
+
+    def test_base_report_sections_never_conflict_with_themselves(self):
+        # Sections only present in the base pass through untouched.
+        rc, merged, _ = run_merge(
+            self.tmp, report(["a"], thread_sweep={"n": 1}), report(["b"])
+        )
+        self.assertEqual(rc, 0)
+        self.assertEqual(merged["thread_sweep"], {"n": 1})
+
+    def test_malformed_input_is_an_error(self):
+        bad = os.path.join(self.tmp, "bad.json")
+        with open(bad, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        ok = os.path.join(self.tmp, "ok.json")
+        with open(ok, "w", encoding="utf-8") as handle:
+            json.dump(report(["a"]), handle)
+        out = os.path.join(self.tmp, "merged.json")
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, out, ok, bad],
+            capture_output=True, text=True, check=False,
+        )
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("cannot read reports", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -36,15 +36,32 @@ Instance IncrementalSolver::MaterializeInstance() const {
   return Instance(tree_.WithRequests(demand_), capacity_);
 }
 
+// Magnitude of a signed delta as an unsigned value, defined for the whole
+// int64 range (a bare -delta is UB at INT64_MIN, which would let one
+// pathological event wrap validation itself).
+static Requests NegMagnitude(std::int64_t delta) noexcept {
+  return static_cast<Requests>(-(delta + 1)) + 1;
+}
+
 // Dry-runs the whole batch against the current state so a bad event leaves
 // the solver untouched (Apply's atomicity guarantee). Demand interactions
 // within the batch (a delta following an add, etc.) are tracked in a
-// side map.
+// side map; the projected per-client demands AND the projected total are
+// both guarded against wrapping through unsigned Requests — a wrapped
+// demand would silently pass validation and corrupt every DP table bound.
 void IncrementalSolver::Validate(std::span<const UpdateEvent> events) const {
+  constexpr Requests kMaxDemand = std::numeric_limits<Requests>::max();
   std::unordered_map<NodeId, Requests> pending;
+  unsigned __int128 projected_total = total_demand_;
   const auto demand_of = [&](NodeId client) {
     const auto it = pending.find(client);
     return it == pending.end() ? demand_[client] : it->second;
+  };
+  const auto project = [&](NodeId client, Requests old_value, Requests new_value) {
+    pending[client] = new_value;
+    projected_total = projected_total - old_value + new_value;
+    RPT_REQUIRE(projected_total <= kMaxDemand,
+                "incremental: batch would overflow the total demand");
   };
   for (const UpdateEvent& event : events) {
     if (event.kind == UpdateEvent::Kind::kCapacity) {
@@ -57,11 +74,15 @@ void IncrementalSolver::Validate(std::span<const UpdateEvent> events) const {
       case UpdateEvent::Kind::kDemandDelta: {
         const Requests current = demand_of(event.client);
         if (event.delta < 0) {
-          RPT_REQUIRE(current >= static_cast<Requests>(-event.delta),
+          const Requests magnitude = NegMagnitude(event.delta);
+          RPT_REQUIRE(current >= magnitude,
                       "incremental: demand delta would drop a client below zero");
-          pending[event.client] = current - static_cast<Requests>(-event.delta);
+          project(event.client, current, current - magnitude);
         } else {
-          pending[event.client] = current + static_cast<Requests>(event.delta);
+          const Requests magnitude = static_cast<Requests>(event.delta);
+          RPT_REQUIRE(current <= kMaxDemand - magnitude,
+                      "incremental: demand delta would wrap through unsigned Requests");
+          project(event.client, current, current + magnitude);
         }
         break;
       }
@@ -69,10 +90,10 @@ void IncrementalSolver::Validate(std::span<const UpdateEvent> events) const {
         RPT_REQUIRE(demand_of(event.client) == 0,
                     "incremental: kClientAdd targets a client that is already active");
         RPT_REQUIRE(event.value > 0, "incremental: kClientAdd needs a positive demand");
-        pending[event.client] = event.value;
+        project(event.client, 0, event.value);
         break;
       case UpdateEvent::Kind::kClientRemove:
-        pending[event.client] = 0;  // removing an idle client is a no-op
+        project(event.client, demand_of(event.client), 0);  // idle remove is a no-op
         break;
       case UpdateEvent::Kind::kCapacity:
         break;  // handled above

@@ -96,6 +96,12 @@ class IncrementalSolver {
   [[nodiscard]] const Tree& GetTree() const noexcept { return tree_; }
   [[nodiscard]] Requests Capacity() const noexcept { return capacity_; }
   [[nodiscard]] Requests DemandOf(NodeId client) const;
+  /// The whole per-node demand column (indexed by NodeId) of the current
+  /// state — the snapshot-export hook for the serve layer: a
+  /// serve::PlacementSnapshot is built from exactly (GetTree(), Capacity(),
+  /// Demands(), Current()). Valid until the next Apply(); copy before
+  /// publishing across threads (PlacementSnapshot::Build does).
+  [[nodiscard]] std::span<const Requests> Demands() const noexcept { return demand_; }
   [[nodiscard]] Requests TotalDemand() const noexcept { return total_demand_; }
   [[nodiscard]] const IncrementalStats& Stats() const noexcept { return stats_; }
   [[nodiscard]] const Options& GetOptions() const noexcept { return options_; }

@@ -1,0 +1,141 @@
+#include "serve/placement_snapshot.hpp"
+
+#include <algorithm>
+
+namespace rpt::serve {
+
+std::unique_ptr<const PlacementSnapshot> PlacementSnapshot::Build(
+    const Tree& tree, Requests capacity, std::span<const Requests> demand,
+    const Solution& solution, std::uint64_t version) {
+  RPT_REQUIRE(capacity > 0, "PlacementSnapshot: capacity must be positive");
+  RPT_REQUIRE(demand.size() == tree.Size(),
+              "PlacementSnapshot: demand column must have one entry per node");
+  const std::size_t n = tree.Size();
+
+  auto snapshot = std::unique_ptr<PlacementSnapshot>(new PlacementSnapshot());
+  PlacementSnapshot& s = *snapshot;
+  s.tree_ = &tree;
+  s.version_ = version;
+  s.capacity_ = capacity;
+  s.replica_count_ = solution.replicas.size();
+  s.demand_.assign(demand.begin(), demand.end());
+  for (const Requests d : s.demand_) s.total_demand_ += d;
+  s.feasible_ = !solution.replicas.empty() || s.total_demand_ == 0;
+
+  s.load_.assign(n, 0);
+  s.residual_.assign(n, 0);
+  s.residual_valid_.assign(n, 0);
+  for (const NodeId replica : solution.replicas) {
+    RPT_REQUIRE(replica < n, "PlacementSnapshot: replica id out of range");
+    s.residual_valid_[replica] = 1;
+  }
+
+  // Routing CSR: count per client, prefix-sum, fill. The canonical solution
+  // is sorted by (client, server), so a stable two-pass fill preserves the
+  // ascending-server order inside each client's span.
+  s.route_begin_.assign(n + 1, 0);
+  for (const ServiceEntry& entry : solution.assignment) {
+    RPT_REQUIRE(entry.client < n && entry.server < n,
+                "PlacementSnapshot: assignment entry out of range");
+    RPT_REQUIRE(s.residual_valid_[entry.server] != 0,
+                "PlacementSnapshot: assignment targets a non-replica server");
+    s.route_begin_[entry.client + 1] += 1;
+    s.load_[entry.server] += entry.amount;
+  }
+  for (std::size_t i = 1; i <= n; ++i) s.route_begin_[i] += s.route_begin_[i - 1];
+  s.routes_.resize(solution.assignment.size());
+  {
+    std::vector<std::uint32_t> cursor(s.route_begin_.begin(), s.route_begin_.end() - 1);
+    for (const ServiceEntry& entry : solution.assignment) {
+      s.routes_[cursor[entry.client]++] = RouteEntry{entry.server, entry.amount};
+    }
+  }
+
+  for (const NodeId replica : solution.replicas) {
+    RPT_REQUIRE(s.load_[replica] <= capacity,
+                "PlacementSnapshot: replica load exceeds capacity");
+    s.residual_[replica] = capacity - s.load_[replica];
+  }
+
+  // Subtree aggregates in one post-order pass (children precede parents).
+  s.subtree_residual_.assign(n, 0);
+  s.subtree_replicas_.assign(n, 0);
+  for (const NodeId node : tree.PostOrder()) {
+    Requests residual = s.residual_[node];
+    std::uint32_t replicas = s.residual_valid_[node];
+    for (const NodeId child : tree.Children(node)) {
+      residual += s.subtree_residual_[child];
+      replicas += s.subtree_replicas_[child];
+    }
+    s.subtree_residual_[node] = residual;
+    s.subtree_replicas_[node] = replicas;
+  }
+  return snapshot;
+}
+
+NodeId PlacementSnapshot::PrimaryServerOf(NodeId client) const {
+  NodeId best = kInvalidNode;
+  Requests best_amount = 0;
+  for (const RouteEntry& entry : ServersOf(client)) {
+    // Strictly-greater keeps the first (smallest-id) server on ties; the
+    // span is in ascending server order.
+    if (entry.amount > best_amount) {
+      best = entry.server;
+      best_amount = entry.amount;
+    }
+  }
+  return best;
+}
+
+AttachResult PlacementSnapshot::AttachAt(NodeId node, Requests demand) const {
+  Check(node);
+  AttachResult result;
+  Distance distance = 0;
+  for (NodeId cursor = node;;) {
+    if (residual_valid_[cursor] != 0 && residual_[cursor] >= demand) {
+      result.feasible = true;
+      result.server = cursor;
+      result.distance = distance;
+      return result;
+    }
+    const NodeId parent = tree_->Parent(cursor);
+    if (parent == kInvalidNode) return result;  // walked past the root
+    distance = SaturatingAdd(distance, tree_->DistToParent(cursor));
+    cursor = parent;
+  }
+}
+
+std::uint64_t PlacementSnapshot::CanonicalHash() const noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) noexcept {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(version_);
+  mix(capacity_);
+  mix(total_demand_);
+  mix(feasible_ ? 1 : 0);
+  mix(replica_count_);
+  for (std::size_t i = 0; i < demand_.size(); ++i) {
+    // Most nodes are untouched between snapshots; hashing only the nonzero
+    // placement columns keeps the mix cheap without losing any state (the
+    // zero runs are implied by the indices of the nonzero entries).
+    if (demand_[i] != 0) {
+      mix(i);
+      mix(demand_[i]);
+    }
+    if (residual_valid_[i] != 0) {
+      mix(i);
+      mix(load_[i]);
+      mix(residual_[i]);
+    }
+  }
+  mix(routes_.size());
+  for (const RouteEntry& entry : routes_) {
+    mix(entry.server);
+    mix(entry.amount);
+  }
+  return h;
+}
+
+}  // namespace rpt::serve

@@ -1,0 +1,149 @@
+// PlacementSnapshot — one immutable, query-ready view of a solved placement.
+//
+// The serve layer (src/serve/) answers long-lived query traffic against the
+// *current* placement while the IncrementalSolver applies update batches in
+// the background. The unit of publication is this snapshot: everything a
+// query can ask about one solved state, baked into flat NodeId-indexed
+// buffers at build time so every query is a pure read — no locks, no
+// lazy caches, no allocation. A snapshot is immutable after Build(); the
+// SnapshotStore (snapshot_store.hpp) owns publication and reclamation.
+//
+// Flat buffers (all NodeId-indexed, mmap/shm-friendly — plain integer
+// columns, no pointers except the borrowed Tree):
+//  * replica flag + per-replica load and residual capacity (W - load);
+//  * subtree-aggregated residual capacity and replica count (one post-order
+//    pass at build time, so "capacity under s" is O(1) at query time);
+//  * the routing CSR: per-client (server, amount) spans in canonical order.
+//
+// Query surface (all const, safe from any number of threads concurrently):
+//  * ServersOf(c)/PrimaryServerOf(c) — "which replica serves client c?"
+//  * ResidualUnder(s)/ReplicasUnder(s) — "spare capacity below s?"  O(1)
+//  * AttachAt(v, d) — "cost of attaching d requests at node v?": nearest
+//    ancestor-or-self replica with residual >= d, O(depth) rootward walk.
+//
+// Ownership/lifetime: the snapshot borrows the Tree (topology is fixed for
+// the lifetime of the serving process — the same contract as
+// IncrementalSolver); demand, placement, and residuals are copied into the
+// snapshot, so the solver may mutate its own state freely after Build().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "model/solution.hpp"
+#include "tree/tree.hpp"
+
+namespace rpt::serve {
+
+/// One (server, amount) block of a client's routing plan.
+struct RouteEntry {
+  NodeId server = kInvalidNode;
+  Requests amount = 0;
+
+  friend bool operator==(const RouteEntry&, const RouteEntry&) = default;
+};
+
+/// Result of an AttachAt probe. `feasible` is false when no ancestor replica
+/// has enough residual capacity (distance/server are then meaningless).
+struct AttachResult {
+  bool feasible = false;
+  NodeId server = kInvalidNode;  ///< nearest fitting ancestor-or-self replica
+  Distance distance = 0;         ///< path distance from the probe node to it
+
+  friend bool operator==(const AttachResult&, const AttachResult&) = default;
+};
+
+class PlacementSnapshot {
+ public:
+  /// Bakes one solved state into an immutable snapshot. `demand` is the
+  /// per-node demand column (size tree.Size(); internal entries 0) and
+  /// `solution` the canonical placement for exactly that state (replica
+  /// loads and residuals are derived from its assignment). An infeasible
+  /// state is represented by an empty solution — the snapshot then has no
+  /// replicas and every attach probe fails. `version` is the publisher's
+  /// monotone sequence number.
+  static std::unique_ptr<const PlacementSnapshot> Build(const Tree& tree, Requests capacity,
+                                                        std::span<const Requests> demand,
+                                                        const Solution& solution,
+                                                        std::uint64_t version);
+
+  PlacementSnapshot(const PlacementSnapshot&) = delete;
+  PlacementSnapshot& operator=(const PlacementSnapshot&) = delete;
+
+  [[nodiscard]] std::uint64_t Version() const noexcept { return version_; }
+  [[nodiscard]] Requests Capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const Tree& GetTree() const noexcept { return *tree_; }
+  [[nodiscard]] bool Feasible() const noexcept { return feasible_; }
+  [[nodiscard]] std::size_t ReplicaCount() const noexcept { return replica_count_; }
+  [[nodiscard]] Requests DemandOf(NodeId node) const { return demand_[Check(node)]; }
+  [[nodiscard]] Requests TotalDemand() const noexcept { return total_demand_; }
+
+  /// True iff a replica sits on `node` in this snapshot.
+  [[nodiscard]] bool IsReplica(NodeId node) const { return residual_valid_[Check(node)] != 0; }
+
+  /// Load routed to the replica at `node` (0 for non-replicas).
+  [[nodiscard]] Requests LoadOf(NodeId node) const { return load_[Check(node)]; }
+
+  /// Residual capacity W - load of the replica at `node`; 0 for non-replicas.
+  [[nodiscard]] Requests ResidualOf(NodeId node) const { return residual_[Check(node)]; }
+
+  /// Summed residual capacity of all replicas in subtree(node). O(1).
+  [[nodiscard]] Requests ResidualUnder(NodeId node) const {
+    return subtree_residual_[Check(node)];
+  }
+
+  /// Number of replicas in subtree(node). O(1).
+  [[nodiscard]] std::uint32_t ReplicasUnder(NodeId node) const {
+    return subtree_replicas_[Check(node)];
+  }
+
+  /// The client's routing plan, canonical (ascending server id). Empty for
+  /// internal nodes, zero-demand clients, and infeasible snapshots.
+  [[nodiscard]] std::span<const RouteEntry> ServersOf(NodeId client) const {
+    Check(client);
+    return {routes_.data() + route_begin_[client], routes_.data() + route_begin_[client + 1]};
+  }
+
+  /// The replica serving the largest share of the client's demand (ties
+  /// break toward the smaller node id, so the answer is deterministic);
+  /// kInvalidNode when the client is unserved. O(#servers) <= O(depth).
+  [[nodiscard]] NodeId PrimaryServerOf(NodeId client) const;
+
+  /// Nearest ancestor-or-self replica of `node` with residual >= demand —
+  /// the cost of attaching that much new demand at `node` without moving
+  /// any replica. O(depth) rootward walk. demand == 0 probes for the
+  /// nearest replica regardless of spare capacity.
+  [[nodiscard]] AttachResult AttachAt(NodeId node, Requests demand) const;
+
+  /// FNV-1a over every buffer (except the borrowed tree): two snapshots of
+  /// the same state hash identically on any machine. Deterministic anchor
+  /// for the serve bench's det-json and the swap-torture test.
+  [[nodiscard]] std::uint64_t CanonicalHash() const noexcept;
+
+ private:
+  PlacementSnapshot() = default;
+
+  NodeId Check(NodeId id) const {
+    RPT_REQUIRE(id < demand_.size(), "PlacementSnapshot: node id out of range");
+    return id;
+  }
+
+  const Tree* tree_ = nullptr;  // borrowed; topology fixed for process life
+  std::uint64_t version_ = 0;
+  Requests capacity_ = 0;
+  Requests total_demand_ = 0;
+  bool feasible_ = false;
+  std::size_t replica_count_ = 0;
+  std::vector<Requests> demand_;
+  std::vector<Requests> load_;
+  std::vector<Requests> residual_;
+  std::vector<std::uint8_t> residual_valid_;  // 1 iff a replica sits here
+  std::vector<Requests> subtree_residual_;
+  std::vector<std::uint32_t> subtree_replicas_;
+  std::vector<std::uint32_t> route_begin_;  // CSR offsets, size n+1
+  std::vector<RouteEntry> routes_;
+};
+
+}  // namespace rpt::serve

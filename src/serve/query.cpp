@@ -1,0 +1,116 @@
+#include "serve/query.hpp"
+
+namespace rpt::serve {
+
+namespace {
+
+void PutU8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t GetU32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[at + i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t GetU64(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[at + i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* QueryKindName(QueryKind kind) noexcept {
+  switch (kind) {
+    case QueryKind::kWhichReplica: return "which-replica";
+    case QueryKind::kResidual: return "residual";
+    case QueryKind::kAttachCost: return "attach-cost";
+  }
+  return "unknown";
+}
+
+QueryResponse Answer(const PlacementSnapshot& snapshot, const QueryRequest& request) {
+  RPT_REQUIRE(request.node < snapshot.GetTree().Size(),
+              "serve: query node id out of range");
+  QueryResponse response;
+  response.version = snapshot.Version();
+  switch (request.kind) {
+    case QueryKind::kWhichReplica: {
+      const NodeId server = snapshot.PrimaryServerOf(request.node);
+      response.ok = server != kInvalidNode;
+      response.server = server;
+      response.value = snapshot.DemandOf(request.node);
+      response.distance =
+          response.ok ? snapshot.GetTree().DistToAncestor(request.node, server) : 0;
+      return response;
+    }
+    case QueryKind::kResidual:
+      response.ok = true;
+      response.server = request.node;
+      response.value = snapshot.ResidualUnder(request.node);
+      response.distance = snapshot.ReplicasUnder(request.node);
+      return response;
+    case QueryKind::kAttachCost: {
+      const AttachResult attach = snapshot.AttachAt(request.node, request.demand);
+      response.ok = attach.feasible;
+      response.server = attach.server;
+      response.distance = attach.feasible ? attach.distance : 0;
+      response.value = attach.feasible ? snapshot.ResidualOf(attach.server) : 0;
+      return response;
+    }
+  }
+  RPT_REQUIRE(false, "serve: unknown query kind");
+  return response;  // unreachable
+}
+
+void EncodeRequest(const QueryRequest& request, std::vector<std::uint8_t>& out) {
+  PutU32(out, static_cast<std::uint32_t>(kRequestWireSize));
+  PutU8(out, static_cast<std::uint8_t>(request.kind));
+  PutU32(out, request.node);
+  PutU64(out, request.demand);
+}
+
+void EncodeResponse(const QueryResponse& response, std::vector<std::uint8_t>& out) {
+  PutU32(out, static_cast<std::uint32_t>(kResponseWireSize));
+  PutU64(out, response.version);
+  PutU8(out, response.ok ? 1 : 0);
+  PutU32(out, response.server);
+  PutU64(out, response.value);
+  PutU64(out, response.distance);
+}
+
+QueryRequest DecodeRequest(std::span<const std::uint8_t> payload) {
+  RPT_REQUIRE(payload.size() == kRequestWireSize,
+              "serve: request payload must be exactly " + std::to_string(kRequestWireSize) +
+                  " bytes, got " + std::to_string(payload.size()));
+  RPT_REQUIRE(payload[0] <= static_cast<std::uint8_t>(QueryKind::kAttachCost),
+              "serve: unknown query kind byte");
+  QueryRequest request;
+  request.kind = static_cast<QueryKind>(payload[0]);
+  request.node = GetU32(payload, 1);
+  request.demand = GetU64(payload, 5);
+  return request;
+}
+
+QueryResponse DecodeResponse(std::span<const std::uint8_t> payload) {
+  RPT_REQUIRE(payload.size() == kResponseWireSize,
+              "serve: response payload must be exactly " + std::to_string(kResponseWireSize) +
+                  " bytes, got " + std::to_string(payload.size()));
+  QueryResponse response;
+  response.version = GetU64(payload, 0);
+  response.ok = payload[8] != 0;
+  response.server = GetU32(payload, 9);
+  response.value = GetU64(payload, 13);
+  response.distance = GetU64(payload, 21);
+  return response;
+}
+
+}  // namespace rpt::serve

@@ -1,0 +1,34 @@
+#include "serve/serve_harness.hpp"
+
+namespace rpt::serve {
+
+ServeHarness::ServeHarness(const Instance& instance, incremental::SolverOptions options)
+    : solver_(instance, options) {
+  PublishCurrent();
+}
+
+void ServeHarness::PublishCurrent() {
+  store_.Publish(PlacementSnapshot::Build(solver_.GetTree(), solver_.Capacity(),
+                                          solver_.Demands(), solver_.Current(),
+                                          next_version_));
+  ++next_version_;
+}
+
+bool ServeHarness::ApplyAndPublish(std::span<const incremental::UpdateEvent> events) {
+  // Apply() validates the whole batch before touching anything; if it
+  // throws, we re-throw without publishing and the last good snapshot
+  // stays current.
+  const bool feasible = solver_.Apply(events);
+  PublishCurrent();
+  return feasible;
+}
+
+QueryResponse ServeHarness::Query(const QueryRequest& request) const {
+  const SnapshotStore::Ref ref = Pin();
+  RPT_CHECK(ref);  // the constructor publishes before any caller can query
+  QueryResponse response = Answer(*ref, request);
+  queries_answered_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+}  // namespace rpt::serve

@@ -1,0 +1,82 @@
+// ServeHarness — the in-process rpt-serve front end: one IncrementalSolver
+// applying update batches, one SnapshotStore publishing the results, any
+// number of query threads answering against pinned snapshots.
+//
+// This is the seam the always-on service is built around: callers that want
+// a network boundary wrap the harness in a TcpServer (tcp_server.hpp);
+// callers that want zero-copy serving (tests, benches, embedding into a
+// larger process) use it directly. Either way the contract is the same:
+//
+//  * ONE update thread calls ApplyAndPublish(events) — the solver applies
+//    the batch (atomic validation, incremental re-solve) and a fresh
+//    immutable snapshot of the new state is built and published. A batch
+//    that fails validation throws and publishes NOTHING: queries keep being
+//    answered against the last good snapshot (this is what "always-on"
+//    means — a bad update cannot take the service down or expose a torn
+//    state).
+//  * ANY number of threads call Query()/Pin() concurrently — each query
+//    pins the current snapshot for exactly its own duration. Queries never
+//    block on the solver or the publisher.
+//
+// An infeasible state (legal — e.g. a surge no placement can absorb) is
+// still published: its snapshot has no replicas, which-replica/attach
+// queries answer not-ok, and the version keeps advancing.
+//
+// Ownership: the harness owns the solver and the store; the Instance must
+// outlive the harness (same rule as IncrementalSolver).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "incremental/incremental_solver.hpp"
+#include "serve/query.hpp"
+#include "serve/snapshot_store.hpp"
+
+namespace rpt::serve {
+
+class ServeHarness {
+ public:
+  /// Solves `instance` from scratch and publishes snapshot version 1.
+  explicit ServeHarness(const Instance& instance, incremental::SolverOptions options = {});
+
+  ServeHarness(const ServeHarness&) = delete;
+  ServeHarness& operator=(const ServeHarness&) = delete;
+
+  /// Applies one event batch to the solver and publishes a snapshot of the
+  /// resulting state. Returns the new state's feasibility. Throws
+  /// InvalidArgument (and publishes nothing) when the batch fails the
+  /// solver's atomic validation. Single update thread only.
+  bool ApplyAndPublish(std::span<const incremental::UpdateEvent> events);
+
+  /// Pins the current snapshot (always non-empty — the constructor
+  /// publishes version 1 before returning). Any thread.
+  [[nodiscard]] SnapshotStore::Ref Pin() const { return store_.Acquire(); }
+
+  /// Pins the current snapshot, answers, unpins. Any thread.
+  [[nodiscard]] QueryResponse Query(const QueryRequest& request) const;
+
+  /// Queries answered via Query() over the harness lifetime.
+  [[nodiscard]] std::uint64_t QueriesAnswered() const noexcept {
+    return queries_answered_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshots published, including the constructor's initial one.
+  [[nodiscard]] std::uint64_t Publishes() const noexcept { return store_.Publishes(); }
+
+  [[nodiscard]] const incremental::IncrementalSolver& Solver() const noexcept {
+    return solver_;
+  }
+  [[nodiscard]] const SnapshotStore& Store() const noexcept { return store_; }
+
+ private:
+  void PublishCurrent();
+
+  incremental::IncrementalSolver solver_;
+  SnapshotStore store_;
+  std::uint64_t next_version_ = 1;  // update-thread-owned
+  mutable std::atomic<std::uint64_t> queries_answered_{0};
+};
+
+}  // namespace rpt::serve

@@ -1,0 +1,95 @@
+#include "serve/snapshot_store.hpp"
+
+#include <thread>
+#include <utility>
+
+namespace rpt::serve {
+
+SnapshotStore::Ref::Ref(const Ref& other) noexcept
+    : snapshot_(other.snapshot_), pins_(other.pins_) {
+  if (pins_ != nullptr) pins_->fetch_add(1, std::memory_order_acq_rel);
+}
+
+SnapshotStore::Ref::Ref(Ref&& other) noexcept : snapshot_(other.snapshot_), pins_(other.pins_) {
+  other.snapshot_ = nullptr;
+  other.pins_ = nullptr;
+}
+
+SnapshotStore::Ref& SnapshotStore::Ref::operator=(Ref other) noexcept {
+  std::swap(snapshot_, other.snapshot_);
+  std::swap(pins_, other.pins_);
+  return *this;
+}
+
+SnapshotStore::Ref::~Ref() { Release(); }
+
+void SnapshotStore::Ref::Release() noexcept {
+  if (pins_ != nullptr) {
+    // Release order: everything this reader did with the snapshot happens
+    // before the publisher's acquire drain-load sees the count hit zero.
+    pins_->fetch_sub(1, std::memory_order_acq_rel);
+  }
+  snapshot_ = nullptr;
+  pins_ = nullptr;
+}
+
+SnapshotStore::~SnapshotStore() {
+  for (Slot& slot : slots_) {
+    RPT_CHECK(slot.pins.load(std::memory_order_acquire) == 0);
+  }
+}
+
+SnapshotStore::Ref SnapshotStore::Acquire() const noexcept {
+  for (;;) {
+    const int cur = current_.load(std::memory_order_seq_cst);
+    if (cur < 0) return Ref{};
+    Slot& slot = slots_[cur];
+    // Optimistic pin, then re-check currency. The pin (a seq_cst RMW) and
+    // the re-check load form one half of a Dekker pattern with the
+    // publisher's flip-store + drain-load: in the single total order of
+    // seq_cst operations, either our pin precedes the publisher's drain
+    // load (it sees the count and waits for us), or the flip precedes our
+    // re-check (we see the slot go non-current and retry). acq_rel would
+    // NOT be enough — store-then-load may reorder across distinct atomics,
+    // letting the drain miss a fresh pin and reclaim under a live reader.
+    slot.pins.fetch_add(1, std::memory_order_seq_cst);
+    if (current_.load(std::memory_order_seq_cst) == cur) {
+      return Ref{slot.snapshot.get(), &slot.pins};
+    }
+    slot.pins.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void SnapshotStore::Publish(std::unique_ptr<const PlacementSnapshot> snapshot) {
+  RPT_REQUIRE(snapshot != nullptr, "SnapshotStore: cannot publish a null snapshot");
+  RPT_CHECK(!publishing_.exchange(true, std::memory_order_acq_rel));
+
+  const int cur = current_.load(std::memory_order_relaxed);  // publisher-owned
+  const int spare = cur < 0 ? 0 : 1 - cur;
+  Slot& slot = slots_[spare];
+
+  // Reader draining: the spare slot still holds the snapshot from two
+  // publishes ago, and stragglers may still be reading it. Busy-wait (with
+  // yields) until the last one detaches — queries are microseconds, so this
+  // is publisher-side latency, never reader-side blocking. seq_cst pairs
+  // with the pin/re-check in Acquire (see the Dekker note there).
+  while (slot.pins.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+
+  // Sole owner of a drained, non-current slot: safe to reclaim + install.
+  slot.snapshot = std::move(snapshot);
+  // The flip is the publication point: readers that see `spare` as current
+  // also see the fully built snapshot (store-release semantics are implied
+  // by seq_cst; seq_cst itself is needed for the drain pairing above).
+  current_.store(spare, std::memory_order_seq_cst);
+  publishes_.fetch_add(1, std::memory_order_acq_rel);
+  publishing_.store(false, std::memory_order_release);
+}
+
+std::uint64_t SnapshotStore::CurrentVersion() const noexcept {
+  const Ref ref = Acquire();
+  return ref ? ref->Version() : 0;
+}
+
+}  // namespace rpt::serve

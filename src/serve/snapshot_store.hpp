@@ -1,0 +1,108 @@
+// SnapshotStore — double-buffered publication of immutable snapshots with
+// atomic publish and reader draining (the zero-downtime swap in rpt-serve).
+//
+// The serving shape: many reader threads answer queries against the current
+// PlacementSnapshot while exactly ONE publisher thread builds and publishes
+// fresh snapshots. The store holds two slots; at any instant one of them is
+// `current`. Protocol:
+//
+//  * Readers pin — Acquire() increments the current slot's refcount and
+//    re-checks currency; the returned RAII Ref keeps the snapshot alive for
+//    as long as the reader holds it. Readers NEVER block and never observe
+//    a torn or reclaimed snapshot: a slot's buffer is mutated only while
+//    its refcount is zero AND it is not current.
+//  * The publisher swaps — Publish(snapshot) installs into the spare
+//    (non-current) slot and flips `current` with a release store. Before
+//    reusing the spare slot it WAITS for that slot's refcount to drain to
+//    zero: the buffer from two publishes ago is reclaimed only after the
+//    last reader pinning it detached. Publishing can therefore block
+//    (bounded by the longest outstanding query); queries never do.
+//
+// This is the OSRM shared-memory dataset-swap discipline (publish new
+// region, flip the timestamp, WaitForDetach before removing the old one)
+// in-process: refcounts instead of shm attach counts.
+//
+// Thread-safety: Acquire() from any thread; Publish() from one publisher
+// thread at a time (a second concurrent publisher is a contract violation,
+// guarded in debug by an atomic flag). Refs may be copied/moved across
+// threads; each copy holds its own pin.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "serve/placement_snapshot.hpp"
+#include "support/common.hpp"
+
+namespace rpt::serve {
+
+class SnapshotStore {
+ public:
+  /// RAII pin on one published snapshot. Empty (falsy) when acquired before
+  /// the first publish. Copyable — every copy takes its own pin.
+  class Ref {
+   public:
+    Ref() = default;
+    Ref(const Ref& other) noexcept;
+    Ref(Ref&& other) noexcept;
+    Ref& operator=(Ref other) noexcept;
+    ~Ref();
+
+    [[nodiscard]] explicit operator bool() const noexcept { return snapshot_ != nullptr; }
+    [[nodiscard]] const PlacementSnapshot& operator*() const noexcept { return *snapshot_; }
+    [[nodiscard]] const PlacementSnapshot* operator->() const noexcept { return snapshot_; }
+    [[nodiscard]] const PlacementSnapshot* get() const noexcept { return snapshot_; }
+
+    /// Detaches early (idempotent); the Ref becomes empty.
+    void Release() noexcept;
+
+   private:
+    friend class SnapshotStore;
+    Ref(const PlacementSnapshot* snapshot, std::atomic<std::uint64_t>* pins) noexcept
+        : snapshot_(snapshot), pins_(pins) {}
+
+    const PlacementSnapshot* snapshot_ = nullptr;
+    std::atomic<std::uint64_t>* pins_ = nullptr;
+  };
+
+  SnapshotStore() = default;
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Destroying the store while Refs are outstanding is a use-after-free by
+  /// construction; the destructor drains both slots to make the bug loud at
+  /// the drain instead of silent at the dangling read.
+  ~SnapshotStore();
+
+  /// Pins and returns the current snapshot; empty Ref before first publish.
+  /// Wait-free apart from the (rare) retry when a publish lands between the
+  /// pin and the currency re-check. Any thread.
+  [[nodiscard]] Ref Acquire() const noexcept;
+
+  /// Atomically publishes `snapshot` as the new current. Blocks until the
+  /// spare slot's readers (from two publishes ago) have all detached, then
+  /// reclaims that buffer. Single publisher thread only.
+  void Publish(std::unique_ptr<const PlacementSnapshot> snapshot);
+
+  /// Number of successful Publish() calls so far.
+  [[nodiscard]] std::uint64_t Publishes() const noexcept {
+    return publishes_.load(std::memory_order_acquire);
+  }
+
+  /// Version of the currently published snapshot (0 before first publish).
+  [[nodiscard]] std::uint64_t CurrentVersion() const noexcept;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> pins{0};
+    std::unique_ptr<const PlacementSnapshot> snapshot;
+  };
+
+  mutable Slot slots_[2];
+  std::atomic<int> current_{-1};  // -1 until the first publish
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<bool> publishing_{false};  // catches concurrent publishers
+};
+
+}  // namespace rpt::serve

@@ -1,0 +1,208 @@
+#include "serve/tcp_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "support/common.hpp"
+
+namespace rpt::serve {
+
+namespace {
+
+// Full-buffer read/write with EINTR retry; false on EOF/error (the caller
+// treats either as "connection over").
+bool ReadFull(int fd, std::uint8_t* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, buf + done, len - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+    } else if (n == 0 || errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const std::uint8_t* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, buf + done, len - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+    } else if (errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint32_t DecodePrefix(const std::uint8_t prefix[4]) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  return v;
+}
+
+void CloseQuiet(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+TcpServer::TcpServer(const ServeHarness& harness) : harness_(harness) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+void TcpServer::Start(std::uint16_t port) {
+  RPT_REQUIRE(!running_.load(std::memory_order_acquire), "TcpServer: already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  RPT_CHECK(listen_fd_ >= 0);
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    CloseQuiet(listen_fd_);
+    listen_fd_ = -1;
+    throw InternalError(std::string("TcpServer: bind/listen failed: ") + std::strerror(err));
+  }
+
+  socklen_t addr_len = sizeof(addr);
+  RPT_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&TcpServer::AcceptLoop, this);
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Unblock accept(), then every blocked per-connection read.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  CloseQuiet(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void TcpServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (Stop) or fatal — either way, done
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (!running_.load(std::memory_order_acquire)) {
+      CloseQuiet(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(&TcpServer::ServeConnection, this, fd);
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> out;
+  std::uint8_t prefix[4];
+  while (running_.load(std::memory_order_acquire)) {
+    if (!ReadFull(fd, prefix, 4)) break;
+    const std::uint32_t len = DecodePrefix(prefix);
+    if (len > kMaxFrameBytes) break;  // desync — nothing sane to answer
+    payload.resize(len);
+    if (len > 0 && !ReadFull(fd, payload.data(), len)) break;
+
+    QueryResponse response;  // defaults: version 0, ok false
+    try {
+      const QueryRequest request = DecodeRequest(payload);
+      response = harness_.Query(request);
+    } catch (const InvalidArgument&) {
+      // Malformed payload or out-of-range node: answer a failure frame and
+      // keep serving — a bad client must not cost anyone else the service.
+    }
+    out.clear();
+    EncodeResponse(response, out);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!WriteFull(fd, out.data(), out.size())) break;
+  }
+  CloseQuiet(fd);
+}
+
+TcpClient::TcpClient(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  RPT_CHECK(fd_ >= 0);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    CloseQuiet(fd_);
+    fd_ = -1;
+    throw InternalError(std::string("TcpClient: connect failed: ") + std::strerror(err));
+  }
+}
+
+TcpClient::~TcpClient() { CloseQuiet(fd_); }
+
+QueryResponse TcpClient::Query(const QueryRequest& request) {
+  std::vector<std::uint8_t> out;
+  EncodeRequest(request, out);
+  RPT_CHECK(fd_ >= 0);
+  if (!WriteFull(fd_, out.data(), out.size())) {
+    throw InternalError("TcpClient: short write");
+  }
+  return ReadResponse();
+}
+
+QueryResponse TcpClient::RawFrame(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  out.insert(out.end(), payload.begin(), payload.end());
+  RPT_CHECK(fd_ >= 0);
+  if (!WriteFull(fd_, out.data(), out.size())) {
+    throw InternalError("TcpClient: short write");
+  }
+  return ReadResponse();
+}
+
+QueryResponse TcpClient::ReadResponse() {
+  std::uint8_t prefix[4];
+  if (!ReadFull(fd_, prefix, 4)) throw InternalError("TcpClient: connection closed");
+  const std::uint32_t len = DecodePrefix(prefix);
+  RPT_REQUIRE(len == kResponseWireSize, "TcpClient: unexpected response frame size");
+  std::vector<std::uint8_t> payload(len);
+  if (!ReadFull(fd_, payload.data(), len)) throw InternalError("TcpClient: short read");
+  return DecodeResponse(payload);
+}
+
+}  // namespace rpt::serve

@@ -1,0 +1,120 @@
+// TcpServer — the network boundary of rpt-serve: a length-prefixed TCP loop
+// over a ServeHarness, plus the minimal blocking TcpClient the tests and the
+// example speak it with.
+//
+// Protocol (see query.hpp for the codec): every message on the wire is a
+// 4-byte little-endian length prefix followed by that many payload bytes.
+// A connection is a sequence of request/response pairs — the server answers
+// each request against the snapshot current AT THAT INSTANT (queries pin via
+// the harness, so an in-flight publish never blocks or tears an answer).
+//
+// Error handling keeps the service up: a payload that fails to decode (bad
+// size, unknown kind) or a query on an out-of-range node gets a well-formed
+// failure response (ok = 0, version = 0) instead of tearing down the
+// connection; a frame longer than kMaxFrameBytes is a framing attack or a
+// desync, and only then is the connection closed. A bad update batch never
+// reaches the server at all — updates flow through the harness's single
+// update thread, not the wire.
+//
+// Threading: Start() spawns one accept thread; each accepted connection gets
+// its own handler thread (the expected fan-in is a handful of benchmark or
+// test clients, not a C10K front; the harness underneath scales to any
+// number of query threads). Stop() shuts down the listener and every open
+// connection, then joins all threads — safe to call twice, called by the
+// destructor.
+//
+// Binding: loopback (127.0.0.1) only, port 0 picks a free port — Port()
+// reports the bound one. This is deliberately a harness front-end, not an
+// internet-facing daemon.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/query.hpp"
+#include "serve/serve_harness.hpp"
+
+namespace rpt::serve {
+
+/// Frames longer than this are treated as a protocol desync and close the
+/// connection (a legal request payload is kRequestWireSize bytes).
+inline constexpr std::uint32_t kMaxFrameBytes = 1024;
+
+class TcpServer {
+ public:
+  /// Wraps `harness` (not owned; must outlive the server).
+  explicit TcpServer(const ServeHarness& harness);
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Stops and joins everything.
+  ~TcpServer();
+
+  /// Binds 127.0.0.1:`port` (0 = pick a free port), starts listening and
+  /// accepting. Throws InternalError if the socket layer refuses; throws
+  /// InvalidArgument if already started.
+  void Start(std::uint16_t port = 0);
+
+  /// Shuts the listener and all connections down and joins their threads.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  [[nodiscard]] std::uint16_t Port() const noexcept { return port_; }
+
+  /// Connections accepted over the server's lifetime.
+  [[nodiscard]] std::uint64_t ConnectionsAccepted() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Requests answered (including failure responses) over the lifetime.
+  [[nodiscard]] std::uint64_t RequestsServed() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  const ServeHarness& harness_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;  // guards conn_fds_ / conn_threads_
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+/// Minimal blocking client for the rpt-serve wire protocol: one connection,
+/// one request/response at a time. Not thread-safe; throws InternalError on
+/// socket failures and InvalidArgument on malformed responses.
+class TcpClient {
+ public:
+  /// Connects to 127.0.0.1:`port`.
+  explicit TcpClient(std::uint16_t port);
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+  ~TcpClient();
+
+  /// Sends one request and blocks for its response.
+  [[nodiscard]] QueryResponse Query(const QueryRequest& request);
+
+  /// Sends `payload` under a raw length prefix — the tests' tool for
+  /// poking malformed frames at the server.
+  [[nodiscard]] QueryResponse RawFrame(std::span<const std::uint8_t> payload);
+
+ private:
+  QueryResponse ReadResponse();
+
+  int fd_ = -1;
+};
+
+}  // namespace rpt::serve

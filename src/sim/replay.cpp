@@ -246,6 +246,7 @@ ReplayReport Replay(const Instance& instance, const ReplayConfig& config) {
   report.ticks = config.ticks;
   ReplayState state;
   state.BuildPlans(instance.GetTree(), solver.Current(), report);
+  if (config.on_replan) config.on_replan(solver, 0);
   double replan_ms = 0.0;  // the constructor's initial solve is not counted
 
   for (std::uint64_t tick = 0; tick < config.ticks; ++tick) {
@@ -256,6 +257,7 @@ ReplayReport Replay(const Instance& instance, const ReplayConfig& config) {
       RPT_REQUIRE(feasible, "Replay: the update trace made the instance infeasible at tick " +
                                 std::to_string(tick));
       state.BuildPlans(instance.GetTree(), solver.Current(), report);
+      if (config.on_replan) config.on_replan(solver, tick);
     }
     state.replica_ticks += static_cast<double>(solver.Current().ReplicaCount());
     state.Tick(tick, config.demand_factor, solver.Capacity(), rng, report);

@@ -34,12 +34,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "incremental/update_event.hpp"
 #include "model/instance.hpp"
 #include "model/solution.hpp"
 #include "support/rng.hpp"
+
+namespace rpt::incremental {
+class IncrementalSolver;
+}  // namespace rpt::incremental
 
 namespace rpt::sim {
 
@@ -58,6 +63,16 @@ struct ReplayConfig {
   /// Re-planning policy for streaming mode: kMultiple (incremental DP) or
   /// kSingle (overlay single-nod pass). Ignored when trace is empty.
   Policy policy = Policy::kMultiple;
+  /// Streaming-mode hook fired exactly when the plan may have changed: once
+  /// after the initial solve (tick = 0, before any arrivals) and once after
+  /// every successfully applied per-tick batch (with that tick's index).
+  /// This is the churn seam the serve layer plugs into — the callback can
+  /// export (GetTree, Capacity, Demands, Current) into a
+  /// serve::PlacementSnapshot and publish it while the replay keeps driving
+  /// demand. Called from the replay thread; keep it cheap or the replay
+  /// stalls (publishing a snapshot is one O(|T|) build). Ignored in static
+  /// mode.
+  std::function<void(const incremental::IncrementalSolver&, std::uint64_t)> on_replan;
 };
 
 /// Per-server outcome. In streaming mode a server appears here if any plan

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -187,32 +188,125 @@ INSTANTIATE_TEST_SUITE_P(SolverPoolWidths, IncrementalEquivalence, ::testing::Va
                            return "threads" + std::to_string(info.param);
                          });
 
+// Every observable facet of a solver's state, for byte-identity checks
+// after rejected batches (the solution hash alone would not catch a
+// partially applied demand column that happens to re-solve to the same
+// placement, or a corrupted stats counter).
+struct SolverStateImage {
+  std::vector<Requests> demands;
+  Requests capacity = 0;
+  Requests total_demand = 0;
+  bool feasible = false;
+  std::uint64_t solution_hash = 0;
+  IncrementalStats stats;
+};
+
+SolverStateImage CaptureState(const IncrementalSolver& solver) {
+  SolverStateImage image;
+  image.demands.assign(solver.Demands().begin(), solver.Demands().end());
+  image.capacity = solver.Capacity();
+  image.total_demand = solver.TotalDemand();
+  image.feasible = solver.Feasible();
+  image.solution_hash = HashSolution(solver.Current());
+  image.stats = solver.Stats();
+  return image;
+}
+
+void ExpectStateEquals(const SolverStateImage& before, const IncrementalSolver& solver) {
+  const SolverStateImage after = CaptureState(solver);
+  EXPECT_EQ(after.demands, before.demands);
+  EXPECT_EQ(after.capacity, before.capacity);
+  EXPECT_EQ(after.total_demand, before.total_demand);
+  EXPECT_EQ(after.feasible, before.feasible);
+  EXPECT_EQ(after.solution_hash, before.solution_hash);
+  EXPECT_EQ(after.stats.events_applied, before.stats.events_applied);
+  EXPECT_EQ(after.stats.resolves, before.stats.resolves);
+  EXPECT_EQ(after.stats.full_recomputes, before.stats.full_recomputes);
+  EXPECT_EQ(after.stats.nodes_recomputed, before.stats.nodes_recomputed);
+  EXPECT_EQ(after.stats.nodes_reused, before.stats.nodes_reused);
+}
+
 TEST(IncrementalSolver, BadEventsThrowAndLeaveStateUntouched) {
   gen::BinaryTreeConfig cfg;
   cfg.clients = 16;
   const Instance instance(gen::GenerateFullBinaryTree(cfg, 9), /*capacity=*/20);
   IncrementalSolver solver(instance);
-  const std::uint64_t hash_before = HashSolution(solver.Current());
-  const std::uint64_t events_before = solver.Stats().events_applied;
+  const SolverStateImage before = CaptureState(solver);
   const NodeId client = instance.GetTree().Clients()[0];
-  const NodeId internal = instance.GetTree().Root();
+  const NodeId other = instance.GetTree().Clients()[1];
+  const NodeId dark = instance.GetTree().Clients()[2];
+  ASSERT_TRUE(solver.Apply(std::vector<UpdateEvent>{UpdateEvent::ClientRemove(dark)}));
+  const SolverStateImage with_dark = CaptureState(solver);
+  constexpr std::int64_t kMaxDelta = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMinDelta = std::numeric_limits<std::int64_t>::min();
 
   const std::vector<std::vector<UpdateEvent>> bad_batches{
-      {UpdateEvent::DemandDelta(internal, 1)},              // not a client
-      {UpdateEvent::DemandDelta(kInvalidNode, 1)},          // out of range
-      {UpdateEvent::DemandDelta(client, -1000)},            // below zero
-      {UpdateEvent::ClientAdd(client, 5)},                  // already active
-      {UpdateEvent::ClientAdd(client, 0)},                  // zero-demand add
-      {UpdateEvent::Capacity(0)},                           // zero capacity
+      {UpdateEvent::DemandDelta(instance.GetTree().Root(), 1)},  // not a client
+      {UpdateEvent::DemandDelta(kInvalidNode, 1)},               // out of range
+      {UpdateEvent::DemandDelta(client, -1000)},                 // below zero
+      {UpdateEvent::ClientAdd(client, 5)},                       // already active
+      {UpdateEvent::ClientAdd(client, 0)},                       // zero-demand add
+      {UpdateEvent::Capacity(0)},                                // zero capacity
       // A good event followed by a bad one: atomicity means neither lands.
       {UpdateEvent::DemandDelta(client, 2), UpdateEvent::Capacity(0)},
+      // Wrap-through-unsigned attempts. Two max deltas on one client would
+      // wrap its demand past 2^64; the split across two clients would wrap
+      // the total instead; INT64_MIN's magnitude is UB to negate naively.
+      {UpdateEvent::DemandDelta(client, kMaxDelta), UpdateEvent::DemandDelta(client, kMaxDelta),
+       UpdateEvent::DemandDelta(client, 2)},
+      {UpdateEvent::DemandDelta(client, kMaxDelta), UpdateEvent::DemandDelta(other, kMaxDelta),
+       UpdateEvent::DemandDelta(other, 2)},
+      {UpdateEvent::DemandDelta(client, kMinDelta)},
+      // A batch-internal add then an overflowing delta on the same client.
+      {UpdateEvent::ClientAdd(dark, 5), UpdateEvent::DemandDelta(dark, kMaxDelta),
+       UpdateEvent::DemandDelta(dark, kMaxDelta)},
   };
   for (std::size_t i = 0; i < bad_batches.size(); ++i) {
     SCOPED_TRACE("batch " + std::to_string(i));
     EXPECT_THROW((void)solver.Apply(bad_batches[i]), InvalidArgument);
-    EXPECT_EQ(HashSolution(solver.Current()), hash_before);
-    EXPECT_EQ(solver.Stats().events_applied, events_before);
+    ExpectStateEquals(with_dark, solver);
   }
+
+  // The solver is not poisoned: a good batch after the rejections applies
+  // normally and the state still matches the from-scratch oracle.
+  ASSERT_TRUE(solver.Apply(std::vector<UpdateEvent>{UpdateEvent::ClientAdd(dark, 4),
+                                                    UpdateEvent::DemandDelta(client, 3)}));
+  EXPECT_EQ(solver.Stats().events_applied, before.stats.events_applied + 3);
+  ExpectMatchesOracle(solver, "after rejected batches");
+}
+
+TEST(IncrementalSolver, NearLimitDemandsApplyWithoutWrapping) {
+  // Deltas that stop just short of the unsigned ceiling must be accepted —
+  // the overflow guard rejects wraps, not big numbers. The Single overlay
+  // policy is the one that can represent such a state cheaply (its
+  // feasibility scan is O(clients)); the Multiple DP sizes tables by demand
+  // and would never be asked to solve a 2^64-request client.
+  const std::vector<Requests> requests{0, 0};
+  const Instance instance(gen::MakeStar(2, requests), /*capacity=*/10);
+  IncrementalSolver solver(instance, {Engine::kIncremental, Policy::kSingle});
+  const NodeId client = instance.GetTree().Clients()[0];
+  constexpr std::int64_t kMaxDelta = std::numeric_limits<std::int64_t>::max();
+
+  ASSERT_FALSE(solver.Apply(std::vector<UpdateEvent>{
+      UpdateEvent::DemandDelta(client, kMaxDelta), UpdateEvent::DemandDelta(client, kMaxDelta),
+      UpdateEvent::DemandDelta(client, 1)}));  // exactly 2^64 - 1
+  EXPECT_EQ(solver.DemandOf(client), std::numeric_limits<Requests>::max());
+  EXPECT_EQ(solver.TotalDemand(), std::numeric_limits<Requests>::max());
+
+  // One more unit on any client would wrap the per-client or total demand.
+  EXPECT_THROW((void)solver.Apply(std::vector<UpdateEvent>{UpdateEvent::DemandDelta(client, 1)}),
+               InvalidArgument);
+  EXPECT_THROW((void)solver.Apply(std::vector<UpdateEvent>{
+                   UpdateEvent::ClientAdd(instance.GetTree().Clients()[1], 1)}),
+               InvalidArgument);
+
+  // And the whole mountain comes back down without UB: -INT64_MAX twice,
+  // then the final unit.
+  ASSERT_TRUE(solver.Apply(std::vector<UpdateEvent>{
+      UpdateEvent::DemandDelta(client, -kMaxDelta), UpdateEvent::DemandDelta(client, -kMaxDelta),
+      UpdateEvent::DemandDelta(client, -1)}));
+  EXPECT_EQ(solver.TotalDemand(), 0u);
+  EXPECT_TRUE(solver.Feasible());
 }
 
 TEST(IncrementalSolver, AddRemoveLifecycle) {
