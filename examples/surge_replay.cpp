@@ -17,7 +17,12 @@
 // plans — the table shows identical served/backlog columns — but the
 // incremental one re-processes only the dirty ancestor chains (the
 // recompute % column), which is where the re-plan throughput comes from
-// (wall-time comparison printed below the table).
+// (wall-time comparison printed below the table). --stream-scenario layers
+// topology churn on top: "flash-crowd" (pods join under hot racks while
+// demand spikes) and "regional-failure" (subtrees re-home under surviving
+// parents, some leave) stream attach/detach/migrate/link events through
+// the delta-overlay — the tree the final tick plans over is not the tree
+// the replay started with, and no tick rebuilds the world.
 //
 // Runs on the batch engine: each (demand factor × policy) pair — and each
 // streaming engine — is a group of --seeds cells, each planning and
@@ -62,6 +67,10 @@ int main(int argc, char** argv) {
   cli.AddInt("stream-touches", 2, "clients whose demand shifts per streaming tick (0 = skip "
                                   "the streaming section)");
   cli.AddInt("stream-demand-max", 30, "per-client demand ceiling in the streaming trace");
+  cli.AddString("stream-scenario", "demand",
+                "streaming trace shape: demand (pure demand churn), flash-crowd "
+                "(pods join under hot racks and demand spikes), regional-failure "
+                "(subtrees fail over to surviving parents and some leave)");
   runner::AddJsonFlag(cli);
   if (!cli.Parse(argc, argv)) return 0;
   const BatchFlags flags = GetBatchFlags(cli);
@@ -147,6 +156,29 @@ int main(int argc, char** argv) {
   const auto stream_touches =
       static_cast<std::uint32_t>(cli.GetUint("stream-touches", 1u << 20));
   const auto stream_demand_max = static_cast<Requests>(cli.GetUint("stream-demand-max"));
+  // Scenario presets layer topology churn onto the demand trace. Flash
+  // crowd is join-heavy (new pods attach faster than old ones leave, so
+  // the tree grows while demand spikes); regional failure is
+  // migrate-heavy (subtrees re-home under surviving parents, some leave
+  // for good). Both replay through the delta-overlay with no rebuild —
+  // the full-resolve oracle row proves the plans stay byte-identical.
+  const std::string stream_scenario = cli.GetString("stream-scenario");
+  incremental::TraceConfig scenario_cfg;
+  if (stream_scenario == "flash-crowd") {
+    scenario_cfg.add_remove_fraction = 0.15;
+    scenario_cfg.join_rate = 0.30;
+    scenario_cfg.leave_rate = 0.08;
+    scenario_cfg.link_rate = 0.02;
+  } else if (stream_scenario == "regional-failure") {
+    scenario_cfg.add_remove_fraction = 0.10;
+    scenario_cfg.failure_rate = 0.25;
+    scenario_cfg.leave_rate = 0.15;
+    scenario_cfg.link_rate = 0.05;
+  } else {
+    RPT_REQUIRE(stream_scenario == "demand",
+                "surge_replay: --stream-scenario must be demand, flash-crowd, or "
+                "regional-failure");
+  }
   const auto make_stream_instance = [clients, capacity](std::uint64_t seed) {
     gen::BinaryTreeConfig cfg;
     cfg.clients = clients;
@@ -162,9 +194,9 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < flags.seeds; ++i) {
         const std::uint64_t seed = runner::DeriveSeed(base_seed + 1, i);
         auto replay_cache = std::make_shared<std::optional<sim::ReplayReport>>();
-        const auto solve = [engine, ticks, stream_touches, stream_demand_max, seed,
-                            replay_cache](const Instance& instance) {
-          incremental::TraceConfig trace_cfg;
+        const auto solve = [engine, ticks, stream_touches, stream_demand_max, scenario_cfg,
+                            seed, replay_cache](const Instance& instance) {
+          incremental::TraceConfig trace_cfg = scenario_cfg;
           trace_cfg.ticks = ticks;
           trace_cfg.touches_per_tick = stream_touches;
           trace_cfg.max_demand = stream_demand_max;

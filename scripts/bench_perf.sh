@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Perf trajectory tracking: runs the hot-path kernel bench across the solver
-# thread ladder, the incremental-engine event sweep, and the serve-layer
-# publish/query bench in Release, and writes one combined BENCH_hotpath.json
-# (aggregate report *including* wall time statistics, the per-kernel
-# thread_sweep speedup section, the incremental_sweep churn/speedup section,
-# and the serve_qps snapshot-swap section). The report is stamped with an
+# thread ladder, the incremental-engine event sweep, the mutable-topology
+# churn sweep, and the serve-layer publish/query bench in Release, and
+# writes one combined BENCH_hotpath.json (aggregate report *including* wall
+# time statistics, the per-kernel thread_sweep speedup section, the
+# incremental_sweep and topology_sweep churn/speedup sections, and the
+# serve_qps snapshot-swap section). The report is stamped with an
 # "env" section (hw_threads) so the scaling half of the regression gate in
 # scripts/bench_compare.py knows what kind of machine recorded the baseline.
 # CI uploads the JSON as a workflow artifact so every commit leaves a
@@ -21,7 +22,7 @@ BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_hotpath.json}"
 THREAD_SWEEP="${3:-1,2,4,8}"
 
-for bench in bench_hotpath bench_incremental bench_serve; do
+for bench in bench_hotpath bench_incremental bench_topology bench_serve; do
   if [[ ! -x "$BUILD_DIR/$bench" ]]; then
     echo "$bench not found in $BUILD_DIR — build the benches first" >&2
     exit 1
@@ -35,9 +36,11 @@ SERVE_THREADS="${THREAD_SWEEP##*,}"
 
 "$BUILD_DIR/bench_hotpath" --thread-sweep "$THREAD_SWEEP" --json "$TMP_DIR/hotpath.json"
 "$BUILD_DIR/bench_incremental" --json "$TMP_DIR/incremental.json"
+"$BUILD_DIR/bench_topology" --json "$TMP_DIR/topology.json"
 "$BUILD_DIR/bench_serve" --threads "$SERVE_THREADS" --json "$TMP_DIR/serve.json"
 python3 "$(dirname "$0")/merge_bench_json.py" "$OUT_JSON" \
-  "$TMP_DIR/hotpath.json" "$TMP_DIR/incremental.json" "$TMP_DIR/serve.json"
+  "$TMP_DIR/hotpath.json" "$TMP_DIR/incremental.json" "$TMP_DIR/topology.json" \
+  "$TMP_DIR/serve.json"
 python3 - "$OUT_JSON" <<'PY'
 import json, os, sys
 path = sys.argv[1]

@@ -51,6 +51,21 @@ if ! diff "$OUT_DIR/bench_incremental-t1.json" "$OUT_DIR/bench_incremental-t4.js
 fi
 echo "OK: bench_incremental"
 
+# bench_topology streams mixed attach/detach/migrate/link traces through the
+# delta-overlay; its deterministic report covers the costs, the validation
+# against the COMPACTED world, and the Compact() output columns — all of
+# which must be byte-identical at any solver-pool width. The speedup gate is
+# disabled here (tiny workload, smoke only).
+"$BUILD_DIR/bench_topology" --clients=256 --ticks=10 --seeds=2 --threads=1 \
+  --churn=0.01,0.05 --min-speedup=0 --det-json="$OUT_DIR/bench_topology-t1.json" > /dev/null
+"$BUILD_DIR/bench_topology" --clients=256 --ticks=10 --seeds=2 --threads=4 \
+  --churn=0.01,0.05 --min-speedup=0 --det-json="$OUT_DIR/bench_topology-t4.json" > /dev/null
+if ! diff "$OUT_DIR/bench_topology-t1.json" "$OUT_DIR/bench_topology-t4.json"; then
+  echo "FAIL: bench_topology det-json differs between --threads 1 and --threads 4"
+  exit 1
+fi
+echo "OK: bench_topology"
+
 # bench_serve likewise carries wall time (and QPS) only in --json; its
 # deterministic --det-json covers the publish/query groups, which must hash
 # identically no matter how many reader threads hammer the snapshot store.

@@ -1,44 +1,57 @@
-// IncrementalSolver — re-solving a placement against a stream of demand
-// updates without re-optimizing the world per event.
+// IncrementalSolver — re-solving a placement against a stream of demand,
+// capacity, and topology updates without re-optimizing the world per event.
 //
 // The batch solvers answer "given this instance, where do replicas go?".
 // Streaming workloads ask a different question: the instance barely changes
 // between consecutive solves, so how much of the previous solve survives?
 // For the Multiple-NoD DP the answer is structural: node j's tables depend
 // only on subtree(j), so a demand change at client i invalidates exactly the
-// root path of i. The solver owns a long-lived NodDpEngine (CSR tree + DP
-// tables + prefix tables), applies each UpdateEvent batch to the demand
-// overlay, and re-runs the forward pass on the union of dirty root paths —
-// every untouched subtree's tables are reused verbatim, and independent
-// dirty chains recompute in parallel (ParallelForChunked on the process-wide
-// SolverPool(), scratch leased from the engine's ScratchPool).
+// root path of i — and a topology change (attach/detach/migrate) invalidates
+// exactly the root paths of the old and new attachment points. The solver
+// owns a long-lived NodDpEngine (topology view + DP tables + prefix tables),
+// applies each UpdateEvent batch, and re-runs the forward pass on the union
+// of dirty root chains — every untouched subtree's tables are reused
+// verbatim, and independent dirty chains recompute in parallel
+// (ParallelForChunked on the process-wide SolverPool()).
+//
+// Topology: the solver starts on the instance's immutable CSR Tree. The
+// first batch containing a topology event promotes it to a private
+// TreeOverlay (tree/tree_overlay.hpp) — a delta view with appended ids and
+// tombstones — and every later state lives there. Batches with topology
+// events commit via clone-and-swap: all events apply in order to a clone of
+// the overlay, so a throwing event discards the clone and leaves the solver
+// untouched (the same atomicity the demand-only path gets from its dry-run).
+// View() exposes the current topology; ids are stable for the solver's
+// lifetime (attach appends fresh ids, detach tombstones forever).
 //
 // Guarantees:
 //  * Equivalence — after every Apply() the solution is byte-identical
 //    (canonical form, cost, and hash) to a from-scratch solve of the
-//    current state: construct a second solver with Engine::kFullResolve (or
-//    call SolveMultipleNodDp on MaterializeInstance()) and compare. Enforced
-//    by tests/test_incremental.cpp at solver-pool widths 1 and 4.
+//    current state: construct a second solver with Engine::kFullResolve
+//    (which compacts the overlay through TreeBuilder::Build and maps the
+//    solution back to view ids) and compare. Enforced by
+//    tests/test_incremental.cpp at solver-pool widths 1 and 4.
 //  * Determinism — solutions and all stats except wall time are identical
 //    at any thread count (the engine's level sweeps are deterministic).
 //  * Atomicity — Apply() validates the whole batch against the current
-//    state before touching anything; on InvalidArgument the solver state is
-//    unchanged.
+//    state before committing anything; on InvalidArgument the solver state
+//    is unchanged.
 //
 // Policies: Policy::kMultiple runs the incremental DP (or its from-scratch
-// oracle under Engine::kFullResolve). Policy::kSingle re-runs the
-// near-linear single-nod pass over the demand overlay each batch — the pass
-// is O(|T|)-ish, so "incremental" there means no tree rebuild and no
-// allocation churn rather than table reuse; both engines are identical for
-// it. Both policies require a NoD instance (no distance constraint).
+// oracle under Engine::kFullResolve). Policy::kSingle owns the analogous
+// SingleNodEngine: the bundle pass is just as local as the DP (a node's
+// forwarded bundles depend only on its subtree's demands and W), so the
+// same dirty-chain recompute applies — under Engine::kFullResolve it falls
+// back to the full batch pass over the view, which doubles as the oracle.
+// Both policies require a NoD instance (no distance constraint).
 //
-// Ownership/lifetime: the solver keeps a reference to the instance's Tree;
-// the Instance passed to the constructor must outlive the solver. The
-// topology is immutable — see update_event.hpp for what events may change.
-// Not thread-safe: one solver per thread of control.
+// Ownership/lifetime: the solver keeps a reference to the instance's Tree
+// (the overlay base); the Instance passed to the constructor must outlive
+// the solver. Not thread-safe: one solver per thread of control.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -47,6 +60,9 @@
 #include "model/instance.hpp"
 #include "model/solution.hpp"
 #include "multiple/nod_dp_engine.hpp"
+#include "single/single_nod_engine.hpp"
+#include "tree/topology_view.hpp"
+#include "tree/tree_overlay.hpp"
 
 namespace rpt::incremental {
 
@@ -54,6 +70,7 @@ namespace rpt::incremental {
 /// deterministic (thread-count invariant); wall time is deliberately absent.
 struct IncrementalStats {
   std::uint64_t events_applied = 0;   ///< events across all Apply() batches
+  std::uint64_t topology_events = 0;  ///< attach/detach/migrate/link events among them
   std::uint64_t resolves = 0;         ///< Apply() batches processed (incl. the initial solve)
   std::uint64_t full_recomputes = 0;  ///< re-solves that processed every node
   std::uint64_t nodes_recomputed = 0; ///< DP nodes re-processed across all re-solves
@@ -79,51 +96,75 @@ class IncrementalSolver {
   IncrementalSolver& operator=(const IncrementalSolver&) = delete;
 
   /// Applies one batch of events atomically (events within a batch apply in
-  /// order; validation of the whole batch happens first, so an
-  /// InvalidArgument leaves the solver unchanged), then re-solves. Returns
-  /// Feasible() for the new state — an infeasible state is not an error
-  /// (e.g. a chain too short to absorb a giant demand); the next batch may
-  /// make it feasible again.
+  /// order; an InvalidArgument anywhere in the batch leaves the solver
+  /// unchanged), then re-solves. Returns Feasible() for the new state — an
+  /// infeasible state is not an error (e.g. a chain too short to absorb a
+  /// giant demand); the next batch may make it feasible again.
   bool Apply(std::span<const UpdateEvent> events);
 
   /// True iff the current state admits a feasible placement.
   [[nodiscard]] bool Feasible() const noexcept { return feasible_; }
 
-  /// The current optimal (Multiple) / 2-approx (Single) placement, in
-  /// canonical form; empty when infeasible.
+  /// The current optimal (Multiple) / 2-approx (Single) placement in view
+  /// ids, canonical form; empty when infeasible.
   [[nodiscard]] const Solution& Current() const noexcept { return solution_; }
 
-  [[nodiscard]] const Tree& GetTree() const noexcept { return tree_; }
+  /// The current topology: the base Tree until the first topology event,
+  /// the solver's private overlay afterwards. Valid until the next Apply().
+  [[nodiscard]] TopologyView View() const noexcept {
+    return overlay_ ? TopologyView(*overlay_) : TopologyView(tree_);
+  }
+  /// True iff the topology has diverged from the base tree.
+  [[nodiscard]] bool HasTopologyChanges() const noexcept {
+    return overlay_ != nullptr && overlay_->TopologyVersion() > 0;
+  }
   [[nodiscard]] Requests Capacity() const noexcept { return capacity_; }
   [[nodiscard]] Requests DemandOf(NodeId client) const;
-  /// The whole per-node demand column (indexed by NodeId) of the current
-  /// state — the snapshot-export hook for the serve layer: a
-  /// serve::PlacementSnapshot is built from exactly (GetTree(), Capacity(),
-  /// Demands(), Current()). Valid until the next Apply(); copy before
-  /// publishing across threads (PlacementSnapshot::Build does).
+  /// The whole per-node demand column (indexed by view NodeId; internal and
+  /// dead entries 0) of the current state — the snapshot-export hook for the
+  /// serve layer: a serve::PlacementSnapshot is built from exactly (View(),
+  /// Capacity(), Demands(), Current()). Valid until the next Apply(); copy
+  /// before publishing across threads (PlacementSnapshot::Build does).
   [[nodiscard]] std::span<const Requests> Demands() const noexcept { return demand_; }
   [[nodiscard]] Requests TotalDemand() const noexcept { return total_demand_; }
   [[nodiscard]] const IncrementalStats& Stats() const noexcept { return stats_; }
   [[nodiscard]] const Options& GetOptions() const noexcept { return options_; }
 
-  /// Snapshot of the current (demands, capacity) state as a standalone
-  /// Instance — what the from-scratch oracle solves. O(|T|) via
-  /// Tree::WithRequests.
+  /// Snapshot of the current (topology, demands, capacity) state as a
+  /// standalone Instance plus the id translation into it. With no topology
+  /// changes the map is the identity and the tree is Tree::WithRequests;
+  /// after topology events the overlay is compacted through
+  /// TreeBuilder::Build (remap[view_id] == instance id, kInvalidNode for
+  /// tombstones). This is exactly what the kFullResolve oracle solves.
+  struct Materialized {
+    Instance instance;
+    std::vector<NodeId> remap;
+  };
+  [[nodiscard]] Materialized MaterializeCompact() const;
+
+  /// MaterializeCompact().instance — kept for callers that only need the
+  /// instance (note the ids are compacted ids once topology has changed).
   [[nodiscard]] Instance MaterializeInstance() const;
 
  private:
   void Validate(std::span<const UpdateEvent> events) const;
+  bool ApplyTopologyBatch(std::span<const UpdateEvent> events);
   void Resolve(std::span<const NodeId> touched, bool capacity_changed);
 
   const Tree& tree_;
+  /// Engaged by the first topology event; once set, never reset (View()
+  /// binds to it). Clone-and-swapped by every later topology batch.
+  std::unique_ptr<TreeOverlay> overlay_;
   Options options_;
   Requests capacity_;
   std::vector<Requests> demand_;  // source of truth, mirrored into the engine
   Requests total_demand_ = 0;
   /// Long-lived DP tables; engaged only for (kMultiple, kIncremental) — the
-  /// full-resolve oracle and the Single overlay never warm any state, so
-  /// they skip the engine's O(n) columns entirely.
+  /// full-resolve oracles never warm any state, so they skip the engines'
+  /// O(n) columns entirely.
   std::optional<multiple::NodDpEngine> engine_;
+  /// Long-lived bundle caches; engaged only for (kSingle, kIncremental).
+  std::optional<single::SingleNodEngine> single_engine_;
   Solution solution_;
   bool feasible_ = false;
   IncrementalStats stats_;

@@ -3,8 +3,37 @@
 #include <cmath>
 
 #include "support/rng.hpp"
+#include "tree/tree_overlay.hpp"
 
 namespace rpt::incremental {
+
+namespace {
+
+// Candidate pools with lazy liveness filtering: attach appends, and a
+// picked-but-dead id swap-pops on discovery — O(1) amortized against the
+// overlay instead of an O(n) rescan per touch.
+class Pool {
+ public:
+  void Add(NodeId id) { ids_.push_back(id); }
+
+  /// Draws a live candidate (uniform over the surviving pool) or
+  /// kInvalidNode when the pool has none.
+  NodeId Pick(Rng& rng, const TreeOverlay& overlay) {
+    while (!ids_.empty()) {
+      const std::size_t at = static_cast<std::size_t>(rng.NextBelow(ids_.size()));
+      const NodeId id = ids_[at];
+      if (overlay.IsLive(id)) return id;
+      ids_[at] = ids_.back();
+      ids_.pop_back();
+    }
+    return kInvalidNode;
+  }
+
+ private:
+  std::vector<NodeId> ids_;
+};
+
+}  // namespace
 
 UpdateTrace MakeRandomTrace(const Tree& tree, const TraceConfig& config, std::uint64_t seed) {
   RPT_REQUIRE(tree.ClientCount() > 0, "MakeRandomTrace: tree has no clients");
@@ -15,11 +44,44 @@ UpdateTrace MakeRandomTrace(const Tree& tree, const TraceConfig& config, std::ui
   RPT_REQUIRE(config.capacity_period == 0 ||
                   (config.capacity_min >= 1 && config.capacity_min <= config.capacity_max),
               "MakeRandomTrace: need 1 <= capacity_min <= capacity_max");
+  const auto rate_ok = [](double rate) {
+    return rate >= 0.0 && rate <= 1.0 && std::isfinite(rate);
+  };
+  RPT_REQUIRE(rate_ok(config.join_rate) && rate_ok(config.leave_rate) &&
+                  rate_ok(config.failure_rate) && rate_ok(config.link_rate),
+              "MakeRandomTrace: churn rates must be in [0, 1]");
+  RPT_REQUIRE(config.join_rate + config.leave_rate + config.failure_rate + config.link_rate <=
+                  1.0,
+              "MakeRandomTrace: churn rates must sum to at most 1");
+  RPT_REQUIRE(config.max_attach_nodes >= 1, "MakeRandomTrace: max_attach_nodes must be >= 1");
+  RPT_REQUIRE(config.max_move_size >= 1, "MakeRandomTrace: max_move_size must be >= 1");
+  RPT_REQUIRE(config.max_link_delta >= 1 && config.max_link_delta <= kDistanceCap,
+              "MakeRandomTrace: max_link_delta must be in [1, kDistanceCap]");
 
-  const std::span<const NodeId> clients = tree.Clients();
-  // Evolving demand state keeps every emitted event legal to Apply().
-  std::vector<Requests> demand(tree.Size());
-  for (const NodeId client : clients) demand[client] = tree.RequestsOf(client);
+  const bool churn = config.join_rate > 0.0 || config.leave_rate > 0.0 ||
+                     config.failure_rate > 0.0 || config.link_rate > 0.0;
+
+  // The evolving-state mirror. Demand-only traces historically cost O(n)
+  // setup; the overlay keeps that while making every topology candidate
+  // checkable against the real invariants before it is emitted.
+  TreeOverlay mirror(tree);
+  Pool clients;    // live clients (demand targets)
+  Pool internals;  // live internal nodes (attach / migrate targets)
+  Pool movable;    // live non-root nodes (detach / migrate / link subjects)
+  for (NodeId id = 0; id < mirror.Size(); ++id) {
+    if (mirror.IsClient(id)) {
+      clients.Add(id);
+    } else {
+      internals.Add(id);
+    }
+    if (id != mirror.Root()) movable.Add(id);
+  }
+
+  // Bounded candidate re-draws for the structural legality checks (a live
+  // pick may still be an illegal subject — e.g. its parent's last child);
+  // past the bound the touch falls back to a demand event so a tick never
+  // spins on a tree with no legal churn.
+  constexpr int kMaxRetries = 8;
 
   Rng rng(seed);
   UpdateTrace trace(config.ticks);
@@ -27,18 +89,114 @@ UpdateTrace MakeRandomTrace(const Tree& tree, const TraceConfig& config, std::ui
     std::vector<UpdateEvent>& batch = trace[tick];
     batch.reserve(config.touches_per_tick);
     for (std::uint32_t t = 0; t < config.touches_per_tick; ++t) {
-      const NodeId client = clients[rng.NextBelow(clients.size())];
-      const Requests current = demand[client];
+      if (churn) {
+        const double roll = rng.NextUnit();
+        double band = config.join_rate;
+        if (roll < band) {
+          // Join: fresh subtree under a random live internal node.
+          const NodeId parent = internals.Pick(rng, mirror);
+          RPT_CHECK(parent != kInvalidNode);  // the root is immortal
+          const std::uint32_t count =
+              static_cast<std::uint32_t>(rng.NextInRange(1, config.max_attach_nodes));
+          SubtreeSpec spec;
+          if (count == 1) {
+            spec = SubtreeSpec::SingleClient(rng.NextInRange(1, config.max_link_delta),
+                                             rng.NextInRange(0, config.max_demand));
+          } else {
+            spec.nodes.push_back(SubtreeSpec::Node{
+                NodeKind::kInternal, 0, rng.NextInRange(1, config.max_link_delta), 0});
+            for (std::uint32_t i = 1; i < count; ++i) {
+              spec.nodes.push_back(SubtreeSpec::Node{
+                  NodeKind::kClient, 0, rng.NextInRange(1, config.max_link_delta),
+                  rng.NextInRange(0, config.max_demand)});
+            }
+          }
+          const NodeId first = mirror.AttachSubtree(parent, spec);
+          for (NodeId id = first; id < mirror.Size(); ++id) {
+            if (mirror.IsClient(id)) {
+              clients.Add(id);
+            } else {
+              internals.Add(id);
+            }
+            movable.Add(id);
+          }
+          batch.push_back(UpdateEvent::AttachSubtree(parent, std::move(spec)));
+          continue;
+        }
+        band += config.leave_rate;
+        if (roll < band) {
+          // Leave: detach a small live subtree whose parent keeps a child.
+          NodeId victim = kInvalidNode;
+          for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+            const NodeId candidate = movable.Pick(rng, mirror);
+            if (candidate == kInvalidNode) break;
+            if (mirror.SubtreeSize(candidate) <= config.max_move_size &&
+                mirror.Children(mirror.Parent(candidate)).size() >= 2) {
+              victim = candidate;
+              break;
+            }
+          }
+          if (victim != kInvalidNode) {
+            mirror.DetachSubtree(victim);
+            batch.push_back(UpdateEvent::DetachSubtree(victim));
+            continue;
+          }
+          // fall through to a demand event
+        } else {
+          band += config.failure_rate;
+          if (roll < band) {
+            // Failure re-home: migrate a small live subtree elsewhere.
+            bool emitted = false;
+            for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+              const NodeId root = movable.Pick(rng, mirror);
+              if (root == kInvalidNode) break;
+              if (mirror.SubtreeSize(root) > config.max_move_size ||
+                  mirror.Children(mirror.Parent(root)).size() < 2) {
+                continue;
+              }
+              const NodeId target = internals.Pick(rng, mirror);
+              if (target == kInvalidNode || target == mirror.Parent(root) ||
+                  mirror.IsAncestorOrSelf(root, target)) {
+                continue;
+              }
+              const Distance delta = rng.NextInRange(1, config.max_link_delta);
+              mirror.MigrateSubtree(root, target, delta);
+              batch.push_back(UpdateEvent::MigrateSubtree(root, target, delta));
+              emitted = true;
+              break;
+            }
+            if (emitted) continue;
+            // fall through to a demand event
+          } else {
+            band += config.link_rate;
+            if (roll < band) {
+              // Link reconfiguration: new edge length on a random live edge.
+              const NodeId node = movable.Pick(rng, mirror);
+              if (node != kInvalidNode) {
+                const Distance delta = rng.NextInRange(1, config.max_link_delta);
+                mirror.SetLinkDelta(node, delta);
+                batch.push_back(UpdateEvent::LinkCapacity(node, delta));
+                continue;
+              }
+              // fall through to a demand event
+            }
+          }
+        }
+      }
+
+      const NodeId client = clients.Pick(rng, mirror);
+      RPT_CHECK(client != kInvalidNode);  // detach cannot kill the last client's chain root-ward
+      const Requests current = mirror.RequestsOf(client);
       if (rng.NextBool(config.add_remove_fraction)) {
         if (current == 0 && config.max_demand > 0) {
           const Requests value = rng.NextInRange(1, config.max_demand);
           batch.push_back(UpdateEvent::ClientAdd(client, value));
-          demand[client] = value;
+          mirror.SetRequests(client, value);
           continue;
         }
         if (current > 0) {
           batch.push_back(UpdateEvent::ClientRemove(client));
-          demand[client] = 0;
+          mirror.SetRequests(client, 0);
           continue;
         }
         // fall through to a plain delta when neither transition is legal
@@ -47,7 +205,7 @@ UpdateTrace MakeRandomTrace(const Tree& tree, const TraceConfig& config, std::ui
       const std::int64_t delta =
           static_cast<std::int64_t>(target) - static_cast<std::int64_t>(current);
       batch.push_back(UpdateEvent::DemandDelta(client, delta));
-      demand[client] = target;
+      mirror.SetRequests(client, target);
     }
     if (config.capacity_period != 0 && (tick + 1) % config.capacity_period == 0) {
       batch.push_back(UpdateEvent::Capacity(

@@ -3,9 +3,14 @@
 // Produces a per-tick batch list (the shape sim::Replay's streaming mode,
 // bench_incremental, and the equivalence tests consume) that is always
 // *legal* for IncrementalSolver::Apply: the generator tracks the evolving
-// demand state, so deltas never drive a client negative, adds only target
-// idle clients, and removes only target active ones. Deterministic in
-// (tree, config, seed) — the same trace replays bit-for-bit anywhere.
+// state — a TreeOverlay mirror once topology churn is enabled — so deltas
+// never drive a client negative, adds only target idle clients, removes
+// only target active ones, and topology events never violate an overlay
+// invariant (in particular, nothing the generator emits can orphan the
+// root: a detach/migrate that would strip an internal node's last live
+// child is re-drawn, and the generator falls back to a demand event when
+// no legal candidate exists). Deterministic in (tree, config, seed) — the
+// same trace replays bit-for-bit anywhere.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +38,30 @@ struct TraceConfig {
   std::uint64_t capacity_period = 0;
   Requests capacity_min = 1;
   Requests capacity_max = 1;
+
+  // --- topology churn knobs (all default 0: pure demand traces) ---
+  /// Per-touch probability the touch is a join: a fresh subtree of
+  /// [1, max_attach_nodes] nodes attaches under a random live internal node.
+  double join_rate = 0.0;
+  /// Per-touch probability the touch is a leave: a random live subtree of at
+  /// most max_move_size nodes detaches (never one that would orphan its
+  /// parent — the overlay's root-orphan invariant).
+  double leave_rate = 0.0;
+  /// Per-touch probability the touch is a failure re-home: a random live
+  /// subtree of at most max_move_size nodes migrates under a different live
+  /// internal node (outside the moved subtree).
+  double failure_rate = 0.0;
+  /// Per-touch probability the touch reconfigures one edge length within
+  /// [1, max_link_delta] (placements are invariant to it; exercises the
+  /// link-event plumbing).
+  double link_rate = 0.0;
+  /// Joins attach specs of 1..max_attach_nodes nodes (a single client, or
+  /// one internal with client leaves). Must be >= 1.
+  std::uint32_t max_attach_nodes = 3;
+  /// Upper bound on the subtree size a leave/failure may move. Must be >= 1.
+  std::uint32_t max_move_size = 4;
+  /// Upper bound for drawn edge lengths (joins, migrations, link events).
+  Distance max_link_delta = 4;
 };
 
 /// Generates a trace over `tree`'s clients starting from the tree's own

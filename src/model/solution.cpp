@@ -33,6 +33,22 @@ void Solution::Canonicalize() {
   assignment.resize(out);
 }
 
+Solution MapNodeIds(const Solution& solution, std::span<const NodeId> map) {
+  const auto remap = [&map](NodeId id) {
+    RPT_REQUIRE(id < map.size() && map[id] != kInvalidNode,
+                "MapNodeIds: solution references an unmapped node id");
+    return map[id];
+  };
+  Solution out;
+  out.replicas.reserve(solution.replicas.size());
+  for (NodeId replica : solution.replicas) out.replicas.push_back(remap(replica));
+  out.assignment.reserve(solution.assignment.size());
+  for (const ServiceEntry& entry : solution.assignment) {
+    out.assignment.push_back(ServiceEntry{remap(entry.client), remap(entry.server), entry.amount});
+  }
+  return out;
+}
+
 LoadSummary SummarizeLoads(const Tree& tree, Requests capacity, const Solution& solution) {
   (void)tree;
   RPT_REQUIRE(capacity > 0, "SummarizeLoads: capacity must be positive");

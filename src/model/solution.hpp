@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,5 +52,11 @@ struct LoadSummary {
 /// Computes server load statistics for a (valid) solution.
 [[nodiscard]] LoadSummary SummarizeLoads(const Tree& tree, Requests capacity,
                                          const Solution& solution);
+
+/// Rewrites every node id in `solution` through `map` (new_id = map[old_id]).
+/// Used to translate a solution computed on a compacted overlay back into
+/// overlay/view ids (and vice versa). Every referenced id must be in range
+/// and map to a valid node; throws InvalidArgument otherwise.
+[[nodiscard]] Solution MapNodeIds(const Solution& solution, std::span<const NodeId> map);
 
 }  // namespace rpt

@@ -55,36 +55,89 @@ void NodDpEngine::Staircase::BuildFrom(const CostTable& table, Arena& arena) {
   }
 }
 
-NodDpEngine::NodDpEngine(const Tree& tree, Requests capacity)
-    : tree_(tree),
+NodDpEngine::NodDpEngine(TopologyView view, Requests capacity)
+    : view_(view),
       capacity_(capacity),
-      demand_(tree.Size()),
-      subtree_demand_(tree.Size()),
-      f_(tree.Size()),
-      prefixes_(tree.Size()),
-      last_dirty_pass_(tree.Size(), 0),
-      frag_(tree.Size()) {
+      demand_(view.Size()),
+      subtree_demand_(view.Size()),
+      f_(view.Size()),
+      prefixes_(view.Size()),
+      last_dirty_pass_(view.Size(), 0),
+      force_prefix_rebuild_(view.Size(), 0),
+      frag_(view.Size()) {
   RPT_REQUIRE(capacity_ > 0, "NodDpEngine: capacity must be positive");
-  std::uint32_t max_depth = 0;
-  for (NodeId id = 0; id < tree_.Size(); ++id) {
-    demand_[id] = tree_.RequestsOf(id);
-    subtree_demand_[id] = tree_.SubtreeRequests(id);
-    max_depth = std::max(max_depth, tree_.Depth(id));
+  for (NodeId id = 0; id < view_.Size(); ++id) {
+    if (!view_.IsLive(id)) continue;
+    demand_[id] = view_.RequestsOf(id);
+    subtree_demand_[id] = view_.SubtreeRequests(id);
   }
-  all_levels_.resize(static_cast<std::size_t>(max_depth) + 1);
-  dirty_levels_.resize(all_levels_.size());
-  for (NodeId id = 0; id < tree_.Size(); ++id) all_levels_[tree_.Depth(id)].push_back(id);
+  RebuildLevels();
+}
+
+void NodDpEngine::RebuildLevels() {
+  std::uint32_t max_depth = 0;
+  for (NodeId id = 0; id < view_.Size(); ++id) {
+    if (view_.IsLive(id)) max_depth = std::max(max_depth, view_.Depth(id));
+  }
+  all_levels_.assign(static_cast<std::size_t>(max_depth) + 1, {});
+  dirty_levels_.assign(all_levels_.size(), {});
+  for (NodeId id = 0; id < view_.Size(); ++id) {
+    if (view_.IsLive(id)) all_levels_[view_.Depth(id)].push_back(id);
+  }
 }
 
 void NodDpEngine::SetDemand(NodeId client, Requests demand) {
-  RPT_REQUIRE(tree_.IsClient(CheckNode(client)), "NodDpEngine: demand belongs to client leaves");
+  RPT_REQUIRE(view_.IsLive(CheckNode(client)), "NodDpEngine: demand belongs to live nodes");
+  RPT_REQUIRE(view_.IsClient(client), "NodDpEngine: demand belongs to client leaves");
   const Requests old = demand_[client];
   if (old == demand) return;
   demand_[client] = demand;
-  for (NodeId cur = client;; cur = tree_.Parent(cur)) {
+  for (NodeId cur = client;; cur = view_.Parent(cur)) {
     subtree_demand_[cur] = subtree_demand_[cur] - old + demand;
-    if (cur == tree_.Root()) break;
+    if (cur == view_.Root()) break;
   }
+}
+
+void NodDpEngine::ApplyTopology(TopologyView view, std::span<const NodeId> children_changed,
+                                std::span<const NodeId> removed) {
+  view_ = view;
+  const std::size_t n = view_.Size();
+  demand_.resize(n, 0);
+  subtree_demand_.resize(n, 0);
+  f_.resize(n);
+  prefixes_.resize(n);
+  last_dirty_pass_.resize(n, 0);
+  force_prefix_rebuild_.resize(n, 0);
+  frag_.resize(n);
+  // Demand mirrors refresh wholesale: the overlay's request column is
+  // authoritative after attach/detach (O(n), dwarfed by the DP work the
+  // batch triggers anyway).
+  for (NodeId id = 0; id < n; ++id) {
+    if (!view_.IsLive(id)) continue;
+    demand_[id] = view_.RequestsOf(id);
+    subtree_demand_[id] = view_.SubtreeRequests(id);
+  }
+  for (const NodeId dead : removed) {
+    CheckNode(dead);
+    // Free the dead subtree's tables and reclaim its fragment budget; its
+    // slots stay allocated (ids are never reused) but no live traversal
+    // reaches them.
+    f_[dead] = CostTable{};
+    prefixes_[dead] = {};
+    frag_entries_total_ -= frag_[dead].EntryCount();
+    frag_[dead] = FragmentCache{};
+    last_dirty_pass_[dead] = 0;
+  }
+  for (const NodeId parent : children_changed) {
+    RPT_REQUIRE(view_.IsLive(CheckNode(parent)),
+                "NodDpEngine::ApplyTopology: changed parent must be live");
+    // The stored prefixes index the OLD child list; stamp the node so the
+    // next pass (pass_ + 1) rebuilds its chain from child 0. Appends don't
+    // need this: prefix[i] still covers children [0, i) and the appended
+    // child is dirty, so the normal first-dirty-child scan is exact.
+    force_prefix_rebuild_[parent] = pass_ + 1;
+  }
+  RebuildLevels();
 }
 
 void NodDpEngine::SetCapacity(Requests capacity) {
@@ -149,7 +202,7 @@ void NodDpEngine::Convolve(const CostTable& a, const CostTable& b, CostTable& ou
 // would.
 void NodDpEngine::ProcessNode(NodeId node, std::size_t first_child, ConvolveScratch& scratch,
                               ChunkCounters& counters) {
-  if (tree_.IsClient(node)) {
+  if (view_.IsClient(node)) {
     const Requests r = demand_[node];
     CostTable& table = f_[node];
     table.assign(static_cast<std::size_t>(r) + 1, kInf);
@@ -167,7 +220,7 @@ void NodDpEngine::ProcessNode(NodeId node, std::size_t first_child, ConvolveScra
   // children [0, i). Every stored table stays bounded by its (sub)domain's
   // request total + 1 — the convolution never widens a table beyond the
   // demand it can actually forward.
-  const auto kids = tree_.Children(node);
+  const auto kids = view_.Children(node);
   auto& prefix = prefixes_[node];
   prefix.resize(kids.size() + 1);
   if (first_child == 0) {
@@ -219,10 +272,15 @@ void NodDpEngine::SweepLevels(const std::vector<std::vector<NodeId>>& levels, bo
                          for (std::size_t slot = begin; slot < end; ++slot) {
                            const NodeId node = level[slot];
                            std::size_t first_child = 0;
-                           if (incremental && !tree_.IsClient(node)) {
+                           if (incremental && !view_.IsClient(node) &&
+                               force_prefix_rebuild_[node] != pass_) {
                              // Reuse the prefix chain up to the first child
-                             // whose subtree changed this pass.
-                             const auto kids = tree_.Children(node);
+                             // whose subtree changed this pass. (A node whose
+                             // child list shrank or reordered this pass is
+                             // stamped by ApplyTopology and skips straight to
+                             // a full rebuild — its prefixes index the old
+                             // list.)
+                             const auto kids = view_.Children(node);
                              first_child = kids.size();
                              for (std::size_t c = 0; c < kids.size(); ++c) {
                                if (last_dirty_pass_[kids[c]] == pass_) {
@@ -230,9 +288,12 @@ void NodDpEngine::SweepLevels(const std::vector<std::vector<NodeId>>& levels, bo
                                  break;
                                }
                              }
-                             // A dirty internal node always has a dirty
-                             // child (dirt spreads leaf -> root), but fall
-                             // back to a full rebuild defensively.
+                             // A dirty internal node usually has a dirty
+                             // child (dirt spreads leaf -> root); a
+                             // topology-seeded node may not (e.g. a migrated
+                             // subtree root, dirty by decree while all its
+                             // children kept valid tables) — fall back to a
+                             // full rebuild.
                              if (first_child == kids.size()) first_child = 0;
                            }
                            ProcessNode(node, first_child, *lease, counters);
@@ -262,15 +323,20 @@ void NodDpEngine::RecomputeDirty(std::span<const NodeId> touched) {
   }
   ++pass_;
   for (auto& level : dirty_levels_) level.clear();
-  // The dirty set is the union of the touched leaves' root paths; each walk
-  // stops at the first node already marked by an earlier path.
-  for (const NodeId leaf : touched) {
-    RPT_REQUIRE(tree_.IsClient(CheckNode(leaf)), "NodDpEngine: touched nodes must be clients");
-    for (NodeId cur = leaf;; cur = tree_.Parent(cur)) {
+  // The dirty set is the union of the touched nodes' root paths; each walk
+  // stops at the first node already marked by an earlier path. Seeds are
+  // client leaves whose demand changed, or — after ApplyTopology — any live
+  // node whose subtree membership changed (attached roots, detach/migrate
+  // parents): an internal seed marks itself plus its chain, and the sweep's
+  // fallback rebuilds its prefix chain even when none of its children are
+  // dirty.
+  for (const NodeId seed : touched) {
+    RPT_REQUIRE(view_.IsLive(CheckNode(seed)), "NodDpEngine: touched nodes must be live");
+    for (NodeId cur = seed;; cur = view_.Parent(cur)) {
       if (last_dirty_pass_[cur] == pass_) break;
       last_dirty_pass_[cur] = pass_;
-      dirty_levels_[tree_.Depth(cur)].push_back(cur);
-      if (cur == tree_.Root()) break;
+      dirty_levels_[view_.Depth(cur)].push_back(cur);
+      if (cur == view_.Root()) break;
     }
   }
   // Paths are walked in touched order, so bucket contents may be unsorted;
@@ -281,7 +347,7 @@ void NodDpEngine::RecomputeDirty(std::span<const NodeId> touched) {
 
 bool NodDpEngine::Feasible() const {
   RPT_REQUIRE(computed_, "NodDpEngine: Feasible requires up-to-date tables");
-  const CostTable& root = f_[tree_.Root()];
+  const CostTable& root = f_[view_.Root()];
   return !root.empty() && root[0] < kInf;
 }
 
@@ -358,7 +424,7 @@ NodDpEngine::PendChain NodDpEngine::BacktrackNode(NodeId node, std::size_t u,
   const Cost cost = table[u];
   RPT_CHECK(cost < kInf);
 
-  if (tree_.IsClient(node)) {
+  if (view_.IsClient(node)) {
     const auto leaf_chain = [&]() -> PendChain {
       const Requests r = demand_[node];
       if (r == 0) return empty_chain();
@@ -392,7 +458,7 @@ NodDpEngine::PendChain NodDpEngine::BacktrackNode(NodeId node, std::size_t u,
   // Split `budget` among children by walking the prefix tables backwards.
   // Budgets live in a small stack buffer (heap only past arity 8) so the
   // recursion allocates nothing on typical trees.
-  const auto kids = tree_.Children(node);
+  const auto kids = view_.Children(node);
   std::size_t inline_budget[8];
   std::vector<std::size_t> heap_budget;
   std::size_t* child_budget = inline_budget;
@@ -475,7 +541,7 @@ Solution NodDpEngine::Backtrack() {
   // pre-sizing to the previous one removes the per-call regrowth churn.
   solution.replicas.reserve(last_replica_count_);
   solution.assignment.reserve(last_assignment_count_);
-  const PendChain leftover = BacktrackNode(tree_.Root(), 0, solution);
+  const PendChain leftover = BacktrackNode(view_.Root(), 0, solution);
   RPT_CHECK(leftover.head == kPendNil && leftover.total == 0);
   last_replica_count_ = solution.replicas.size();
   last_assignment_count_ = solution.assignment.size();

@@ -30,10 +30,26 @@
 // what makes the incremental solver's solutions bit-identical to the batch
 // oracle (asserted by tests/test_incremental.cpp).
 //
-// Ownership/lifetime: the engine stores a reference to the Tree; the tree
-// must outlive it and is never mutated (demand lives in the overlay, NOT in
-// Tree::RequestsOf). Not thread-safe: one engine per thread of control; the
-// internal parallelism is fork-join and fully contained in the passes.
+// Topology mutation: the engine runs over a TopologyView, so the same
+// tables serve an immutable CSR Tree and a mutable TreeOverlay. After a
+// batch of overlay mutations the owner calls ApplyTopology() with the lists
+// of parents whose child sets changed and of removed node ids; the engine
+// resizes its per-node state, refreshes demand mirrors, rebuilds the level
+// buckets over live nodes, and marks the changed parents so the next
+// incremental pass rebuilds their prefix chains from child 0 (a mid-list
+// child removal shifts prefix indices; an append reuses the chain as-is).
+// The key locality fact: F_j depends only on (subtree(j) demands, W) —
+// never on depth, parent, or edge lengths — so a migration invalidates
+// only the old and new parent chains while the migrated subtree's tables
+// and fragments stay valid verbatim, and a link-capacity change dirties
+// nothing at all.
+//
+// Ownership/lifetime: the engine stores a TopologyView by value; the
+// backing Tree/TreeOverlay must outlive it and must not mutate except
+// through the ApplyTopology protocol (demand lives in the engine's own
+// overlay column, NOT in the view). Not thread-safe: one engine per thread
+// of control; the internal parallelism is fork-join and fully contained in
+// the passes.
 #pragma once
 
 #include <cstdint>
@@ -43,7 +59,7 @@
 
 #include "model/solution.hpp"
 #include "support/arena.hpp"
-#include "tree/tree.hpp"
+#include "tree/topology_view.hpp"
 
 namespace rpt::multiple {
 
@@ -86,9 +102,11 @@ class NodDpEngine {
   /// Sentinel for "no feasible entry" in a cost table.
   static constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 2;
 
-  /// Demands start as the tree's client request column. `capacity` is the
-  /// uniform server capacity W (> 0). The tree must outlive the engine.
-  NodDpEngine(const Tree& tree, Requests capacity);
+  /// Demands start as the view's client request column. `capacity` is the
+  /// uniform server capacity W (> 0). The backing tree/overlay must outlive
+  /// the engine. (TopologyView converts implicitly from `const Tree&` and
+  /// `const TreeOverlay&`, so batch call sites pass the tree directly.)
+  NodDpEngine(TopologyView view, Requests capacity);
 
   NodDpEngine(const NodDpEngine&) = delete;
   NodDpEngine& operator=(const NodDpEngine&) = delete;
@@ -99,10 +117,23 @@ class NodDpEngine {
   void ComputeAll();
 
   /// Incremental forward pass: re-processes exactly the union of root paths
-  /// of `touched` (each must be a client leaf whose demand was changed via
-  /// SetDemand since the last pass). Requires a completed ComputeAll().
-  /// Touched ids may repeat; the dirty set is deduplicated internally.
+  /// of `touched` — client leaves whose demand changed via SetDemand, or
+  /// (after ApplyTopology) any live node whose subtree membership changed.
+  /// Requires a completed ComputeAll(). Touched ids may repeat; the dirty
+  /// set is deduplicated internally.
   void RecomputeDirty(std::span<const NodeId> touched);
+
+  /// Synchronizes the engine with a mutated topology. `view` is the view to
+  /// bind from now on (typically the same overlay, rebound after cloning);
+  /// `children_changed` lists live internal nodes whose child LIST changed
+  /// other than by appending (detach/migrate-out parents) — their prefix
+  /// chains are force-rebuilt on the next incremental pass; `removed` lists
+  /// node ids tombstoned by the batch (their tables and fragments are
+  /// dropped). Demand and subtree-demand mirrors are refreshed wholesale
+  /// from the view. The caller must follow with RecomputeDirty() seeded by
+  /// the event roots (or ComputeAll()) before querying results.
+  void ApplyTopology(TopologyView view, std::span<const NodeId> children_changed,
+                     std::span<const NodeId> removed);
 
   /// Updates one client's demand and the subtree totals on its root path.
   /// Tables are stale until the next RecomputeDirty()/ComputeAll() covering
@@ -113,7 +144,7 @@ class NodDpEngine {
   /// caller must run ComputeAll() before querying results again.
   void SetCapacity(Requests capacity);
 
-  [[nodiscard]] const Tree& GetTree() const noexcept { return tree_; }
+  [[nodiscard]] TopologyView View() const noexcept { return view_; }
   [[nodiscard]] Requests Capacity() const noexcept { return capacity_; }
   [[nodiscard]] Requests DemandOf(NodeId node) const { return demand_[CheckNode(node)]; }
   [[nodiscard]] Requests SubtreeDemand(NodeId node) const {
@@ -167,7 +198,7 @@ class NodDpEngine {
   };
 
   NodeId CheckNode(NodeId id) const {
-    RPT_REQUIRE(id < tree_.Size(), "NodDpEngine: node id out of range");
+    RPT_REQUIRE(id < view_.Size(), "NodDpEngine: node id out of range");
     return id;
   }
 
@@ -220,15 +251,24 @@ class NodDpEngine {
   static constexpr std::size_t kFragEntryBudget = std::size_t{1} << 21;
   PendChain BacktrackNode(NodeId node, std::size_t budget, Solution& solution);
 
-  const Tree& tree_;
+  /// Rebuilds all_levels_/dirty_levels_ over the view's live nodes.
+  void RebuildLevels();
+
+  TopologyView view_;
   Requests capacity_;
   std::vector<Requests> demand_;          // per node; internal nodes hold 0
   std::vector<Requests> subtree_demand_;  // maintained by SetDemand
   std::vector<CostTable> f_;
   std::vector<std::vector<CostTable>> prefixes_;
-  std::vector<std::vector<NodeId>> all_levels_;    // every node bucketed by depth
+  std::vector<std::vector<NodeId>> all_levels_;    // every live node bucketed by depth
   std::vector<std::vector<NodeId>> dirty_levels_;  // reused dirty buckets
   std::vector<std::uint64_t> last_dirty_pass_;     // forward pass that last re-processed a node
+  // Pass stamp: when force_prefix_rebuild_[node] equals the running pass,
+  // the incremental sweep rebuilds the node's whole prefix chain instead of
+  // reusing it up to the first dirty child (set by ApplyTopology for
+  // parents that lost or reordered children — the surviving prefixes index
+  // the OLD child list and must not be trusted).
+  std::vector<std::uint64_t> force_prefix_rebuild_;
   std::uint64_t pass_ = 0;                         // forward passes run so far
   bool computed_ = false;
   ScratchPool<ConvolveScratch> scratch_pool_;

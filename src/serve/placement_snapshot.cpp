@@ -5,16 +5,15 @@
 namespace rpt::serve {
 
 std::unique_ptr<const PlacementSnapshot> PlacementSnapshot::Build(
-    const Tree& tree, Requests capacity, std::span<const Requests> demand,
+    TopologyView view, Requests capacity, std::span<const Requests> demand,
     const Solution& solution, std::uint64_t version) {
   RPT_REQUIRE(capacity > 0, "PlacementSnapshot: capacity must be positive");
-  RPT_REQUIRE(demand.size() == tree.Size(),
+  RPT_REQUIRE(demand.size() == view.Size(),
               "PlacementSnapshot: demand column must have one entry per node");
-  const std::size_t n = tree.Size();
+  const std::size_t n = view.Size();
 
   auto snapshot = std::unique_ptr<PlacementSnapshot>(new PlacementSnapshot());
   PlacementSnapshot& s = *snapshot;
-  s.tree_ = &tree;
   s.version_ = version;
   s.capacity_ = capacity;
   s.replica_count_ = solution.replicas.size();
@@ -22,11 +21,28 @@ std::unique_ptr<const PlacementSnapshot> PlacementSnapshot::Build(
   for (const Requests d : s.demand_) s.total_demand_ += d;
   s.feasible_ = !solution.replicas.empty() || s.total_demand_ == 0;
 
+  // Copy the rootward skeleton so the snapshot survives any later topology
+  // mutation (or compaction) of the solver's overlay. Dead slots get a
+  // neutral (kInvalidNode, 0) row — no query path walks through them.
+  s.parent_.assign(n, kInvalidNode);
+  s.dist_parent_.assign(n, 0);
+  s.alive_.assign(n, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    if (!view.IsLive(id)) {
+      RPT_REQUIRE(demand[id] == 0, "PlacementSnapshot: dead nodes carry no demand");
+      continue;
+    }
+    s.alive_[id] = 1;
+    s.parent_[id] = view.Parent(id);
+    s.dist_parent_[id] = view.DistToParent(id);
+  }
+
   s.load_.assign(n, 0);
   s.residual_.assign(n, 0);
   s.residual_valid_.assign(n, 0);
   for (const NodeId replica : solution.replicas) {
-    RPT_REQUIRE(replica < n, "PlacementSnapshot: replica id out of range");
+    RPT_REQUIRE(replica < n && s.alive_[replica] != 0,
+                "PlacementSnapshot: replica must be a live node");
     s.residual_valid_[replica] = 1;
   }
 
@@ -57,13 +73,14 @@ std::unique_ptr<const PlacementSnapshot> PlacementSnapshot::Build(
     s.residual_[replica] = capacity - s.load_[replica];
   }
 
-  // Subtree aggregates in one post-order pass (children precede parents).
+  // Subtree aggregates in one post-order pass (children precede parents;
+  // live nodes only — dead slots stay at 0).
   s.subtree_residual_.assign(n, 0);
   s.subtree_replicas_.assign(n, 0);
-  for (const NodeId node : tree.PostOrder()) {
+  for (const NodeId node : view.PostOrder()) {
     Requests residual = s.residual_[node];
     std::uint32_t replicas = s.residual_valid_[node];
-    for (const NodeId child : tree.Children(node)) {
+    for (const NodeId child : view.Children(node)) {
       residual += s.subtree_residual_[child];
       replicas += s.subtree_replicas_[child];
     }
@@ -71,6 +88,18 @@ std::unique_ptr<const PlacementSnapshot> PlacementSnapshot::Build(
     s.subtree_replicas_[node] = replicas;
   }
   return snapshot;
+}
+
+Distance PlacementSnapshot::DistToAncestor(NodeId node, NodeId ancestor) const {
+  Check(ancestor);
+  Distance distance = 0;
+  for (NodeId cursor = Check(node);; ) {
+    if (cursor == ancestor) return distance;
+    const NodeId parent = parent_[cursor];
+    RPT_REQUIRE(parent != kInvalidNode, "PlacementSnapshot: not an ancestor");
+    distance = SaturatingAdd(distance, dist_parent_[cursor]);
+    cursor = parent;
+  }
 }
 
 NodeId PlacementSnapshot::PrimaryServerOf(NodeId client) const {
@@ -88,8 +117,8 @@ NodeId PlacementSnapshot::PrimaryServerOf(NodeId client) const {
 }
 
 AttachResult PlacementSnapshot::AttachAt(NodeId node, Requests demand) const {
-  Check(node);
   AttachResult result;
+  if (alive_[Check(node)] == 0) return result;  // dead id: nothing to attach to
   Distance distance = 0;
   for (NodeId cursor = node;;) {
     if (residual_valid_[cursor] != 0 && residual_[cursor] >= demand) {
@@ -98,9 +127,9 @@ AttachResult PlacementSnapshot::AttachAt(NodeId node, Requests demand) const {
       result.distance = distance;
       return result;
     }
-    const NodeId parent = tree_->Parent(cursor);
+    const NodeId parent = parent_[cursor];
     if (parent == kInvalidNode) return result;  // walked past the root
-    distance = SaturatingAdd(distance, tree_->DistToParent(cursor));
+    distance = SaturatingAdd(distance, dist_parent_[cursor]);
     cursor = parent;
   }
 }
@@ -119,7 +148,9 @@ std::uint64_t PlacementSnapshot::CanonicalHash() const noexcept {
   for (std::size_t i = 0; i < demand_.size(); ++i) {
     // Most nodes are untouched between snapshots; hashing only the nonzero
     // placement columns keeps the mix cheap without losing any state (the
-    // zero runs are implied by the indices of the nonzero entries).
+    // zero runs are implied by the indices of the nonzero entries). The
+    // topology skeleton is folded in the same way: dead slots and edge
+    // lengths, so a pure structure change still moves the hash.
     if (demand_[i] != 0) {
       mix(i);
       mix(demand_[i]);
@@ -128,6 +159,13 @@ std::uint64_t PlacementSnapshot::CanonicalHash() const noexcept {
       mix(i);
       mix(load_[i]);
       mix(residual_[i]);
+    }
+    if (alive_[i] == 0) {
+      mix(i);
+      mix(0xDEADu);
+    } else if (parent_[i] != kInvalidNode) {
+      mix(parent_[i]);
+      mix(dist_parent_[i]);
     }
   }
   mix(routes_.size());

@@ -9,7 +9,11 @@
 // SnapshotStore (snapshot_store.hpp) owns publication and reclamation.
 //
 // Flat buffers (all NodeId-indexed, mmap/shm-friendly — plain integer
-// columns, no pointers except the borrowed Tree):
+// columns, no pointers at all):
+//  * the rootward skeleton: parent, edge length, and live flag per node —
+//    copied out of the solver's TopologyView at build time, so a pinned
+//    snapshot stays valid while the solver mutates (or compacts) its
+//    topology underneath;
 //  * replica flag + per-replica load and residual capacity (W - load);
 //  * subtree-aggregated residual capacity and replica count (one post-order
 //    pass at build time, so "capacity under s" is O(1) at query time);
@@ -21,10 +25,11 @@
 //  * AttachAt(v, d) — "cost of attaching d requests at node v?": nearest
 //    ancestor-or-self replica with residual >= d, O(depth) rootward walk.
 //
-// Ownership/lifetime: the snapshot borrows the Tree (topology is fixed for
-// the lifetime of the serving process — the same contract as
-// IncrementalSolver); demand, placement, and residuals are copied into the
-// snapshot, so the solver may mutate its own state freely after Build().
+// Ownership/lifetime: fully self-contained — topology skeleton, demand,
+// placement, and residuals are all copied at Build() time, so the solver may
+// mutate its own state (including attach/detach/migrate topology events and
+// overlay compaction) freely after Build() while readers keep querying
+// pinned snapshots.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +38,7 @@
 #include <vector>
 
 #include "model/solution.hpp"
+#include "tree/topology_view.hpp"
 #include "tree/tree.hpp"
 
 namespace rpt::serve {
@@ -57,14 +63,16 @@ struct AttachResult {
 
 class PlacementSnapshot {
  public:
-  /// Bakes one solved state into an immutable snapshot. `demand` is the
-  /// per-node demand column (size tree.Size(); internal entries 0) and
-  /// `solution` the canonical placement for exactly that state (replica
-  /// loads and residuals are derived from its assignment). An infeasible
-  /// state is represented by an empty solution — the snapshot then has no
-  /// replicas and every attach probe fails. `version` is the publisher's
-  /// monotone sequence number.
-  static std::unique_ptr<const PlacementSnapshot> Build(const Tree& tree, Requests capacity,
+  /// Bakes one solved state into an immutable snapshot. `view` is the
+  /// topology at publish time (base Tree or overlay — everything needed is
+  /// copied out of it, including tombstones), `demand` the per-node demand
+  /// column (size view.Size(); internal and dead entries 0) and `solution`
+  /// the canonical placement for exactly that state (replica loads and
+  /// residuals are derived from its assignment). An infeasible state is
+  /// represented by an empty solution — the snapshot then has no replicas
+  /// and every attach probe fails. `version` is the publisher's monotone
+  /// sequence number.
+  static std::unique_ptr<const PlacementSnapshot> Build(TopologyView view, Requests capacity,
                                                         std::span<const Requests> demand,
                                                         const Solution& solution,
                                                         std::uint64_t version);
@@ -74,7 +82,18 @@ class PlacementSnapshot {
 
   [[nodiscard]] std::uint64_t Version() const noexcept { return version_; }
   [[nodiscard]] Requests Capacity() const noexcept { return capacity_; }
-  [[nodiscard]] const Tree& GetTree() const noexcept { return *tree_; }
+  /// Allocated node slots at publish time (dead overlay ids included).
+  [[nodiscard]] std::size_t Size() const noexcept { return demand_.size(); }
+  /// True iff `node` was live when the snapshot was published. Queries on
+  /// dead ids answer ok=false rather than throwing — a client may race a
+  /// detach and still hold the id.
+  [[nodiscard]] bool IsLive(NodeId node) const { return alive_[Check(node)] != 0; }
+  /// Parent of `node` in the published topology (kInvalidNode for the root
+  /// and for dead slots).
+  [[nodiscard]] NodeId ParentOf(NodeId node) const { return parent_[Check(node)]; }
+  /// Path distance from `node` up to `ancestor` in the published topology;
+  /// throws InvalidArgument when `ancestor` is not on node's root path.
+  [[nodiscard]] Distance DistToAncestor(NodeId node, NodeId ancestor) const;
   [[nodiscard]] bool Feasible() const noexcept { return feasible_; }
   [[nodiscard]] std::size_t ReplicaCount() const noexcept { return replica_count_; }
   [[nodiscard]] Requests DemandOf(NodeId node) const { return demand_[Check(node)]; }
@@ -117,9 +136,11 @@ class PlacementSnapshot {
   /// nearest replica regardless of spare capacity.
   [[nodiscard]] AttachResult AttachAt(NodeId node, Requests demand) const;
 
-  /// FNV-1a over every buffer (except the borrowed tree): two snapshots of
-  /// the same state hash identically on any machine. Deterministic anchor
-  /// for the serve bench's det-json and the swap-torture test.
+  /// FNV-1a over every buffer, topology skeleton included: two snapshots of
+  /// the same state hash identically on any machine, and a pure topology
+  /// change (e.g. a migration that moves no replica) still changes the hash.
+  /// Deterministic anchor for the serve bench's det-json and the
+  /// swap-torture tests.
   [[nodiscard]] std::uint64_t CanonicalHash() const noexcept;
 
  private:
@@ -130,12 +151,15 @@ class PlacementSnapshot {
     return id;
   }
 
-  const Tree* tree_ = nullptr;  // borrowed; topology fixed for process life
   std::uint64_t version_ = 0;
   Requests capacity_ = 0;
   Requests total_demand_ = 0;
   bool feasible_ = false;
   std::size_t replica_count_ = 0;
+  // Rootward topology skeleton copied at build time (self-contained).
+  std::vector<NodeId> parent_;
+  std::vector<Distance> dist_parent_;
+  std::vector<std::uint8_t> alive_;
   std::vector<Requests> demand_;
   std::vector<Requests> load_;
   std::vector<Requests> residual_;

@@ -38,10 +38,15 @@ const char* QueryKindName(QueryKind kind) noexcept {
 }
 
 QueryResponse Answer(const PlacementSnapshot& snapshot, const QueryRequest& request) {
-  RPT_REQUIRE(request.node < snapshot.GetTree().Size(),
-              "serve: query node id out of range");
+  RPT_REQUIRE(request.node < snapshot.Size(), "serve: query node id out of range");
   QueryResponse response;
   response.version = snapshot.Version();
+  if (!snapshot.IsLive(request.node)) {
+    // The client may race a detach: the id is answerable (it existed when
+    // the snapshot was published) but there is nothing behind it.
+    response.ok = false;
+    return response;
+  }
   switch (request.kind) {
     case QueryKind::kWhichReplica: {
       const NodeId server = snapshot.PrimaryServerOf(request.node);
@@ -49,7 +54,7 @@ QueryResponse Answer(const PlacementSnapshot& snapshot, const QueryRequest& requ
       response.server = server;
       response.value = snapshot.DemandOf(request.node);
       response.distance =
-          response.ok ? snapshot.GetTree().DistToAncestor(request.node, server) : 0;
+          response.ok ? snapshot.DistToAncestor(request.node, server) : 0;
       return response;
     }
     case QueryKind::kResidual:

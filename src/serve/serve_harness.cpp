@@ -8,7 +8,7 @@ ServeHarness::ServeHarness(const Instance& instance, incremental::SolverOptions 
 }
 
 void ServeHarness::PublishCurrent() {
-  store_.Publish(PlacementSnapshot::Build(solver_.GetTree(), solver_.Capacity(),
+  store_.Publish(PlacementSnapshot::Build(solver_.View(), solver_.Capacity(),
                                           solver_.Demands(), solver_.Current(),
                                           next_version_));
   ++next_version_;

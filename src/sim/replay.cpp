@@ -112,7 +112,7 @@ struct ReplayState {
   // Rebuilds the per-client plans from a canonical (client-sorted)
   // assignment. Replicas without load still claim a server slot so they
   // appear in the report.
-  void BuildPlans(const Tree& tree, const Solution& solution, ReplayReport& report) {
+  void BuildPlans(TopologyView tree, const Solution& solution, ReplayReport& report) {
     plans.clear();
     plan_distance_weighted = 0.0;
     plan_total = 0;
@@ -245,7 +245,7 @@ ReplayReport Replay(const Instance& instance, const ReplayConfig& config) {
   ReplayReport report;
   report.ticks = config.ticks;
   ReplayState state;
-  state.BuildPlans(instance.GetTree(), solver.Current(), report);
+  state.BuildPlans(solver.View(), solver.Current(), report);
   if (config.on_replan) config.on_replan(solver, 0);
   double replan_ms = 0.0;  // the constructor's initial solve is not counted
 
@@ -256,7 +256,7 @@ ReplayReport Replay(const Instance& instance, const ReplayConfig& config) {
       replan_ms += timer.ElapsedMs();
       RPT_REQUIRE(feasible, "Replay: the update trace made the instance infeasible at tick " +
                                 std::to_string(tick));
-      state.BuildPlans(instance.GetTree(), solver.Current(), report);
+      state.BuildPlans(solver.View(), solver.Current(), report);
       if (config.on_replan) config.on_replan(solver, tick);
     }
     state.replica_ticks += static_cast<double>(solver.Current().ReplicaCount());

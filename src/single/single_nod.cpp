@@ -33,7 +33,7 @@ struct Bundle {
 // arenas (entries, bundles) plus head/tail cursors per node.
 class BundleLists {
  public:
-  explicit BundleLists(const Tree& tree)
+  explicit BundleLists(TopologyView tree)
       : head_(tree.Size(), kNil), tail_(tree.Size(), kNil) {
     entries_.reserve(tree.ClientCount());
     bundles_.reserve(tree.Size());
@@ -105,7 +105,7 @@ class BundleLists {
 namespace {
 
 // Shared core: preconditions already checked by the public entry points.
-SingleNodResult SolveSingleNodImpl(const Tree& tree, Requests capacity,
+SingleNodResult SolveSingleNodImpl(TopologyView tree, Requests capacity,
                                    std::span<const Requests> demands,
                                    const SingleNodOptions& options);
 
@@ -124,23 +124,31 @@ SingleNodResult SolveSingleNod(const Instance& instance, const SingleNodOptions&
 SingleNodResult SolveSingleNod(const Tree& tree, Requests capacity,
                                std::span<const Requests> demands,
                                const SingleNodOptions& options) {
+  return SolveSingleNod(TopologyView(tree), capacity, demands, options);
+}
+
+SingleNodResult SolveSingleNod(TopologyView view, Requests capacity,
+                               std::span<const Requests> demands,
+                               const SingleNodOptions& options) {
   RPT_REQUIRE(capacity > 0, "single-nod: capacity must be positive");
-  RPT_REQUIRE(demands.size() == tree.Size(),
+  RPT_REQUIRE(demands.size() == view.Size(),
               "single-nod: need one demand entry per node (internal entries 0)");
-  for (NodeId id = 0; id < tree.Size(); ++id) {
-    if (tree.IsClient(id)) {
+  for (NodeId id = 0; id < view.Size(); ++id) {
+    if (!view.IsLive(id)) {
+      RPT_REQUIRE(demands[id] == 0, "single-nod: dead nodes issue no requests");
+    } else if (view.IsClient(id)) {
       RPT_REQUIRE(demands[id] <= capacity,
                   "single-nod: some client has r_i > W; no Single solution exists");
     } else {
       RPT_REQUIRE(demands[id] == 0, "single-nod: internal nodes issue no requests");
     }
   }
-  return SolveSingleNodImpl(tree, capacity, demands, options);
+  return SolveSingleNodImpl(view, capacity, demands, options);
 }
 
 namespace {
 
-SingleNodResult SolveSingleNodImpl(const Tree& tree, Requests capacity,
+SingleNodResult SolveSingleNodImpl(TopologyView tree, Requests capacity,
                                    std::span<const Requests> demands,
                                    const SingleNodOptions& options) {
   SingleNodResult result;

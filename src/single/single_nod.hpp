@@ -20,6 +20,7 @@
 
 #include "model/instance.hpp"
 #include "model/solution.hpp"
+#include "tree/topology_view.hpp"
 
 namespace rpt::single {
 
@@ -61,6 +62,14 @@ struct SingleNodOptions {
 /// zero-materialization single-policy pass the incremental re-solver
 /// (src/incremental/) runs after each demand update.
 [[nodiscard]] SingleNodResult SolveSingleNod(const Tree& tree, Requests capacity,
+                                             std::span<const Requests> demands,
+                                             const SingleNodOptions& options = {});
+
+/// Topology-view form: the demand-overlay pass over either backend (base
+/// Tree or mutated TreeOverlay). Dead overlay ids must carry demand 0 and
+/// are skipped entirely; over a base Tree this is byte-identical to the
+/// Tree form above.
+[[nodiscard]] SingleNodResult SolveSingleNod(TopologyView view, Requests capacity,
                                              std::span<const Requests> demands,
                                              const SingleNodOptions& options = {});
 

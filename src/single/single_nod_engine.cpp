@@ -1,0 +1,238 @@
+#include "single/single_nod_engine.hpp"
+
+#include <algorithm>
+
+namespace rpt::single {
+
+SingleNodEngine::SingleNodEngine(TopologyView view, Requests capacity) : view_(view) {
+  SetCapacity(capacity);
+  Resize(view_.Size());
+  for (NodeId id = 0; id < view_.Size(); ++id) {
+    if (view_.IsLive(id) && view_.IsClient(id)) demand_[id] = view_.RequestsOf(id);
+  }
+}
+
+void SingleNodEngine::Resize(std::size_t n) {
+  demand_.resize(n, 0);
+  out_bundles_.resize(n);
+  local_replicas_.resize(n);
+  local_assignment_.resize(n);
+  dirty_.resize(n, 0);
+}
+
+void SingleNodEngine::SetDemand(NodeId client, Requests value) {
+  RPT_REQUIRE(client < view_.Size() && view_.IsLive(client) && view_.IsClient(client),
+              "SingleNodEngine: demand updates must target a live client");
+  demand_[client] = value;
+  MarkDirty(client);
+}
+
+void SingleNodEngine::SetCapacity(Requests capacity) {
+  RPT_REQUIRE(capacity > 0, "SingleNodEngine: capacity must be positive");
+  if (capacity != capacity_) {
+    capacity_ = capacity;
+    need_full_ = true;
+  }
+}
+
+void SingleNodEngine::ApplyTopology(TopologyView view, std::span<const NodeId> removed) {
+  view_ = view;
+  Resize(view_.Size());
+  for (const NodeId dead : removed) {
+    RPT_CHECK(dead < view_.Size());
+    demand_[dead] = 0;
+    out_bundles_[dead].clear();
+    local_replicas_[dead].clear();
+    local_assignment_[dead].clear();
+    dirty_[dead] = 0;
+  }
+  // Fresh (appended) ids arrive with empty caches; the caller seeds them —
+  // and the structural parents — into the next RecomputeDirty.
+  for (NodeId id = 0; id < view_.Size(); ++id) {
+    if (view_.IsLive(id) && view_.IsClient(id)) demand_[id] = view_.RequestsOf(id);
+  }
+}
+
+void SingleNodEngine::MarkDirty(NodeId seed) {
+  RPT_REQUIRE(seed < view_.Size() && view_.IsLive(seed),
+              "SingleNodEngine: dirty seeds must be live");
+  for (NodeId cursor = seed;;) {
+    if (dirty_[cursor] != 0) return;  // chain above is already marked
+    dirty_[cursor] = 1;
+    dirty_nodes_.push_back(cursor);
+    const NodeId parent = view_.Parent(cursor);
+    if (parent == kInvalidNode) return;
+    cursor = parent;
+  }
+}
+
+void SingleNodEngine::ComputeAll() {
+  // Reset the arena: every chain handle is about to be rebuilt.
+  entries_.clear();
+  bundles_.clear();
+  dirty_nodes_.clear();
+  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+  for (const NodeId node : view_.PostOrder()) {
+    dirty_[node] = 1;
+    dirty_nodes_.push_back(node);
+  }
+  need_full_ = false;
+  RunPass();
+}
+
+void SingleNodEngine::MarkTouched(std::span<const NodeId> touched) {
+  for (const NodeId seed : touched) MarkDirty(seed);
+}
+
+void SingleNodEngine::RecomputeDirty(std::span<const NodeId> touched) {
+  if (need_full_ || entries_.size() + bundles_.size() > kSingleEntryBudget) {
+    ComputeAll();
+    return;
+  }
+  MarkTouched(touched);
+  RunPass();
+}
+
+void SingleNodEngine::RunPass() {
+  // The accumulated dirty set may span several batches (the solver skips
+  // recomputes while the state is infeasible) and may contain ids a later
+  // topology batch killed: drop the dead, then process children before
+  // parents (decreasing depth, ties by id for determinism).
+  std::erase_if(dirty_nodes_, [this](NodeId id) {
+    if (view_.IsLive(id) && dirty_[id] != 0) return false;
+    dirty_[id] = 0;
+    return true;
+  });
+  std::sort(dirty_nodes_.begin(), dirty_nodes_.end(), [this](NodeId a, NodeId b) {
+    const std::uint32_t da = view_.Depth(a);
+    const std::uint32_t db = view_.Depth(b);
+    return da != db ? da > db : a < b;
+  });
+  for (const NodeId node : dirty_nodes_) {
+    if (view_.IsClient(node)) {
+      ProcessClient(node);
+    } else {
+      ProcessInternal(node);
+    }
+    dirty_[node] = 0;
+  }
+  last_pass_nodes_ = dirty_nodes_.size();
+  dirty_nodes_.clear();
+}
+
+void SingleNodEngine::ProcessClient(NodeId client) {
+  out_bundles_[client].clear();
+  const Requests requests = demand_[client];
+  if (requests == 0 || client == view_.Root()) return;
+  const auto entry = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(Entry{client, requests, kNil});
+  const auto bundle = static_cast<std::uint32_t>(bundles_.size());
+  bundles_.push_back(Bundle{client, requests, entry, entry});
+  out_bundles_[client].push_back(bundle);
+}
+
+void SingleNodEngine::ServeBundle(std::vector<ServiceEntry>& out, NodeId server,
+                                  std::uint32_t bundle) const {
+  // Bounded by tail: this chain may have been spliced into a consumer's
+  // merged bundle, which rewrites tail->next.
+  const Bundle& b = bundles_[bundle];
+  for (std::uint32_t e = b.head;; e = entries_[e].next) {
+    out.push_back(ServiceEntry{entries_[e].client, server, entries_[e].amount});
+    if (e == b.tail) break;
+  }
+}
+
+void SingleNodEngine::ProcessInternal(NodeId node) {
+  mine_.clear();
+  for (const NodeId child : view_.Children(node)) {
+    for (const std::uint32_t bundle : out_bundles_[child]) mine_.push_back(bundle);
+  }
+  Requests total = 0;
+  for (const std::uint32_t bundle : mine_) total += bundles_[bundle].total;
+
+  std::vector<std::uint32_t>& out = out_bundles_[node];
+  std::vector<NodeId>& replicas = local_replicas_[node];
+  std::vector<ServiceEntry>& assignment = local_assignment_[node];
+  out.clear();
+  replicas.clear();
+  assignment.clear();
+  const bool is_root = node == view_.Root();
+
+  if (total > capacity_) {
+    // Overflow: same absorb logic as the batch pass. Every in-flight bundle
+    // has a unique root_node, so this sort is a strict total order and the
+    // outcome does not depend on the incoming concatenation order.
+    std::sort(mine_.begin(), mine_.end(), [this](std::uint32_t a, std::uint32_t b) {
+      const Bundle& ba = bundles_[a];
+      const Bundle& bb = bundles_[b];
+      if (ba.total != bb.total) return ba.total < bb.total;
+      return ba.root_node < bb.root_node;
+    });
+    replicas.push_back(node);
+    Requests used = 0;
+    std::size_t index = 0;
+    for (; index < mine_.size(); ++index) {
+      const Bundle& bundle = bundles_[mine_[index]];
+      if (used + bundle.total <= capacity_) {
+        used += bundle.total;
+        ServeBundle(assignment, node, mine_[index]);
+        continue;
+      }
+      // First overflow: companion server at the bundle's own root.
+      replicas.push_back(bundle.root_node);
+      ServeBundle(assignment, bundle.root_node, mine_[index]);
+      ++index;
+      break;
+    }
+    if (!is_root) {
+      for (; index < mine_.size(); ++index) out.push_back(mine_[index]);
+    } else {
+      for (; index < mine_.size(); ++index) {
+        const Bundle& bundle = bundles_[mine_[index]];
+        replicas.push_back(bundle.root_node);
+        ServeBundle(assignment, bundle.root_node, mine_[index]);
+      }
+    }
+    return;
+  }
+
+  if (is_root) {
+    if (total > 0) {
+      replicas.push_back(node);
+      for (const std::uint32_t bundle : mine_) ServeBundle(assignment, node, bundle);
+    }
+    return;
+  }
+  if (total > 0) {
+    // Merge: splice the part chains into one bundle rooted here — O(#parts)
+    // next-pointer writes, no entry is copied.
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    for (const std::uint32_t part : mine_) {
+      if (head == kNil) {
+        head = bundles_[part].head;
+      } else {
+        entries_[tail].next = bundles_[part].head;
+      }
+      tail = bundles_[part].tail;
+    }
+    const auto bundle = static_cast<std::uint32_t>(bundles_.size());
+    bundles_.push_back(Bundle{node, total, head, tail});
+    out.push_back(bundle);
+  }
+}
+
+Solution SingleNodEngine::Assemble() const {
+  Solution solution;
+  for (const NodeId node : view_.PostOrder()) {
+    if (view_.IsClient(node)) continue;
+    for (const NodeId replica : local_replicas_[node]) solution.replicas.push_back(replica);
+    for (const ServiceEntry& entry : local_assignment_[node]) {
+      solution.assignment.push_back(entry);
+    }
+  }
+  solution.Canonicalize();
+  return solution;
+}
+
+}  // namespace rpt::single

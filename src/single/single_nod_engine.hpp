@@ -1,0 +1,147 @@
+// SingleNodEngine — the incremental form of the single-nod bundle pass
+// (single_nod.cpp), mirroring what NodDpEngine does for the Multiple DP.
+//
+// The bundle pass is bottom-up and local: the bundles an internal node j
+// forwards to its parent (and the replica/assignment decisions it makes) are
+// a function of (subtree(j) demands, W) only — never of depths, edge
+// lengths, or anything outside the subtree. So a demand change at client i
+// invalidates exactly the nodes on i's root chain, and a topology event
+// invalidates exactly the old and new attachment chains: every clean node's
+// cached outputs are reused verbatim.
+//
+// Cached per node:
+//  * out bundles — the pending bundles subtree(j) forwards to parent(j)
+//    (one merged bundle, or the post-overflow leftovers), stored as
+//    (root_node, total, entry-chain) handles into a shared arena;
+//  * the local solution slice — replicas placed and assignments emitted by
+//    j's own overflow/root decisions.
+//
+// A recompute processes the dirty set serially in decreasing depth order
+// (parents after children) and then assembles the solution by concatenating
+// every live node's cached slice — O(dirty · node work + |assignment|) per
+// batch instead of re-running the whole pass.
+//
+// Why the result matches the batch pass exactly: pending-list order differs
+// between the two (the batch pass interleaves appends, the engine
+// concatenates per-child out lists), but every in-flight bundle has a unique
+// root_node, so the overflow sort's (total, root_node) comparator is a
+// strict total order — the absorb sequence is order-independent — and the
+// no-overflow merge only affects entry-chain order, which Canonicalize()
+// erases. Enforced against the batch pass by tests/test_incremental.cpp.
+//
+// Entry chains only ever concatenate, so merges are O(#parts) pointer
+// splices with zero copying. The arena is append-only; superseded bundles
+// become garbage. When the arena outgrows kSingleEntryBudget the next
+// recompute falls back to a from-scratch rebuild, which resets it — the
+// same budget-then-rebuild policy as the DP engine's backtrack fragments.
+//
+// Only the paper-default options (smallest-first absorption) are supported;
+// the ablation orderings stay on the batch entry point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/solution.hpp"
+#include "tree/topology_view.hpp"
+
+namespace rpt::single {
+
+/// Arena budget (entries + bundles) above which the next recompute rebuilds
+/// from scratch instead of patching — bounds garbage from superseded chains.
+inline constexpr std::size_t kSingleEntryBudget = std::size_t{1} << 21;
+
+class SingleNodEngine {
+ public:
+  /// Binds the topology and seeds every per-node demand from the view's
+  /// request column. Call ComputeAll() (or let the first RecomputeDirty do
+  /// it) before reading the solution.
+  SingleNodEngine(TopologyView view, Requests capacity);
+
+  SingleNodEngine(const SingleNodEngine&) = delete;
+  SingleNodEngine& operator=(const SingleNodEngine&) = delete;
+  SingleNodEngine(SingleNodEngine&&) = default;
+  SingleNodEngine& operator=(SingleNodEngine&&) = default;
+
+  /// Demand write-through for a live client; marks its root chain dirty for
+  /// the next recompute. Values above capacity are legal solver states —
+  /// the solver gates feasibility before asking for a compute, and the dirt
+  /// accumulates across any skipped passes.
+  void SetDemand(NodeId client, Requests value);
+
+  /// New uniform capacity; invalidates every cached decision (the next pass
+  /// must be ComputeAll()).
+  void SetCapacity(Requests capacity);
+
+  /// Rebinds the engine after the solver swapped its overlay: `view` is the
+  /// new topology (same id space, possibly grown), `removed` the ids
+  /// tombstoned by the batch. Per-node caches for surviving ids stay valid
+  /// — the caller passes the structural dirty seeds (old/new parents, fresh
+  /// ids) to the next RecomputeDirty exactly as it does for the DP engine.
+  void ApplyTopology(TopologyView view, std::span<const NodeId> removed);
+
+  /// From-scratch pass over every live node; resets the arena.
+  void ComputeAll();
+
+  /// Marks the root chains of `touched` (any live nodes) dirty without
+  /// computing — for batches the solver skips (infeasible states) whose
+  /// invalidations must survive until the next real pass.
+  void MarkTouched(std::span<const NodeId> touched);
+
+  /// Recomputes the accumulated dirty set plus the root chains of `touched`
+  /// (any live nodes), reusing every clean subtree's cached bundles. Falls
+  /// back to ComputeAll() when the arena is over budget.
+  void RecomputeDirty(std::span<const NodeId> touched);
+
+  /// The current 2-approx placement, canonical form. Valid after any
+  /// compute; assembled fresh per call from the per-node slices.
+  [[nodiscard]] Solution Assemble() const;
+
+  /// Live nodes re-processed by the most recent compute pass.
+  [[nodiscard]] std::uint64_t LastPassNodes() const noexcept { return last_pass_nodes_; }
+
+ private:
+  static constexpr std::uint32_t kNil = static_cast<std::uint32_t>(-1);
+
+  struct Entry {
+    NodeId client = kInvalidNode;
+    Requests amount = 0;
+    std::uint32_t next = kNil;
+  };
+  /// Iteration is head..tail inclusive — tail->next may have been re-spliced
+  /// by this bundle's (unique) consumer and must not be followed.
+  struct Bundle {
+    NodeId root_node = kInvalidNode;
+    Requests total = 0;
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  void Resize(std::size_t n);
+  void MarkDirty(NodeId seed);
+  void ProcessClient(NodeId client);
+  void ProcessInternal(NodeId node);
+  void RunPass();
+  void ServeBundle(std::vector<ServiceEntry>& out, NodeId server, std::uint32_t bundle) const;
+
+  TopologyView view_;
+  Requests capacity_ = 0;
+  std::vector<Requests> demand_;
+
+  std::vector<Entry> entries_;
+  std::vector<Bundle> bundles_;
+
+  // Per-node caches (indexed by NodeId, sized view_.Size()).
+  std::vector<std::vector<std::uint32_t>> out_bundles_;
+  std::vector<std::vector<NodeId>> local_replicas_;
+  std::vector<std::vector<ServiceEntry>> local_assignment_;
+
+  std::vector<std::uint8_t> dirty_;
+  std::vector<NodeId> dirty_nodes_;   // collected per pass
+  std::vector<std::uint32_t> mine_;   // per-node drain scratch
+  bool need_full_ = true;             // initial state / capacity change / overflowed arena
+  std::uint64_t last_pass_nodes_ = 0;
+};
+
+}  // namespace rpt::single

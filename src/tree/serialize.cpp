@@ -98,6 +98,97 @@ Tree TreeFromString(const std::string& text) {
   return ReadTree(is);
 }
 
+void WriteOverlay(std::ostream& os, const TreeOverlay& overlay) {
+  const std::size_t n = overlay.Size();
+  // child_rank from the live child lists — the columns store parent pointers
+  // only; rank is what preserves post-migration child order on the wire.
+  std::vector<std::uint32_t> rank(n, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    if (!overlay.IsLive(id) || overlay.IsClient(id)) continue;
+    const auto kids = overlay.Children(id);
+    for (std::size_t c = 0; c < kids.size(); ++c) rank[kids[c]] = static_cast<std::uint32_t>(c);
+  }
+  os << "rpt-overlay v1\n" << n << "\n";
+  for (NodeId id = 0; id < n; ++id) {
+    if (!overlay.IsLive(id)) {
+      os << id << " 0 - inf I 0 0\n";  // canonical tombstone, stale columns ignored
+      continue;
+    }
+    os << id << " 1 ";
+    if (id == overlay.Root()) {
+      os << "- inf";
+    } else {
+      os << overlay.Parent(id) << ' ' << overlay.DistToParent(id);
+    }
+    os << ' ' << (overlay.IsClient(id) ? 'C' : 'I') << ' ' << overlay.RequestsOf(id) << ' '
+       << rank[id] << '\n';
+  }
+}
+
+std::string OverlayToString(const TreeOverlay& overlay) {
+  std::ostringstream os;
+  WriteOverlay(os, overlay);
+  return os.str();
+}
+
+TreeOverlay ReadOverlay(std::istream& is) {
+  std::string line;
+  RPT_REQUIRE(NextLine(is, line), "ReadOverlay: empty input");
+  {
+    std::istringstream header(line);
+    std::string magic, version;
+    header >> magic >> version;
+    RPT_REQUIRE(magic == "rpt-overlay" && version == "v1", "ReadOverlay: bad header: " + line);
+  }
+  RPT_REQUIRE(NextLine(is, line), "ReadOverlay: missing slot count");
+  const std::uint64_t n = ParseU64(line, "slot count");
+  RPT_REQUIRE(n >= 1, "ReadOverlay: slot count must be >= 1");
+  RPT_REQUIRE(n < kInvalidNode, "ReadOverlay: too many slots");
+
+  std::vector<NodeKind> kind(n, NodeKind::kInternal);
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<Distance> delta(n, 0);
+  std::vector<Requests> requests(n, 0);
+  std::vector<std::uint8_t> alive(n, 0);
+  std::vector<std::uint32_t> child_rank(n, 0);
+  for (std::uint64_t expected = 0; expected < n; ++expected) {
+    RPT_REQUIRE(NextLine(is, line), "ReadOverlay: truncated slot list");
+    std::istringstream row(line);
+    std::string id_tok, alive_tok, parent_tok, delta_tok, kind_tok, req_tok, rank_tok;
+    row >> id_tok >> alive_tok >> parent_tok >> delta_tok >> kind_tok >> req_tok >> rank_tok;
+    RPT_REQUIRE(!rank_tok.empty(), "ReadOverlay: malformed slot line: " + line);
+    RPT_REQUIRE(ParseU64(id_tok, "slot id") == expected,
+                "ReadOverlay: ids must be dense in order");
+    const std::uint64_t alive_bit = ParseU64(alive_tok, "alive flag");
+    RPT_REQUIRE(alive_bit <= 1, "ReadOverlay: alive flag must be 0 or 1");
+    if (alive_bit == 0) continue;  // FromColumns ignores dead slots' columns
+    alive[expected] = 1;
+    requests[expected] = ParseU64(req_tok, "requests");
+    child_rank[expected] = static_cast<std::uint32_t>(ParseU64(rank_tok, "child rank"));
+    if (kind_tok == "I") {
+      kind[expected] = NodeKind::kInternal;
+    } else if (kind_tok == "C") {
+      kind[expected] = NodeKind::kClient;
+    } else {
+      detail::ThrowInvalid("ReadOverlay: node kind must be I or C: " + line);
+    }
+    if (parent_tok == "-") {
+      RPT_REQUIRE(expected == 0, "ReadOverlay: only slot 0 may be the root");
+      RPT_REQUIRE(delta_tok == "inf", "ReadOverlay: root delta must be inf");
+      continue;  // parent stays kInvalidNode, delta is overridden by FromColumns
+    }
+    RPT_REQUIRE(delta_tok != "inf", "ReadOverlay: non-root delta must be finite");
+    parent[expected] = static_cast<NodeId>(ParseU64(parent_tok, "parent id"));
+    delta[expected] = ParseU64(delta_tok, "delta");
+  }
+  return TreeOverlay::FromColumns(kind, parent, delta, requests, alive, child_rank);
+}
+
+TreeOverlay OverlayFromString(const std::string& text) {
+  std::istringstream is(text);
+  return ReadOverlay(is);
+}
+
 void WriteDot(std::ostream& os, const Tree& tree, const std::string& graph_name) {
   os << "digraph " << graph_name << " {\n  rankdir=TB;\n";
   for (NodeId id = 0; id < tree.Size(); ++id) {

@@ -183,6 +183,102 @@ TEST_P(IncrementalEquivalence, InfeasibleAndBackToFeasibleTransitions) {
   ExpectMatchesOracle(solver, "feasible again");
 }
 
+// Churn mix for the mixed-batch topology tests: demand updates, client
+// add/remove transitions, joins, leaves, failure re-homes, and link
+// reconfigurations all interleave within single batches.
+TraceConfig ChurnConfig() {
+  TraceConfig config;
+  config.ticks = 20;
+  config.touches_per_tick = 3;
+  config.max_demand = 11;
+  config.add_remove_fraction = 0.25;
+  config.join_rate = 0.15;
+  config.leave_rate = 0.10;
+  config.failure_rate = 0.10;
+  config.link_rate = 0.05;
+  return config;
+}
+
+std::size_t CountTopologyEvents(const UpdateTrace& trace) {
+  std::size_t count = 0;
+  for (const auto& batch : trace) {
+    for (const UpdateEvent& event : batch) count += event.IsTopology() ? 1 : 0;
+  }
+  return count;
+}
+
+TEST_P(IncrementalEquivalence, MixedTopologyStreamsMatchOracleAfterEveryBatch) {
+  const std::vector<Topology> topologies = MakeTopologies(/*seed=*/19);
+  for (std::size_t t = 0; t < topologies.size(); ++t) {
+    const Topology& topology = topologies[t];
+    SCOPED_TRACE(topology.name);
+    const Instance instance(topology.tree, topology.capacity);
+    const UpdateTrace trace =
+        MakeRandomTrace(instance.GetTree(), ChurnConfig(), runner::DeriveSeed(211, t));
+    ASSERT_GT(CountTopologyEvents(trace), 0u);  // churn knobs must actually churn
+
+    IncrementalSolver solver(instance);
+    IncrementalSolver oracle(instance, {Engine::kFullResolve, Policy::kMultiple});
+    for (std::size_t tick = 0; tick < trace.size(); ++tick) {
+      SCOPED_TRACE("tick " + std::to_string(tick));
+      const bool feasible = solver.Apply(trace[tick]);
+      const bool oracle_feasible = oracle.Apply(trace[tick]);
+      ASSERT_EQ(feasible, oracle_feasible);
+      // Byte-identical in view ids against the compact-solve-remap oracle.
+      ASSERT_EQ(HashSolution(solver.Current()), HashSolution(oracle.Current()));
+      if (!feasible) continue;
+      // And independently anchored: compact the state through
+      // TreeBuilder::Build, solve from scratch, and check the incremental
+      // solution translates onto it with the same cost.
+      const auto materialized = solver.MaterializeCompact();
+      const auto batch = multiple::SolveMultipleNodDp(materialized.instance);
+      ASSERT_TRUE(batch.feasible);
+      EXPECT_EQ(solver.Current().ReplicaCount(), batch.solution.ReplicaCount());
+      const Solution mapped = MapNodeIds(solver.Current(), materialized.remap);
+      const auto validation =
+          ValidateSolution(materialized.instance, Policy::kMultiple, mapped);
+      EXPECT_TRUE(validation.ok) << validation.Describe();
+    }
+    EXPECT_LE(solver.Stats().nodes_recomputed, oracle.Stats().nodes_recomputed);
+    if (topology.tree.Size() > 100) {
+      // On the large shapes the dirty chains cannot cover the whole tree.
+      EXPECT_LT(solver.Stats().nodes_recomputed, oracle.Stats().nodes_recomputed);
+      EXPECT_GT(solver.Stats().nodes_reused, 0u);
+    }
+  }
+}
+
+TEST_P(IncrementalEquivalence, SinglePolicyMixedTopologyMatchesOracle) {
+  const std::vector<Topology> topologies = MakeTopologies(/*seed=*/23);
+  for (std::size_t t = 0; t < topologies.size(); ++t) {
+    const Topology& topology = topologies[t];
+    SCOPED_TRACE(topology.name);
+    const Instance instance(topology.tree, topology.capacity);
+    const UpdateTrace trace =
+        MakeRandomTrace(instance.GetTree(), ChurnConfig(), runner::DeriveSeed(223, t));
+    ASSERT_GT(CountTopologyEvents(trace), 0u);
+
+    IncrementalSolver solver(instance, {Engine::kIncremental, Policy::kSingle});
+    IncrementalSolver oracle(instance, {Engine::kFullResolve, Policy::kSingle});
+    for (std::size_t tick = 0; tick < trace.size(); ++tick) {
+      SCOPED_TRACE("tick " + std::to_string(tick));
+      const bool feasible = solver.Apply(trace[tick]);
+      const bool oracle_feasible = oracle.Apply(trace[tick]);
+      ASSERT_EQ(feasible, oracle_feasible);
+      ASSERT_EQ(HashSolution(solver.Current()), HashSolution(oracle.Current()));
+      if (!feasible) continue;
+      const auto materialized = solver.MaterializeCompact();
+      const Solution mapped = MapNodeIds(solver.Current(), materialized.remap);
+      const auto validation =
+          ValidateSolution(materialized.instance, Policy::kSingle, mapped);
+      EXPECT_TRUE(validation.ok) << validation.Describe();
+    }
+    if (topology.tree.Size() > 100) {
+      EXPECT_GT(solver.Stats().nodes_reused, 0u);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(SolverPoolWidths, IncrementalEquivalence, ::testing::Values(1, 4),
                          [](const auto& info) {
                            return "threads" + std::to_string(info.param);
@@ -452,6 +548,129 @@ TEST(TraceGenerator, CapacityWobbleAndValidation) {
   EXPECT_THROW(
       (void)MakeRandomTrace(tree, TraceConfig{.capacity_period = 2, .capacity_min = 0}, 1),
       InvalidArgument);
+}
+
+TEST(TraceGenerator, TopologyChurnDeterministicAndLegal) {
+  gen::RandomTreeConfig cfg;
+  cfg.internal_nodes = 25;
+  cfg.clients = 75;
+  cfg.max_children = 4;
+  cfg.min_requests = 0;
+  cfg.max_requests = 9;
+  const Tree tree = gen::GenerateRandomTree(cfg, 6);
+  TraceConfig config;
+  config.ticks = 40;
+  config.touches_per_tick = 4;
+  config.join_rate = 0.2;
+  config.leave_rate = 0.15;
+  config.failure_rate = 0.15;
+  config.link_rate = 0.1;
+  const UpdateTrace a = MakeRandomTrace(tree, config, 9);
+  const UpdateTrace b = MakeRandomTrace(tree, config, 9);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, MakeRandomTrace(tree, config, 10));
+
+  // Every enabled churn kind shows up on a tree this roomy...
+  std::size_t attaches = 0, detaches = 0, migrates = 0, links = 0;
+  for (const auto& batch : a) {
+    for (const UpdateEvent& event : batch) {
+      attaches += event.kind == UpdateEvent::Kind::kAttachSubtree;
+      detaches += event.kind == UpdateEvent::Kind::kDetachSubtree;
+      migrates += event.kind == UpdateEvent::Kind::kMigrateSubtree;
+      links += event.kind == UpdateEvent::Kind::kLinkCapacity;
+    }
+  }
+  EXPECT_GT(attaches, 0u);
+  EXPECT_GT(detaches, 0u);
+  EXPECT_GT(migrates, 0u);
+  EXPECT_GT(links, 0u);
+
+  // ...and the whole trace is legal: it applies without throwing.
+  const Instance instance(tree, /*capacity=*/25);
+  IncrementalSolver solver(instance);
+  for (const auto& batch : a) ASSERT_NO_THROW((void)solver.Apply(batch));
+}
+
+TEST(TraceGenerator, ChurnNeverOrphansTheRoot) {
+  // On a chain every internal node (the root included) has exactly one
+  // child, so no leave or failure is ever legal — the generator must fall
+  // back to demand events instead of emitting something the overlay (and
+  // the solver) would reject.
+  const Tree tree = gen::MakeChain(/*depth=*/5, /*requests=*/7);
+  TraceConfig config;
+  config.ticks = 30;
+  config.touches_per_tick = 2;
+  config.leave_rate = 0.5;
+  config.failure_rate = 0.5;
+  const UpdateTrace trace = MakeRandomTrace(tree, config, 4);
+  EXPECT_EQ(CountTopologyEvents(trace), 0u);
+  const Instance instance(tree, /*capacity=*/10);
+  IncrementalSolver solver(instance);
+  for (const auto& batch : trace) ASSERT_NO_THROW((void)solver.Apply(batch));
+}
+
+TEST(TraceGenerator, ChurnConfigValidation) {
+  const Tree tree = gen::MakeChain(/*depth=*/2, /*requests=*/3);
+  EXPECT_THROW((void)MakeRandomTrace(tree, TraceConfig{.join_rate = 1.5}, 1), InvalidArgument);
+  EXPECT_THROW((void)MakeRandomTrace(tree, TraceConfig{.leave_rate = -0.1}, 1),
+               InvalidArgument);
+  EXPECT_THROW((void)MakeRandomTrace(tree, TraceConfig{.join_rate = 0.6, .leave_rate = 0.6}, 1),
+               InvalidArgument);
+  EXPECT_THROW((void)MakeRandomTrace(tree, TraceConfig{.max_attach_nodes = 0}, 1),
+               InvalidArgument);
+  EXPECT_THROW((void)MakeRandomTrace(tree, TraceConfig{.max_move_size = 0}, 1),
+               InvalidArgument);
+  EXPECT_THROW((void)MakeRandomTrace(tree, TraceConfig{.max_link_delta = 0}, 1),
+               InvalidArgument);
+}
+
+TEST(IncrementalSolver, TopologyBatchesAreAtomicAndRejectRootOrphans) {
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = 16;
+  cfg.min_requests = 1;
+  cfg.max_requests = 8;
+  const Instance instance(gen::GenerateFullBinaryTree(cfg, 12), /*capacity=*/20);
+  IncrementalSolver solver(instance);
+
+  // Warm up with one real topology change so the overlay exists.
+  const Tree& tree = instance.GetTree();
+  NodeId internal = kInvalidNode;
+  for (NodeId id = 0; id < tree.Size(); ++id) {
+    if (!tree.IsClient(id)) internal = id;  // deepest internal node
+  }
+  ASSERT_NE(internal, kInvalidNode);
+  ASSERT_NO_THROW((void)solver.Apply(std::vector<UpdateEvent>{
+      UpdateEvent::AttachSubtree(internal, SubtreeSpec::SingleClient(2, 5))}));
+
+  const SolverStateImage before = CaptureState(solver);
+
+  // Detaching the root's only... the root of a binary tree has two children,
+  // so target a node whose removal WOULD orphan its parent: any internal
+  // node's single remaining child after its sibling is detached in the same
+  // batch. The second event must fail validation and roll back the first.
+  const auto children_of_root = [&] {
+    std::vector<NodeId> out;
+    for (NodeId id = 1; id < tree.Size(); ++id) {
+      if (tree.Parent(id) == tree.Root()) out.push_back(id);
+    }
+    return out;
+  }();
+  ASSERT_EQ(children_of_root.size(), 2u);
+  EXPECT_THROW((void)solver.Apply(std::vector<UpdateEvent>{
+                   UpdateEvent::DetachSubtree(children_of_root[0]),
+                   UpdateEvent::DetachSubtree(children_of_root[1]),  // would orphan the root
+               }),
+               InvalidArgument);
+  ExpectStateEquals(before, solver);
+
+  // A migrate that would cycle (new parent inside the moved subtree) is
+  // rejected just as atomically.
+  EXPECT_THROW((void)solver.Apply(std::vector<UpdateEvent>{
+                   UpdateEvent::MigrateSubtree(children_of_root[0], internal, 1),
+                   UpdateEvent::MigrateSubtree(children_of_root[1], children_of_root[1], 1),
+               }),
+               InvalidArgument);
+  ExpectStateEquals(before, solver);
 }
 
 TEST(TreeWithRequests, SwapsDemandAndReaggregates) {

@@ -53,7 +53,7 @@ Instance MakeSolvedInstance(std::uint64_t seed) {
 
 std::unique_ptr<const PlacementSnapshot> SnapshotOf(const IncrementalSolver& solver,
                                                     std::uint64_t version) {
-  return PlacementSnapshot::Build(solver.GetTree(), solver.Capacity(), solver.Demands(),
+  return PlacementSnapshot::Build(solver.View(), solver.Capacity(), solver.Demands(),
                                   solver.Current(), version);
 }
 
@@ -475,6 +475,10 @@ TEST(SwapTorture, ConcurrentQueriesSeeOnlyPublishedVersions) {
   for (std::size_t tick = 0; tick < trace.size(); ++tick) {
     (void)harness.ApplyAndPublish(trace[tick]);
   }
+  // The applies can outrun reader startup; hold the world open until the
+  // readers have demonstrably queried it so the assertions below are not
+  // scheduling-dependent.
+  while (answered.load(std::memory_order_relaxed) == 0) std::this_thread::yield();
   done.store(true, std::memory_order_release);
   for (std::thread& reader : readers) reader.join();
 
@@ -482,6 +486,109 @@ TEST(SwapTorture, ConcurrentQueriesSeeOnlyPublishedVersions) {
   EXPECT_GT(answered.load(), 0u);
   EXPECT_EQ(harness.Publishes(), trace.size() + 1);
   EXPECT_EQ(harness.Store().CurrentVersion(), trace.size() + 1);
+}
+
+TEST(SwapTorture, PinnedSnapshotsSurviveTopologyMutation) {
+  // Same pin/verify discipline as above, but the update thread now mutates
+  // the TOPOLOGY underneath the readers: attaches, detaches, migrations,
+  // and link reconfigurations interleave with the demand churn. A pinned
+  // snapshot copies the whole skeleton at publish time, so readers must see
+  // bit-exact version-v answers no matter how the solver's overlay (ids,
+  // child lists, tombstones) shifts after the pin.
+  gen::BinaryTreeConfig cfg;
+  cfg.clients = 64;
+  cfg.min_requests = 1;
+  cfg.max_requests = 9;
+  const Instance instance(gen::GenerateFullBinaryTree(cfg, 29), /*capacity=*/30);
+  const Tree& tree = instance.GetTree();
+
+  incremental::TraceConfig trace_config;
+  trace_config.ticks = 40;
+  trace_config.touches_per_tick = 3;
+  trace_config.max_demand = 9;
+  trace_config.add_remove_fraction = 0.25;
+  trace_config.join_rate = 0.15;
+  trace_config.leave_rate = 0.10;
+  trace_config.failure_rate = 0.10;
+  trace_config.link_rate = 0.05;
+  const UpdateTrace trace = MakeRandomTrace(tree, trace_config, 177);
+  std::size_t topology_events = 0;
+  for (const auto& batch : trace) {
+    for (const UpdateEvent& event : batch) topology_events += event.IsTopology() ? 1 : 0;
+  }
+  ASSERT_GT(topology_events, 0u);  // the torture must actually churn topology
+
+  // Queries target base-tree ids only: slots are never reused, so these ids
+  // stay allocated in every version — detached ones answer ok=false.
+  std::vector<QueryRequest> queries;
+  for (NodeId id = 0; id < tree.Size(); ++id) {
+    queries.push_back({tree.IsClient(id) ? QueryKind::kWhichReplica : QueryKind::kResidual,
+                       id, 0});
+    queries.push_back({QueryKind::kAttachCost, id, (id % 5) + 1});
+  }
+
+  std::vector<std::vector<QueryResponse>> archive;  // archive[v-1][q]
+  {
+    IncrementalSolver shadow(instance);
+    const auto record = [&](std::uint64_t version) {
+      const auto snapshot = SnapshotOf(shadow, version);
+      std::vector<QueryResponse> answers;
+      answers.reserve(queries.size());
+      for (const QueryRequest& query : queries) answers.push_back(Answer(*snapshot, query));
+      archive.push_back(std::move(answers));
+    };
+    record(1);
+    for (std::size_t tick = 0; tick < trace.size(); ++tick) {
+      (void)shadow.Apply(trace[tick]);
+      record(tick + 2);
+    }
+  }
+
+  ServeHarness harness(instance);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> answered{0};
+  constexpr std::size_t kReaders = 4;
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::size_t at = r;
+      while (!done.load(std::memory_order_acquire)) {
+        const QueryRequest& query = queries[at % queries.size()];
+        const QueryResponse response = harness.Query(query);
+        if (response.version == 0 || response.version > archive.size() ||
+            response != archive[response.version - 1][at % queries.size()]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        const SnapshotStore::Ref pinned = harness.Pin();
+        const std::uint64_t version = pinned->Version();
+        for (std::size_t i = 0; i < 8; ++i) {
+          const std::size_t q = (at + i * 37) % queries.size();
+          const QueryResponse pinned_answer = Answer(*pinned, queries[q]);
+          if (version > archive.size() || pinned_answer != archive[version - 1][q]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        answered.fetch_add(9, std::memory_order_relaxed);
+        ++at;
+      }
+    });
+  }
+
+  for (std::size_t tick = 0; tick < trace.size(); ++tick) {
+    (void)harness.ApplyAndPublish(trace[tick]);
+  }
+  while (answered.load(std::memory_order_relaxed) == 0) std::this_thread::yield();
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(answered.load(), 0u);
+  EXPECT_EQ(harness.Publishes(), trace.size() + 1);
+  EXPECT_EQ(harness.Store().CurrentVersion(), trace.size() + 1);
+  // The published world really did grow/shrink under the readers.
+  const SnapshotStore::Ref last = harness.Pin();
+  EXPECT_GT(last->Size(), tree.Size());
 }
 
 }  // namespace

@@ -204,6 +204,73 @@ TEST(Serialize, RejectsMalformedInput) {
                InvalidArgument);  // non-dense ids
 }
 
+// An overlay that exercises every mutation the wire format must carry:
+// tombstones, appended ids, post-migration child order, and demand edits.
+TreeOverlay MakeChurnedOverlay() {
+  TreeOverlay overlay(MakeFixture());
+  SubtreeSpec pod;  // internal -- {client(7), client(9)}
+  pod.nodes.push_back({NodeKind::kInternal, 0, 4, 0});
+  pod.nodes.push_back({NodeKind::kClient, 0, 1, 7});
+  pod.nodes.push_back({NodeKind::kClient, 0, 2, 9});
+  overlay.AttachSubtree(2, pod);      // ids 6,7,8 under node 2
+  overlay.DetachSubtree(1);           // tombstones 1,3,4
+  overlay.MigrateSubtree(6, 0, 11);   // root's children become [2, 6]
+  overlay.SetRequests(7, 70);         // demand edit rides the same wire
+  return overlay;
+}
+
+TEST(OverlaySerialize, SerializeDeserializeCompactMatchesCompactSerialize) {
+  const TreeOverlay overlay = MakeChurnedOverlay();
+  const std::string wire = OverlayToString(overlay);
+  const TreeOverlay restored = OverlayFromString(wire);
+  // Re-serializing is byte-stable (canonical tombstones, rank-ordered kids).
+  EXPECT_EQ(OverlayToString(restored), wire);
+  // The two compaction paths commute with serialization byte-for-byte.
+  EXPECT_EQ(TreeToString(restored.Compact().tree), TreeToString(overlay.Compact().tree));
+}
+
+TEST(OverlaySerialize, TombstonedIdsSurviveRoundTrip) {
+  // Regression: slot ids are the contract solver tables are keyed by — a
+  // round-trip must keep dead slots in place, not compact them away.
+  const TreeOverlay overlay = MakeChurnedOverlay();
+  const TreeOverlay restored = OverlayFromString(OverlayToString(overlay));
+  ASSERT_EQ(restored.Size(), overlay.Size());
+  ASSERT_EQ(restored.LiveCount(), overlay.LiveCount());
+  EXPECT_EQ(restored.TotalRequests(), overlay.TotalRequests());
+  for (NodeId id = 0; id < overlay.Size(); ++id) {
+    ASSERT_EQ(restored.IsLive(id), overlay.IsLive(id)) << "slot " << id;
+    if (!overlay.IsLive(id)) continue;
+    EXPECT_EQ(restored.Kind(id), overlay.Kind(id));
+    EXPECT_EQ(restored.RequestsOf(id), overlay.RequestsOf(id));
+    EXPECT_EQ(restored.SubtreeRequests(id), overlay.SubtreeRequests(id));
+    if (id != 0) {
+      EXPECT_EQ(restored.Parent(id), overlay.Parent(id));
+      EXPECT_EQ(restored.DistToParent(id), overlay.DistToParent(id));
+    }
+    const auto a = restored.Children(id);
+    const auto b = overlay.Children(id);
+    ASSERT_EQ(a.size(), b.size()) << "slot " << id;
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  // Both remaps agree on which ids are tombstones and where the rest land.
+  EXPECT_EQ(restored.Compact().remap, overlay.Compact().remap);
+}
+
+TEST(OverlaySerialize, RejectsMalformedInput) {
+  EXPECT_THROW((void)OverlayFromString(""), InvalidArgument);
+  EXPECT_THROW((void)OverlayFromString("rpt-tree v1\n1\n0 - inf I 0\n"), InvalidArgument);
+  EXPECT_THROW((void)OverlayFromString("rpt-overlay v1\n2\n0 1 - inf I 0 0\n"),
+               InvalidArgument);  // truncated
+  EXPECT_THROW((void)OverlayFromString("rpt-overlay v1\n1\n0 0 - inf I 0 0\n"),
+               InvalidArgument);  // dead root
+  EXPECT_THROW((void)OverlayFromString(
+                   "rpt-overlay v1\n3\n0 1 - inf I 0 0\n1 0 - inf I 0 0\n2 1 1 3 C 5 0\n"),
+               InvalidArgument);  // live client under a dead parent
+  EXPECT_THROW((void)OverlayFromString(
+                   "rpt-overlay v1\n3\n0 1 - inf I 0 0\n1 1 0 2 C 5 0\n2 1 0 3 C 5 2\n"),
+               InvalidArgument);  // child ranks not 0..k-1
+}
+
 TEST(Serialize, DotContainsNodesAndEdges) {
   const Tree t = MakeFixture();
   std::ostringstream os;
