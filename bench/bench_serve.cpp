@@ -22,10 +22,13 @@
 // scripts/bench_smoke.sh byte-diffs the det-json across thread counts.
 //
 //   ./bench_serve --clients=4096 --ticks=64 --qps-ticks=64 --threads=4
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <iostream>
@@ -86,6 +89,12 @@ incremental::UpdateTrace MakeChurn(const Tree& tree, std::uint64_t ticks,
   cfg.max_demand = max_demand;
   cfg.add_remove_fraction = 0.2;
   return incremental::MakeRandomTrace(tree, cfg, seed);
+}
+
+// Fresh state directory for one recovery cell (cleaned up by the caller).
+std::string MakeStateDir() {
+  char buf[] = "/tmp/rpt_bench_rec_XXXXXX";
+  return ::mkdtemp(buf);
 }
 
 }  // namespace
@@ -219,6 +228,53 @@ int main(int argc, char** argv) {
          {"queries", [query_cache](const Instance&, const core::RunResult&) {
             return static_cast<double>(query_cache->second);
           }}}});
+
+    // serve-recover-wal / serve-recover-ckpt: crash-recovery cost. A durable
+    // harness (WAL appends, sync off — the bench measures replay, not fsync)
+    // absorbs the churn and is dropped; the TIMED section is RecoverFrom:
+    // full-log replay in the -wal group vs checkpoint-load + short tail in
+    // the -ckpt group (cadence ticks/4). recovery_ms is the cell's time
+    // column; the recovered snapshot hash pins byte-identical recovery.
+    for (const bool with_ckpt : {false, true}) {
+      auto recover_cache = std::make_shared<std::pair<std::uint64_t, std::uint64_t>>();
+      batch.Add(runner::Cell{
+          with_ckpt ? "serve-recover-ckpt" : "serve-recover-wal", make_instance,
+          [ticks, touches, max_demand, seed, with_ckpt,
+           recover_cache](const Instance& instance) {
+            const incremental::UpdateTrace trace =
+                MakeChurn(instance.GetTree(), ticks, touches, max_demand, seed + 31);
+            const std::string dir = MakeStateDir();
+            serve::DurabilityOptions durability;
+            durability.dir = dir;
+            durability.sync_appends = false;
+            durability.checkpoint_every = with_ckpt ? std::max<std::uint64_t>(1, ticks / 4) : 0;
+            {
+              serve::ServeHarness harness(instance, {}, durability);
+              for (const auto& events : trace) (void)harness.ApplyAndPublish(events);
+            }
+
+            core::RunResult result;
+            Timer timer;
+            auto recovered = serve::ServeHarness::RecoverFrom(instance, {}, durability);
+            result.elapsed_ms = timer.ElapsedMs();
+            result.feasible = recovered->Solver().Feasible();
+            result.solution = recovered->Solver().Current();
+            result.validation = ValidateSolution(recovered->Solver().MaterializeInstance(),
+                                                 Policy::kMultiple, result.solution);
+            *recover_cache = {recovered->RecoveredBatches(),
+                              recovered->Pin()->CanonicalHash() % (1ull << 32)};
+            std::filesystem::remove_all(dir);
+            return result;
+          },
+          seed,
+          {{"replayed",
+            [recover_cache](const Instance&, const core::RunResult&) {
+              return static_cast<double>(recover_cache->first);
+            }},
+           {"snapshot_hash", [recover_cache](const Instance&, const core::RunResult&) {
+              return static_cast<double>(recover_cache->second);
+            }}}});
+    }
   }
 
   const runner::BatchReport report = batch.Run();

@@ -6,11 +6,23 @@
 // including DURING the swaps, which is the point: a query never blocks on a
 // publish and never sees a torn placement.
 //
+// With --wal-dir the service runs DURABLY: every batch is WAL-logged before
+// it is applied, --checkpoint-every N adds snapshot checkpoints, and
+// --crash-at N kills the process (exit 137, a real _Exit via the failpoint
+// facility) mid-batch N. A follow-up run with --recover replays the log,
+// resumes the remaining batches, and --state-json lets the two lives be
+// diffed: an uninterrupted run and a crashed+recovered run must write the
+// SAME final {version, hash, replicas, seq}. scripts/bench_smoke.sh does
+// exactly that diff.
+//
 //   ./examples/rpt_serve                 # run the demo, print the dialogue
 //   ./examples/rpt_serve --selftest      # same, but exit nonzero on any
 //                                        # mismatch (CI smoke mode)
 //   ./examples/rpt_serve --port=7070     # pin the listen port
+//   ./examples/rpt_serve --wal-dir=/tmp/s --crash-at=5   # die mid-batch 5
+//   ./examples/rpt_serve --wal-dir=/tmp/s --recover      # ...and come back
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +30,7 @@
 #include "incremental/trace_gen.hpp"
 #include "serve/tcp_server.hpp"
 #include "support/cli.hpp"
+#include "support/failpoint.hpp"
 
 int main(int argc, char** argv) {
   using namespace rpt;
@@ -27,8 +40,18 @@ int main(int argc, char** argv) {
   cli.AddInt("batches", 8, "update batches to stream through the service");
   cli.AddInt("port", 0, "listen port (0 = pick a free one)");
   cli.AddBool("selftest", false, "exit nonzero unless every wire answer matches in-process");
+  cli.AddString("wal-dir", "", "durable state directory (WAL + checkpoints); empty = in-memory");
+  cli.AddInt("checkpoint-every", 0, "snapshot checkpoint cadence in batches (0 = WAL only)");
+  cli.AddInt("crash-at", 0, "kill the process (exit 137) mid-batch N of this run (0 = never)");
+  cli.AddBool("recover", false, "recover from --wal-dir instead of starting fresh, then resume");
+  cli.AddString("state-json", "", "write the final {version, hash, replicas, seq} here");
   if (!cli.Parse(argc, argv)) return 0;
   const bool selftest = cli.GetBool("selftest");
+  const std::string wal_dir = cli.GetString("wal-dir");
+  const bool recover = cli.GetBool("recover");
+  const std::uint64_t crash_at = cli.GetUint("crash-at");
+  RPT_REQUIRE(wal_dir.empty() ? !recover && crash_at == 0 : true,
+              "rpt_serve: --recover/--crash-at need --wal-dir");
 
   gen::BinaryTreeConfig cfg;
   cfg.clients = static_cast<std::uint32_t>(cli.GetUint("clients", 1u << 20));
@@ -38,14 +61,38 @@ int main(int argc, char** argv) {
                           static_cast<Requests>(cli.GetUint("capacity")), kNoDistanceLimit);
   const Tree& tree = instance.GetTree();
 
-  // The harness solves the instance and publishes snapshot version 1; the
-  // TCP server makes it reachable.
-  serve::ServeHarness harness(instance);
+  // The harness solves the instance and publishes its first snapshot; the
+  // TCP server makes it reachable. With --wal-dir the harness is durable
+  // (fresh or recovered); --crash-at arms a real mid-batch process kill.
+  std::unique_ptr<serve::ServeHarness> owned;
+  if (wal_dir.empty()) {
+    owned = std::make_unique<serve::ServeHarness>(instance);
+  } else {
+    serve::DurabilityOptions durability;
+    durability.dir = wal_dir;
+    durability.checkpoint_every = cli.GetUint("checkpoint-every");
+    if (recover) {
+      owned = serve::ServeHarness::RecoverFrom(instance, {}, durability);
+      std::printf("recovered from %s: %llu batches replayed, durable seq %llu, plan v%llu\n",
+                  wal_dir.c_str(),
+                  static_cast<unsigned long long>(owned->RecoveredBatches()),
+                  static_cast<unsigned long long>(owned->LastDurableSeq()),
+                  static_cast<unsigned long long>(owned->Store().CurrentVersion()));
+    } else {
+      owned = std::make_unique<serve::ServeHarness>(instance, incremental::SolverOptions{},
+                                                    durability);
+    }
+  }
+  if (crash_at > 0) {
+    fail::Arm("serve.post_wal", fail::Action::kCrash, crash_at);
+  }
+  serve::ServeHarness& harness = *owned;
   serve::TcpServer server(harness);
   server.Start(static_cast<std::uint16_t>(cli.GetUint("port", 65535)));
-  std::printf("rpt-serve listening on 127.0.0.1:%u — %s, %zu replicas in plan v1\n",
+  std::printf("rpt-serve listening on 127.0.0.1:%u — %s, %zu replicas in plan v%llu\n",
               server.Port(), instance.Summary().c_str(),
-              harness.Solver().Current().ReplicaCount());
+              harness.Solver().Current().ReplicaCount(),
+              static_cast<unsigned long long>(harness.Store().CurrentVersion()));
 
   serve::TcpClient client(server.Port());
   const NodeId probe = tree.Clients()[0];
@@ -73,7 +120,11 @@ int main(int argc, char** argv) {
   trace_cfg.max_demand = 9;
   trace_cfg.add_remove_fraction = 0.25;
   const incremental::UpdateTrace trace = incremental::MakeRandomTrace(tree, trace_cfg, 7);
-  for (std::size_t tick = 0; tick < trace.size(); ++tick) {
+  // A recovered service has already durably absorbed a prefix of this
+  // (deterministic) trace — resume with the batches the crash cut off.
+  const std::size_t resume_at =
+      recover ? std::min<std::size_t>(harness.LastDurableSeq(), trace.size()) : 0;
+  for (std::size_t tick = resume_at; tick < trace.size(); ++tick) {
     const bool feasible = harness.ApplyAndPublish(trace[tick]);
     std::printf("batch %zu applied -> plan v%llu, %zu replicas%s\n", tick + 1,
                 static_cast<unsigned long long>(harness.Store().CurrentVersion()),
@@ -94,6 +145,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(server.RequestsServed()),
               static_cast<unsigned long long>(server.ConnectionsAccepted()),
               static_cast<unsigned long long>(harness.Publishes()));
+
+  // Deterministic final-state fingerprint: a crashed+recovered run and an
+  // uninterrupted run of the same flags must write identical bytes.
+  if (const std::string state_json = cli.GetString("state-json"); !state_json.empty()) {
+    const serve::SnapshotStore::Ref snapshot = harness.Pin();
+    std::FILE* out = std::fopen(state_json.c_str(), "w");
+    RPT_REQUIRE(out != nullptr, "rpt_serve: cannot open --state-json path");
+    std::fprintf(out,
+                 "{\"version\":%llu,\"hash\":%llu,\"replicas\":%zu,\"seq\":%llu}\n",
+                 static_cast<unsigned long long>(snapshot->Version()),
+                 static_cast<unsigned long long>(snapshot->CanonicalHash()),
+                 harness.Solver().Current().ReplicaCount(),
+                 static_cast<unsigned long long>(harness.LastDurableSeq()));
+    std::fclose(out);
+    std::printf("wrote final state fingerprint to %s\n", state_json.c_str());
+  }
   if (selftest) {
     std::printf("selftest: %s\n", mismatches == 0 ? "PASS" : "FAIL");
     return mismatches == 0 ? 0 : 1;

@@ -83,6 +83,25 @@ echo "OK: bench_serve"
 "$BUILD_DIR/rpt_serve" --selftest --clients=128 --batches=4 > /dev/null
 echo "OK: rpt_serve --selftest"
 
+# Crash-recovery smoke: an uninterrupted durable run and a run that is
+# KILLED mid-batch (real _Exit(137) via the armed failpoint) and then
+# recovered from its WAL + checkpoints must write byte-identical final-state
+# fingerprints ({version, hash, replicas, seq}).
+"$BUILD_DIR/rpt_serve" --clients=128 --batches=8 --wal-dir="$OUT_DIR/svc-clean" \
+  --checkpoint-every=3 --state-json="$OUT_DIR/serve-state-clean.json" > /dev/null
+if "$BUILD_DIR/rpt_serve" --clients=128 --batches=8 --wal-dir="$OUT_DIR/svc-crash" \
+  --checkpoint-every=3 --crash-at=5 > /dev/null 2>&1; then
+  echo "FAIL: rpt_serve --crash-at=5 exited 0 instead of dying"
+  exit 1
+fi
+"$BUILD_DIR/rpt_serve" --clients=128 --batches=8 --wal-dir="$OUT_DIR/svc-crash" \
+  --checkpoint-every=3 --recover --state-json="$OUT_DIR/serve-state-recovered.json" > /dev/null
+if ! diff "$OUT_DIR/serve-state-clean.json" "$OUT_DIR/serve-state-recovered.json"; then
+  echo "FAIL: recovered rpt_serve state differs from the uninterrupted run"
+  exit 1
+fi
+echo "OK: rpt_serve crash recovery"
+
 # instance_explorer spells its report flag --sweep-json.
 "$BUILD_DIR/instance_explorer" --algo=single-gen --clients=40 --seeds=4 --threads=1 \
   --sweep-json="$OUT_DIR/explorer-t1.json" > /dev/null

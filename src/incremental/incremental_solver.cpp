@@ -33,6 +33,53 @@ IncrementalSolver::IncrementalSolver(const Instance& instance, Options options)
   Resolve({}, /*full=*/true);
 }
 
+IncrementalSolver::IncrementalSolver(const Instance& base, TreeOverlay restored,
+                                     Requests capacity, Options options)
+    : tree_(base.GetTree()),
+      overlay_(std::make_unique<TreeOverlay>(std::move(restored))),
+      options_(options),
+      capacity_(capacity),
+      demand_(overlay_->Size()) {
+  RPT_REQUIRE(!base.HasDistanceConstraint(),
+              "incremental: only valid without distance constraints (NoD)");
+  RPT_REQUIRE(capacity_ > 0, "incremental: restored capacity must be positive");
+  if (options_.engine == Engine::kIncremental) {
+    if (options_.policy == Policy::kMultiple) {
+      engine_.emplace(TopologyView(*overlay_), capacity_);
+    } else {
+      single_engine_.emplace(TopologyView(*overlay_), capacity_);
+    }
+  }
+  // The overlay's request column IS the demand state (SetRequests mirrors
+  // every demand event into it), so the restored overlay carries demands.
+  for (NodeId id = 0; id < overlay_->Size(); ++id) {
+    demand_[id] = overlay_->IsLive(id) && overlay_->IsClient(id)
+                      ? overlay_->RequestsOf(id)
+                      : 0;
+  }
+  total_demand_ = overlay_->TotalRequests();
+  Resolve({}, /*full=*/true);
+}
+
+std::unique_ptr<TreeOverlay> IncrementalSolver::PromoteBaseOverlay() const {
+  // The base tree's request column is construction-time state: demand-only
+  // batches before a promotion updated demand_ with no overlay to mirror
+  // into, so sync the live column or the promoted overlay would silently
+  // revert those clients to stale demands.
+  auto fresh = std::make_unique<TreeOverlay>(tree_);
+  for (const NodeId client : tree_.Clients()) {
+    if (fresh->RequestsOf(client) != demand_[client]) {
+      fresh->SetRequests(client, demand_[client]);
+    }
+  }
+  return fresh;
+}
+
+TreeOverlay IncrementalSolver::ExportOverlay() const {
+  if (overlay_) return *overlay_;
+  return *PromoteBaseOverlay();
+}
+
 Requests IncrementalSolver::DemandOf(NodeId client) const {
   RPT_REQUIRE(client < demand_.size(), "incremental: node id out of range");
   return demand_[client];
@@ -177,21 +224,8 @@ bool IncrementalSolver::Apply(std::span<const UpdateEvent> events) {
 // the members swap and the engine learn the new topology.
 bool IncrementalSolver::ApplyTopologyBatch(std::span<const UpdateEvent> events) {
   constexpr Requests kMaxDemand = std::numeric_limits<Requests>::max();
-  auto next = [&] {
-    if (overlay_) return std::make_unique<TreeOverlay>(*overlay_);
-    // First promotion to an overlay. The base tree's request column is
-    // construction-time state: demand-only batches before this point updated
-    // demand_ with no overlay to mirror into, so sync before applying events
-    // or the engines' wholesale refresh would silently revert those clients
-    // to stale demands with no dirt on their chains.
-    auto fresh = std::make_unique<TreeOverlay>(tree_);
-    for (const NodeId client : tree_.Clients()) {
-      if (fresh->RequestsOf(client) != demand_[client]) {
-        fresh->SetRequests(client, demand_[client]);
-      }
-    }
-    return fresh;
-  }();
+  auto next = overlay_ ? std::make_unique<TreeOverlay>(*overlay_)
+                       : PromoteBaseOverlay();
   std::vector<Requests> new_demand = demand_;
   Requests new_capacity = capacity_;
   std::vector<NodeId> seeds;             // dirty-chain seeds, filtered to live at commit

@@ -92,6 +92,16 @@ class IncrementalSolver {
   /// otherwise. The instance must outlive the solver.
   explicit IncrementalSolver(const Instance& instance, Options options = {});
 
+  /// Restore constructor (the crash-recovery path): seeds the solver from a
+  /// previously exported overlay — see ExportOverlay() — instead of the
+  /// base instance's own topology/demands. `base` supplies the overlay's
+  /// base Tree (ids must match; the instance must outlive the solver) and
+  /// `capacity` the current W, which may have diverged from the instance's
+  /// via kCapacity events. Solves the restored state from scratch, so the
+  /// DP tables are warm before the WAL tail replays.
+  IncrementalSolver(const Instance& base, TreeOverlay restored,
+                    Requests capacity, Options options = {});
+
   IncrementalSolver(const IncrementalSolver&) = delete;
   IncrementalSolver& operator=(const IncrementalSolver&) = delete;
 
@@ -146,7 +156,18 @@ class IncrementalSolver {
   /// instance (note the ids are compacted ids once topology has changed).
   [[nodiscard]] Instance MaterializeInstance() const;
 
+  /// Self-contained copy of the current (topology, demand) state keyed by
+  /// VIEW ids — tombstones and appended slots preserved, so later events
+  /// recorded against these ids replay unchanged against a solver rebuilt
+  /// via the restore constructor. This is what a serve-layer checkpoint
+  /// persists (capacity travels separately). O(|view|).
+  [[nodiscard]] TreeOverlay ExportOverlay() const;
+
  private:
+  /// Promotes the base tree to a fresh overlay with the live demand column
+  /// mirrored in (demand-only batches may have diverged demand_ from the
+  /// base tree's construction-time requests).
+  [[nodiscard]] std::unique_ptr<TreeOverlay> PromoteBaseOverlay() const;
   void Validate(std::span<const UpdateEvent> events) const;
   bool ApplyTopologyBatch(std::span<const UpdateEvent> events);
   void Resolve(std::span<const NodeId> touched, bool capacity_changed);

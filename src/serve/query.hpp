@@ -60,6 +60,12 @@ struct QueryRequest {
 struct QueryResponse {
   std::uint64_t version = 0;  ///< snapshot the answer was computed against
   bool ok = false;
+  /// Degraded-mode marker: the harness failed to apply-and-publish after
+  /// this snapshot went out (WAL append error, solve failure mid-batch), so
+  /// the answer is correct against the LAST GOOD state but known to lag the
+  /// event stream. Clears on the next successful publish. Wire: bit 1 of
+  /// the status byte (bit 0 is `ok`), so the frame size is unchanged.
+  bool stale = false;
   NodeId server = kInvalidNode;
   std::uint64_t value = 0;
   Distance distance = 0;

@@ -22,24 +22,87 @@
 // still published: its snapshot has no replicas, which-replica/attach
 // queries answer not-ok, and the version keeps advancing.
 //
+// ## Durability (optional)
+//
+// Constructed with DurabilityOptions, the harness writes every attempted
+// batch to an EventWal BEFORE the solver sees it and cuts periodic
+// checkpoint files (serve/event_wal.hpp has the formats and the rationale
+// for log-then-apply). RecoverFrom() rebuilds a harness from a directory:
+// newest intact checkpoint -> restored solver, then the WAL tail replays
+// through the ordinary Apply path. Two counters with different meanings:
+//
+//  * seq      — attempted batches, == the WAL record count. Rejected
+//               batches ARE logged (they consume a seq) and re-reject
+//               deterministically on replay.
+//  * version  — published snapshots, advanced only by successful applies.
+//               Snapshot CanonicalHash mixes the version, so recovery
+//               reconstructs it exactly: checkpoint version + replay
+//               successes.
+//
+// Recovery publishes ONE snapshot (the final recovered state) rather than
+// re-publishing every intermediate — byte-identical (CanonicalHash) to the
+// uninterrupted run's latest, which the oracle tests enforce.
+//
+// ## Degraded mode
+//
+// When a durable append or the solve after it fails for any reason OTHER
+// than batch validation (I/O error, fsync failure, internal invariant),
+// the harness marks itself STALE: queries keep answering from the last
+// good snapshot with QueryResponse::stale set, and the next successful
+// ApplyAndPublish clears the flag. Validation failures (InvalidArgument)
+// are the caller's bug, not degradation — they do not set the flag.
+//
 // Ownership: the harness owns the solver and the store; the Instance must
 // outlive the harness (same rule as IncrementalSolver).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
+#include <string>
 
 #include "incremental/incremental_solver.hpp"
+#include "serve/event_wal.hpp"
 #include "serve/query.hpp"
 #include "serve/snapshot_store.hpp"
 
 namespace rpt::serve {
 
+/// Switches on the durable (WAL + checkpoint) mode of ServeHarness.
+struct DurabilityOptions {
+  std::string dir;  ///< state directory (created if absent); one harness per dir
+  /// Cut a checkpoint every N successful applies (0 = never; recovery then
+  /// replays the whole log).
+  std::uint64_t checkpoint_every = 0;
+  bool sync_appends = true;       ///< fsync the WAL after every append
+  bool trim_on_checkpoint = true; ///< rewrite the WAL keeping only post-checkpoint records
+};
+
 class ServeHarness {
  public:
   /// Solves `instance` from scratch and publishes snapshot version 1.
   explicit ServeHarness(const Instance& instance, incremental::SolverOptions options = {});
+
+  /// Durable mode: like the plain constructor, plus every batch is WAL-
+  /// logged and checkpoints are cut per `durability`. The directory must
+  /// not already contain serving state (use RecoverFrom for that —
+  /// silently re-initializing over a previous life's WAL would orphan it).
+  ServeHarness(const Instance& instance, incremental::SolverOptions options,
+               const DurabilityOptions& durability);
+
+  /// Rebuilds a harness from `durability.dir`: loads the newest intact
+  /// checkpoint (if any), replays the WAL tail through the normal apply
+  /// path (logged batches that fail validation re-reject and are skipped),
+  /// truncates any torn tail record, and publishes the recovered state as
+  /// one snapshot — byte-identical (CanonicalHash) to the uninterrupted
+  /// run's. Throws InternalError on interior WAL corruption: a log with a
+  /// hole must never silently recover to a wrong table. An empty/missing
+  /// directory recovers to the same state the durable constructor creates.
+  [[nodiscard]] static std::unique_ptr<ServeHarness> RecoverFrom(
+      const Instance& instance, incremental::SolverOptions options,
+      const DurabilityOptions& durability);
 
   ServeHarness(const ServeHarness&) = delete;
   ServeHarness& operator=(const ServeHarness&) = delete;
@@ -47,7 +110,9 @@ class ServeHarness {
   /// Applies one event batch to the solver and publishes a snapshot of the
   /// resulting state. Returns the new state's feasibility. Throws
   /// InvalidArgument (and publishes nothing) when the batch fails the
-  /// solver's atomic validation. Single update thread only.
+  /// solver's atomic validation; throws InternalError (and enters degraded
+  /// mode — see Stale()) on a durability failure. Single update thread
+  /// only.
   bool ApplyAndPublish(std::span<const incremental::UpdateEvent> events);
 
   /// Pins the current snapshot (always non-empty — the constructor
@@ -65,18 +130,55 @@ class ServeHarness {
   /// Snapshots published, including the constructor's initial one.
   [[nodiscard]] std::uint64_t Publishes() const noexcept { return store_.Publishes(); }
 
+  /// True while the harness serves in degraded mode (see the header note).
+  /// Any thread.
+  [[nodiscard]] bool Stale() const noexcept {
+    return stale_.load(std::memory_order_relaxed);
+  }
+
+  /// Cuts a checkpoint of the current state now (durable mode only; no-op
+  /// otherwise). Also trims the WAL when `trim_on_checkpoint` is set.
+  void Checkpoint();
+
+  /// Last batch sequence number committed to the WAL (0 before the first
+  /// append or in non-durable mode). Recovery resumes a trace at this
+  /// index: everything up to and including it survived.
+  [[nodiscard]] std::uint64_t LastDurableSeq() const noexcept { return seq_; }
+
+  /// Batches replayed from the WAL tail by RecoverFrom (0 for a directly
+  /// constructed harness).
+  [[nodiscard]] std::uint64_t RecoveredBatches() const noexcept {
+    return recovered_batches_;
+  }
+
   [[nodiscard]] const incremental::IncrementalSolver& Solver() const noexcept {
-    return solver_;
+    return *solver_;
   }
   [[nodiscard]] const SnapshotStore& Store() const noexcept { return store_; }
 
  private:
-  void PublishCurrent();
+  struct RecoveredState;  // checkpoint + WAL tail, resolved before solver init
+  ServeHarness(const Instance& instance, incremental::SolverOptions options,
+               const DurabilityOptions& durability, RecoveredState&& recovered);
 
-  incremental::IncrementalSolver solver_;
+  void PublishCurrent();
+  void MaybeCheckpoint();
+
+  /// Behind a pointer (not a plain member) because recovery picks between
+  /// the from-scratch and the restore constructor at runtime and the
+  /// solver is neither copyable nor movable. Never null after construction.
+  std::unique_ptr<incremental::IncrementalSolver> solver_;
   SnapshotStore store_;
   std::uint64_t next_version_ = 1;  // update-thread-owned
   mutable std::atomic<std::uint64_t> queries_answered_{0};
+  std::atomic<bool> stale_{false};
+
+  // Durable mode only (wal_ disengaged otherwise). All update-thread-owned.
+  DurabilityOptions durability_;
+  std::optional<EventWal> wal_;
+  std::uint64_t seq_ = 0;                   ///< last WAL-committed batch seq
+  std::uint64_t applies_since_checkpoint_ = 0;
+  std::uint64_t recovered_batches_ = 0;
 };
 
 }  // namespace rpt::serve

@@ -1,47 +1,66 @@
 #include "serve/tcp_server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "support/common.hpp"
+#include "support/failpoint.hpp"
 
 namespace rpt::serve {
 
 namespace {
 
-// Full-buffer read/write with EINTR retry; false on EOF/error (the caller
-// treats either as "connection over").
-bool ReadFull(int fd, std::uint8_t* buf, std::size_t len) {
+enum class IoStatus { kOk, kClosed, kTimeout };
+
+// Full-buffer read/write with EINTR retry. With SO_RCVTIMEO/SO_SNDTIMEO set,
+// an expired wait surfaces as EAGAIN/EWOULDBLOCK — reported as kTimeout so
+// the server can count it and the client can throw TimeoutError; EOF and
+// hard errors are kClosed ("connection over" either way).
+IoStatus ReadFull(int fd, std::uint8_t* buf, std::size_t len) {
   std::size_t done = 0;
   while (done < len) {
     const ssize_t n = ::read(fd, buf + done, len - done);
     if (n > 0) {
       done += static_cast<std::size_t>(n);
-    } else if (n == 0 || errno != EINTR) {
-      return false;
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return IoStatus::kTimeout;
+    } else {
+      return IoStatus::kClosed;
     }
   }
-  return true;
+  return IoStatus::kOk;
 }
 
-bool WriteFull(int fd, const std::uint8_t* buf, std::size_t len) {
+IoStatus WriteFull(int fd, const std::uint8_t* buf, std::size_t len) {
   std::size_t done = 0;
   while (done < len) {
-    const ssize_t n = ::write(fd, buf + done, len - done);
+    // MSG_NOSIGNAL: a peer that disconnected mid-exchange must surface as
+    // EPIPE (-> kClosed), not deliver a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, buf + done, len - done, MSG_NOSIGNAL);
     if (n > 0) {
       done += static_cast<std::size_t>(n);
-    } else if (errno != EINTR) {
-      return false;
+    } else if (errno == EINTR) {
+      continue;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoStatus::kTimeout;
+    } else {
+      return IoStatus::kClosed;
     }
   }
-  return true;
+  return IoStatus::kOk;
 }
 
 std::uint32_t DecodePrefix(const std::uint8_t prefix[4]) {
@@ -54,9 +73,19 @@ void CloseQuiet(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
+void SetIoTimeouts(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 }  // namespace
 
-TcpServer::TcpServer(const ServeHarness& harness) : harness_(harness) {}
+TcpServer::TcpServer(const ServeHarness& harness, TcpServerOptions options)
+    : harness_(harness), options_(options) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -116,6 +145,7 @@ void TcpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listener shut down (Stop) or fatal — either way, done
     }
+    SetIoTimeouts(fd, options_.io_timeout_ms);
     connections_.fetch_add(1, std::memory_order_relaxed);
     const std::lock_guard<std::mutex> lock(conn_mutex_);
     if (!running_.load(std::memory_order_acquire)) {
@@ -132,11 +162,30 @@ void TcpServer::ServeConnection(int fd) {
   std::vector<std::uint8_t> out;
   std::uint8_t prefix[4];
   while (running_.load(std::memory_order_acquire)) {
-    if (!ReadFull(fd, prefix, 4)) break;
+    fail::Hit("tcp.serve.stall");  // kDelay here = a slow server, per request
+    const IoStatus ps = ReadFull(fd, prefix, 4);
+    if (ps != IoStatus::kOk) {
+      // A timeout with zero bytes read is just an idle keep-alive gap to a
+      // well-behaved peer — but distinguishing "idle before a frame" from
+      // "dead mid-prefix" needs byte accounting inside ReadFull for little
+      // gain; the contract is simply that a connection must speak within
+      // every io_timeout_ms window or re-connect. Cheap for our clients,
+      // and it guarantees a wedged peer frees its handler thread.
+      if (ps == IoStatus::kTimeout) timeouts_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
     const std::uint32_t len = DecodePrefix(prefix);
     if (len > kMaxFrameBytes) break;  // desync — nothing sane to answer
     payload.resize(len);
-    if (len > 0 && !ReadFull(fd, payload.data(), len)) break;
+    if (len > 0) {
+      const IoStatus bs = ReadFull(fd, payload.data(), len);
+      if (bs != IoStatus::kOk) {
+        // Half-written frame: the peer died or hung mid-request. Close —
+        // resynchronizing on a torn stream is guesswork.
+        if (bs == IoStatus::kTimeout) timeouts_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
 
     QueryResponse response;  // defaults: version 0, ok false
     try {
@@ -149,12 +198,21 @@ void TcpServer::ServeConnection(int fd) {
     out.clear();
     EncodeResponse(response, out);
     requests_.fetch_add(1, std::memory_order_relaxed);
-    if (!WriteFull(fd, out.data(), out.size())) break;
+    const IoStatus ws = WriteFull(fd, out.data(), out.size());
+    if (ws != IoStatus::kOk) {
+      if (ws == IoStatus::kTimeout) timeouts_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
   }
   CloseQuiet(fd);
 }
 
-TcpClient::TcpClient(std::uint16_t port) {
+TcpClient::TcpClient(std::uint16_t port, TcpClientOptions options)
+    : port_(port), options_(options) {
+  Connect();
+}
+
+void TcpClient::Connect() {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   RPT_CHECK(fd_ >= 0);
   const int one = 1;
@@ -162,24 +220,64 @@ TcpClient::TcpClient(std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
+  addr.sin_port = htons(port_);
+
+  // Bounded handshake: non-blocking connect, poll for writability, then
+  // back to blocking with per-op timeouts.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  const auto fail = [&](const std::string& what, bool timeout) -> void {
     CloseQuiet(fd_);
     fd_ = -1;
-    throw InternalError(std::string("TcpClient: connect failed: ") + std::strerror(err));
+    if (timeout) throw TimeoutError("TcpClient: " + what);
+    throw InternalError("TcpClient: " + what);
+  };
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      fail(std::string("connect failed: ") + std::strerror(errno), false);
+    }
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int timeout = options_.connect_timeout_ms > 0 ? options_.connect_timeout_ms : -1;
+    const int ready = ::poll(&pfd, 1, timeout);
+    if (ready == 0) fail("connect timed out", true);
+    if (ready < 0) fail(std::string("connect poll failed: ") + std::strerror(errno), false);
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) fail(std::string("connect failed: ") + std::strerror(err), false);
   }
+  ::fcntl(fd_, F_SETFL, flags);
+  SetIoTimeouts(fd_, options_.io_timeout_ms);
 }
 
 TcpClient::~TcpClient() { CloseQuiet(fd_); }
 
 QueryResponse TcpClient::Query(const QueryRequest& request) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (fd_ < 0) Connect();  // a prior attempt tore the connection down
+      return QueryOnce(request);
+    } catch (const InternalError&) {
+      // TimeoutError or a torn connection. The request never mutates
+      // state, so resending on a fresh connection is always safe.
+      CloseQuiet(fd_);
+      fd_ = -1;
+      if (attempt >= options_.max_retries) throw;
+      ++retries_;
+      const auto backoff =
+          std::chrono::milliseconds(static_cast<long long>(options_.backoff_base_ms) << attempt);
+      std::this_thread::sleep_for(backoff);
+    }
+  }
+}
+
+QueryResponse TcpClient::QueryOnce(const QueryRequest& request) {
   std::vector<std::uint8_t> out;
   EncodeRequest(request, out);
   RPT_CHECK(fd_ >= 0);
-  if (!WriteFull(fd_, out.data(), out.size())) {
-    throw InternalError("TcpClient: short write");
-  }
+  const IoStatus ws = WriteFull(fd_, out.data(), out.size());
+  if (ws == IoStatus::kTimeout) throw TimeoutError("TcpClient: send timed out");
+  if (ws != IoStatus::kOk) throw InternalError("TcpClient: short write");
   return ReadResponse();
 }
 
@@ -189,19 +287,30 @@ QueryResponse TcpClient::RawFrame(std::span<const std::uint8_t> payload) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
   out.insert(out.end(), payload.begin(), payload.end());
   RPT_CHECK(fd_ >= 0);
-  if (!WriteFull(fd_, out.data(), out.size())) {
-    throw InternalError("TcpClient: short write");
-  }
+  const IoStatus ws = WriteFull(fd_, out.data(), out.size());
+  if (ws == IoStatus::kTimeout) throw TimeoutError("TcpClient: send timed out");
+  if (ws != IoStatus::kOk) throw InternalError("TcpClient: short write");
   return ReadResponse();
+}
+
+void TcpClient::SendBytes(std::span<const std::uint8_t> bytes) {
+  RPT_CHECK(fd_ >= 0);
+  const IoStatus ws = WriteFull(fd_, bytes.data(), bytes.size());
+  if (ws == IoStatus::kTimeout) throw TimeoutError("TcpClient: send timed out");
+  if (ws != IoStatus::kOk) throw InternalError("TcpClient: short write");
 }
 
 QueryResponse TcpClient::ReadResponse() {
   std::uint8_t prefix[4];
-  if (!ReadFull(fd_, prefix, 4)) throw InternalError("TcpClient: connection closed");
+  const IoStatus ps = ReadFull(fd_, prefix, 4);
+  if (ps == IoStatus::kTimeout) throw TimeoutError("TcpClient: response timed out");
+  if (ps != IoStatus::kOk) throw InternalError("TcpClient: connection closed");
   const std::uint32_t len = DecodePrefix(prefix);
   RPT_REQUIRE(len == kResponseWireSize, "TcpClient: unexpected response frame size");
   std::vector<std::uint8_t> payload(len);
-  if (!ReadFull(fd_, payload.data(), len)) throw InternalError("TcpClient: short read");
+  const IoStatus bs = ReadFull(fd_, payload.data(), len);
+  if (bs == IoStatus::kTimeout) throw TimeoutError("TcpClient: response timed out");
+  if (bs != IoStatus::kOk) throw InternalError("TcpClient: short read");
   return DecodeResponse(payload);
 }
 

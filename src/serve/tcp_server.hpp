@@ -16,6 +16,18 @@
 // reaches the server at all — updates flow through the harness's single
 // update thread, not the wire.
 //
+// Timeouts (the no-wedge contract): every accepted connection carries
+// SO_RCVTIMEO/SO_SNDTIMEO of TcpServerOptions::io_timeout_ms, so a peer
+// that sends half a frame and hangs — or stops draining responses — costs
+// the service one handler thread for at most one timeout, after which the
+// connection closes. The client symmetrically bounds connect (non-blocking
+// connect + poll) and per-operation I/O, surfacing expiry as TimeoutError;
+// TcpClient::Query additionally retries on a fresh connection with
+// exponential backoff (queries are read-only, hence idempotent — resending
+// is always safe). The failpoint "tcp.serve.stall" (Action::kDelay) sits at
+// the top of the server's per-request loop so tests can simulate a slow
+// server without touching real traffic.
+//
 // Threading: Start() spawns one accept thread; each accepted connection gets
 // its own handler thread (the expected fan-in is a handful of benchmark or
 // test clients, not a C10K front; the harness underneath scales to any
@@ -32,6 +44,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -44,10 +57,35 @@ namespace rpt::serve {
 /// connection (a legal request payload is kRequestWireSize bytes).
 inline constexpr std::uint32_t kMaxFrameBytes = 1024;
 
+/// A bounded socket operation expired. Subtype of InternalError so existing
+/// callers that catch the broad class keep working; new callers can react
+/// to timeouts specifically (the client's retry loop does).
+class TimeoutError : public InternalError {
+ public:
+  explicit TimeoutError(const std::string& what) : InternalError(what) {}
+};
+
+struct TcpServerOptions {
+  /// Per-connection read/write timeout. A half-written request frame or an
+  /// undrained response closes the connection after this long; 0 disables
+  /// (blocking forever — the pre-timeout behavior, tests only).
+  int io_timeout_ms = 30000;
+};
+
+struct TcpClientOptions {
+  int connect_timeout_ms = 5000;  ///< bound on the TCP handshake
+  int io_timeout_ms = 5000;       ///< bound on each send/recv; 0 disables
+  /// Query() retries on a FRESH connection this many times after the first
+  /// attempt fails with a timeout or connection error (0 = fail fast).
+  int max_retries = 2;
+  /// Backoff before retry k (0-based) is `backoff_base_ms << k`.
+  int backoff_base_ms = 10;
+};
+
 class TcpServer {
  public:
   /// Wraps `harness` (not owned; must outlive the server).
-  explicit TcpServer(const ServeHarness& harness);
+  explicit TcpServer(const ServeHarness& harness, TcpServerOptions options = {});
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
@@ -77,11 +115,18 @@ class TcpServer {
     return requests_.load(std::memory_order_relaxed);
   }
 
+  /// Connections closed because a read or write timed out (half frames,
+  /// undrained peers).
+  [[nodiscard]] std::uint64_t TimeoutsObserved() const noexcept {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
 
   const ServeHarness& harness_;
+  TcpServerOptions options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
@@ -91,30 +136,47 @@ class TcpServer {
   std::vector<std::thread> conn_threads_;
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
 };
 
 /// Minimal blocking client for the rpt-serve wire protocol: one connection,
-/// one request/response at a time. Not thread-safe; throws InternalError on
-/// socket failures and InvalidArgument on malformed responses.
+/// one request/response at a time. Not thread-safe; throws TimeoutError
+/// when a bounded operation expires, InternalError on other socket failures
+/// and InvalidArgument on malformed responses.
 class TcpClient {
  public:
-  /// Connects to 127.0.0.1:`port`.
-  explicit TcpClient(std::uint16_t port);
+  /// Connects to 127.0.0.1:`port` within `options.connect_timeout_ms`.
+  explicit TcpClient(std::uint16_t port, TcpClientOptions options = {});
   TcpClient(const TcpClient&) = delete;
   TcpClient& operator=(const TcpClient&) = delete;
   ~TcpClient();
 
-  /// Sends one request and blocks for its response.
+  /// Sends one request and blocks for its response. On a timeout or a
+  /// connection error, reconnects and resends up to `max_retries` times
+  /// with exponential backoff (safe: queries are idempotent reads); throws
+  /// the final attempt's error when the budget is exhausted.
   [[nodiscard]] QueryResponse Query(const QueryRequest& request);
 
   /// Sends `payload` under a raw length prefix — the tests' tool for
-  /// poking malformed frames at the server.
+  /// poking malformed frames at the server. No retry.
   [[nodiscard]] QueryResponse RawFrame(std::span<const std::uint8_t> payload);
 
+  /// Writes raw bytes with NO framing and reads nothing — the tests' tool
+  /// for half-written frames and hung-peer scenarios.
+  void SendBytes(std::span<const std::uint8_t> bytes);
+
+  /// Retries Query() performed over this client's lifetime.
+  [[nodiscard]] std::uint64_t Retries() const noexcept { return retries_; }
+
  private:
+  void Connect();
+  QueryResponse QueryOnce(const QueryRequest& request);
   QueryResponse ReadResponse();
 
+  std::uint16_t port_ = 0;
+  TcpClientOptions options_;
   int fd_ = -1;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace rpt::serve

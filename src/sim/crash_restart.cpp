@@ -1,0 +1,87 @@
+#include "sim/crash_restart.hpp"
+
+#include <memory>
+#include <span>
+
+#include "serve/serve_harness.hpp"
+
+namespace rpt::sim {
+
+namespace {
+
+// Applies batch `events`, swallowing only validation failures — a rejected
+// batch publishes nothing in any life (first run, replay, oracle), so the
+// three stay in lockstep by skipping it everywhere.
+void ApplyLenient(serve::ServeHarness& harness,
+                  std::span<const incremental::UpdateEvent> events) {
+  try {
+    harness.ApplyAndPublish(events);
+  } catch (const InvalidArgument&) {
+  }
+}
+
+}  // namespace
+
+CrashRestartResult RunCrashRestart(const Instance& instance,
+                                   const incremental::UpdateTrace& trace,
+                                   const CrashRestartConfig& config) {
+  RPT_REQUIRE(!trace.empty(), "crash-restart: trace must be non-empty");
+  RPT_REQUIRE(config.crash_at_batch <= trace.size(),
+              "crash-restart: crash index past the end of the trace");
+  RPT_REQUIRE(!config.dir.empty(), "crash-restart: needs a state directory");
+
+  fail::DisarmAll();
+  serve::DurabilityOptions durability;
+  durability.dir = config.dir;
+  durability.checkpoint_every = config.checkpoint_every;
+
+  CrashRestartResult result;
+
+  // First life: apply batches until the armed failpoint kills the harness.
+  {
+    auto harness = std::make_unique<serve::ServeHarness>(instance, config.solver,
+                                                         durability);
+    bool crashed = false;
+    for (std::uint64_t i = 0; i < trace.size() && !crashed; ++i) {
+      if (config.crash_at_batch == i + 1) {
+        fail::Arm(config.crash_point, config.crash_action, 1, config.crash_param);
+      }
+      try {
+        ApplyLenient(*harness, trace[i]);
+      } catch (const fail::InjectedFault&) {
+        crashed = true;  // the process "died": abandon the harness mid-batch
+      }
+    }
+    fail::DisarmAll();
+  }  // harness destroyed — in a real crash not even this runs, but the WAL
+     // bytes are already on disk and that is all recovery may read
+
+  // Second life: recover from disk, resume the unseen tail of the trace.
+  auto recovered =
+      serve::ServeHarness::RecoverFrom(instance, config.solver, durability);
+  result.durable_seq_at_recovery = recovered->LastDurableSeq();
+  result.recovered_batches = recovered->RecoveredBatches();
+  for (std::uint64_t seq = recovered->LastDurableSeq(); seq < trace.size(); ++seq) {
+    ApplyLenient(*recovered, trace[seq]);  // trace[seq] is batch seq+1
+  }
+  {
+    const auto ref = recovered->Pin();
+    result.final_version = ref->Version();
+    result.final_hash = ref->CanonicalHash();
+  }
+
+  // Oracle: the same trace, uninterrupted, never touching disk.
+  serve::ServeHarness oracle(instance, config.solver);
+  for (const auto& batch : trace) ApplyLenient(oracle, batch);
+  {
+    const auto ref = oracle.Pin();
+    result.oracle_version = ref->Version();
+    result.oracle_hash = ref->CanonicalHash();
+  }
+
+  result.match = result.final_version == result.oracle_version &&
+                 result.final_hash == result.oracle_hash;
+  return result;
+}
+
+}  // namespace rpt::sim

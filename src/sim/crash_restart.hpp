@@ -1,0 +1,66 @@
+// Crash/restart replay scenario: drive an update trace through a DURABLE
+// ServeHarness, kill it at a chosen failpoint mid-trace, recover from the
+// state directory, resume the remainder of the trace, and compare the final
+// published snapshot byte-for-byte (CanonicalHash + version) against an
+// uninterrupted in-memory run of the same trace.
+//
+// This is the orchestration the recovery oracle tests and the bench layer
+// share: the harness under test takes the real crash path (torn WAL tail
+// and all — the failpoint fires inside the durability machinery), while the
+// oracle harness never touches disk. `match` is the whole contract of the
+// durability layer in one bit.
+//
+// Determinism: everything here is deterministic given (instance, trace,
+// config) — the crash fires at an exact batch via the one-shot failpoint
+// countdown, recovery replays an exact log, and the solvers are
+// thread-count invariant. Batches that fail validation are skipped
+// identically in both lives and in the oracle (they are logged, rejected,
+// and never published — see serve_harness.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "incremental/incremental_solver.hpp"
+#include "incremental/update_event.hpp"
+#include "model/instance.hpp"
+#include "support/failpoint.hpp"
+
+namespace rpt::sim {
+
+struct CrashRestartConfig {
+  std::string dir;  ///< durable state directory (fresh; caller owns cleanup)
+  /// 1-based index of the batch whose ApplyAndPublish the crash interrupts
+  /// (0 = never crash: the run completes, restarts anyway, and recovery
+  /// must reproduce the clean final state).
+  std::uint64_t crash_at_batch = 0;
+  /// Failpoint armed for the crashing batch. The interesting windows:
+  /// "wal.append" (before logging), "wal.append.short" (torn record —
+  /// pair with Action::kShortOp), "serve.post_wal" (logged, not applied),
+  /// "serve.post_apply" (applied, not published).
+  std::string crash_point = "serve.post_wal";
+  fail::Action crash_action = fail::Action::kThrow;
+  std::uint64_t crash_param = 0;  ///< kShortOp: bytes written before dying
+  std::uint64_t checkpoint_every = 0;  ///< DurabilityOptions::checkpoint_every
+  incremental::SolverOptions solver;
+};
+
+struct CrashRestartResult {
+  std::uint64_t durable_seq_at_recovery = 0;  ///< batches that survived the crash
+  std::uint64_t recovered_batches = 0;        ///< WAL-tail records replayed
+  std::uint64_t final_version = 0;            ///< recovered run's last snapshot
+  std::uint64_t final_hash = 0;               ///< its CanonicalHash
+  std::uint64_t oracle_version = 0;           ///< uninterrupted run's last snapshot
+  std::uint64_t oracle_hash = 0;              ///< its CanonicalHash
+  bool match = false;  ///< final (version, hash) == oracle (version, hash)
+};
+
+/// Runs the scenario described above. Throws InvalidArgument on an empty
+/// trace or a crash index past the trace end; propagates InternalError from
+/// recovery (e.g. interior WAL corruption) — a scenario must never paper
+/// over a loud failure. Disarms all failpoints on every exit path.
+[[nodiscard]] CrashRestartResult RunCrashRestart(
+    const Instance& instance, const incremental::UpdateTrace& trace,
+    const CrashRestartConfig& config);
+
+}  // namespace rpt::sim

@@ -1,0 +1,55 @@
+// CRC-32 (IEEE 802.3 / zlib polynomial, reflected, init & final xor
+// 0xFFFFFFFF) — the checksum sealing WAL records and checkpoint files.
+// Table-based, one table built at first use; header-only so the serve layer
+// and the torn-log test corpus share the exact same bit contract.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rpt::support {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& Crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Incremental form: feed `crc` from a previous call (or 0 to start) to
+/// checksum discontiguous pieces as one logical stream.
+inline std::uint32_t Crc32Update(std::uint32_t crc, const void* data,
+                                 std::size_t len) {
+  const auto& table = detail::Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t Crc32(const void* data, std::size_t len) {
+  return Crc32Update(0, data, len);
+}
+
+inline std::uint32_t Crc32(std::string_view bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace rpt::support

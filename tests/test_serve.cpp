@@ -16,9 +16,15 @@
 //    use-after-reclaim.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -33,6 +39,7 @@
 #include "serve/snapshot_store.hpp"
 #include "serve/tcp_server.hpp"
 #include "sim/replay.hpp"
+#include "support/failpoint.hpp"
 
 namespace rpt::serve {
 namespace {
@@ -345,6 +352,135 @@ TEST(TcpServer, LoopbackQueriesMatchInProcessAnswers) {
   EXPECT_EQ(server.ConnectionsAccepted(), 1u);
   server.Stop();
   server.Stop();  // idempotent
+}
+
+TEST(WireCodec, StaleBitRoundTripsAndUnknownStatusBitsAreRejected) {
+  QueryResponse response;
+  response.version = 4;
+  response.ok = true;
+  response.stale = true;
+  response.server = 3;
+  std::vector<std::uint8_t> wire;
+  EncodeResponse(response, wire);
+  const QueryResponse decoded = DecodeResponse({wire.data() + 4, kResponseWireSize});
+  EXPECT_TRUE(decoded.ok);
+  EXPECT_TRUE(decoded.stale);
+  EXPECT_EQ(decoded, response);
+
+  // Status bits beyond ok|stale mean a protocol desync, not a guess.
+  wire[4 + 8] = 0x04;
+  EXPECT_THROW((void)DecodeResponse({wire.data() + 4, kResponseWireSize}),
+               InvalidArgument);
+}
+
+TEST(TcpServer, HalfWrittenFrameTimesOutWithoutWedgingTheService) {
+  const Instance instance = MakeSolvedInstance(10);
+  ServeHarness harness(instance);
+  TcpServerOptions server_options;
+  server_options.io_timeout_ms = 100;
+  TcpServer server(harness, server_options);
+  server.Start(/*port=*/0);
+
+  // A peer that sends half a length prefix and goes silent: the handler
+  // must give up after one timeout window, not hold the thread forever.
+  TcpClient rude(server.Port());
+  const std::uint8_t half_prefix[2] = {13, 0};
+  rude.SendBytes(half_prefix);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.TimeoutsObserved() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server.TimeoutsObserved(), 1u);
+
+  // The service is still up for well-behaved clients.
+  TcpClient polite(server.Port());
+  const QueryRequest request{QueryKind::kResidual, instance.GetTree().Root(), 0};
+  EXPECT_TRUE(polite.Query(request).ok);
+  server.Stop();
+}
+
+TEST(TcpServer, ClientRetriesThroughAStalledServer) {
+  const Instance instance = MakeSolvedInstance(11);
+  ServeHarness harness(instance);
+  TcpServer server(harness);
+  server.Start(/*port=*/0);
+
+  // First connection's handler sleeps past the client's I/O budget; the
+  // client times out, reconnects, and the (one-shot) stall is gone.
+  fail::ScopedArm stall("tcp.serve.stall", fail::Action::kDelay, 1, /*param=*/500);
+  TcpClientOptions client_options;
+  client_options.io_timeout_ms = 100;
+  client_options.max_retries = 2;
+  client_options.backoff_base_ms = 1;
+  TcpClient client(server.Port(), client_options);
+  const QueryRequest request{QueryKind::kResidual, instance.GetTree().Root(), 0};
+  const QueryResponse response = client.Query(request);
+  EXPECT_TRUE(response.ok);
+  EXPECT_GE(client.Retries(), 1u);
+  EXPECT_GE(server.ConnectionsAccepted(), 2u);
+
+  server.Stop();
+}
+
+TEST(TcpServer, ExhaustedRetryBudgetSurfacesTheTimeout) {
+  // A listener that accepts into its backlog but never reads: every attempt
+  // (initial + retries) must time out, and the final one must escape.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listen_fd, 8), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len), 0);
+
+  TcpClientOptions options;
+  options.io_timeout_ms = 50;
+  options.max_retries = 1;
+  options.backoff_base_ms = 1;
+  TcpClient client(ntohs(addr.sin_port), options);
+  const QueryRequest request{QueryKind::kResidual, 0, 0};
+  EXPECT_THROW((void)client.Query(request), TimeoutError);
+  EXPECT_EQ(client.Retries(), 1u);
+  ::close(listen_fd);
+}
+
+TEST(TcpServer, StaleBitTravelsTheWire) {
+  const Instance instance = MakeSolvedInstance(12);
+  char dir_template[] = "/tmp/rpt_stale_XXXXXX";
+  const std::string dir = ::mkdtemp(dir_template);
+  DurabilityOptions durability;
+  durability.dir = dir;
+  {
+    ServeHarness harness(instance, {}, durability);
+    TcpServer server(harness);
+    server.Start(/*port=*/0);
+    TcpClient client(server.Port());
+    const QueryRequest request{QueryKind::kResidual, instance.GetTree().Root(), 0};
+    EXPECT_FALSE(client.Query(request).stale);
+
+    // A durability failure degrades the service: answers keep flowing but
+    // carry the stale bit until the next good publish.
+    const NodeId probe = instance.GetTree().Clients()[0];
+    fail::Arm("wal.sync", fail::Action::kError);
+    EXPECT_THROW(harness.ApplyAndPublish(
+                     std::vector<UpdateEvent>{UpdateEvent::DemandDelta(probe, 1)}),
+                 InternalError);
+    fail::DisarmAll();
+    const QueryResponse degraded = client.Query(request);
+    EXPECT_TRUE(degraded.ok);
+    EXPECT_TRUE(degraded.stale);
+
+    harness.ApplyAndPublish(
+        std::vector<UpdateEvent>{UpdateEvent::DemandDelta(probe, 1)});
+    const QueryResponse healed = client.Query(request);
+    EXPECT_TRUE(healed.ok);
+    EXPECT_FALSE(healed.stale);
+    server.Stop();
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ReplayStreaming, OnReplanHookPublishesPerResolve) {
