@@ -153,6 +153,7 @@ int WriteAll(int fd, const char* data, std::size_t size) {
       if (errno == EINTR) continue;
       return errno;
     }
+    if (n == 0) return EIO;  // no progress and no errno set — don't spin
     done += static_cast<std::size_t>(n);
   }
   return 0;
@@ -392,6 +393,9 @@ void EventWal::Append(std::uint64_t seq, const std::vector<UpdateEvent>& events)
 }
 
 void EventWal::TrimThrough(const std::string& path, std::uint64_t through_seq) {
+  if (fail::Hit("wal.trim") == fail::Action::kError) {
+    throw InternalError("event_wal: injected trim failure ('" + path + "')");
+  }
   const WalReadResult scan = Read(path);
   std::string out(kWalMagic, kWalMagicBytes);
   for (const WalBatch& batch : scan.batches) {
@@ -443,6 +447,11 @@ void WriteCheckpoint(const std::string& dir, const CheckpointState& state) {
   for (std::size_t i = 2; i < all.size(); ++i) {
     fs::remove(all[i].second, ec);
   }
+}
+
+std::uint64_t NewestCheckpointSeqHint(const std::string& dir) {
+  const auto all = ListCheckpoints(dir);
+  return all.empty() ? 0 : all.front().first;
 }
 
 std::optional<CheckpointState> LoadNewestCheckpoint(const std::string& dir) {

@@ -73,6 +73,8 @@
 //   wal.sync         kError: treated as fsync failure — the torn append is
 //                    repaired (file truncated back to the committed length)
 //                    and InternalError thrown so the harness degrades
+//   wal.trim         kError: TrimThrough fails before touching the file —
+//                    the untrimmed log is left fully intact
 //   ckpt.write       before the checkpoint tmp file is renamed into place
 #pragma once
 
@@ -181,7 +183,18 @@ void WriteCheckpoint(const std::string& dir, const CheckpointState& state);
 /// Returns the newest checkpoint in `dir` that passes its CRC and parses
 /// cleanly; damaged or partial files are skipped (recovery falls back to
 /// an older checkpoint or a full WAL replay). nullopt when none survive.
+/// Fallback is only SAFE when the WAL still covers every batch past the
+/// fallback point — ServeHarness::RecoverFrom enforces that with a seq
+/// contiguity check, so a damaged newest checkpoint whose records were
+/// already trimmed out of the WAL fails loudly instead of rolling back.
 [[nodiscard]] std::optional<CheckpointState> LoadNewestCheckpoint(
     const std::string& dir);
+
+/// Highest checkpoint seq advertised by any `ckpt-<seq>.rpt` filename in
+/// `dir`, loadable or not (0 when none). Recovery compares it against the
+/// seq it actually reached: a larger advertised seq means the newest
+/// checkpoint is damaged AND the batches it covered are gone from the
+/// (trimmed) WAL — a gap that must refuse recovery, not silently lose data.
+[[nodiscard]] std::uint64_t NewestCheckpointSeqHint(const std::string& dir);
 
 }  // namespace rpt::serve

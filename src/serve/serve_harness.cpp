@@ -101,8 +101,37 @@ std::unique_ptr<ServeHarness> ServeHarness::RecoverFrom(
   recovered.last_seq = ckpt_seq;
   for (WalBatch& batch : wal.batches) {
     if (batch.seq <= ckpt_seq) continue;  // already folded into the checkpoint
+    // Harness seqs are contiguous (rejected batches are logged too), so a
+    // tail that does not pick up exactly one past the recovered seq means
+    // committed batches are missing — the classic shape: the newest
+    // checkpoint was damaged, LoadNewestCheckpoint fell back to an older
+    // one, and trim_on_checkpoint already dropped the records in between.
+    // Replaying around the gap would fabricate a state the system never
+    // passed through; refuse, same as interior WAL corruption.
+    if (batch.seq != recovered.last_seq + 1) {
+      throw InternalError(
+          "serve: WAL record seq " + std::to_string(batch.seq) +
+          " does not follow recovered seq " +
+          std::to_string(recovered.last_seq) + " in '" + durability.dir +
+          "'; the batches in between are lost — refusing to recover a "
+          "wrong state");
+    }
     recovered.last_seq = batch.seq;
     recovered.tail.push_back(std::move(batch));
+  }
+  // The same gap with an empty (or short) tail: every checkpoint filename
+  // advertises its seq, so a newest checkpoint that failed to load while
+  // neither an older checkpoint nor the trimmed WAL reaches its seq means
+  // data loss even though everything on disk parses cleanly.
+  const std::uint64_t advertised = NewestCheckpointSeqHint(durability.dir);
+  if (advertised > recovered.last_seq) {
+    throw InternalError(
+        "serve: a checkpoint file advertising seq " +
+        std::to_string(advertised) + " exists in '" + durability.dir +
+        "' but recovery only reaches seq " +
+        std::to_string(recovered.last_seq) +
+        "; the newest checkpoint is damaged and the WAL no longer covers "
+        "the gap — refusing to recover a wrong state");
   }
   return std::unique_ptr<ServeHarness>(
       new ServeHarness(instance, options, durability, std::move(recovered)));
@@ -115,8 +144,21 @@ void ServeHarness::PublishCurrent() {
   ++next_version_;
 }
 
+void ServeHarness::RequireWal() {
+  if (wal_) return;
+  // Durable mode but no WAL handle: an earlier checkpoint trim failed AND
+  // the log could not be reopened. Applying a batch the log would never
+  // hear about silently forfeits durability — refuse instead.
+  stale_.store(true, std::memory_order_relaxed);
+  throw InternalError(
+      "serve: WAL handle lost (earlier trim/reopen failure in '" +
+      durability_.dir + "'); refusing to apply unlogged batches");
+}
+
 bool ServeHarness::ApplyAndPublish(std::span<const incremental::UpdateEvent> events) {
-  if (wal_) {
+  const bool durable = !durability_.dir.empty();
+  if (durable) {
+    RequireWal();
     // Log-then-apply: a batch the log never heard about must not reach the
     // solver. An append that fails with InternalError (real or injected
     // fsync/write error) repaired the file — the batch simply never
@@ -149,7 +191,7 @@ bool ServeHarness::ApplyAndPublish(std::span<const incremental::UpdateEvent> eve
 
   PublishCurrent();
   stale_.store(false, std::memory_order_relaxed);
-  if (wal_) {
+  if (durable) {
     ++applies_since_checkpoint_;
     MaybeCheckpoint();
   }
@@ -157,7 +199,8 @@ bool ServeHarness::ApplyAndPublish(std::span<const incremental::UpdateEvent> eve
 }
 
 void ServeHarness::Checkpoint() {
-  if (!wal_) return;
+  if (durability_.dir.empty()) return;
+  RequireWal();
   // A checkpoint failure throws InternalError but does NOT mark the
   // harness stale: the published snapshot is current and the WAL still
   // holds every batch — recovery just replays a longer tail.
@@ -170,14 +213,43 @@ void ServeHarness::Checkpoint() {
     // the trimmed log (its record count restarts, our seq_ does not).
     const std::string path = WalPath(durability_);
     wal_.reset();
-    EventWal::TrimThrough(path, state.seq);
-    wal_ = EventWal::OpenForAppend(path, durability_.sync_appends);
+    try {
+      EventWal::TrimThrough(path, state.seq);
+      wal_ = EventWal::OpenForAppend(path, durability_.sync_appends);
+    } catch (...) {
+      // Trim (or the reopen after it) failed. Whatever is on disk — the
+      // untrimmed log or the trimmed replacement — is still a valid WAL
+      // holding every post-checkpoint batch: re-engage it so one transient
+      // I/O error cannot silently disable durability. If even the reopen
+      // fails, wal_ stays empty and RequireWal() makes the next apply
+      // refuse loudly rather than skip logging.
+      try {
+        wal_ = EventWal::OpenForAppend(path, durability_.sync_appends);
+      } catch (...) {
+        stale_.store(true, std::memory_order_relaxed);
+      }
+      throw;
+    }
   }
 }
 
 void ServeHarness::MaybeCheckpoint() {
   if (durability_.checkpoint_every == 0) return;
-  if (applies_since_checkpoint_ >= durability_.checkpoint_every) Checkpoint();
+  if (applies_since_checkpoint_ < durability_.checkpoint_every) return;
+  try {
+    Checkpoint();
+    last_checkpoint_error_.clear();
+  } catch (const InternalError& error) {
+    // The batch already committed: logged, applied, published. Letting a
+    // checkpoint error escape would make ApplyAndPublish look failed and
+    // invite a retry that double-logs and double-applies the batch.
+    // Contain it — the WAL still holds every batch, so durability is
+    // intact — and surface it through LastCheckpointError() instead.
+    // (fail::InjectedFault is not an InternalError and still unwinds:
+    // crash simulations must propagate.)
+    last_checkpoint_error_ = error.what();
+    ++checkpoint_failures_;
+  }
 }
 
 QueryResponse ServeHarness::Query(const QueryRequest& request) const {

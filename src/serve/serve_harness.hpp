@@ -52,6 +52,15 @@
 // ApplyAndPublish clears the flag. Validation failures (InvalidArgument)
 // are the caller's bug, not degradation — they do not set the flag.
 //
+// Checkpoint failures are a third category: the batch that triggered a
+// periodic checkpoint had already committed (logged, applied, published),
+// so ApplyAndPublish contains the checkpoint's InternalError — an escape
+// would misreport the apply as failed and invite a double-applying retry —
+// and surfaces it via CheckpointFailures()/LastCheckpointError(). A failed
+// WAL trim re-engages the untrimmed log (still valid, still holding every
+// batch); only if even that reopen fails does the harness refuse further
+// applies (loudly, via InternalError) rather than serve without a log.
+//
 // Ownership: the harness owns the solver and the store; the Instance must
 // outlive the harness (same rule as IncrementalSolver).
 #pragma once
@@ -97,9 +106,12 @@ class ServeHarness {
   /// path (logged batches that fail validation re-reject and are skipped),
   /// truncates any torn tail record, and publishes the recovered state as
   /// one snapshot — byte-identical (CanonicalHash) to the uninterrupted
-  /// run's. Throws InternalError on interior WAL corruption: a log with a
-  /// hole must never silently recover to a wrong table. An empty/missing
-  /// directory recovers to the same state the durable constructor creates.
+  /// run's. Throws InternalError on interior WAL corruption, on a WAL tail
+  /// that is not seq-contiguous with the loaded checkpoint, and when a
+  /// damaged newest checkpoint's records are gone from the trimmed WAL
+  /// (filenames advertise each checkpoint's seq): a log with a hole must
+  /// never silently recover to a wrong table. An empty/missing directory
+  /// recovers to the same state the durable constructor creates.
   [[nodiscard]] static std::unique_ptr<ServeHarness> RecoverFrom(
       const Instance& instance, incremental::SolverOptions options,
       const DurabilityOptions& durability);
@@ -138,7 +150,25 @@ class ServeHarness {
 
   /// Cuts a checkpoint of the current state now (durable mode only; no-op
   /// otherwise). Also trims the WAL when `trim_on_checkpoint` is set.
+  /// Throws InternalError on failure; a failed trim re-engages the intact
+  /// untrimmed log before rethrowing, so durability survives the error.
+  /// (Periodic checkpoints triggered inside ApplyAndPublish contain this
+  /// error instead — see LastCheckpointError().)
   void Checkpoint();
+
+  /// Periodic (ApplyAndPublish-triggered) checkpoints that failed. Their
+  /// InternalError is contained — the batch itself had already committed,
+  /// so letting it escape would misreport the apply as failed — and
+  /// surfaced here instead. Update thread only.
+  [[nodiscard]] std::uint64_t CheckpointFailures() const noexcept {
+    return checkpoint_failures_;
+  }
+
+  /// what() of the most recent contained periodic-checkpoint failure;
+  /// empty when the last periodic checkpoint succeeded. Update thread only.
+  [[nodiscard]] const std::string& LastCheckpointError() const noexcept {
+    return last_checkpoint_error_;
+  }
 
   /// Last batch sequence number committed to the WAL (0 before the first
   /// append or in non-durable mode). Recovery resumes a trace at this
@@ -163,6 +193,7 @@ class ServeHarness {
 
   void PublishCurrent();
   void MaybeCheckpoint();
+  void RequireWal();
 
   /// Behind a pointer (not a plain member) because recovery picks between
   /// the from-scratch and the restore constructor at runtime and the
@@ -173,12 +204,17 @@ class ServeHarness {
   mutable std::atomic<std::uint64_t> queries_answered_{0};
   std::atomic<bool> stale_{false};
 
-  // Durable mode only (wal_ disengaged otherwise). All update-thread-owned.
+  // Durable mode only (wal_ disengaged otherwise — except after a failed
+  // checkpoint trim whose reopen also failed, when durability_.dir is set
+  // but wal_ is empty and RequireWal() refuses further applies). All
+  // update-thread-owned.
   DurabilityOptions durability_;
   std::optional<EventWal> wal_;
   std::uint64_t seq_ = 0;                   ///< last WAL-committed batch seq
   std::uint64_t applies_since_checkpoint_ = 0;
   std::uint64_t recovered_batches_ = 0;
+  std::uint64_t checkpoint_failures_ = 0;
+  std::string last_checkpoint_error_;
 };
 
 }  // namespace rpt::serve

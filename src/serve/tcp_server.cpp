@@ -52,6 +52,10 @@ IoStatus WriteFull(int fd, const std::uint8_t* buf, std::size_t len) {
     const ssize_t n = ::send(fd, buf + done, len - done, MSG_NOSIGNAL);
     if (n > 0) {
       done += static_cast<std::size_t>(n);
+    } else if (n == 0) {
+      // send() made no progress and set no errno; classifying by leftover
+      // errno could spin forever (stale EINTR) or misreport a timeout.
+      return IoStatus::kClosed;
     } else if (errno == EINTR) {
       continue;
     } else if (errno == EAGAIN || errno == EWOULDBLOCK) {

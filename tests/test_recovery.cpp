@@ -16,7 +16,9 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -75,6 +77,27 @@ DurabilityOptions Durable(const std::string& dir, std::uint64_t every = 0) {
   options.dir = dir;
   options.checkpoint_every = every;
   return options;
+}
+
+std::string CheckpointPath(const std::string& dir, std::uint64_t seq) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "ckpt-%020llu.rpt",
+                static_cast<unsigned long long>(seq));
+  return (fs::path(dir) / name).string();
+}
+
+/// Damages one byte so the file's CRC no longer matches (the checkpoint
+/// loader must skip it and fall back).
+void FlipByte(const std::string& path, std::size_t offset) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good()) << path;
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+  ASSERT_TRUE(file.good()) << path;
 }
 
 std::uint64_t HashOf(const ServeHarness& harness) {
@@ -293,6 +316,129 @@ TEST(CrashRecovery, CheckpointFailureLeavesServiceCurrent) {
   harness.Checkpoint();
   auto recovered = ServeHarness::RecoverFrom(instance, {}, Durable(dir.path));
   EXPECT_EQ(HashOf(*recovered), HashOf(harness));
+}
+
+TEST(CrashRecovery, FailedTrimKeepsWalEngaged) {
+  const Instance instance = MakeInstance(13);
+  const TempDir dir;
+  std::uint64_t live_hash = 0;
+  std::uint64_t live_version = 0;
+  {
+    ServeHarness harness(instance, {}, Durable(dir.path));
+    harness.ApplyAndPublish(std::vector<UpdateEvent>{UpdateEvent::DemandDelta(31, 2)});
+
+    // The checkpoint file lands, but the WAL trim after it fails. The
+    // untrimmed log is still valid — the harness must re-engage it, not
+    // leave the WAL handle disengaged and silently stop logging.
+    fail::Arm("wal.trim", fail::Action::kError);
+    EXPECT_THROW(harness.Checkpoint(), InternalError);
+    fail::DisarmAll();
+    EXPECT_FALSE(harness.Stale());
+
+    harness.ApplyAndPublish(std::vector<UpdateEvent>{UpdateEvent::DemandDelta(32, 4)});
+    EXPECT_EQ(harness.LastDurableSeq(), 2u);  // the post-failure batch WAS logged
+    live_hash = HashOf(harness);
+    live_version = VersionOf(harness);
+  }
+  // And nothing was lost: recovery reproduces the post-failure state.
+  auto recovered = ServeHarness::RecoverFrom(instance, {}, Durable(dir.path));
+  EXPECT_EQ(HashOf(*recovered), live_hash);
+  EXPECT_EQ(VersionOf(*recovered), live_version);
+}
+
+TEST(CrashRecovery, PeriodicCheckpointFailureDoesNotFailTheApply) {
+  const Instance instance = MakeInstance(14);
+  const TempDir dir;
+  ServeHarness harness(instance, {}, Durable(dir.path, /*every=*/1));
+  const std::uint64_t version_before = VersionOf(harness);
+
+  // The batch commits (logged, applied, published) before the periodic
+  // checkpoint runs; a checkpoint error escaping ApplyAndPublish would
+  // invite a retry that double-logs and double-applies the batch.
+  fail::Arm("ckpt.write", fail::Action::kError);
+  EXPECT_NO_THROW(harness.ApplyAndPublish(
+      std::vector<UpdateEvent>{UpdateEvent::DemandDelta(31, 2)}));
+  fail::DisarmAll();
+  EXPECT_EQ(VersionOf(harness), version_before + 1);
+  EXPECT_EQ(harness.LastDurableSeq(), 1u);
+  EXPECT_FALSE(harness.Stale());
+  EXPECT_EQ(harness.CheckpointFailures(), 1u);
+  EXPECT_FALSE(harness.LastCheckpointError().empty());
+
+  // The next apply retries the checkpoint, succeeds, and clears the error.
+  harness.ApplyAndPublish(std::vector<UpdateEvent>{UpdateEvent::DemandDelta(32, 1)});
+  EXPECT_TRUE(harness.LastCheckpointError().empty());
+  EXPECT_EQ(harness.CheckpointFailures(), 1u);
+
+  // Direct Checkpoint() calls still throw: containment applies only where
+  // the apply already succeeded and the outcome must stay unambiguous.
+  fail::Arm("ckpt.write", fail::Action::kError);
+  EXPECT_THROW(harness.Checkpoint(), InternalError);
+  fail::DisarmAll();
+}
+
+TEST(CrashRecovery, RecoveryRefusesGapWhenDamagedCheckpointOutrunsTrimmedWal) {
+  const Instance instance = MakeInstance(11);
+  const TempDir dir;
+  {
+    ServeHarness harness(instance, {}, Durable(dir.path, /*every=*/2));
+    for (int i = 0; i < 5; ++i) {
+      harness.ApplyAndPublish(
+          std::vector<UpdateEvent>{UpdateEvent::DemandDelta(31 + i, 1)});
+    }
+  }
+  // Checkpoints at seq 2 and 4 survive; the trimmed WAL holds only seq 5.
+  // Damage the newest checkpoint: falling back to seq 2 would silently
+  // lose batches 3-4, so recovery must refuse (tail is not contiguous
+  // with the fallback checkpoint).
+  FlipByte(CheckpointPath(dir.path, 4), 20);
+  EXPECT_THROW(ServeHarness::RecoverFrom(instance, {}, Durable(dir.path)),
+               InternalError);
+}
+
+TEST(CrashRecovery, RecoveryRefusesEmptyTailGapButAllowsFallbackOverFullWal) {
+  const Instance instance = MakeInstance(12);
+  const auto apply4 = [](ServeHarness& harness) {
+    for (int i = 0; i < 4; ++i) {
+      harness.ApplyAndPublish(
+          std::vector<UpdateEvent>{UpdateEvent::DemandDelta(31 + i, 1)});
+    }
+  };
+
+  {
+    // Trimmed WAL, empty tail: checkpoints at seq 2 and 4, nothing in the
+    // log. A damaged newest checkpoint leaves batches 3-4 unreachable even
+    // though every surviving file parses cleanly — the filename-advertised
+    // seq is the only witness, and recovery must refuse.
+    const TempDir dir;
+    {
+      ServeHarness harness(instance, {}, Durable(dir.path, /*every=*/2));
+      apply4(harness);
+    }
+    FlipByte(CheckpointPath(dir.path, 4), 20);
+    EXPECT_THROW(ServeHarness::RecoverFrom(instance, {}, Durable(dir.path)),
+                 InternalError);
+  }
+
+  {
+    // Same damage with trim_on_checkpoint off: the full WAL still covers
+    // batches 3-4, so falling back to the seq-2 checkpoint is safe and
+    // recovery matches the oracle.
+    const TempDir dir;
+    DurabilityOptions options = Durable(dir.path, /*every=*/2);
+    options.trim_on_checkpoint = false;
+    {
+      ServeHarness harness(instance, {}, options);
+      apply4(harness);
+    }
+    FlipByte(CheckpointPath(dir.path, 4), 20);
+    auto recovered = ServeHarness::RecoverFrom(instance, {}, options);
+
+    ServeHarness oracle(instance);
+    apply4(oracle);
+    EXPECT_EQ(HashOf(*recovered), HashOf(oracle));
+    EXPECT_EQ(VersionOf(*recovered), VersionOf(oracle));
+  }
 }
 
 }  // namespace
