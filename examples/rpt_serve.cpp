@@ -15,19 +15,37 @@
 // SAME final {version, hash, replicas, seq}. scripts/bench_smoke.sh does
 // exactly that diff.
 //
+// With --repl-listen the service is a replication PRIMARY: it accepts
+// follower subscriptions on a second loopback port, ships every committed
+// WAL record, and heartbeats from a timer thread. A second process started
+// with --follow=REPL_PORT is a FOLLOWER: it log-then-applies the shipped
+// records through its own durable harness and, when the primary dies and
+// the --promote-after-ms heartbeat window expires, durably promotes and
+// resumes the (deterministic) trace itself. scripts/bench_smoke.sh kills a
+// primary mid-trace and byte-diffs the promoted follower's --state-json
+// against an uninterrupted run (minus "seq": the epoch record adds one).
+//
 //   ./examples/rpt_serve                 # run the demo, print the dialogue
 //   ./examples/rpt_serve --selftest      # same, but exit nonzero on any
 //                                        # mismatch (CI smoke mode)
 //   ./examples/rpt_serve --port=7070     # pin the listen port
 //   ./examples/rpt_serve --wal-dir=/tmp/s --crash-at=5   # die mid-batch 5
 //   ./examples/rpt_serve --wal-dir=/tmp/s --recover      # ...and come back
+//   ./examples/rpt_serve --wal-dir=/tmp/p --repl-listen
+//       --repl-wait-followers=1 --ports-file=/tmp/ports   # primary
+//   ./examples/rpt_serve --wal-dir=/tmp/f --follow=$REPL_PORT
+//       --promote-after-ms=300                            # follower
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gen/random_tree.hpp"
 #include "incremental/trace_gen.hpp"
+#include "serve/repl_link.hpp"
 #include "serve/tcp_server.hpp"
 #include "support/cli.hpp"
 #include "support/failpoint.hpp"
@@ -45,13 +63,32 @@ int main(int argc, char** argv) {
   cli.AddInt("crash-at", 0, "kill the process (exit 137) mid-batch N of this run (0 = never)");
   cli.AddBool("recover", false, "recover from --wal-dir instead of starting fresh, then resume");
   cli.AddString("state-json", "", "write the final {version, hash, replicas, seq} here");
+  cli.AddBool("repl-listen", false,
+              "primary mode: accept follower subscriptions and ship every WAL record");
+  cli.AddInt("repl-wait-followers", 0,
+             "primary mode: wait for this many followers before streaming batches");
+  cli.AddInt("follow", 0,
+             "follower mode: subscribe to the primary's replication port and apply "
+             "shipped records until promoted");
+  cli.AddInt("promote-after-ms", 500,
+             "follower mode: promote after this long without a primary heartbeat");
+  cli.AddString("ports-file", "",
+                "write 'query=PORT\\nrepl=PORT\\n' here once listening (for scripts "
+                "that must find a --port=0 service)");
   if (!cli.Parse(argc, argv)) return 0;
   const bool selftest = cli.GetBool("selftest");
   const std::string wal_dir = cli.GetString("wal-dir");
   const bool recover = cli.GetBool("recover");
   const std::uint64_t crash_at = cli.GetUint("crash-at");
+  const bool repl_listen = cli.GetBool("repl-listen");
+  const auto follow_port = static_cast<std::uint16_t>(cli.GetUint("follow", 65535));
   RPT_REQUIRE(wal_dir.empty() ? !recover && crash_at == 0 : true,
               "rpt_serve: --recover/--crash-at need --wal-dir");
+  RPT_REQUIRE(!repl_listen || !wal_dir.empty(),
+              "rpt_serve: --repl-listen needs --wal-dir (a primary that does not "
+              "log has nothing to ship)");
+  RPT_REQUIRE(follow_port == 0 || (!wal_dir.empty() && !recover && !repl_listen),
+              "rpt_serve: --follow needs --wal-dir and excludes --recover/--repl-listen");
 
   gen::BinaryTreeConfig cfg;
   cfg.clients = static_cast<std::uint32_t>(cli.GetUint("clients", 1u << 20));
@@ -60,6 +97,77 @@ int main(int argc, char** argv) {
   const Instance instance(gen::GenerateFullBinaryTree(cfg, /*seed=*/42),
                           static_cast<Requests>(cli.GetUint("capacity")), kNoDistanceLimit);
   const Tree& tree = instance.GetTree();
+
+  // The churn trace is deterministic in the tree and flags alone — primary,
+  // follower and any uninterrupted reference run all derive the same one,
+  // which is what lets a promoted follower RESUME it mid-stream.
+  incremental::TraceConfig trace_cfg;
+  trace_cfg.ticks = cli.GetUint("batches");
+  trace_cfg.touches_per_tick = 4;
+  trace_cfg.max_demand = 9;
+  trace_cfg.add_remove_fraction = 0.25;
+  const incremental::UpdateTrace trace = incremental::MakeRandomTrace(tree, trace_cfg, 7);
+
+  // ---- Follower mode: apply shipped records until the primary falls
+  // silent, then promote and finish the trace as the new primary. ----
+  if (follow_port != 0) {
+    serve::DurabilityOptions durability;
+    durability.dir = wal_dir;
+    durability.checkpoint_every = cli.GetUint("checkpoint-every");
+    serve::ServeHarness harness(instance, incremental::SolverOptions{}, durability);
+    serve::ReplFollowerOptions follower_options;
+    follower_options.io_timeout_ms = 10;
+    follower_options.heartbeat_timeout_ms =
+        static_cast<int>(cli.GetUint("promote-after-ms"));
+    serve::ReplFollower follower(harness, follow_port, follower_options);
+    follower.Start();
+    std::printf("follower: subscribed to 127.0.0.1:%u, promotion window %d ms\n",
+                follow_port, follower_options.heartbeat_timeout_ms);
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(
+                              follower_options.heartbeat_timeout_ms * 20 + 60000);
+    while (!follower.Promoted()) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr, "follower: primary never fell silent — giving up\n");
+        follower.Stop();
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    follower.Stop();
+
+    // The epoch record consumed one seq; everything below it is replicated
+    // batches. Resume the trace right after them.
+    const std::size_t resume_at =
+        std::min<std::size_t>(harness.LastDurableSeq() - 1, trace.size());
+    std::printf("follower: PROMOTED at epoch %llu with %zu batches replicated "
+                "(%llu applied over the link) — resuming batch %zu\n",
+                static_cast<unsigned long long>(harness.Epoch()), resume_at,
+                static_cast<unsigned long long>(follower.Core().Applied()),
+                resume_at + 1);
+    for (std::size_t tick = resume_at; tick < trace.size(); ++tick) {
+      const bool feasible = harness.ApplyAndPublish(trace[tick]);
+      std::printf("batch %zu applied -> plan v%llu, %zu replicas%s\n", tick + 1,
+                  static_cast<unsigned long long>(harness.Store().CurrentVersion()),
+                  harness.Solver().Current().ReplicaCount(),
+                  feasible ? "" : " (infeasible)");
+    }
+    if (const std::string state_json = cli.GetString("state-json"); !state_json.empty()) {
+      const serve::SnapshotStore::Ref snapshot = harness.Pin();
+      std::FILE* out = std::fopen(state_json.c_str(), "w");
+      RPT_REQUIRE(out != nullptr, "rpt_serve: cannot open --state-json path");
+      std::fprintf(out,
+                   "{\"version\":%llu,\"hash\":%llu,\"replicas\":%zu,\"seq\":%llu}\n",
+                   static_cast<unsigned long long>(snapshot->Version()),
+                   static_cast<unsigned long long>(snapshot->CanonicalHash()),
+                   harness.Solver().Current().ReplicaCount(),
+                   static_cast<unsigned long long>(harness.LastDurableSeq()));
+      std::fclose(out);
+      std::printf("wrote final state fingerprint to %s\n", state_json.c_str());
+    }
+    return 0;
+  }
 
   // The harness solves the instance and publishes its first snapshot; the
   // TCP server makes it reachable. With --wal-dir the harness is durable
@@ -94,6 +202,38 @@ int main(int argc, char** argv) {
               harness.Solver().Current().ReplicaCount(),
               static_cast<unsigned long long>(harness.Store().CurrentVersion()));
 
+  // ---- Primary mode: accept followers, heartbeat from a timer thread,
+  // ship every committed batch. ----
+  std::unique_ptr<serve::ReplPrimary> repl;
+  std::atomic<bool> heartbeats_done{false};
+  std::thread heartbeater;
+  if (repl_listen) {
+    repl = std::make_unique<serve::ReplPrimary>(harness);
+    repl->Start(/*port=*/0);
+    std::printf("replication: primary listening on 127.0.0.1:%u\n", repl->Port());
+  }
+  if (const std::string ports_file = cli.GetString("ports-file"); !ports_file.empty()) {
+    std::FILE* out = std::fopen(ports_file.c_str(), "w");
+    RPT_REQUIRE(out != nullptr, "rpt_serve: cannot open --ports-file path");
+    std::fprintf(out, "query=%u\nrepl=%u\n", server.Port(),
+                 repl ? repl->Port() : 0);
+    std::fclose(out);
+  }
+  if (repl) {
+    if (const auto want = static_cast<int>(cli.GetUint("repl-wait-followers", 64));
+        want > 0) {
+      std::printf("replication: waiting for %d follower(s)...\n", want);
+      RPT_REQUIRE(repl->WaitForFollowers(want, /*timeout_ms=*/30000),
+                  "rpt_serve: followers never subscribed");
+    }
+    heartbeater = std::thread([&] {
+      while (!heartbeats_done.load(std::memory_order_acquire)) {
+        repl->Heartbeat();
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+
   serve::TcpClient client(server.Port());
   const NodeId probe = tree.Clients()[0];
   int mismatches = 0;
@@ -113,19 +253,21 @@ int main(int argc, char** argv) {
   ask({serve::QueryKind::kAttachCost, probe, 5}, "attach-cost");
 
   // Stream churn: every batch re-solves incrementally and publishes a new
-  // snapshot; the wire answers pick up each new version immediately.
-  incremental::TraceConfig trace_cfg;
-  trace_cfg.ticks = cli.GetUint("batches");
-  trace_cfg.touches_per_tick = 4;
-  trace_cfg.max_demand = 9;
-  trace_cfg.add_remove_fraction = 0.25;
-  const incremental::UpdateTrace trace = incremental::MakeRandomTrace(tree, trace_cfg, 7);
-  // A recovered service has already durably absorbed a prefix of this
+  // snapshot; the wire answers pick up each new version immediately. A
+  // recovered service has already durably absorbed a prefix of this
   // (deterministic) trace — resume with the batches the crash cut off.
   const std::size_t resume_at =
       recover ? std::min<std::size_t>(harness.LastDurableSeq(), trace.size()) : 0;
   for (std::size_t tick = resume_at; tick < trace.size(); ++tick) {
-    const bool feasible = harness.ApplyAndPublish(trace[tick]);
+    bool feasible = true;
+    if (repl) {
+      const bool acked = repl->Apply(trace[tick]);
+      feasible = harness.Solver().Feasible();
+      if (!acked) std::printf("batch %zu: replication lag (not all followers acked)\n",
+                              tick + 1);
+    } else {
+      feasible = harness.ApplyAndPublish(trace[tick]);
+    }
     std::printf("batch %zu applied -> plan v%llu, %zu replicas%s\n", tick + 1,
                 static_cast<unsigned long long>(harness.Store().CurrentVersion()),
                 harness.Solver().Current().ReplicaCount(), feasible ? "" : " (infeasible)");
@@ -140,6 +282,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(failed.version));
   if (failed.ok) ++mismatches;
 
+  if (repl) {
+    // Let every shipped record land before tearing the link down — the
+    // smoke scripts compare the follower's durable state to ours.
+    heartbeats_done.store(true, std::memory_order_release);
+    heartbeater.join();
+    std::printf("replication: watermark %llu across %d follower(s)\n",
+                static_cast<unsigned long long>(repl->Watermark()), repl->Followers());
+    repl->Stop();
+  }
   server.Stop();
   std::printf("served %llu requests on %llu connection(s); %llu snapshots published\n",
               static_cast<unsigned long long>(server.RequestsServed()),

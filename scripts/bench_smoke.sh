@@ -102,6 +102,39 @@ if ! diff "$OUT_DIR/serve-state-clean.json" "$OUT_DIR/serve-state-recovered.json
 fi
 echo "OK: rpt_serve crash recovery"
 
+# Kill-the-primary failover smoke: a replicating primary is KILLED mid-trace
+# (real _Exit(137) at batch 5); its follower promotes after the heartbeat
+# window and resumes the remaining batches itself. The promoted follower's
+# final-state fingerprint must match an uninterrupted run's byte-for-byte —
+# except "seq", where the durable epoch record of the promotion adds one.
+"$BUILD_DIR/rpt_serve" --clients=128 --batches=8 --wal-dir="$OUT_DIR/repl-primary" \
+  --repl-listen --repl-wait-followers=1 --ports-file="$OUT_DIR/repl-ports" \
+  --crash-at=5 > /dev/null 2>&1 &
+PRIMARY_PID=$!
+for _ in $(seq 1 200); do
+  [ -s "$OUT_DIR/repl-ports" ] && break
+  sleep 0.05
+done
+REPL_PORT="$(sed -n 's/^repl=//p' "$OUT_DIR/repl-ports")"
+if [ -z "$REPL_PORT" ] || [ "$REPL_PORT" = "0" ]; then
+  echo "FAIL: replicating primary never published its replication port"
+  exit 1
+fi
+"$BUILD_DIR/rpt_serve" --clients=128 --batches=8 --wal-dir="$OUT_DIR/repl-follower" \
+  --follow="$REPL_PORT" --promote-after-ms=300 \
+  --state-json="$OUT_DIR/serve-state-promoted.json" > /dev/null
+if wait "$PRIMARY_PID"; then
+  echo "FAIL: replicating primary with --crash-at=5 exited 0 instead of dying"
+  exit 1
+fi
+sed 's/"seq":[0-9]*//' "$OUT_DIR/serve-state-clean.json" > "$OUT_DIR/clean-noseq.json"
+sed 's/"seq":[0-9]*//' "$OUT_DIR/serve-state-promoted.json" > "$OUT_DIR/promoted-noseq.json"
+if ! diff "$OUT_DIR/clean-noseq.json" "$OUT_DIR/promoted-noseq.json"; then
+  echo "FAIL: promoted follower state differs from the uninterrupted run"
+  exit 1
+fi
+echo "OK: rpt_serve kill-the-primary failover"
+
 # instance_explorer spells its report flag --sweep-json.
 "$BUILD_DIR/instance_explorer" --algo=single-gen --clients=40 --seeds=4 --threads=1 \
   --sweep-json="$OUT_DIR/explorer-t1.json" > /dev/null

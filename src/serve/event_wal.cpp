@@ -81,6 +81,14 @@ WalBatch DecodeBatchPayload(const char* data, std::size_t size) {
   WalBatch batch;
   batch.seq = cur.U64();
   const std::uint32_t count = cur.U32();
+  if (count == kEpochMarker) {
+    batch.epoch_bump = true;
+    batch.epoch = cur.U64();
+    if (!cur.Exhausted()) {
+      throw InternalError("event_wal: trailing payload bytes despite matching CRC");
+    }
+    return batch;
+  }
   batch.events.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     UpdateEvent ev;
@@ -255,6 +263,30 @@ std::string EventWal::EncodeBatchPayload(
   return payload;
 }
 
+std::string EventWal::EncodeEpochPayload(std::uint64_t seq, std::uint64_t epoch) {
+  std::string payload;
+  PutU64(payload, seq);
+  PutU32(payload, kEpochMarker);
+  PutU64(payload, epoch);
+  return payload;
+}
+
+std::string EventWal::FrameRecord(const std::string& payload) {
+  std::string record;
+  record.reserve(kRecordHeaderBytes + payload.size());
+  PutU32(record, static_cast<std::uint32_t>(payload.size()));
+  PutU32(record, support::Crc32(payload.data(), payload.size()));
+  record += payload;
+  return record;
+}
+
+std::optional<WalBatch> EventWal::TryDecodeFramedRecord(const std::string& frame) {
+  if (!FramesValidRecord(frame, 0)) return std::nullopt;
+  const std::uint32_t len = ReadU32At(frame, 0);
+  if (frame.size() != kRecordHeaderBytes + len) return std::nullopt;
+  return DecodeBatchPayload(frame.data() + kRecordHeaderBytes, len);
+}
+
 WalReadResult EventWal::Read(const std::string& path) {
   WalReadResult result;
   bool exists = false;
@@ -344,6 +376,14 @@ EventWal EventWal::OpenForAppend(const std::string& path, bool sync) {
 }
 
 void EventWal::Append(std::uint64_t seq, const std::vector<UpdateEvent>& events) {
+  AppendPayload(seq, EncodeBatchPayload(seq, events));
+}
+
+void EventWal::AppendEpoch(std::uint64_t seq, std::uint64_t epoch) {
+  AppendPayload(seq, EncodeEpochPayload(seq, epoch));
+}
+
+void EventWal::AppendPayload(std::uint64_t seq, const std::string& payload) {
   RPT_CHECK(fd_ >= 0);  // Append on a moved-from handle is a caller bug
   if (seq <= last_seq_) {
     throw InvalidArgument("event_wal: seq " + std::to_string(seq) +
@@ -352,12 +392,7 @@ void EventWal::Append(std::uint64_t seq, const std::vector<UpdateEvent>& events)
 
   fail::Hit("wal.append");  // kThrow / kCrash fire here, before any bytes move
 
-  const std::string payload = EncodeBatchPayload(seq, events);
-  std::string record;
-  record.reserve(kRecordHeaderBytes + payload.size());
-  PutU32(record, static_cast<std::uint32_t>(payload.size()));
-  PutU32(record, support::Crc32(payload.data(), payload.size()));
-  record += payload;
+  const std::string record = FrameRecord(payload);
 
   // Repairs a failed append: the bytes past the committed prefix never
   // happened. Used for ERRORS the process survives (the caller gets
@@ -400,10 +435,10 @@ void EventWal::TrimThrough(const std::string& path, std::uint64_t through_seq) {
   std::string out(kWalMagic, kWalMagicBytes);
   for (const WalBatch& batch : scan.batches) {
     if (batch.seq <= through_seq) continue;
-    const std::string payload = EncodeBatchPayload(batch.seq, batch.events);
-    PutU32(out, static_cast<std::uint32_t>(payload.size()));
-    PutU32(out, support::Crc32(payload.data(), payload.size()));
-    out += payload;
+    const std::string payload =
+        batch.epoch_bump ? EncodeEpochPayload(batch.seq, batch.epoch)
+                         : EncodeBatchPayload(batch.seq, batch.events);
+    out += FrameRecord(payload);
   }
   const std::string tmp = path + ".tmp";
   WriteFileDurable(tmp, out);
@@ -423,7 +458,7 @@ void WriteCheckpoint(const std::string& dir, const CheckpointState& state) {
   std::ostringstream body;
   body << "rpt-ckpt v1\n"
        << "seq " << state.seq << " version " << state.version << " capacity "
-       << state.capacity << "\n";
+       << state.capacity << " epoch " << state.epoch << "\n";
   WriteOverlay(body, state.overlay);
   std::string text = std::move(body).str();
   char crc_line[16];
@@ -475,12 +510,14 @@ std::optional<CheckpointState> LoadNewestCheckpoint(const std::string& dir) {
       if (!std::getline(in, line) || line != "rpt-ckpt v1") continue;
       if (!std::getline(in, line)) continue;
       unsigned long long hdr_seq = 0, hdr_version = 0, hdr_capacity = 0;
-      if (std::sscanf(line.c_str(), "seq %llu version %llu capacity %llu",
-                      &hdr_seq, &hdr_version, &hdr_capacity) != 3) {
-        continue;
-      }
+      unsigned long long hdr_epoch = 1;  // pre-replication checkpoints: epoch 1
+      const int parsed =
+          std::sscanf(line.c_str(), "seq %llu version %llu capacity %llu epoch %llu",
+                      &hdr_seq, &hdr_version, &hdr_capacity, &hdr_epoch);
+      if (parsed != 3 && parsed != 4) continue;
+      if (parsed == 3) hdr_epoch = 1;
       TreeOverlay overlay = ReadOverlay(in);
-      return CheckpointState{hdr_seq, hdr_version,
+      return CheckpointState{hdr_seq, hdr_version, hdr_epoch,
                              static_cast<Requests>(hdr_capacity),
                              std::move(overlay)};
     } catch (const InvalidArgument&) {

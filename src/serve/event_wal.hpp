@@ -10,7 +10,13 @@
 //     crc   u32       CRC-32 (IEEE) of the payload bytes
 //     payload:
 //       seq     u64   batch sequence number (strictly increasing, first = 1)
-//       count   u32   number of events in the batch
+//       count   u32   number of events in the batch, or kEpochMarker
+//                     (0xFFFFFFFF) for an epoch record: the payload then
+//                     carries one u64 — the new epoch. Epoch records consume
+//                     a seq like any batch (recovery's contiguity check
+//                     covers them) but apply nothing to the solver; they are
+//                     how a promoted follower makes its fencing token
+//                     durable (serve/repl_link.hpp).
 //       event*  :
 //         kind   u8   incremental::UpdateEvent::Kind
 //         client u32  target node id
@@ -93,10 +99,16 @@ namespace rpt::serve {
 /// stays far under this; a corrupted length field almost never does).
 inline constexpr std::uint32_t kMaxWalRecordBytes = 1u << 20;
 
-/// One logged batch, as read back from the WAL.
+/// Marker value of the payload `count` field for epoch records.
+inline constexpr std::uint32_t kEpochMarker = 0xFFFFFFFFu;
+
+/// One logged record, as read back from the WAL: an event batch, or an
+/// epoch bump (epoch_bump set, events empty).
 struct WalBatch {
   std::uint64_t seq = 0;
   std::vector<incremental::UpdateEvent> events;
+  bool epoch_bump = false;
+  std::uint64_t epoch = 0;  ///< the new epoch (epoch records only)
 };
 
 /// Result of scanning a WAL file front-to-back.
@@ -138,6 +150,10 @@ class EventWal {
   void Append(std::uint64_t seq,
               const std::vector<incremental::UpdateEvent>& events);
 
+  /// Appends one epoch record (the durable fencing token of a promoted
+  /// follower). Same failure/repair semantics as Append.
+  void AppendEpoch(std::uint64_t seq, std::uint64_t epoch);
+
   /// Last sequence number committed to this handle's file (0 when empty).
   [[nodiscard]] std::uint64_t LastSeq() const noexcept { return last_seq_; }
 
@@ -155,8 +171,28 @@ class EventWal {
   [[nodiscard]] static std::string EncodeBatchPayload(
       std::uint64_t seq, const std::vector<incremental::UpdateEvent>& events);
 
+  /// Serializes one epoch-record payload.
+  [[nodiscard]] static std::string EncodeEpochPayload(std::uint64_t seq,
+                                                      std::uint64_t epoch);
+
+  /// Wraps a payload in the on-disk record framing (len u32 | crc u32 |
+  /// payload) — the exact bytes Append writes and the replication link
+  /// ships.
+  [[nodiscard]] static std::string FrameRecord(const std::string& payload);
+
+  /// Decodes one framed record (as produced by FrameRecord). Returns
+  /// nullopt on structural damage (short frame, insane len, CRC mismatch,
+  /// trailing bytes) — the transport-corruption shape a replication
+  /// follower answers with a resync, never an apply. Throws InternalError
+  /// when the CRC matches but the payload does not parse (a writer bug or
+  /// version skew — loud, not retryable).
+  [[nodiscard]] static std::optional<WalBatch> TryDecodeFramedRecord(
+      const std::string& frame);
+
  private:
   EventWal() = default;
+
+  void AppendPayload(std::uint64_t seq, const std::string& payload);
 
   int fd_ = -1;
   std::string path_;
@@ -172,6 +208,7 @@ class EventWal {
 struct CheckpointState {
   std::uint64_t seq = 0;
   std::uint64_t version = 0;
+  std::uint64_t epoch = 1;  ///< replication fencing epoch at checkpoint time
   Requests capacity = 0;
   TreeOverlay overlay;
 };

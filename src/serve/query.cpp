@@ -87,7 +87,8 @@ void EncodeResponse(const QueryResponse& response, std::vector<std::uint8_t>& ou
   PutU32(out, static_cast<std::uint32_t>(kResponseWireSize));
   PutU64(out, response.version);
   PutU8(out, static_cast<std::uint8_t>((response.ok ? 1 : 0) |
-                                       (response.stale ? 2 : 0)));
+                                       (response.stale ? 2 : 0) |
+                                       (response.follower ? 4 : 0)));
   PutU32(out, response.server);
   PutU64(out, response.value);
   PutU64(out, response.distance);
@@ -110,11 +111,12 @@ QueryResponse DecodeResponse(std::span<const std::uint8_t> payload) {
   RPT_REQUIRE(payload.size() == kResponseWireSize,
               "serve: response payload must be exactly " + std::to_string(kResponseWireSize) +
                   " bytes, got " + std::to_string(payload.size()));
-  RPT_REQUIRE(payload[8] <= 3, "serve: unknown status bits in response");
+  RPT_REQUIRE(payload[8] <= 7, "serve: unknown status bits in response");
   QueryResponse response;
   response.version = GetU64(payload, 0);
   response.ok = (payload[8] & 1) != 0;
   response.stale = (payload[8] & 2) != 0;
+  response.follower = (payload[8] & 4) != 0;
   response.server = GetU32(payload, 9);
   response.value = GetU64(payload, 13);
   response.distance = GetU64(payload, 21);

@@ -66,6 +66,11 @@ struct QueryResponse {
   /// event stream. Clears on the next successful publish. Wire: bit 1 of
   /// the status byte (bit 0 is `ok`), so the frame size is unchanged.
   bool stale = false;
+  /// Replica marker: a follower harness (replicating a primary's WAL —
+  /// serve/repl_link.hpp) answered. The answer is correct against the last
+  /// shipped-and-applied state but may lag the primary by in-flight
+  /// records. Wire: bit 2 of the status byte.
+  bool follower = false;
   NodeId server = kInvalidNode;
   std::uint64_t value = 0;
   Distance distance = 0;

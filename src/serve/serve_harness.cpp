@@ -53,6 +53,7 @@ ServeHarness::ServeHarness(const Instance& instance, incremental::SolverOptions 
   std::uint64_t version = 1;  // the version a fresh harness publishes
   if (recovered.checkpoint) {
     version = recovered.checkpoint->version;
+    epoch_.store(recovered.checkpoint->epoch, std::memory_order_relaxed);
     solver_ = std::make_unique<incremental::IncrementalSolver>(
         instance, std::move(recovered.checkpoint->overlay),
         recovered.checkpoint->capacity, options);
@@ -63,9 +64,14 @@ ServeHarness::ServeHarness(const Instance& instance, incremental::SolverOptions 
   // Replay the tail through the ordinary Apply path. A logged batch that
   // fails validation was logged, REJECTED, and never published in the
   // first life — Apply is deterministic in (state, events), so it rejects
-  // identically here and contributes no version.
+  // identically here and contributes no version. Epoch records restore the
+  // fencing token and touch neither the solver nor the version.
   std::uint64_t successes = 0;
   for (const WalBatch& batch : recovered.tail) {
+    if (batch.epoch_bump) {
+      epoch_.store(batch.epoch, std::memory_order_relaxed);
+      continue;
+    }
     try {
       solver_->Apply(batch.events);
       ++successes;
@@ -204,7 +210,7 @@ void ServeHarness::Checkpoint() {
   // A checkpoint failure throws InternalError but does NOT mark the
   // harness stale: the published snapshot is current and the WAL still
   // holds every batch — recovery just replays a longer tail.
-  CheckpointState state{seq_, next_version_ - 1, solver_->Capacity(),
+  CheckpointState state{seq_, next_version_ - 1, Epoch(), solver_->Capacity(),
                         solver_->ExportOverlay()};
   WriteCheckpoint(durability_.dir, state);
   applies_since_checkpoint_ = 0;
@@ -252,11 +258,34 @@ void ServeHarness::MaybeCheckpoint() {
   }
 }
 
+void ServeHarness::AdoptEpoch(std::uint64_t epoch) {
+  RPT_REQUIRE(epoch >= Epoch(),
+              "serve: epoch may not move backwards (have " +
+                  std::to_string(Epoch()) + ", asked " + std::to_string(epoch) +
+                  ")");
+  if (!durability_.dir.empty()) {
+    RequireWal();
+    // Durable first, visible second: a promoted follower whose epoch bump
+    // is not on disk could crash, recover at the old epoch, and accept a
+    // deposed primary's stream — the exact split-brain fencing exists to
+    // prevent.
+    try {
+      wal_->AppendEpoch(seq_ + 1, epoch);
+    } catch (const InternalError&) {
+      stale_.store(true, std::memory_order_relaxed);
+      throw;
+    }
+    ++seq_;
+  }
+  epoch_.store(epoch, std::memory_order_relaxed);
+}
+
 QueryResponse ServeHarness::Query(const QueryRequest& request) const {
   const SnapshotStore::Ref ref = Pin();
   RPT_CHECK(ref);  // the constructor publishes before any caller can query
   QueryResponse response = Answer(*ref, request);
   response.stale = stale_.load(std::memory_order_relaxed);
+  response.follower = follower_.load(std::memory_order_relaxed);
   queries_answered_.fetch_add(1, std::memory_order_relaxed);
   return response;
 }

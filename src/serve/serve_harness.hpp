@@ -148,6 +148,30 @@ class ServeHarness {
     return stale_.load(std::memory_order_relaxed);
   }
 
+  /// Replication fencing epoch (serve/repl_link.hpp). Starts at 1; bumped
+  /// only by AdoptEpoch (a follower promoting, or a follower applying a
+  /// shipped epoch record). Any thread.
+  [[nodiscard]] std::uint64_t Epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Durably adopts `epoch` (>= the current one): in durable mode an epoch
+  /// record is appended to the WAL first — it consumes a seq like any batch
+  /// and replays on recovery — so a promoted follower's fencing token
+  /// survives its own crash. Update thread only; same degraded-mode
+  /// semantics as a failed batch append.
+  void AdoptEpoch(std::uint64_t epoch);
+
+  /// Follower flag: set while this harness applies a replicated stream
+  /// rather than local writes. Queries answer with
+  /// QueryResponse::follower so clients can tell a replica answered.
+  void SetFollower(bool follower) noexcept {
+    follower_.store(follower, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool IsFollower() const noexcept {
+    return follower_.load(std::memory_order_relaxed);
+  }
+
   /// Cuts a checkpoint of the current state now (durable mode only; no-op
   /// otherwise). Also trims the WAL when `trim_on_checkpoint` is set.
   /// Throws InternalError on failure; a failed trim re-engages the intact
@@ -203,6 +227,8 @@ class ServeHarness {
   std::uint64_t next_version_ = 1;  // update-thread-owned
   mutable std::atomic<std::uint64_t> queries_answered_{0};
   std::atomic<bool> stale_{false};
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<bool> follower_{false};
 
   // Durable mode only (wal_ disengaged otherwise — except after a failed
   // checkpoint trim whose reopen also failed, when durability_.dir is set

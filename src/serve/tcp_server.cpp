@@ -1,92 +1,47 @@
 #include "serve/tcp_server.hpp"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
 
+#include "serve/net_util.hpp"
 #include "support/common.hpp"
 #include "support/failpoint.hpp"
 
 namespace rpt::serve {
 
-namespace {
+using net::CloseQuiet;
+using net::DecodePrefix;
+using net::IoStatus;
+using net::ReadFull;
+using net::SetIoTimeouts;
+using net::WriteFull;
 
-enum class IoStatus { kOk, kClosed, kTimeout };
-
-// Full-buffer read/write with EINTR retry. With SO_RCVTIMEO/SO_SNDTIMEO set,
-// an expired wait surfaces as EAGAIN/EWOULDBLOCK — reported as kTimeout so
-// the server can count it and the client can throw TimeoutError; EOF and
-// hard errors are kClosed ("connection over" either way).
-IoStatus ReadFull(int fd, std::uint8_t* buf, std::size_t len) {
-  std::size_t done = 0;
-  while (done < len) {
-    const ssize_t n = ::read(fd, buf + done, len - done);
-    if (n > 0) {
-      done += static_cast<std::size_t>(n);
-    } else if (n < 0 && errno == EINTR) {
-      continue;
-    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      return IoStatus::kTimeout;
-    } else {
-      return IoStatus::kClosed;
-    }
+std::uint64_t BackoffDelayMs(int attempt, int base_ms, int cap_ms,
+                             std::uint64_t seed) noexcept {
+  if (base_ms <= 0) return 0;
+  // Clamp the shift itself: `base << attempt` at attempt >= 32 is UB long
+  // before any cap could save it.
+  const int shift = attempt < 30 ? attempt : 30;
+  std::uint64_t delay = static_cast<std::uint64_t>(base_ms) << shift;
+  if (cap_ms > 0 && delay > static_cast<std::uint64_t>(cap_ms)) {
+    delay = static_cast<std::uint64_t>(cap_ms);
   }
-  return IoStatus::kOk;
+  if (delay <= 1) return delay;
+  // splitmix64 over (seed, attempt): stateless, clock-free, identical
+  // across runs — jitter without sacrificing reproducibility.
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ull +
+                    static_cast<std::uint64_t>(attempt) + 0x9E3779B97F4A7C15ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  const std::uint64_t half = delay / 2;
+  return half + x % (delay - half + 1);  // [delay/2, delay]
 }
-
-IoStatus WriteFull(int fd, const std::uint8_t* buf, std::size_t len) {
-  std::size_t done = 0;
-  while (done < len) {
-    // MSG_NOSIGNAL: a peer that disconnected mid-exchange must surface as
-    // EPIPE (-> kClosed), not deliver a process-killing SIGPIPE.
-    const ssize_t n = ::send(fd, buf + done, len - done, MSG_NOSIGNAL);
-    if (n > 0) {
-      done += static_cast<std::size_t>(n);
-    } else if (n == 0) {
-      // send() made no progress and set no errno; classifying by leftover
-      // errno could spin forever (stale EINTR) or misreport a timeout.
-      return IoStatus::kClosed;
-    } else if (errno == EINTR) {
-      continue;
-    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      return IoStatus::kTimeout;
-    } else {
-      return IoStatus::kClosed;
-    }
-  }
-  return IoStatus::kOk;
-}
-
-std::uint32_t DecodePrefix(const std::uint8_t prefix[4]) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
-  return v;
-}
-
-void CloseQuiet(int fd) {
-  if (fd >= 0) ::close(fd);
-}
-
-void SetIoTimeouts(int fd, int timeout_ms) {
-  if (timeout_ms <= 0) return;
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-}  // namespace
 
 TcpServer::TcpServer(const ServeHarness& harness, TcpServerOptions options)
     : harness_(harness), options_(options) {}
@@ -96,26 +51,14 @@ TcpServer::~TcpServer() { Stop(); }
 void TcpServer::Start(std::uint16_t port) {
   RPT_REQUIRE(!running_.load(std::memory_order_acquire), "TcpServer: already started");
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  RPT_CHECK(listen_fd_ >= 0);
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
-    const int err = errno;
-    CloseQuiet(listen_fd_);
-    listen_fd_ = -1;
-    throw InternalError(std::string("TcpServer: bind/listen failed: ") + std::strerror(err));
+  net::ListenSocket listener;
+  try {
+    listener = net::ListenLoopback(port);
+  } catch (const InternalError& error) {
+    throw InternalError(std::string("TcpServer: ") + error.what());
   }
-
-  socklen_t addr_len = sizeof(addr);
-  RPT_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0);
-  port_ = ntohs(addr.sin_port);
+  listen_fd_ = listener.fd;
+  port_ = listener.port;
 
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread(&TcpServer::AcceptLoop, this);
@@ -149,14 +92,27 @@ void TcpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listener shut down (Stop) or fatal — either way, done
     }
+    net::SetNoDelay(fd);  // responses must not queue behind delayed ACKs
     SetIoTimeouts(fd, options_.io_timeout_ms);
     connections_.fetch_add(1, std::memory_order_relaxed);
+    // Overload guard: at capacity, answer the busy byte and close instead
+    // of spawning a thread the box has no headroom for. The client sees a
+    // well-formed one-byte frame (ServerBusy) and can rotate endpoints.
+    if (options_.max_connections > 0 &&
+        active_.load(std::memory_order_acquire) >= options_.max_connections) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      const std::string busy(1, static_cast<char>(kBusyStatusByte));
+      net::SendFrame(fd, busy);  // best effort — the peer may already be gone
+      CloseQuiet(fd);
+      continue;
+    }
     const std::lock_guard<std::mutex> lock(conn_mutex_);
     if (!running_.load(std::memory_order_acquire)) {
       CloseQuiet(fd);
       break;
     }
     conn_fds_.push_back(fd);
+    active_.fetch_add(1, std::memory_order_acq_rel);
     conn_threads_.emplace_back(&TcpServer::ServeConnection, this, fd);
   }
 }
@@ -209,49 +165,34 @@ void TcpServer::ServeConnection(int fd) {
     }
   }
   CloseQuiet(fd);
+  active_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 TcpClient::TcpClient(std::uint16_t port, TcpClientOptions options)
-    : port_(port), options_(options) {
-  Connect();
+    : TcpClient(std::vector<std::uint16_t>{port}, options) {}
+
+TcpClient::TcpClient(std::vector<std::uint16_t> endpoints, TcpClientOptions options)
+    : endpoints_(std::move(endpoints)), options_(options) {
+  RPT_REQUIRE(!endpoints_.empty(), "TcpClient: endpoint list must be non-empty");
+  for (std::size_t tried = 0;; ++tried) {
+    try {
+      Connect();
+      return;
+    } catch (const InternalError&) {
+      // First reachable endpoint wins; all dead propagates the last error.
+      if (tried + 1 >= endpoints_.size()) throw;
+      endpoint_index_ = (endpoint_index_ + 1) % endpoints_.size();
+    }
+  }
 }
 
 void TcpClient::Connect() {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  RPT_CHECK(fd_ >= 0);
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port_);
-
-  // Bounded handshake: non-blocking connect, poll for writability, then
-  // back to blocking with per-op timeouts.
-  const int flags = ::fcntl(fd_, F_GETFL, 0);
-  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
-  const auto fail = [&](const std::string& what, bool timeout) -> void {
-    CloseQuiet(fd_);
-    fd_ = -1;
-    if (timeout) throw TimeoutError("TcpClient: " + what);
-    throw InternalError("TcpClient: " + what);
-  };
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (errno != EINPROGRESS) {
-      fail(std::string("connect failed: ") + std::strerror(errno), false);
-    }
-    pollfd pfd{fd_, POLLOUT, 0};
-    const int timeout = options_.connect_timeout_ms > 0 ? options_.connect_timeout_ms : -1;
-    const int ready = ::poll(&pfd, 1, timeout);
-    if (ready == 0) fail("connect timed out", true);
-    if (ready < 0) fail(std::string("connect poll failed: ") + std::strerror(errno), false);
-    int err = 0;
-    socklen_t err_len = sizeof(err);
-    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len);
-    if (err != 0) fail(std::string("connect failed: ") + std::strerror(err), false);
-  }
-  ::fcntl(fd_, F_SETFL, flags);
-  SetIoTimeouts(fd_, options_.io_timeout_ms);
+  fd_ = net::ConnectLoopback(
+      endpoints_[endpoint_index_], options_.connect_timeout_ms,
+      options_.io_timeout_ms, [](const std::string& what, bool timeout) {
+        if (timeout) throw TimeoutError("TcpClient: " + what);
+        throw InternalError("TcpClient: " + what);
+      });
 }
 
 TcpClient::~TcpClient() { CloseQuiet(fd_); }
@@ -262,15 +203,21 @@ QueryResponse TcpClient::Query(const QueryRequest& request) {
       if (fd_ < 0) Connect();  // a prior attempt tore the connection down
       return QueryOnce(request);
     } catch (const InternalError&) {
-      // TimeoutError or a torn connection. The request never mutates
-      // state, so resending on a fresh connection is always safe.
+      // TimeoutError, ServerBusy or a torn connection. The request never
+      // mutates state, so resending on a fresh connection is always safe.
       CloseQuiet(fd_);
       fd_ = -1;
       if (attempt >= options_.max_retries) throw;
       ++retries_;
-      const auto backoff =
-          std::chrono::milliseconds(static_cast<long long>(options_.backoff_base_ms) << attempt);
-      std::this_thread::sleep_for(backoff);
+      // Rotate endpoints: the dead-primary case wants the NEXT endpoint
+      // tried, not the same one hammered max_retries times.
+      endpoint_index_ = (endpoint_index_ + 1) % endpoints_.size();
+      const std::uint64_t delay =
+          BackoffDelayMs(attempt, options_.backoff_base_ms,
+                         options_.backoff_cap_ms, options_.backoff_seed);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
     }
   }
 }
@@ -310,6 +257,14 @@ QueryResponse TcpClient::ReadResponse() {
   if (ps == IoStatus::kTimeout) throw TimeoutError("TcpClient: response timed out");
   if (ps != IoStatus::kOk) throw InternalError("TcpClient: connection closed");
   const std::uint32_t len = DecodePrefix(prefix);
+  if (len == 1) {
+    std::uint8_t status = 0;
+    const IoStatus bs = ReadFull(fd_, &status, 1);
+    if (bs == IoStatus::kOk && status == kBusyStatusByte) {
+      throw ServerBusy("TcpClient: server at max_connections");
+    }
+    throw InternalError("TcpClient: unexpected one-byte response frame");
+  }
   RPT_REQUIRE(len == kResponseWireSize, "TcpClient: unexpected response frame size");
   std::vector<std::uint8_t> payload(len);
   const IoStatus bs = ReadFull(fd_, payload.data(), len);

@@ -65,11 +65,29 @@ class TimeoutError : public InternalError {
   explicit TimeoutError(const std::string& what) : InternalError(what) {}
 };
 
+/// The server answered the busy byte: it is at max_connections and refused
+/// this connection. Retryable (the client's retry loop rotates to the next
+/// endpoint), distinct from a timeout.
+class ServerBusy : public InternalError {
+ public:
+  explicit ServerBusy(const std::string& what) : InternalError(what) {}
+};
+
+/// Payload of the one-byte busy frame a saturated server answers before
+/// closing (an ordinary response payload is kResponseWireSize bytes, so the
+/// frame length alone disambiguates).
+inline constexpr std::uint8_t kBusyStatusByte = 0xEE;
+
 struct TcpServerOptions {
   /// Per-connection read/write timeout. A half-written request frame or an
   /// undrained response closes the connection after this long; 0 disables
   /// (blocking forever — the pre-timeout behavior, tests only).
   int io_timeout_ms = 30000;
+  /// Overload guard: with more than this many connections already open, an
+  /// accepted connection is answered with a one-byte busy frame
+  /// (kBusyStatusByte) and closed instead of getting a handler thread.
+  /// 0 = unlimited (the pre-guard behavior).
+  int max_connections = 0;
 };
 
 struct TcpClientOptions {
@@ -77,10 +95,27 @@ struct TcpClientOptions {
   int io_timeout_ms = 5000;       ///< bound on each send/recv; 0 disables
   /// Query() retries on a FRESH connection this many times after the first
   /// attempt fails with a timeout or connection error (0 = fail fast).
+  /// With multiple endpoints, each retry rotates to the next one.
   int max_retries = 2;
-  /// Backoff before retry k (0-based) is `backoff_base_ms << k`.
+  /// Backoff before retry k (0-based) is `backoff_base_ms << k`, capped at
+  /// backoff_cap_ms, then jittered (see BackoffDelayMs).
   int backoff_base_ms = 10;
+  /// Cap on the exponential: uncapped, `10 << 30` is twelve days — one
+  /// misconfigured max_retries away. 0 = no cap (tests only).
+  int backoff_cap_ms = 250;
+  /// Seed for the deterministic jitter. Distinct seeds per client spread a
+  /// post-failover reconnect herd; equal seeds reproduce a schedule exactly.
+  std::uint64_t backoff_seed = 0;
 };
+
+/// Delay before retry `attempt` (0-based): the capped exponential
+/// `min(base_ms << attempt, cap_ms)`, jittered deterministically into
+/// [delay/2, delay] by a hash of (seed, attempt). Jitter exists so a herd
+/// of clients whose primary just died does not hammer the promoted
+/// follower in lockstep; determinism (no clocks, no global RNG) keeps
+/// retry schedules reproducible in tests. Exposed for direct testing.
+[[nodiscard]] std::uint64_t BackoffDelayMs(int attempt, int base_ms, int cap_ms,
+                                           std::uint64_t seed) noexcept;
 
 class TcpServer {
  public:
@@ -121,6 +156,17 @@ class TcpServer {
     return timeouts_.load(std::memory_order_relaxed);
   }
 
+  /// Connections refused with the busy byte because max_connections was
+  /// reached.
+  [[nodiscard]] std::uint64_t RejectedConnections() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// Currently-open handler connections (the count max_connections bounds).
+  [[nodiscard]] int ActiveConnections() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
@@ -137,25 +183,47 @@ class TcpServer {
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<int> active_{0};
 };
 
 /// Minimal blocking client for the rpt-serve wire protocol: one connection,
 /// one request/response at a time. Not thread-safe; throws TimeoutError
-/// when a bounded operation expires, InternalError on other socket failures
-/// and InvalidArgument on malformed responses.
+/// when a bounded operation expires, ServerBusy on the busy byte,
+/// InternalError on other socket failures and InvalidArgument on malformed
+/// responses.
+///
+/// Failover: constructed with an endpoint LIST, the client talks to the
+/// first endpoint until an attempt fails, then rotates to the next (round
+/// robin) on each retry — the shape a query client needs when its primary
+/// dies and a promoted follower is listening on the other port. Which
+/// endpoint answered is visible via ActivePort().
 class TcpClient {
  public:
   /// Connects to 127.0.0.1:`port` within `options.connect_timeout_ms`.
   explicit TcpClient(std::uint16_t port, TcpClientOptions options = {});
+
+  /// Failover client: endpoints are tried in order, starting from the
+  /// first; each Query retry rotates to the next. Connects to the first
+  /// reachable endpoint before returning.
+  explicit TcpClient(std::vector<std::uint16_t> endpoints,
+                     TcpClientOptions options = {});
+
   TcpClient(const TcpClient&) = delete;
   TcpClient& operator=(const TcpClient&) = delete;
   ~TcpClient();
 
-  /// Sends one request and blocks for its response. On a timeout or a
-  /// connection error, reconnects and resends up to `max_retries` times
-  /// with exponential backoff (safe: queries are idempotent reads); throws
-  /// the final attempt's error when the budget is exhausted.
+  /// Sends one request and blocks for its response. On a timeout, busy
+  /// byte or connection error, rotates to the next endpoint and resends on
+  /// a fresh connection up to `max_retries` times with capped+jittered
+  /// exponential backoff (safe: queries are idempotent reads); throws the
+  /// final attempt's error when the budget is exhausted.
   [[nodiscard]] QueryResponse Query(const QueryRequest& request);
+
+  /// The endpoint the client is currently connected (or connecting) to.
+  [[nodiscard]] std::uint16_t ActivePort() const noexcept {
+    return endpoints_[endpoint_index_];
+  }
 
   /// Sends `payload` under a raw length prefix — the tests' tool for
   /// poking malformed frames at the server. No retry.
@@ -173,7 +241,8 @@ class TcpClient {
   QueryResponse QueryOnce(const QueryRequest& request);
   QueryResponse ReadResponse();
 
-  std::uint16_t port_ = 0;
+  std::vector<std::uint16_t> endpoints_;
+  std::size_t endpoint_index_ = 0;
   TcpClientOptions options_;
   int fd_ = -1;
   std::uint64_t retries_ = 0;

@@ -15,6 +15,7 @@ struct PointState {
   std::uint64_t countdown = 0;  // fires when a Hit() decrements this to 0
   std::uint64_t param = 0;
   std::uint64_t hits = 0;  // counted whenever the registry is consulted
+  bool sticky = false;     // fire on every hit, never self-disarm
 };
 
 struct Registry {
@@ -55,6 +56,28 @@ void Arm(std::string_view point, Action action, std::uint64_t countdown,
   st.action = action;
   st.countdown = countdown;
   st.param = param;
+  st.sticky = false;
+}
+
+void ArmSticky(std::string_view point, Action action, std::uint64_t param) {
+  if (action == Action::kOff) {
+    Disarm(point);
+    return;
+  }
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(point);
+  if (it == reg.points.end()) {
+    it = reg.points.emplace(std::string(point), PointState{}).first;
+  }
+  PointState& st = it->second;
+  if (st.action == Action::kOff) {
+    g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  st.action = action;
+  st.countdown = 1;
+  st.param = param;
+  st.sticky = true;
 }
 
 void Disarm(std::string_view point) {
@@ -91,11 +114,16 @@ Action Hit(std::string_view point, std::uint64_t* param_out) {
     PointState& st = it->second;
     ++st.hits;
     if (st.action == Action::kOff) return Action::kOff;
-    if (--st.countdown > 0) return Action::kOff;
-    fired = st.action;
-    param = st.param;
-    st.action = Action::kOff;  // one-shot: self-disarm on fire
-    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    if (st.sticky) {
+      fired = st.action;  // sticky: fire on every hit, stay armed
+      param = st.param;
+    } else {
+      if (--st.countdown > 0) return Action::kOff;
+      fired = st.action;
+      param = st.param;
+      st.action = Action::kOff;  // one-shot: self-disarm on fire
+      g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
   // Act outside the lock: kThrow unwinds, kCrash never returns, kDelay
   // must not stall other points.

@@ -15,6 +15,20 @@
 // point, which is what makes "kill at batch k, recover, diff against the
 // uninterrupted run" a byte-exact oracle rather than a flaky race).
 //
+// The replication layer needs one more shape: a fault that PERSISTS — a
+// network partition is not one lost frame but every frame until the link
+// heals. ArmSticky() arms a point that fires on EVERY hit until Disarm() /
+// DisarmAll(); the link-level sites in serve/repl_link.cpp are driven this
+// way:
+//
+//   repl.link.drop     kError  — the frame about to be sent is discarded
+//   repl.link.dup      kError  — the frame is sent twice back to back
+//   repl.link.reorder  kError  — the frame is held and sent after the next
+//   repl.link.delay    kDelay  — sleep `param` ms before the send
+//   repl.partition     kError  — hard partition: EVERY replication frame in
+//                                either direction is dropped (sticky: arm
+//                                with ArmSticky, heal with Disarm)
+//
 // Actions:
 //  * kThrow    — Hit() throws InjectedFault. The in-process crash
 //                simulation: the caller's stack unwinds as if the operation
@@ -78,6 +92,13 @@ class InjectedFault : public std::runtime_error {
 /// any previous arming of the same point.
 void Arm(std::string_view point, Action action, std::uint64_t countdown = 1,
          std::uint64_t param = 0);
+
+/// Arms `point` persistently: EVERY Hit() from now on fires `action` until
+/// Disarm()/DisarmAll(). The sticky shape models ongoing conditions (a
+/// network partition, a saturated link) rather than point faults. kThrow /
+/// kCrash are legal but fire on the first hit anyway; the intended use is
+/// kError/kDelay.
+void ArmSticky(std::string_view point, Action action, std::uint64_t param = 0);
 
 /// Disarms `point` (no-op when not armed). Hit counters survive.
 void Disarm(std::string_view point);

@@ -327,7 +327,8 @@ CheckpointState MakeState(const Instance& instance, std::uint64_t seq,
       UpdateEvent::AttachSubtree(0, SubtreeSpec::SingleClient(2, 5)),
   };
   solver.Apply(batch);
-  return CheckpointState{seq, version, solver.Capacity(), solver.ExportOverlay()};
+  return CheckpointState{seq, version, /*epoch=*/1, solver.Capacity(),
+                         solver.ExportOverlay()};
 }
 
 TEST(Checkpoint, RoundTripsStateAndCounters) {

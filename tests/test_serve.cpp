@@ -359,16 +359,18 @@ TEST(WireCodec, StaleBitRoundTripsAndUnknownStatusBitsAreRejected) {
   response.version = 4;
   response.ok = true;
   response.stale = true;
+  response.follower = true;
   response.server = 3;
   std::vector<std::uint8_t> wire;
   EncodeResponse(response, wire);
   const QueryResponse decoded = DecodeResponse({wire.data() + 4, kResponseWireSize});
   EXPECT_TRUE(decoded.ok);
   EXPECT_TRUE(decoded.stale);
+  EXPECT_TRUE(decoded.follower);
   EXPECT_EQ(decoded, response);
 
-  // Status bits beyond ok|stale mean a protocol desync, not a guess.
-  wire[4 + 8] = 0x04;
+  // Status bits beyond ok|stale|follower mean a protocol desync, not a guess.
+  wire[4 + 8] = 0x08;
   EXPECT_THROW((void)DecodeResponse({wire.data() + 4, kResponseWireSize}),
                InvalidArgument);
 }
