@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Perf trajectory tracking: runs the hot-path kernel bench across the solver
 # thread ladder, the incremental-engine event sweep, the mutable-topology
-# churn sweep, and the serve-layer publish/query bench in Release, and
-# writes one combined BENCH_hotpath.json (aggregate report *including* wall
-# time statistics, the per-kernel thread_sweep speedup section, the
-# incremental_sweep and topology_sweep churn/speedup sections, and the
-# serve_qps snapshot-swap section). The report is stamped with an
+# churn sweep, the serve-layer publish/query bench, and the sharded forest
+# solve in Release, and writes one combined BENCH_hotpath.json (aggregate
+# report *including* wall time statistics, the per-kernel thread_sweep
+# speedup section, the incremental_sweep and topology_sweep churn/speedup
+# sections, the serve_qps snapshot-swap section, and the shard_forest
+# per-worker RSS section). The report is stamped with an
 # "env" section (hw_threads) so the scaling half of the regression gate in
 # scripts/bench_compare.py knows what kind of machine recorded the baseline.
 # CI uploads the JSON as a workflow artifact so every commit leaves a
@@ -22,7 +23,7 @@ BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_hotpath.json}"
 THREAD_SWEEP="${3:-1,2,4,8}"
 
-for bench in bench_hotpath bench_incremental bench_topology bench_serve; do
+for bench in bench_hotpath bench_incremental bench_topology bench_serve bench_shard; do
   if [[ ! -x "$BUILD_DIR/$bench" ]]; then
     echo "$bench not found in $BUILD_DIR — build the benches first" >&2
     exit 1
@@ -38,9 +39,13 @@ SERVE_THREADS="${THREAD_SWEEP##*,}"
 "$BUILD_DIR/bench_incremental" --json "$TMP_DIR/incremental.json"
 "$BUILD_DIR/bench_topology" --json "$TMP_DIR/topology.json"
 "$BUILD_DIR/bench_serve" --threads "$SERVE_THREADS" --json "$TMP_DIR/serve.json"
+# bench_shard contributes the shard-oracle comparison group plus the
+# "shard_forest" per-worker RSS section (real subprocess workers via wait4).
+"$BUILD_DIR/bench_shard" --seeds=2 --work-dir="$TMP_DIR/shard-work" \
+  --json "$TMP_DIR/shard.json"
 python3 "$(dirname "$0")/merge_bench_json.py" "$OUT_JSON" \
   "$TMP_DIR/hotpath.json" "$TMP_DIR/incremental.json" "$TMP_DIR/topology.json" \
-  "$TMP_DIR/serve.json"
+  "$TMP_DIR/serve.json" "$TMP_DIR/shard.json"
 python3 - "$OUT_JSON" <<'PY'
 import json, os, sys
 path = sys.argv[1]

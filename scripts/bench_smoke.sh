@@ -135,6 +135,28 @@ if ! diff "$OUT_DIR/clean-noseq.json" "$OUT_DIR/promoted-noseq.json"; then
 fi
 echo "OK: rpt_serve kill-the-primary failover"
 
+# Sharded-solve smoke: the deterministic fingerprint (feasible/cost/hash)
+# must be byte-identical between --shards=1 and --shards=4 — the sharded
+# solve is exact, not approximate. Small instance; in-process dispatch.
+"$BUILD_DIR/rpt_shard" --internal=300 --clients=900 --shards=1 \
+  --det-json="$OUT_DIR/rpt_shard-k1.json" > /dev/null
+"$BUILD_DIR/rpt_shard" --internal=300 --clients=900 --shards=4 \
+  --det-json="$OUT_DIR/rpt_shard-k4.json" > /dev/null
+if ! diff "$OUT_DIR/rpt_shard-k1.json" "$OUT_DIR/rpt_shard-k4.json"; then
+  echo "FAIL: rpt_shard det-json differs between --shards 1 and --shards 4"
+  exit 1
+fi
+echo "OK: rpt_shard shards 1 vs 4"
+
+# Worker-crash smoke: a REAL worker process is killed mid-solve (exit 137
+# via the armed failpoint); the coordinator must report the death, re-spawn
+# the shard, and still land on the byte-identical unsharded answer
+# (--verify exits 1 on any cost/hash mismatch).
+"$BUILD_DIR/rpt_shard" --internal=300 --clients=900 --shards=3 \
+  --mode=subprocess --work-dir="$OUT_DIR/shard-crash" \
+  --crash-at-cut=1 --max-attempts=2 --verify > /dev/null
+echo "OK: rpt_shard worker crash + re-dispatch"
+
 # instance_explorer spells its report flag --sweep-json.
 "$BUILD_DIR/instance_explorer" --algo=single-gen --clients=40 --seeds=4 --threads=1 \
   --sweep-json="$OUT_DIR/explorer-t1.json" > /dev/null

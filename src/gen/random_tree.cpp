@@ -24,6 +24,51 @@ Distance DrawEdge(Rng& rng, Distance min_edge, Distance max_edge) {
   return rng.NextInRange(min_edge, max_edge);
 }
 
+// Fenwick tree over 0/1 membership supporting "select the k-th set index in
+// ascending order" in O(log n). Lets GenerateRandomTree pick a uniformly
+// random open parent without rebuilding the open list per node (which made
+// generation quadratic and put 10^7-node forests out of reach). Selection
+// order matches the ascending scan the old code used, and the caller draws
+// the same NextBelow(count) — so the generated trees are byte-identical for
+// every seed.
+class OpenSlotIndex {
+ public:
+  explicit OpenSlotIndex(std::size_t capacity) : tree_(capacity + 1, 0) {}
+
+  void Insert(std::size_t index) {
+    ++count_;
+    for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) ++tree_[i];
+  }
+
+  void Remove(std::size_t index) {
+    --count_;
+    for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) --tree_[i];
+  }
+
+  std::size_t Count() const { return count_; }
+
+  // Returns the k-th (0-based) present index in ascending order.
+  std::size_t Select(std::size_t k) const {
+    RPT_CHECK(k < count_);
+    std::size_t pos = 0;
+    std::size_t remaining = k + 1;
+    std::size_t mask = 1;
+    while (mask * 2 < tree_.size()) mask *= 2;
+    for (; mask != 0; mask /= 2) {
+      const std::size_t next = pos + mask;
+      if (next < tree_.size() && tree_[next] < remaining) {
+        remaining -= tree_[next];
+        pos = next;
+      }
+    }
+    return pos;  // pos is 1-based inside the tree; index = pos + 1 - 1
+  }
+
+ private:
+  std::vector<std::uint32_t> tree_;
+  std::size_t count_ = 0;
+};
+
 }  // namespace
 
 Tree GenerateRandomTree(const RandomTreeConfig& config, std::uint64_t seed) {
@@ -36,27 +81,31 @@ Tree GenerateRandomTree(const RandomTreeConfig& config, std::uint64_t seed) {
   const NodeId root = builder.AddRoot();
 
   // Internal skeleton: attach each new internal node to a uniformly random
-  // existing internal node that still has a free child slot.
+  // existing internal node that still has a free child slot. The open set
+  // lives in a Fenwick index (uniform pick in O(log n) instead of an O(n)
+  // rescan per node); same seeds yield the same trees as the scan did.
   std::vector<NodeId> internals{root};
   std::vector<std::uint32_t> used_slots{0};
   internals.reserve(config.internal_nodes);
+  used_slots.reserve(config.internal_nodes);
+  OpenSlotIndex open(config.internal_nodes);
+  open.Insert(0);
   auto pick_open_internal = [&]() -> std::size_t {
-    std::vector<std::size_t> open;
-    open.reserve(internals.size());
-    for (std::size_t i = 0; i < internals.size(); ++i) {
-      if (used_slots[i] < config.max_children) open.push_back(i);
-    }
-    RPT_REQUIRE(!open.empty(),
+    RPT_REQUIRE(open.Count() > 0,
                 "GenerateRandomTree: no free child slots; raise max_children or lower node count");
-    return open[static_cast<std::size_t>(rng.NextBelow(open.size()))];
+    return open.Select(static_cast<std::size_t>(rng.NextBelow(open.Count())));
+  };
+  auto take_slot = [&](std::size_t index) {
+    if (++used_slots[index] == config.max_children) open.Remove(index);
   };
   for (std::uint32_t i = 1; i < config.internal_nodes; ++i) {
     const std::size_t parent_index = pick_open_internal();
     const NodeId node = builder.AddInternal(internals[parent_index],
                                             DrawEdge(rng, config.min_edge, config.max_edge));
-    ++used_slots[parent_index];
+    take_slot(parent_index);
     internals.push_back(node);
     used_slots.push_back(0);
+    open.Insert(internals.size() - 1);
   }
 
   // Every childless internal node gets one client first (internal nodes must
@@ -69,7 +118,7 @@ Tree GenerateRandomTree(const RandomTreeConfig& config, std::uint64_t seed) {
       builder.AddClient(internals[i], DrawEdge(rng, config.min_edge, config.max_edge),
                         DrawRequests(rng, config.min_requests, config.max_requests,
                                      config.request_skew));
-      ++used_slots[i];
+      take_slot(i);
       --clients_left;
     }
   }
@@ -78,7 +127,7 @@ Tree GenerateRandomTree(const RandomTreeConfig& config, std::uint64_t seed) {
     builder.AddClient(internals[parent_index], DrawEdge(rng, config.min_edge, config.max_edge),
                       DrawRequests(rng, config.min_requests, config.max_requests,
                                    config.request_skew));
-    ++used_slots[parent_index];
+    take_slot(parent_index);
     --clients_left;
   }
   return builder.Build();

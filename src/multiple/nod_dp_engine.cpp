@@ -203,6 +203,17 @@ void NodDpEngine::Convolve(const CostTable& a, const CostTable& b, CostTable& ou
 void NodDpEngine::ProcessNode(NodeId node, std::size_t first_child, ConvolveScratch& scratch,
                               ChunkCounters& counters) {
   if (view_.IsClient(node)) {
+    if (!imported_.empty()) {
+      // Sharded solve: a boundary leaf's table IS the cut subtree root's F
+      // table, shipped from the worker — install it verbatim.
+      const auto it = imported_.find(node);
+      if (it != imported_.end()) {
+        f_[node] = it->second;
+        RPT_CHECK(f_[node].size() == static_cast<std::size_t>(subtree_demand_[node]) + 1);
+        counters.entries += f_[node].size();
+        return;
+      }
+    }
     const Requests r = demand_[node];
     CostTable& table = f_[node];
     table.assign(static_cast<std::size_t>(r) + 1, kInf);
@@ -368,6 +379,30 @@ NodDpEngine::PendChain NodDpEngine::BacktrackNode(NodeId node, std::size_t u,
     return PendChain{id, id, amount};
   };
 
+  // Imported boundary leaf (sharded solve): the subtree behind this leaf was
+  // reconstructed by its shard worker; its replicas and entries travel in the
+  // worker's solution fragment (spliced in by the coordinator, not here). The
+  // spine only needs the pending list the fragment forwards — replayed
+  // verbatim, in chain order, so every upstream replica absorbs exactly the
+  // prefix the unsharded backtrack would have handed it.
+  if (!imported_.empty() && imported_.contains(node)) {
+    RPT_REQUIRE(imported_provider_ != nullptr,
+                "NodDpEngine: backtracking imported tables requires a fragment provider");
+    RPT_CHECK(table[u] < kInf);
+    PendChain chain = empty_chain();
+    for (const auto& [client, amount] : imported_provider_(node, u)) {
+      const PendChain link = single_chain(client, amount);
+      if (chain.head == kPendNil) {
+        chain.head = link.head;
+      } else {
+        pend_entries_[chain.tail].next = link.head;
+      }
+      chain.tail = link.tail;
+      chain.total += amount;
+    }
+    return chain;
+  }
+
   // Fragment replay: valid iff the fragment was recorded after the subtree's
   // last recompute (a dirty node this pass has last_dirty == pass_ >=
   // built_pass, so it can never hit) and the clamped budget matches. The
@@ -440,24 +475,9 @@ NodDpEngine::PendChain NodDpEngine::BacktrackNode(NodeId node, std::size_t u,
     return leaf_chain;
   }
 
-  const auto& prefix = prefixes_[node];
-  const CostTable& g = prefix.back();
-  const std::size_t total = g.size() - 1;
-  const bool use_replica = g[u] != cost;  // prefer the replica-free branch
-  std::size_t budget = u;
-  Cost remaining_cost = cost;
-  if (use_replica) {
-    budget = std::min<std::size_t>(
-        total, u + static_cast<std::size_t>(std::min<Requests>(capacity_, total)));
-    RPT_CHECK(cost >= 1 && g[budget] == cost - 1);
-    remaining_cost = cost - 1;
-  } else {
-    RPT_CHECK(g[budget] == cost);
-  }
-
-  // Split `budget` among children by walking the prefix tables backwards.
-  // Budgets live in a small stack buffer (heap only past arity 8) so the
-  // recursion allocates nothing on typical trees.
+  // Split the budget among children (SplitBudget holds the shared table
+  // arithmetic). Budgets live in a small stack buffer (heap only past arity
+  // 8) so the recursion allocates nothing on typical trees.
   const auto kids = view_.Children(node);
   std::size_t inline_budget[8];
   std::vector<std::size_t> heap_budget;
@@ -466,27 +486,7 @@ NodDpEngine::PendChain NodDpEngine::BacktrackNode(NodeId node, std::size_t u,
     heap_budget.resize(kids.size());
     child_budget = heap_budget.data();
   }
-  std::size_t v = budget;
-  Cost target = remaining_cost;
-  for (std::size_t k = kids.size(); k-- > 0;) {
-    const CostTable& before = prefix[k];
-    const CostTable& child_table = f_[kids[k]];
-    bool found = false;
-    // Smallest child budget achieving the target keeps ancestors safest.
-    for (std::size_t b = 0; b < child_table.size() && b <= v; ++b) {
-      if (child_table[b] >= kInf) continue;
-      const std::size_t rest = v - b;
-      const std::size_t rest_clamped = std::min(rest, before.size() - 1);
-      if (before[rest_clamped] < kInf && before[rest_clamped] + child_table[b] == target) {
-        child_budget[k] = b;
-        target -= child_table[b];
-        v = rest_clamped;
-        found = true;
-        break;
-      }
-    }
-    RPT_CHECK(found);
-  }
+  const bool use_replica = SplitBudget(node, u, child_budget);
 
   // Concatenate the children's pending chains in child order — O(1) splices,
   // preserving exactly the order the flat-list implementation produced.
@@ -531,6 +531,111 @@ NodDpEngine::PendChain NodDpEngine::BacktrackNode(NodeId node, std::size_t u,
   RPT_CHECK(forwarded.total <= u);
   record_fragment(forwarded);
   return forwarded;
+}
+
+bool NodDpEngine::SplitBudget(NodeId node, std::size_t u, std::size_t* child_budget) const {
+  const CostTable& table = f_[node];
+  const Cost cost = table[u];
+  RPT_CHECK(cost < kInf);
+  const auto& prefix = prefixes_[node];
+  const CostTable& g = prefix.back();
+  const std::size_t total = g.size() - 1;
+  const bool use_replica = g[u] != cost;  // prefer the replica-free branch
+  std::size_t budget = u;
+  Cost remaining_cost = cost;
+  if (use_replica) {
+    budget = std::min<std::size_t>(
+        total, u + static_cast<std::size_t>(std::min<Requests>(capacity_, total)));
+    RPT_CHECK(cost >= 1 && g[budget] == cost - 1);
+    remaining_cost = cost - 1;
+  } else {
+    RPT_CHECK(g[budget] == cost);
+  }
+
+  // Split `budget` among children by walking the prefix tables backwards.
+  const auto kids = view_.Children(node);
+  std::size_t v = budget;
+  Cost target = remaining_cost;
+  for (std::size_t k = kids.size(); k-- > 0;) {
+    const CostTable& before = prefix[k];
+    const CostTable& child_table = f_[kids[k]];
+    bool found = false;
+    // Smallest child budget achieving the target keeps ancestors safest.
+    for (std::size_t b = 0; b < child_table.size() && b <= v; ++b) {
+      if (child_table[b] >= kInf) continue;
+      const std::size_t rest = v - b;
+      const std::size_t rest_clamped = std::min(rest, before.size() - 1);
+      if (before[rest_clamped] < kInf && before[rest_clamped] + child_table[b] == target) {
+        child_budget[k] = b;
+        target -= child_table[b];
+        v = rest_clamped;
+        found = true;
+        break;
+      }
+    }
+    RPT_CHECK(found);
+  }
+  return use_replica;
+}
+
+void NodDpEngine::ImportLeafTable(NodeId leaf, CostTable table) {
+  RPT_REQUIRE(view_.IsLive(CheckNode(leaf)), "NodDpEngine: imported tables belong to live nodes");
+  RPT_REQUIRE(view_.IsClient(leaf), "NodDpEngine: imported tables belong to client leaves");
+  RPT_REQUIRE(table.size() == static_cast<std::size_t>(subtree_demand_[leaf]) + 1,
+              "NodDpEngine: imported table must span the leaf demand (size = demand + 1)");
+  RPT_REQUIRE(table.back() < kInf, "NodDpEngine: imported table needs a finite entry");
+  for (std::size_t u = 1; u < table.size(); ++u) {
+    RPT_REQUIRE(table[u] <= table[u - 1], "NodDpEngine: imported table must be non-increasing");
+  }
+  imported_[leaf] = std::move(table);
+  computed_ = false;  // any previously stored leaf table is stale until the next pass
+}
+
+std::vector<NodDpEngine::ImportBudget> NodDpEngine::AssignImportedBudgets() const {
+  RPT_REQUIRE(computed_, "NodDpEngine: AssignImportedBudgets requires up-to-date tables");
+  RPT_REQUIRE(Feasible(), "NodDpEngine: AssignImportedBudgets requires a feasible state");
+  std::vector<ImportBudget> out;
+  if (imported_.empty()) return out;
+  out.reserve(imported_.size());
+  // Iterative root-down sweep; order of visit is irrelevant (budgets flow
+  // strictly downward), the result is sorted for determinism.
+  std::vector<std::pair<NodeId, std::size_t>> stack{{view_.Root(), 0}};
+  std::vector<std::size_t> child_budget;
+  while (!stack.empty()) {
+    const auto [node, budget] = stack.back();
+    stack.pop_back();
+    const CostTable& table = f_[node];
+    RPT_CHECK(!table.empty());
+    const std::size_t u = std::min(budget, table.size() - 1);
+    if (view_.IsClient(node)) {
+      if (imported_.contains(node)) out.push_back(ImportBudget{node, u});
+      continue;
+    }
+    const auto kids = view_.Children(node);
+    if (kids.empty()) continue;  // childless root of a one-node tree
+    child_budget.resize(kids.size());
+    SplitBudget(node, u, child_budget.data());
+    for (std::size_t k = 0; k < kids.size(); ++k) stack.emplace_back(kids[k], child_budget[k]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ImportBudget& a, const ImportBudget& b) { return a.leaf < b.leaf; });
+  RPT_CHECK(out.size() == imported_.size());
+  return out;
+}
+
+NodDpEngine::BudgetedBacktrack NodDpEngine::BacktrackWithBudget(std::size_t budget) {
+  RPT_REQUIRE(computed_, "NodDpEngine: BacktrackWithBudget requires up-to-date tables");
+  const CostTable& root = f_[view_.Root()];
+  RPT_REQUIRE(!root.empty() && root[std::min(budget, root.size() - 1)] < kInf,
+              "NodDpEngine: no feasible reconstruction at this budget");
+  pend_entries_.clear();
+  BudgetedBacktrack out;
+  const PendChain chain = BacktrackNode(view_.Root(), budget, out.solution);
+  out.forwarded.reserve(16);
+  for (std::uint32_t e = chain.head; e != kPendNil; e = pend_entries_[e].next) {
+    out.forwarded.emplace_back(pend_entries_[e].client, pend_entries_[e].amount);
+  }
+  return out;
 }
 
 Solution NodDpEngine::Backtrack() {

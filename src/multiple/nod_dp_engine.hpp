@@ -53,8 +53,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "model/solution.hpp"
@@ -156,6 +159,13 @@ class NodDpEngine {
   /// (F_root(0) finite). Requires up-to-date tables.
   [[nodiscard]] bool Feasible() const;
 
+  /// The F table of `node` (valid until the next pass or mutation). Exposed
+  /// for the sharded solve's boundary-table export and for tests.
+  [[nodiscard]] const CostTable& TableOf(NodeId node) const {
+    RPT_REQUIRE(computed_, "NodDpEngine: TableOf requires up-to-date tables");
+    return f_[CheckNode(node)];
+  }
+
   /// Reconstructs an optimal placement + routing from the tables; requires
   /// Feasible(). The returned solution is canonicalized and identical to
   /// what SolveMultipleNodDp would return on the equivalent instance.
@@ -168,6 +178,72 @@ class NodDpEngine {
   /// budget-shifted subtrees, so a low-churn re-solve rebuilds the solution
   /// in roughly O(|solution| + dirty work).
   [[nodiscard]] Solution Backtrack();
+
+  // --- Sharded solve (src/shard/) -----------------------------------------
+  //
+  // The DP composes across a subtree cut: F_j depends only on (subtree(j)
+  // demands, W), so a cut subtree solved elsewhere is fully represented at
+  // the cut point by its F table. The coordinator builds a *spine* tree in
+  // which each cut subtree collapses to one client leaf carrying the
+  // subtree's demand, imports the shipped tables below, and runs the normal
+  // passes — every spine table comes out byte-identical to the same node's
+  // table in the unsharded engine. Reconstruction splits in two: the budget
+  // sweep (AssignImportedBudgets) tells each worker how much its subtree may
+  // forward, and the final Backtrack() replays each worker's forwarded
+  // pending list through the provider hook so upstream replicas absorb
+  // requests exactly as the unsharded backtrack would.
+
+  /// Installs the boundary table of the cut subtree behind `leaf` (a client
+  /// leaf whose requests equal the subtree's demand). The table must be the
+  /// subtree root's F table: size = demand + 1, monotone non-increasing,
+  /// finite at full forwarding. Forward passes install it verbatim instead
+  /// of the standard client table; tables become stale until the next
+  /// ComputeAll().
+  void ImportLeafTable(NodeId leaf, CostTable table);
+
+  /// True iff `leaf` carries an imported boundary table.
+  [[nodiscard]] bool IsImportedLeaf(NodeId leaf) const {
+    return imported_.contains(CheckNode(leaf));
+  }
+
+  /// Budget assigned to one imported leaf by the downward budget sweep.
+  struct ImportBudget {
+    NodeId leaf = kInvalidNode;
+    std::size_t budget = 0;  ///< requests the cut subtree may forward above its root
+  };
+
+  /// The downward half of a sharded reconstruction, without building any
+  /// solution: walks budgets from the root (budget 0) through SplitBudget —
+  /// the exact table arithmetic Backtrack() uses — and returns each imported
+  /// leaf's clamped budget, ascending by leaf id. Requires Feasible().
+  /// Because budgets are a pure function of the tables, the budget each
+  /// worker solves against is identical to the budget the final Backtrack()
+  /// asks of that leaf.
+  [[nodiscard]] std::vector<ImportBudget> AssignImportedBudgets() const;
+
+  /// Supplies, for an imported leaf reached at `budget`, the (client, amount)
+  /// list the cut subtree's reconstruction forwards above its root — in
+  /// chain order, ids already translated by the caller. Backtrack() replays
+  /// it as the leaf's pending chain (the fragment's replicas and entries are
+  /// spliced into the final solution by the coordinator, not here).
+  using ImportedFragmentFn =
+      std::function<std::span<const std::pair<NodeId, Requests>>(NodeId leaf, std::size_t budget)>;
+  void SetImportedFragmentProvider(ImportedFragmentFn provider) {
+    imported_provider_ = std::move(provider);
+  }
+
+  /// A worker-side reconstruction at a nonzero root budget.
+  struct BudgetedBacktrack {
+    Solution solution;  ///< NOT canonicalized: the caller splices it first
+    std::vector<std::pair<NodeId, Requests>> forwarded;  ///< chain order, preserved
+  };
+
+  /// The worker-side generalization of Backtrack(): reconstructs this tree's
+  /// solution when the root may forward up to `budget` requests, returning
+  /// the solution slice plus the forwarded (client, amount) list in chain
+  /// order. Backtrack() is BacktrackWithBudget(0) plus the nothing-left-over
+  /// check and canonicalization.
+  [[nodiscard]] BudgetedBacktrack BacktrackWithBudget(std::size_t budget);
 
   /// Cumulative work counters over the engine's lifetime.
   [[nodiscard]] const NodDpWork& Work() const noexcept { return work_; }
@@ -251,6 +327,15 @@ class NodDpEngine {
   static constexpr std::size_t kFragEntryBudget = std::size_t{1} << 21;
   PendChain BacktrackNode(NodeId node, std::size_t budget, Solution& solution);
 
+  /// Shared table-arithmetic core of reconstruction at internal `node` with
+  /// clamped budget `u`: decides the replica bit and splits the (possibly
+  /// relaxed) budget among the children by the backwards prefix-table walk,
+  /// filling child_budget[0..arity). Returns whether a replica is placed.
+  /// Pure function of the tables — BacktrackNode and AssignImportedBudgets
+  /// both call it, so a sharded solve's budget sweep and its final backtrack
+  /// can never disagree.
+  bool SplitBudget(NodeId node, std::size_t u, std::size_t* child_budget) const;
+
   /// Rebuilds all_levels_/dirty_levels_ over the view's live nodes.
   void RebuildLevels();
 
@@ -276,6 +361,11 @@ class NodDpEngine {
   std::uint64_t last_pass_nodes_ = 0;
   std::vector<PendEntry> pend_entries_;  // Backtrack arena, reused per call
   std::vector<FragmentCache> frag_;      // per-node Backtrack fragments
+  // Sharded solve: boundary tables imported at client leaves, and the
+  // fragment provider Backtrack() replays their forwarded pendings from.
+  // Empty (and cost-free on every path) outside the coordinator.
+  std::unordered_map<NodeId, CostTable> imported_;
+  ImportedFragmentFn imported_provider_;
   std::size_t frag_entries_total_ = 0;   // summed EntryCount, vs kFragEntryBudget
   std::size_t last_replica_count_ = 0;   // previous solution sizes, for reserve
   std::size_t last_assignment_count_ = 0;

@@ -1,0 +1,291 @@
+#include "shard/boundary_table.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/common.hpp"
+#include "support/crc32.hpp"
+
+namespace rpt::shard {
+
+namespace {
+
+using Cost = multiple::NodDpEngine::Cost;
+using CostTable = multiple::NodDpEngine::CostTable;
+constexpr Cost kInf = multiple::NodDpEngine::kInfCost;
+
+constexpr std::size_t kMagicBytes = sizeof(kBtabMagic);
+constexpr std::size_t kFrameHeaderBytes = 8;  // len u32 + crc u32
+constexpr std::uint8_t kKindTable = 1;
+constexpr std::uint8_t kKindFragment = 2;
+constexpr std::uint32_t kBtabVersion = 1;
+
+void PutU8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+[[noreturn]] void Fail(const std::string& what) {
+  throw InvalidArgument("rpt-btab: " + what);
+}
+
+// Bounds-checked little-endian cursor. Every decode failure — underrun,
+// overrun, bad field — is InvalidArgument: a btab either loads exactly or
+// loudly refuses, there is no partial result to hand back.
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t U8() {
+    Need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t U32() {
+    Need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t U64() {
+    Need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  [[nodiscard]] bool Exhausted() const { return pos_ == size_; }
+
+ private:
+  void Need(std::size_t n) const {
+    if (size_ - pos_ < n) Fail("payload underruns its frame");
+  }
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+void AppendFramed(std::string& out, const std::string& payload) {
+  RPT_CHECK(payload.size() <= kMaxBtabRecordBytes);
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  PutU32(out, support::Crc32(payload.data(), payload.size()));
+  out.append(payload);
+}
+
+std::string EncodeTablePayload(const BoundaryTable& table) {
+  RPT_REQUIRE(table.table.size() == table.demand + 1,
+              "rpt-btab: table size must be demand + 1");
+  RPT_REQUIRE(table.table.back() < kInf, "rpt-btab: table needs a finite entry");
+  // Cost-domain compression: the staircase's inverse, exactly the DP's
+  // internal form (see Staircase::BuildFrom in nod_dp_engine.cpp).
+  std::size_t f = 0;
+  while (table.table[f] >= kInf) ++f;
+  const Cost vmax = table.table[f];
+  const Cost vmin = table.table.back();
+  std::vector<std::uint32_t> inv(static_cast<std::size_t>(vmax - vmin) + 1,
+                                 static_cast<std::uint32_t>(f));
+  Cost cur = vmax;
+  for (std::size_t u = f + 1; u < table.table.size(); ++u) {
+    while (cur > table.table[u]) {
+      --cur;
+      inv[cur - vmin] = static_cast<std::uint32_t>(u);
+    }
+  }
+
+  std::string payload;
+  PutU8(payload, kKindTable);
+  PutU32(payload, table.cut);
+  PutU64(payload, table.demand);
+  PutU32(payload, table.subtree_nodes);
+  PutU64(payload, table.table_entries);
+  PutU64(payload, table.convolve_cells);
+  PutU32(payload, vmin);
+  PutU32(payload, vmax);
+  for (const std::uint32_t v : inv) PutU32(payload, v);
+  return payload;
+}
+
+void DecodeTablePayload(Cursor& cur, BtabFile& file) {
+  BoundaryTable table;
+  table.cut = cur.U32();
+  table.demand = cur.U64();
+  if (table.demand > kMaxBtabDemand) Fail("table demand exceeds the sanity cap");
+  table.subtree_nodes = cur.U32();
+  table.table_entries = cur.U64();
+  table.convolve_cells = cur.U64();
+  const auto vmin = static_cast<Cost>(cur.U32());
+  const auto vmax = static_cast<Cost>(cur.U32());
+  if (vmin > vmax || vmax >= kInf) Fail("table cost range is invalid");
+  if (static_cast<std::uint64_t>(vmax) - vmin >= kMaxBtabRecordBytes / 4) {
+    Fail("table cost range is implausible for one record");
+  }
+  std::vector<std::uint32_t> inv(static_cast<std::size_t>(vmax - vmin) + 1);
+  for (auto& v : inv) {
+    v = cur.U32();
+    if (v > table.demand) Fail("table staircase index exceeds the demand domain");
+  }
+  for (std::size_t c = 1; c < inv.size(); ++c) {
+    if (inv[c] > inv[c - 1]) Fail("table staircase is not monotone");
+  }
+  if (!cur.Exhausted()) Fail("table payload overruns its fields");
+
+  // Materialize — the mirror of the DP convolution's output loop, so the
+  // round trip is exact entry for entry.
+  table.table.assign(static_cast<std::size_t>(table.demand) + 1, kInf);
+  std::size_t hi = table.table.size();
+  for (Cost c = vmin; c <= vmax && hi > 0; ++c) {
+    const std::size_t u = inv[c - vmin];
+    for (std::size_t k = u; k < hi; ++k) table.table[k] = c;
+    hi = std::min(hi, static_cast<std::size_t>(u));
+  }
+  if (table.table.back() != vmin) Fail("table staircase does not reach its minimum");
+  file.tables.push_back(std::move(table));
+}
+
+std::string EncodeFragmentPayload(const SolutionFragment& fragment) {
+  std::string payload;
+  PutU8(payload, kKindFragment);
+  PutU32(payload, fragment.cut);
+  PutU64(payload, fragment.budget);
+  PutU32(payload, static_cast<std::uint32_t>(fragment.solution.replicas.size()));
+  for (const NodeId replica : fragment.solution.replicas) PutU32(payload, replica);
+  PutU32(payload, static_cast<std::uint32_t>(fragment.solution.assignment.size()));
+  for (const ServiceEntry& entry : fragment.solution.assignment) {
+    PutU32(payload, entry.client);
+    PutU32(payload, entry.server);
+    PutU64(payload, entry.amount);
+  }
+  PutU32(payload, static_cast<std::uint32_t>(fragment.forwarded.size()));
+  for (const auto& [client, amount] : fragment.forwarded) {
+    PutU32(payload, client);
+    PutU64(payload, amount);
+  }
+  return payload;
+}
+
+void DecodeFragmentPayload(Cursor& cur, BtabFile& file) {
+  SolutionFragment fragment;
+  fragment.cut = cur.U32();
+  fragment.budget = cur.U64();
+  const std::uint32_t replica_count = cur.U32();
+  fragment.solution.replicas.reserve(replica_count);
+  for (std::uint32_t i = 0; i < replica_count; ++i) {
+    fragment.solution.replicas.push_back(cur.U32());
+  }
+  const std::uint32_t entry_count = cur.U32();
+  fragment.solution.assignment.reserve(entry_count);
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    ServiceEntry entry;
+    entry.client = cur.U32();
+    entry.server = cur.U32();
+    entry.amount = cur.U64();
+    fragment.solution.assignment.push_back(entry);
+  }
+  const std::uint32_t fwd_count = cur.U32();
+  fragment.forwarded.reserve(fwd_count);
+  for (std::uint32_t i = 0; i < fwd_count; ++i) {
+    const NodeId client = cur.U32();
+    const Requests amount = cur.U64();
+    fragment.forwarded.emplace_back(client, amount);
+  }
+  if (!cur.Exhausted()) Fail("fragment payload overruns its fields");
+  file.fragments.push_back(std::move(fragment));
+}
+
+}  // namespace
+
+std::string EncodeBtab(const BtabFile& file) {
+  std::string body;
+  for (const BoundaryTable& table : file.tables) {
+    AppendFramed(body, EncodeTablePayload(table));
+  }
+  for (const SolutionFragment& fragment : file.fragments) {
+    AppendFramed(body, EncodeFragmentPayload(fragment));
+  }
+
+  std::string header;
+  PutU32(header, kBtabVersion);
+  PutU32(header, static_cast<std::uint32_t>(file.tables.size() + file.fragments.size()));
+  PutU64(header, body.size());
+
+  std::string out(kBtabMagic, kMagicBytes);
+  AppendFramed(out, header);
+  out.append(body);
+  return out;
+}
+
+BtabFile DecodeBtab(std::string_view bytes) {
+  if (bytes.size() < kMagicBytes || bytes.compare(0, kMagicBytes, kBtabMagic, kMagicBytes) != 0) {
+    Fail("bad magic");
+  }
+  std::size_t pos = kMagicBytes;
+  const auto read_frame = [&](std::string_view what) -> std::string_view {
+    if (bytes.size() - pos < kFrameHeaderBytes) Fail(std::string(what) + " frame is truncated");
+    Cursor head(bytes.data() + pos, kFrameHeaderBytes);
+    const std::uint32_t len = head.U32();
+    const std::uint32_t crc = head.U32();
+    if (len > kMaxBtabRecordBytes) Fail(std::string(what) + " frame length is implausible");
+    if (bytes.size() - pos - kFrameHeaderBytes < len) {
+      Fail(std::string(what) + " payload is truncated");
+    }
+    const std::string_view payload = bytes.substr(pos + kFrameHeaderBytes, len);
+    if (support::Crc32(payload.data(), payload.size()) != crc) {
+      Fail(std::string(what) + " payload fails its CRC");
+    }
+    pos += kFrameHeaderBytes + len;
+    return payload;
+  };
+
+  const std::string_view header = read_frame("header");
+  Cursor head(header.data(), header.size());
+  const std::uint32_t version = head.U32();
+  if (version != kBtabVersion) Fail("unsupported version");
+  const std::uint32_t record_count = head.U32();
+  const std::uint64_t body_bytes = head.U64();
+  if (!head.Exhausted()) Fail("header payload overruns its fields");
+  if (bytes.size() - pos != body_bytes) Fail("body byte count does not match the header");
+
+  BtabFile file;
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    const std::string_view payload = read_frame("record");
+    if (payload.empty()) Fail("record payload is empty");
+    Cursor cur(payload.data(), payload.size());
+    const std::uint8_t kind = cur.U8();
+    if (kind == kKindTable) {
+      DecodeTablePayload(cur, file);
+    } else if (kind == kKindFragment) {
+      DecodeFragmentPayload(cur, file);
+    } else {
+      Fail("unknown record kind");
+    }
+  }
+  if (pos != bytes.size()) Fail("trailing bytes after the last record");
+  return file;
+}
+
+void WriteBtabFile(const std::string& path, const BtabFile& file) {
+  const std::string bytes = EncodeBtab(file);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  RPT_REQUIRE(os.good(), "rpt-btab: cannot open for writing: " + path);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os.flush();
+  RPT_REQUIRE(os.good(), "rpt-btab: write failed: " + path);
+}
+
+BtabFile ReadBtabFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  RPT_REQUIRE(is.good(), "rpt-btab: cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  RPT_REQUIRE(!is.bad(), "rpt-btab: read failed: " + path);
+  return DecodeBtab(buffer.str());
+}
+
+}  // namespace rpt::shard

@@ -1,0 +1,106 @@
+#include "shard/plan.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace rpt::shard {
+
+namespace {
+
+std::uint64_t WeightOf(const Tree& tree, NodeId node) {
+  return static_cast<std::uint64_t>(tree.SubtreeRequests(node)) + tree.SubtreeSize(node);
+}
+
+}  // namespace
+
+ShardPlan PlanShards(const Tree& tree, const PlanOptions& options) {
+  RPT_REQUIRE(options.shards >= 1, "PlanShards: shard count must be >= 1");
+  RPT_REQUIRE(options.max_imbalance >= 0.0, "PlanShards: max_imbalance must be >= 0");
+  RPT_REQUIRE(options.max_cuts >= 1, "PlanShards: max_cuts must be >= 1");
+
+  ShardPlan plan;
+  // Candidates start as the root's internal children: clients cannot be cut
+  // (a cut must be a valid subtree root), and the root itself must stay on
+  // the spine.
+  std::vector<NodeId> candidates;
+  for (const NodeId child : tree.Children(tree.Root())) {
+    if (!tree.IsClient(child)) candidates.push_back(child);
+  }
+  if (candidates.empty()) return plan;  // star-like: nothing to shard
+
+  // Refinement: while some candidate exceeds the per-shard target by more
+  // than the imbalance allowance, replace the heaviest such candidate (ties
+  // to the lowest id) with its internal children — the candidate itself and
+  // its client children return to the spine. A candidate without internal
+  // children cannot be split and is accepted as-is.
+  const double target =
+      static_cast<double>(WeightOf(tree, tree.Root())) / static_cast<double>(options.shards);
+  const double limit = target * (1.0 + options.max_imbalance);
+  std::vector<NodeId> accepted;  // over-limit but unsplittable: cut as-is
+  while (candidates.size() + accepted.size() < options.max_cuts) {
+    std::size_t pick = candidates.size();
+    std::uint64_t pick_weight = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const std::uint64_t w = WeightOf(tree, candidates[i]);
+      if (static_cast<double>(w) <= limit) continue;
+      if (pick == candidates.size() || w > pick_weight ||
+          (w == pick_weight && candidates[i] < candidates[pick])) {
+        pick = i;
+        pick_weight = w;
+      }
+    }
+    if (pick == candidates.size()) break;
+    const NodeId heavy = candidates[pick];
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+    std::vector<NodeId> internal_kids;
+    for (const NodeId child : tree.Children(heavy)) {
+      if (!tree.IsClient(child)) internal_kids.push_back(child);
+    }
+    if (internal_kids.empty()) {
+      accepted.push_back(heavy);  // a leafy hub: nothing below to split off
+    } else {
+      candidates.insert(candidates.end(), internal_kids.begin(), internal_kids.end());
+    }
+  }
+  candidates.insert(candidates.end(), accepted.begin(), accepted.end());
+  std::sort(candidates.begin(), candidates.end());
+
+  plan.cuts.reserve(candidates.size());
+  for (const NodeId node : candidates) {
+    plan.cuts.push_back(Cut{node, WeightOf(tree, node), 0});
+  }
+  plan.shard_count = static_cast<std::uint32_t>(
+      std::min<std::size_t>(options.shards, plan.cuts.size()));
+
+  // Largest-first (LPT) assignment into the currently lightest shard; ties
+  // break to the lowest node id / lowest shard index, so the assignment is a
+  // pure function of the plan inputs.
+  std::vector<std::size_t> order(plan.cuts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (plan.cuts[a].weight != plan.cuts[b].weight) {
+      return plan.cuts[a].weight > plan.cuts[b].weight;
+    }
+    return plan.cuts[a].node < plan.cuts[b].node;
+  });
+  plan.shard_weights.assign(plan.shard_count, 0);
+  plan.shard_cuts.assign(plan.shard_count, {});
+  for (const std::size_t i : order) {
+    std::uint32_t lightest = 0;
+    for (std::uint32_t s = 1; s < plan.shard_count; ++s) {
+      if (plan.shard_weights[s] < plan.shard_weights[lightest]) lightest = s;
+    }
+    plan.cuts[i].shard = lightest;
+    plan.shard_weights[lightest] += plan.cuts[i].weight;
+    plan.shard_cuts[lightest].push_back(plan.cuts[i].node);
+  }
+  for (auto& cuts : plan.shard_cuts) std::sort(cuts.begin(), cuts.end());
+
+  std::uint64_t covered = 0;
+  for (const Cut& cut : plan.cuts) covered += cut.weight;
+  plan.spine_weight = WeightOf(tree, tree.Root()) - covered;
+  return plan;
+}
+
+}  // namespace rpt::shard

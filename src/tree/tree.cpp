@@ -456,4 +456,43 @@ Tree Tree::WithRequests(std::span<const Requests> requests) const {
   return copy;
 }
 
+SubtreeSlice Tree::SliceSubtree(NodeId root) const {
+  Check(root);
+  RPT_REQUIRE(!IsClient(root), "Tree::SliceSubtree: slice root must be an internal node");
+  // Collect the subtree's global ids, ascending. A DFS from `root` visits
+  // exactly SubtreeSize(root) nodes; sorting makes the local→global map
+  // monotone, which preserves parent<child ids and ascending child order.
+  std::vector<NodeId> members;
+  members.reserve(subtree_size_[root]);
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    const NodeId node = stack.back();
+    stack.pop_back();
+    members.push_back(node);
+    const auto kids = Children(node);
+    stack.insert(stack.end(), kids.begin(), kids.end());
+  }
+  RPT_CHECK(members.size() == subtree_size_[root]);
+  std::sort(members.begin(), members.end());
+
+  TreeBuilder builder;
+  builder.Reserve(members.size());
+  builder.AddRoot();
+  for (std::size_t local = 1; local < members.size(); ++local) {
+    const NodeId global = members[local];
+    // The parent's local id is its rank among members — a binary search,
+    // valid because every ancestor of a member up to `root` is a member.
+    const NodeId parent_global = parent_[global];
+    const auto it = std::lower_bound(members.begin(), members.end(), parent_global);
+    RPT_CHECK(it != members.end() && *it == parent_global);
+    const auto parent_local = static_cast<NodeId>(it - members.begin());
+    if (kind_[global] == NodeKind::kClient) {
+      builder.AddClient(parent_local, delta_[global], requests_[global]);
+    } else {
+      builder.AddInternal(parent_local, delta_[global]);
+    }
+  }
+  return SubtreeSlice{builder.Build(), std::move(members)};
+}
+
 }  // namespace rpt

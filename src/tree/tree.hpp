@@ -36,6 +36,7 @@ enum class NodeKind : std::uint8_t {
 };
 
 class TreeBuilder;
+struct SubtreeSlice;
 
 /// Immutable rooted tree with weighted edges and client request counts.
 class Tree {
@@ -132,6 +133,11 @@ class Tree {
   /// e.g. the incremental solver's from-scratch oracle.
   [[nodiscard]] Tree WithRequests(std::span<const Requests> requests) const;
 
+  /// Extracts subtree(`root`) as a standalone tree plus the local→global id
+  /// map (see SubtreeSlice below). `root` must be an internal node so the
+  /// slice is a valid tree (a client leaf cannot be a root).
+  [[nodiscard]] SubtreeSlice SliceSubtree(NodeId root) const;
+
  private:
   friend class TreeBuilder;
   Tree() = default;
@@ -162,6 +168,24 @@ class Tree {
   std::vector<std::uint32_t> subtree_size_;
   Requests total_requests_ = 0;
   std::uint32_t arity_ = 0;
+};
+
+/// A subtree extracted from a larger tree as a standalone Tree, plus the id
+/// map back into the source tree. Produced by Tree::SliceSubtree for the
+/// sharded solve (src/shard/): each cut subtree is sliced, shipped to a
+/// worker, and solved as its own instance; the map translates the worker's
+/// solution fragment back into source-tree ids.
+///
+/// Local ids are the subtree's global ids in ascending order (local id =
+/// rank of the global id among subtree members), so the remap is monotone:
+/// parent-before-child and ascending-id child order — every CSR invariant —
+/// survive verbatim, and the DP over the slice is byte-identical to the DP
+/// over the same subtree in place (F_j depends only on subtree demands and
+/// W; see multiple/nod_dp_engine.hpp). The slice root keeps δ = +inf like
+/// any tree root; the cut edge's length is irrelevant to the NoD solvers.
+struct SubtreeSlice {
+  Tree tree;                       ///< subtree re-rooted at the cut, local ids
+  std::vector<NodeId> to_global;   ///< local id -> source-tree id
 };
 
 /// Incremental tree constructor. Usage:
